@@ -1,0 +1,20 @@
+//! # baseline
+//!
+//! The comparison side of the paper's evaluation.
+//!
+//! * [`engine`] — a conventional **adjacency-list, pointer-chasing** graph
+//!   database engine with per-node property storage and a BFS k-hop
+//!   implementation. This is the architectural stand-in for the traversal-style
+//!   databases the TigerGraph benchmark measured (Neo4j, JanusGraph, ArangoDB,
+//!   Neptune): every hop dereferences per-node neighbour lists instead of
+//!   operating on sparse matrices.
+//! * [`literature`] — the published average 1-hop response times from the
+//!   TigerGraph benchmark report that Fig. 1 of the paper plots for the
+//!   databases we cannot run here. They are carried as constants so the
+//!   figure harness can print the same comparison rows.
+
+pub mod engine;
+pub mod literature;
+
+pub use engine::AdjacencyListGraph;
+pub use literature::{literature_response_times, LiteratureEntry};

@@ -1,0 +1,65 @@
+//! Criterion bench for experiments E1/E2: k-hop neighbourhood-count latency on
+//! the Graph500 and Twitter-like datasets, RedisGraph reproduction vs. the
+//! adjacency-list baseline, k ∈ {1, 2, 3, 6}.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::{KhopWorkload, SeedSelection};
+use redisgraph_bench::{load_dataset, Dataset};
+use std::hint::black_box;
+
+fn khop_benchmarks(c: &mut Criterion) {
+    // Keep the criterion run laptop-sized; the khop_table binary exposes the
+    // scale knob for bigger runs.
+    let scale = 11;
+    for dataset in [Dataset::Graph500, Dataset::Twitter] {
+        let loaded = load_dataset(dataset, scale, 42);
+        let degrees = loaded.edges.out_degrees();
+        let mut group = c.benchmark_group(format!("khop/{}", dataset.name().to_lowercase()));
+        for k in [1u32, 2, 3, 6] {
+            let workload = KhopWorkload::with_seed_count(
+                k,
+                loaded.edges.num_vertices,
+                &degrees,
+                SeedSelection::NonIsolated,
+                7,
+                16,
+            );
+            group.bench_with_input(BenchmarkId::new("redisgraph", k), &k, |b, &k| {
+                b.iter(|| {
+                    let mut total = 0u64;
+                    for &seed in &workload.seeds {
+                        total += loaded.redisgraph.khop_count(black_box(seed), k);
+                    }
+                    black_box(total)
+                })
+            });
+            group.bench_with_input(BenchmarkId::new("baseline", k), &k, |b, &k| {
+                b.iter(|| {
+                    let mut total = 0u64;
+                    for &seed in &workload.seeds {
+                        total += loaded.baseline.khop_count(black_box(seed), k);
+                    }
+                    black_box(total)
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+fn khop_cypher_path(c: &mut Criterion) {
+    // The full GRAPH.QUERY code path (parse → plan → algebraic traverse →
+    // aggregate) for the 1-hop and 2-hop benchmark queries.
+    let loaded = load_dataset(Dataset::Graph500, 11, 42);
+    let mut group = c.benchmark_group("khop/cypher_path");
+    for k in [1u32, 2] {
+        group.bench_with_input(BenchmarkId::new("graph500", k), &k, |b, &k| {
+            let query = format!("MATCH (s:Node)-[*1..{k}]->(t) WHERE id(s) = 1 RETURN count(t)");
+            b.iter(|| black_box(loaded.redisgraph.query_readonly(black_box(&query)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, khop_benchmarks, khop_cypher_path);
+criterion_main!(benches);

@@ -1,0 +1,144 @@
+//! Experiment E3/E4 harness: Fig. 1 of the paper — average 1-hop response time
+//! on the Graph500 and Twitter datasets for RedisGraph versus other graph
+//! databases — plus the conclusion's speedup summary.
+//!
+//! The figure mixes two kinds of rows:
+//!
+//! * **measured here**: the RedisGraph reproduction (both the library fast
+//!   path and the full Cypher path) and the local adjacency-list baseline;
+//! * **published**: the literature response times from the TigerGraph
+//!   benchmark report for TigerGraph, Neo4j, Neptune, JanusGraph and ArangoDB,
+//!   which cannot be run in this environment (see DESIGN.md substitutions).
+//!
+//! ```text
+//! cargo run --release -p redisgraph-bench --bin fig1 -- --scale 13 --summary
+//! ```
+
+use baseline::literature::{literature_response_times, PAPER_SPEEDUP_RANGE, REDISGRAPH_PUBLISHED};
+use datagen::{KhopWorkload, SeedSelection};
+use redisgraph_bench::khop::measure_one_hop_cypher;
+use redisgraph_bench::report::render_table;
+use redisgraph_bench::{load_dataset, Dataset};
+use std::time::Instant;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    let scale: u32 = argv
+        .iter()
+        .position(|a| a == "--scale")
+        .and_then(|i| argv.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(13);
+    let seeds_cap: usize = argv
+        .iter()
+        .position(|a| a == "--seeds")
+        .and_then(|i| argv.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300);
+    let summary = argv.iter().any(|a| a == "--summary");
+
+    println!("Fig. 1 — average response time (ms) for 1-hop k-hop-count queries\n");
+
+    let mut measured: Vec<(String, String, f64)> = Vec::new();
+    for dataset in [Dataset::Graph500, Dataset::Twitter] {
+        let loaded = load_dataset(dataset, scale, 42);
+        let degrees = loaded.edges.out_degrees();
+        let mut workload = KhopWorkload::tigergraph(
+            1,
+            loaded.edges.num_vertices,
+            &degrees,
+            SeedSelection::NonIsolated,
+            7,
+        );
+        workload.seeds.truncate(seeds_cap);
+
+        // library fast path (matrix BFS)
+        let start = Instant::now();
+        let mut total = 0u64;
+        for &s in &workload.seeds {
+            total += loaded.redisgraph.khop_count(s, 1);
+        }
+        let fast_ms = start.elapsed().as_secs_f64() * 1e3 / workload.len() as f64;
+        std::hint::black_box(total);
+
+        // full Cypher path (parse → plan → execute)
+        let cypher_ms = measure_one_hop_cypher(&loaded, &workload.seeds);
+
+        // baseline engine
+        let start = Instant::now();
+        let mut total = 0u64;
+        for &s in &workload.seeds {
+            total += loaded.baseline.khop_count(s, 1);
+        }
+        let baseline_ms = start.elapsed().as_secs_f64() * 1e3 / workload.len() as f64;
+        std::hint::black_box(total);
+
+        measured.push((dataset.name().to_string(), "RedisGraph (repro, matrix BFS)".into(), fast_ms));
+        measured.push((dataset.name().to_string(), "RedisGraph (repro, Cypher path)".into(), cypher_ms));
+        measured.push((dataset.name().to_string(), "Adjacency-list baseline (measured)".into(), baseline_ms));
+    }
+
+    // Assemble the figure: measured rows + published rows.
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for (dataset, system, ms) in &measured {
+        rows.push(vec![system.clone(), dataset.clone(), format!("{ms:.3}"), "measured here".into()]);
+    }
+    for entry in REDISGRAPH_PUBLISHED {
+        rows.push(vec![
+            entry.system.to_string(),
+            if entry.dataset == "graph500" { "Graph500".into() } else { "Twitter".into() },
+            format!("{:.3}", entry.one_hop_ms),
+            "published [paper]".into(),
+        ]);
+    }
+    for entry in literature_response_times() {
+        rows.push(vec![
+            entry.system.to_string(),
+            if entry.dataset == "graph500" { "Graph500".into() } else { "Twitter".into() },
+            format!("{:.3}", entry.one_hop_ms),
+            "published [TigerGraph benchmark]".into(),
+        ]);
+    }
+    println!("{}", render_table(&["system", "dataset", "1-hop avg (ms)", "source"], &rows));
+
+    if summary {
+        println!("\nE4 — speedup summary (paper conclusion: 36x to 15,000x vs non-TigerGraph systems)");
+        let mut rows = Vec::new();
+        for dataset in ["Graph500", "Twitter"] {
+            let repro = measured
+                .iter()
+                .find(|(d, s, _)| d == dataset && s.contains("matrix BFS"))
+                .map(|(_, _, ms)| *ms)
+                .unwrap_or(f64::NAN);
+            let base = measured
+                .iter()
+                .find(|(d, s, _)| d == dataset && s.contains("baseline"))
+                .map(|(_, _, ms)| *ms)
+                .unwrap_or(f64::NAN);
+            rows.push(vec![
+                dataset.to_string(),
+                "measured repro vs measured baseline".into(),
+                format!("{:.2}x", base / repro),
+            ]);
+            for entry in literature_response_times().iter().filter(|e| {
+                e.dataset.eq_ignore_ascii_case(dataset) && e.system != "TigerGraph"
+            }) {
+                let published_rg = REDISGRAPH_PUBLISHED
+                    .iter()
+                    .find(|e2| e2.dataset.eq_ignore_ascii_case(dataset))
+                    .unwrap()
+                    .one_hop_ms;
+                rows.push(vec![
+                    dataset.to_string(),
+                    format!("published RedisGraph vs published {}", entry.system),
+                    format!("{:.0}x", entry.one_hop_ms / published_rg),
+                ]);
+            }
+        }
+        println!("{}", render_table(&["dataset", "comparison", "speedup"], &rows));
+        println!(
+            "paper's reported range: {}x – {}x",
+            PAPER_SPEEDUP_RANGE.0, PAPER_SPEEDUP_RANGE.1
+        );
+    }
+}

@@ -1,0 +1,93 @@
+//! Experiment E1/E2/E7 harness: the k-hop neighbourhood-count response-time
+//! table (k = 1, 2, 3, 6) on the Graph500 and Twitter-like datasets, for the
+//! RedisGraph reproduction and the adjacency-list baseline.
+//!
+//! ```text
+//! cargo run --release -p redisgraph-bench --bin khop_table -- \
+//!     --dataset graph500 --scale 14 --seed-cap 50
+//! ```
+//!
+//! * `--dataset graph500|twitter|both` (default `both`)
+//! * `--scale N` — log2 of the vertex count (default 13)
+//! * `--seed-cap N` — cap the per-k seed count (default: paper counts 300/10)
+//! * `--max-k N` — limit the largest k (E7 uses 6, the default)
+
+use redisgraph_bench::khop::run_khop_suite;
+use redisgraph_bench::report::render_khop_table;
+use redisgraph_bench::{load_dataset, Dataset};
+
+struct Args {
+    dataset: Option<Dataset>,
+    scale: u32,
+    seed_cap: Option<usize>,
+    max_k: u32,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { dataset: None, scale: 13, seed_cap: None, max_k: 6 };
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--dataset" => {
+                i += 1;
+                let value = argv.get(i).map(|s| s.as_str()).unwrap_or("both");
+                args.dataset = Dataset::parse(value);
+                if args.dataset.is_none() && value != "both" {
+                    eprintln!("unknown dataset `{value}`, expected graph500|twitter|both");
+                    std::process::exit(2);
+                }
+            }
+            "--scale" => {
+                i += 1;
+                args.scale = argv.get(i).and_then(|s| s.parse().ok()).unwrap_or(13);
+            }
+            "--seed-cap" => {
+                i += 1;
+                args.seed_cap = argv.get(i).and_then(|s| s.parse().ok());
+            }
+            "--max-k" => {
+                i += 1;
+                args.max_k = argv.get(i).and_then(|s| s.parse().ok()).unwrap_or(6);
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let datasets: Vec<Dataset> = match args.dataset {
+        Some(d) => vec![d],
+        None => vec![Dataset::Graph500, Dataset::Twitter],
+    };
+
+    println!("k-hop neighbourhood count benchmark (TigerGraph protocol, paper §III)");
+    println!("scale = {} (2^{} vertices per dataset)\n", args.scale, args.scale);
+
+    for dataset in datasets {
+        let loaded = load_dataset(dataset, args.scale, 42);
+        println!(
+            "{}: {} vertices, {} edges",
+            dataset.name(),
+            loaded.redisgraph.node_count(),
+            loaded.redisgraph.edge_count()
+        );
+        let mut results = run_khop_suite(&loaded, args.seed_cap, 7);
+        results.retain(|m| m.k <= args.max_k);
+        println!("{}", render_khop_table(&results));
+
+        // E7: report that the largest-k queries completed (the paper notes no
+        // timeouts and no out-of-memory conditions on the large dataset).
+        let deepest = results.iter().filter(|m| m.k == args.max_k).count();
+        println!(
+            "E7 check: all {}-hop queries completed without timeout or OOM ({} engine rows)\n",
+            args.max_k, deepest
+        );
+    }
+}

@@ -1,0 +1,113 @@
+//! Benchmark dataset construction: generates the scaled-down Graph500 and
+//! Twitter-like graphs and loads them into both engines under test so every
+//! measurement runs on identical data.
+
+use baseline::AdjacencyListGraph;
+use datagen::{EdgeList, PowerLawConfig, RmatConfig};
+use redisgraph_core::Graph;
+
+/// Which of the paper's two datasets to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dataset {
+    /// The Graph500 RMAT graph (paper: 2.4 M vertices, 67 M edges).
+    Graph500,
+    /// The Twitter-like power-law graph (paper: 41.6 M vertices, 1.47 B edges).
+    Twitter,
+}
+
+impl Dataset {
+    /// Parse from a command-line string.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "graph500" | "g500" => Some(Dataset::Graph500),
+            "twitter" | "tw" => Some(Dataset::Twitter),
+            _ => None,
+        }
+    }
+
+    /// Display name matching the paper's figure labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Dataset::Graph500 => "Graph500",
+            Dataset::Twitter => "Twitter",
+        }
+    }
+
+    /// Generate the edge list at a given scale knob. For Graph500 the knob is
+    /// the RMAT scale (log2 of the vertex count); for Twitter it is also used
+    /// as a power of two of the vertex count so both datasets grow together.
+    pub fn generate(&self, scale: u32, seed: u64) -> EdgeList {
+        match self {
+            Dataset::Graph500 => datagen::rmat::generate(&RmatConfig {
+                scale,
+                edge_factor: 28, // the TigerGraph benchmark's Graph500 instance has ≈28 edges/vertex
+                seed,
+                ..RmatConfig::default()
+            }),
+            Dataset::Twitter => datagen::powerlaw::generate(&PowerLawConfig {
+                num_vertices: 1u64 << scale,
+                edges_per_vertex: 35, // ≈ the real Twitter dataset's average out-degree
+                random_fraction: 0.15,
+                seed,
+            }),
+        }
+    }
+}
+
+/// A generated dataset loaded into both engines.
+pub struct LoadedDataset {
+    /// Which dataset this is.
+    pub dataset: Dataset,
+    /// The raw edge list (kept for degree statistics / seed selection).
+    pub edges: EdgeList,
+    /// The matrix-backed RedisGraph reproduction.
+    pub redisgraph: Graph,
+    /// The adjacency-list baseline engine.
+    pub baseline: AdjacencyListGraph,
+}
+
+/// Generate a dataset and load it into both engines.
+pub fn load_dataset(dataset: Dataset, scale: u32, seed: u64) -> LoadedDataset {
+    let edges = dataset.generate(scale, seed);
+    let mut redisgraph = Graph::new(dataset.name());
+    redisgraph.bulk_load(edges.num_vertices, &edges.edges);
+    let baseline = AdjacencyListGraph::from_edge_list(edges.num_vertices, &edges.edges);
+    LoadedDataset { dataset, edges, redisgraph, baseline }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_engines_load_identical_graphs() {
+        let loaded = load_dataset(Dataset::Graph500, 8, 1);
+        assert_eq!(loaded.redisgraph.node_count(), loaded.baseline.node_count());
+        assert_eq!(loaded.redisgraph.edge_count(), loaded.baseline.edge_count());
+        // spot-check k-hop equivalence on a few seeds
+        for seed in [0u64, 3, 17, 101] {
+            for k in [1, 2, 3] {
+                assert_eq!(
+                    loaded.redisgraph.khop_count(seed, k),
+                    loaded.baseline.khop_count(seed, k),
+                    "k-hop mismatch at seed {seed}, k {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dataset_parsing_and_names() {
+        assert_eq!(Dataset::parse("graph500"), Some(Dataset::Graph500));
+        assert_eq!(Dataset::parse("Twitter"), Some(Dataset::Twitter));
+        assert_eq!(Dataset::parse("nope"), None);
+        assert_eq!(Dataset::Graph500.name(), "Graph500");
+    }
+
+    #[test]
+    fn twitter_dataset_is_denser_than_its_vertex_count() {
+        let el = Dataset::Twitter.generate(9, 2);
+        assert_eq!(el.num_vertices, 512);
+        assert!(el.num_edges() as u64 > el.num_vertices * 20);
+    }
+}

@@ -1,0 +1,148 @@
+//! The k-hop neighbourhood-count experiment driver (experiments E1, E2, E7).
+//!
+//! Follows the TigerGraph benchmark protocol the paper used: for each k, a set
+//! of seed vertices is queried **sequentially** (single-request latency) and
+//! the average response time is reported. Both engines are driven on identical
+//! graphs and identical seeds.
+
+use crate::datasets::LoadedDataset;
+use datagen::{KhopWorkload, SeedSelection};
+use std::time::Instant;
+
+/// The measured result of one (engine, dataset, k) cell.
+#[derive(Debug, Clone)]
+pub struct KhopMeasurement {
+    /// Dataset name.
+    pub dataset: String,
+    /// Engine name (`"RedisGraph (repro)"` or `"Adjacency-list baseline"`).
+    pub engine: String,
+    /// Number of hops.
+    pub k: u32,
+    /// Number of seed queries executed.
+    pub seeds: usize,
+    /// Average response time in milliseconds.
+    pub avg_ms: f64,
+    /// Average neighbourhood size returned (sanity check that both engines
+    /// agree on the answer).
+    pub avg_count: f64,
+}
+
+/// Run the k-hop suite (k = 1, 2, 3, 6) on a loaded dataset for both engines.
+///
+/// `seed_cap` optionally truncates the per-k seed counts (300/300/10/10 in the
+/// paper) so the suite finishes quickly at small scales; `None` uses the
+/// paper's counts.
+pub fn run_khop_suite(
+    loaded: &LoadedDataset,
+    seed_cap: Option<usize>,
+    rng_seed: u64,
+) -> Vec<KhopMeasurement> {
+    let degrees = loaded.edges.out_degrees();
+    let mut results = Vec::new();
+    for k in [1u32, 2, 3, 6] {
+        let mut workload = KhopWorkload::tigergraph(
+            k,
+            loaded.edges.num_vertices,
+            &degrees,
+            SeedSelection::NonIsolated,
+            rng_seed,
+        );
+        if let Some(cap) = seed_cap {
+            workload.seeds.truncate(cap.max(1));
+        }
+
+        // RedisGraph reproduction: algebraic BFS over the adjacency matrix.
+        let (rg_ms, rg_count) = measure(&workload, |seed| loaded.redisgraph.khop_count(seed, k));
+        results.push(KhopMeasurement {
+            dataset: loaded.dataset.name().to_string(),
+            engine: "RedisGraph (repro)".to_string(),
+            k,
+            seeds: workload.len(),
+            avg_ms: rg_ms,
+            avg_count: rg_count,
+        });
+
+        // Baseline: queue BFS over adjacency lists.
+        let (bl_ms, bl_count) = measure(&workload, |seed| loaded.baseline.khop_count(seed, k));
+        results.push(KhopMeasurement {
+            dataset: loaded.dataset.name().to_string(),
+            engine: "Adjacency-list baseline".to_string(),
+            k,
+            seeds: workload.len(),
+            avg_ms: bl_ms,
+            avg_count: bl_count,
+        });
+    }
+    results
+}
+
+fn measure(workload: &KhopWorkload, mut f: impl FnMut(u64) -> u64) -> (f64, f64) {
+    let mut total_ms = 0.0;
+    let mut total_count = 0u64;
+    for &seed in &workload.seeds {
+        let start = Instant::now();
+        let count = f(seed);
+        total_ms += start.elapsed().as_secs_f64() * 1e3;
+        total_count += count;
+    }
+    let n = workload.len().max(1) as f64;
+    (total_ms / n, total_count as f64 / n)
+}
+
+/// End-to-end Cypher variant of the 1-hop measurement (goes through parse →
+/// plan → execute, i.e. the full `GRAPH.QUERY` code path rather than the
+/// library fast path). Used by the `fig1` binary to report both numbers.
+pub fn measure_one_hop_cypher(loaded: &LoadedDataset, seeds: &[u64]) -> f64 {
+    let mut total_ms = 0.0;
+    for &seed in seeds {
+        let query = format!("MATCH (s:Node)-[*1..1]->(t) WHERE id(s) = {seed} RETURN count(t)");
+        let start = Instant::now();
+        let rs = loaded
+            .redisgraph
+            .query_readonly(&query)
+            .expect("benchmark query must execute");
+        total_ms += start.elapsed().as_secs_f64() * 1e3;
+        std::hint::black_box(rs);
+    }
+    total_ms / seeds.len().max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::{load_dataset, Dataset};
+
+    #[test]
+    fn suite_produces_all_rows_and_engines_agree() {
+        let loaded = load_dataset(Dataset::Graph500, 8, 3);
+        let results = run_khop_suite(&loaded, Some(5), 7);
+        // 4 values of k × 2 engines
+        assert_eq!(results.len(), 8);
+        for k in [1u32, 2, 3, 6] {
+            let cells: Vec<&KhopMeasurement> = results.iter().filter(|m| m.k == k).collect();
+            assert_eq!(cells.len(), 2);
+            // identical workload → identical average neighbourhood size
+            assert!(
+                (cells[0].avg_count - cells[1].avg_count).abs() < 1e-9,
+                "engines disagree at k={k}: {} vs {}",
+                cells[0].avg_count,
+                cells[1].avg_count
+            );
+            assert!(cells.iter().all(|c| c.avg_ms >= 0.0));
+        }
+    }
+
+    #[test]
+    fn cypher_path_matches_fast_path_on_one_hop() {
+        let loaded = load_dataset(Dataset::Graph500, 7, 1);
+        let seeds = [0u64, 1, 2];
+        for &s in &seeds {
+            let query = format!("MATCH (s:Node)-[*1..1]->(t) WHERE id(s) = {s} RETURN count(t)");
+            let rs = loaded.redisgraph.query_readonly(&query).unwrap();
+            let via_cypher = rs.scalar().and_then(|v| v.as_i64()).unwrap() as u64;
+            assert_eq!(via_cypher, loaded.redisgraph.khop_count(s, 1));
+        }
+        let ms = measure_one_hop_cypher(&loaded, &seeds);
+        assert!(ms >= 0.0);
+    }
+}

@@ -1,0 +1,20 @@
+//! # redisgraph-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! paper's evaluation (see `DESIGN.md` §4 for the experiment index and
+//! `EXPERIMENTS.md` for paper-vs-measured numbers).
+//!
+//! The harness has two faces:
+//!
+//! * **Criterion benches** (`cargo bench -p redisgraph-bench`) — `khop`,
+//!   `graphblas_kernels`, `throughput`;
+//! * **stand-alone binaries** (`cargo run --release -p redisgraph-bench --bin …`) —
+//!   `khop_table`, `fig1`, `throughput` — which print the same rows/series the
+//!   paper reports.
+
+pub mod datasets;
+pub mod khop;
+pub mod report;
+
+pub use datasets::{load_dataset, Dataset, LoadedDataset};
+pub use khop::{run_khop_suite, KhopMeasurement};

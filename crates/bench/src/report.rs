@@ -1,0 +1,89 @@
+//! Plain-text report formatting shared by the harness binaries: aligned tables
+//! printed in the same shape as the paper's figure and the TigerGraph
+//! benchmark's result tables.
+
+use crate::khop::KhopMeasurement;
+
+/// Render a list of rows as an aligned text table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<String>, widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths.iter())
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    out.push_str(&fmt_row(headers.iter().map(|s| s.to_string()).collect(), &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row.clone(), &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Render the k-hop suite results as the per-dataset table of §III.
+pub fn render_khop_table(results: &[KhopMeasurement]) -> String {
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|m| {
+            vec![
+                m.dataset.clone(),
+                m.engine.clone(),
+                m.k.to_string(),
+                m.seeds.to_string(),
+                format!("{:.3}", m.avg_ms),
+                format!("{:.1}", m.avg_count),
+            ]
+        })
+        .collect();
+    render_table(
+        &["dataset", "engine", "k-hop", "seeds", "avg response (ms)", "avg neighbourhood"],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment_and_headers() {
+        let table = render_table(
+            &["system", "ms"],
+            &[vec!["RedisGraph".into(), "0.4".into()], vec!["Neo4j".into(), "14.5".into()]],
+        );
+        assert!(table.contains("system"));
+        assert!(table.lines().count() >= 4);
+        // every data line has both columns
+        assert!(table.lines().last().unwrap().contains("Neo4j"));
+    }
+
+    #[test]
+    fn khop_table_contains_all_measurements() {
+        let m = KhopMeasurement {
+            dataset: "Graph500".into(),
+            engine: "RedisGraph (repro)".into(),
+            k: 6,
+            seeds: 10,
+            avg_ms: 1.234,
+            avg_count: 99.0,
+        };
+        let table = render_khop_table(&[m]);
+        assert!(table.contains("Graph500"));
+        assert!(table.contains("1.234"));
+        assert!(table.contains("99.0"));
+    }
+}

@@ -1,0 +1,57 @@
+//! Query-level error type.
+
+use std::fmt;
+
+/// Errors surfaced to clients by [`crate::Graph::query`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// The query text failed to lex or parse.
+    Syntax(String),
+    /// The query references an unknown variable.
+    UnknownVariable(String),
+    /// The query uses a feature outside the supported subset.
+    Unsupported(String),
+    /// A runtime type error (e.g. adding a string to an integer).
+    Type(String),
+    /// Internal invariant violation.
+    Internal(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Syntax(m) => write!(f, "syntax error: {m}"),
+            QueryError::UnknownVariable(v) => write!(f, "unknown variable `{v}`"),
+            QueryError::Unsupported(m) => write!(f, "unsupported query feature: {m}"),
+            QueryError::Type(m) => write!(f, "type error: {m}"),
+            QueryError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<cypher::ParseError> for QueryError {
+    fn from(e: cypher::ParseError) -> Self {
+        QueryError::Syntax(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_their_category() {
+        assert!(QueryError::Syntax("x".into()).to_string().starts_with("syntax"));
+        assert!(QueryError::UnknownVariable("v".into()).to_string().contains("`v`"));
+        assert!(QueryError::Unsupported("w".into()).to_string().contains("unsupported"));
+    }
+
+    #[test]
+    fn parse_errors_convert() {
+        let parse_err = cypher::parse("MATCH (").unwrap_err();
+        let q: QueryError = parse_err.into();
+        assert!(matches!(q, QueryError::Syntax(_)));
+    }
+}

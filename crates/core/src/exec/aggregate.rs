@@ -1,0 +1,215 @@
+//! Aggregation functions for `RETURN` / `WITH` projections: `count`, `sum`,
+//! `avg`, `min`, `max`, `collect`, with optional `DISTINCT`.
+
+use crate::value::Value;
+
+/// Incremental state of one aggregation expression within one group.
+#[derive(Debug, Clone)]
+pub struct Accumulator {
+    func: AggFunc,
+    distinct: bool,
+    seen: Vec<Value>,
+    count: u64,
+    sum: f64,
+    int_sum: i64,
+    all_ints: bool,
+    min: Option<Value>,
+    max: Option<Value>,
+    collected: Vec<Value>,
+}
+
+/// The supported aggregation functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `count(x)` / `count(*)`.
+    Count,
+    /// `sum(x)`.
+    Sum,
+    /// `avg(x)`.
+    Avg,
+    /// `min(x)`.
+    Min,
+    /// `max(x)`.
+    Max,
+    /// `collect(x)`.
+    Collect,
+}
+
+impl AggFunc {
+    /// Map a lower-cased function name to an aggregation function.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "count" => Some(AggFunc::Count),
+            "sum" => Some(AggFunc::Sum),
+            "avg" => Some(AggFunc::Avg),
+            "min" => Some(AggFunc::Min),
+            "max" => Some(AggFunc::Max),
+            "collect" => Some(AggFunc::Collect),
+            _ => None,
+        }
+    }
+}
+
+impl Accumulator {
+    /// Create an accumulator for a function, with or without `DISTINCT`.
+    pub fn new(func: AggFunc, distinct: bool) -> Self {
+        Accumulator {
+            func,
+            distinct,
+            seen: Vec::new(),
+            count: 0,
+            sum: 0.0,
+            int_sum: 0,
+            all_ints: true,
+            min: None,
+            max: None,
+            collected: Vec::new(),
+        }
+    }
+
+    /// Feed one value. `Null` values are ignored by every aggregation, per
+    /// openCypher; `count(*)` is handled by feeding a non-null marker.
+    pub fn update(&mut self, value: Value) {
+        if value.is_null() {
+            return;
+        }
+        if self.distinct {
+            if self.seen.iter().any(|v| v.cypher_eq(&value) == Some(true)) {
+                return;
+            }
+            self.seen.push(value.clone());
+        }
+        self.count += 1;
+        match self.func {
+            AggFunc::Count => {}
+            AggFunc::Sum | AggFunc::Avg => {
+                if let Value::Int(i) = value {
+                    self.int_sum = self.int_sum.wrapping_add(i);
+                } else {
+                    self.all_ints = false;
+                }
+                self.sum += value.as_f64().unwrap_or(0.0);
+            }
+            AggFunc::Min => {
+                let better = match &self.min {
+                    None => true,
+                    Some(cur) => value.sort_cmp(cur).is_lt(),
+                };
+                if better {
+                    self.min = Some(value);
+                }
+            }
+            AggFunc::Max => {
+                let better = match &self.max {
+                    None => true,
+                    Some(cur) => value.sort_cmp(cur).is_gt(),
+                };
+                if better {
+                    self.max = Some(value);
+                }
+            }
+            AggFunc::Collect => self.collected.push(value),
+        }
+    }
+
+    /// Produce the final aggregated value.
+    pub fn finish(self) -> Value {
+        match self.func {
+            AggFunc::Count => Value::Int(self.count as i64),
+            AggFunc::Sum => {
+                if self.count == 0 {
+                    Value::Int(0)
+                } else if self.all_ints {
+                    Value::Int(self.int_sum)
+                } else {
+                    Value::Float(self.sum)
+                }
+            }
+            AggFunc::Avg => {
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(self.sum / self.count as f64)
+                }
+            }
+            AggFunc::Min => self.min.unwrap_or(Value::Null),
+            AggFunc::Max => self.max.unwrap_or(Value::Null),
+            AggFunc::Collect => Value::List(self.collected),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(func: AggFunc, distinct: bool, values: Vec<Value>) -> Value {
+        let mut acc = Accumulator::new(func, distinct);
+        for v in values {
+            acc.update(v);
+        }
+        acc.finish()
+    }
+
+    #[test]
+    fn count_ignores_nulls() {
+        let v = run(AggFunc::Count, false, vec![Value::Int(1), Value::Null, Value::Int(2)]);
+        assert_eq!(v, Value::Int(2));
+    }
+
+    #[test]
+    fn count_distinct() {
+        let v = run(
+            AggFunc::Count,
+            true,
+            vec![Value::Int(1), Value::Int(1), Value::Int(2), Value::Float(2.0)],
+        );
+        // 2.0 equals 2 under cypher equality, so only {1, 2} are distinct
+        assert_eq!(v, Value::Int(2));
+    }
+
+    #[test]
+    fn sum_stays_integer_when_possible() {
+        assert_eq!(run(AggFunc::Sum, false, vec![Value::Int(1), Value::Int(2)]), Value::Int(3));
+        assert_eq!(
+            run(AggFunc::Sum, false, vec![Value::Int(1), Value::Float(0.5)]),
+            Value::Float(1.5)
+        );
+        assert_eq!(run(AggFunc::Sum, false, vec![]), Value::Int(0));
+    }
+
+    #[test]
+    fn avg_min_max() {
+        assert_eq!(
+            run(AggFunc::Avg, false, vec![Value::Int(1), Value::Int(2), Value::Int(3)]),
+            Value::Float(2.0)
+        );
+        assert_eq!(run(AggFunc::Avg, false, vec![]), Value::Null);
+        assert_eq!(
+            run(AggFunc::Min, false, vec![Value::Int(5), Value::Int(2), Value::Int(8)]),
+            Value::Int(2)
+        );
+        assert_eq!(
+            run(AggFunc::Max, false, vec![Value::Str("a".into()), Value::Str("c".into())]),
+            Value::Str("c".into())
+        );
+        assert_eq!(run(AggFunc::Min, false, vec![]), Value::Null);
+    }
+
+    #[test]
+    fn collect_preserves_order() {
+        let v = run(
+            AggFunc::Collect,
+            false,
+            vec![Value::Int(3), Value::Null, Value::Int(1)],
+        );
+        assert_eq!(v, Value::List(vec![Value::Int(3), Value::Int(1)]));
+    }
+
+    #[test]
+    fn from_name_lookup() {
+        assert_eq!(AggFunc::from_name("count"), Some(AggFunc::Count));
+        assert_eq!(AggFunc::from_name("collect"), Some(AggFunc::Collect));
+        assert_eq!(AggFunc::from_name("id"), None);
+    }
+}

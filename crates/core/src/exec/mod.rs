@@ -1,0 +1,22 @@
+//! The query execution engine.
+//!
+//! A parsed [`cypher::Query`] is compiled by [`plan::ExecutionPlan::build`]
+//! into a linear sequence of operations (scans, traversals, filters,
+//! projections, writes) that is then interpreted against a
+//! [`crate::store::graph::Graph`]. Traversal operations read the graph's
+//! sparse matrices — single hops walk matrix rows, variable-length hops run the
+//! masked-`vxm` BFS in [`crate::store::graph::Graph::khop_reach`] — which is
+//! exactly the "Cypher → linear algebra" translation the paper describes.
+//!
+//! The pipeline is *materialised*: each operation maps a vector of records to
+//! a new vector of records. RedisGraph proper streams records through a
+//! volcano-style iterator; materialisation keeps the reproduction simple
+//! without changing the asymptotics of the benchmark queries, and each query
+//! still executes on a single thread as the paper's architecture dictates.
+
+pub mod aggregate;
+pub mod expr;
+pub mod ops;
+pub mod plan;
+pub mod record;
+pub mod resultset;

@@ -1,0 +1,530 @@
+//! Execution-plan construction and evaluation.
+//!
+//! [`ExecutionPlan::build`] compiles a parsed [`cypher::Query`] into segments
+//! of [`PlanOp`]s (segments are separated by `WITH`, which re-binds the record
+//! layout). [`ExecutionPlan::execute`] interprets the plan against a graph.
+//!
+//! Plan construction mirrors RedisGraph's planner for the supported subset:
+//!
+//! * the first node of a `MATCH` pattern chooses its access path — `Node By Id
+//!   Seek` when the `WHERE` clause pins `id(n)`, `Node By Label Scan` when the
+//!   pattern has a label, otherwise `All Node Scan`;
+//! * every relationship step becomes a `Conditional Traverse` (or `Expand
+//!   Into` when both endpoints are already bound), executed against the
+//!   graph's sparse matrices;
+//! * inline property maps and label constraints on non-scan nodes become
+//!   filters directly after the traverse that binds them.
+
+use crate::error::QueryError;
+use crate::exec::expr::contains_aggregate;
+use crate::exec::ops::*;
+use crate::exec::record::{Bindings, Record};
+use crate::exec::resultset::{QueryStats, ResultSet};
+use crate::store::graph::Graph;
+use crate::value::Value;
+use cypher::{Clause, Expr, NodePattern, PathPattern, Query};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// One plan segment: a record layout plus the operations that run under it.
+#[derive(Debug, Clone)]
+pub struct Segment {
+    /// Variable → slot table for this segment.
+    pub bindings: Bindings,
+    /// Operations, in execution order.
+    pub ops: Vec<PlanOp>,
+}
+
+/// A compiled query plan.
+#[derive(Debug, Clone)]
+pub struct ExecutionPlan {
+    segments: Vec<Segment>,
+}
+
+impl ExecutionPlan {
+    /// Compile a parsed query into an execution plan.
+    pub fn build(query: &Query) -> Result<Self, QueryError> {
+        Builder::new().build(query)
+    }
+
+    /// Human-readable plan description (`GRAPH.EXPLAIN`).
+    pub fn describe(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for (i, segment) in self.segments.iter().enumerate() {
+            if i > 0 {
+                out.push("--- segment ---".to_string());
+            }
+            for op in &segment.ops {
+                out.push(op.describe());
+            }
+        }
+        out
+    }
+
+    /// The segments of the plan (exposed for tests and the server module).
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Execute the plan against a graph, producing a result set.
+    pub fn execute(&self, graph: &mut Graph) -> Result<ResultSet, QueryError> {
+        self.run(GraphAccess::Write(graph))
+    }
+
+    /// Execute a plan that contains no write operations against a shared graph
+    /// reference. Used by the server's read path so that many read queries can
+    /// run concurrently on different threadpool workers under a read lock.
+    /// Returns an error if the plan contains a write operation.
+    pub fn execute_read_only(&self, graph: &Graph) -> Result<ResultSet, QueryError> {
+        self.run(GraphAccess::Read(graph))
+    }
+
+    fn run(&self, mut access: GraphAccess<'_>) -> Result<ResultSet, QueryError> {
+        let start = Instant::now();
+        let mut stats = QueryStats::default();
+        let mut records: Vec<Record> = vec![Vec::new()];
+        let mut columns: Vec<String> = Vec::new();
+        let mut rows: Vec<Vec<Value>> = Vec::new();
+        let mut wrote = false;
+
+        for (si, segment) in self.segments.iter().enumerate() {
+            let bindings = &segment.bindings;
+            for op in &segment.ops {
+                match op {
+                    PlanOp::AllNodeScan { .. }
+                    | PlanOp::NodeByLabelScan { .. }
+                    | PlanOp::NodeByIdSeek { .. } => {
+                        records = run_scan(op, records, bindings, access.graph());
+                    }
+                    PlanOp::Filter { .. } | PlanOp::LabelFilter { .. } | PlanOp::PropFilter { .. } => {
+                        records = run_filter(op, records, bindings, access.graph());
+                    }
+                    PlanOp::Traverse {
+                        src_slot,
+                        dst_slot,
+                        edge_slot,
+                        rel_types,
+                        direction,
+                        min_hops,
+                        max_hops,
+                        expand_into,
+                        ..
+                    } => {
+                        records = run_traverse(
+                            records,
+                            bindings,
+                            access.graph(),
+                            *src_slot,
+                            *dst_slot,
+                            *edge_slot,
+                            rel_types,
+                            *direction,
+                            *min_hops,
+                            *max_hops,
+                            *expand_into,
+                        );
+                    }
+                    PlanOp::Project(projection) => {
+                        columns = projection.items.iter().map(|i| i.column_name()).collect();
+                        rows = run_project(projection, &records, bindings, access.graph());
+                    }
+                    PlanOp::Aggregate(projection) => {
+                        columns = projection.items.iter().map(|i| i.column_name()).collect();
+                        rows = run_aggregate(projection, &records, bindings, access.graph());
+                    }
+                    PlanOp::With(projection) => {
+                        let agg = projection.items.iter().any(|i| contains_aggregate(&i.expr));
+                        let produced = if agg {
+                            run_aggregate(projection, &records, bindings, access.graph())
+                        } else {
+                            run_project(projection, &records, bindings, access.graph())
+                        };
+                        let next_bindings = &self.segments[si + 1].bindings;
+                        records = produced
+                            .into_iter()
+                            .map(|row| {
+                                let mut r = vec![Value::Null; next_bindings.len()];
+                                for (item, value) in projection.items.iter().zip(row) {
+                                    if let Some(slot) = next_bindings.slot(&item.column_name()) {
+                                        r[slot] = value;
+                                    }
+                                }
+                                r
+                            })
+                            .collect();
+                    }
+                    PlanOp::Create { patterns } => {
+                        run_create(patterns, &mut records, bindings, access.graph_mut()?, &mut stats);
+                        wrote = true;
+                    }
+                    PlanOp::Delete { vars, .. } => {
+                        run_delete(vars, &records, bindings, access.graph_mut()?, &mut stats);
+                        wrote = true;
+                    }
+                    PlanOp::SetProps { items } => {
+                        run_set(items, &records, bindings, access.graph_mut()?, &mut stats);
+                        wrote = true;
+                    }
+                    PlanOp::Unwind { list, slot, .. } => {
+                        records = run_unwind(list, *slot, records, bindings, access.graph());
+                    }
+                }
+            }
+        }
+        if wrote {
+            access.graph_mut()?.sync_matrices();
+        }
+        stats.execution_time = start.elapsed();
+        Ok(ResultSet { columns, rows, stats })
+    }
+}
+
+
+/// How the executor is allowed to touch the graph: read-only plans can run
+/// against a shared reference (many at once on different threadpool workers),
+/// write plans need exclusive access.
+enum GraphAccess<'a> {
+    /// Shared, read-only access.
+    Read(&'a Graph),
+    /// Exclusive access, required by write operations.
+    Write(&'a mut Graph),
+}
+
+impl<'a> GraphAccess<'a> {
+    fn graph(&self) -> &Graph {
+        match self {
+            GraphAccess::Read(g) => g,
+            GraphAccess::Write(g) => g,
+        }
+    }
+
+    fn graph_mut(&mut self) -> Result<&mut Graph, QueryError> {
+        match self {
+            GraphAccess::Read(_) => Err(QueryError::Internal(
+                "write operation reached the read-only execution path".into(),
+            )),
+            GraphAccess::Write(g) => Ok(g),
+        }
+    }
+}
+
+/// Internal plan builder state.
+struct Builder {
+    segments: Vec<Segment>,
+    bindings: Bindings,
+    ops: Vec<PlanOp>,
+    anon_counter: usize,
+}
+
+impl Builder {
+    fn new() -> Self {
+        Builder { segments: Vec::new(), bindings: Bindings::new(), ops: Vec::new(), anon_counter: 0 }
+    }
+
+    fn anon_var(&mut self) -> String {
+        self.anon_counter += 1;
+        format!("@anon_{}", self.anon_counter)
+    }
+
+    fn finish_segment(&mut self) {
+        let bindings = std::mem::take(&mut self.bindings);
+        let ops = std::mem::take(&mut self.ops);
+        self.segments.push(Segment { bindings, ops });
+    }
+
+    fn build(mut self, query: &Query) -> Result<ExecutionPlan, QueryError> {
+        let id_seeks = collect_id_seeks(query);
+        for clause in &query.clauses {
+            match clause {
+                Clause::Match { optional, patterns } => {
+                    if *optional {
+                        return Err(QueryError::Unsupported(
+                            "OPTIONAL MATCH is not supported by this RedisGraph version".into(),
+                        ));
+                    }
+                    for pattern in patterns {
+                        self.plan_pattern(pattern, &id_seeks)?;
+                    }
+                }
+                Clause::Where(expr) => {
+                    self.ops.push(PlanOp::Filter { expr: expr.clone() });
+                }
+                Clause::Return(projection) => {
+                    let agg = projection.items.iter().any(|i| contains_aggregate(&i.expr));
+                    self.ops.push(if agg {
+                        PlanOp::Aggregate(projection.clone())
+                    } else {
+                        PlanOp::Project(projection.clone())
+                    });
+                }
+                Clause::With(projection) => {
+                    self.ops.push(PlanOp::With(projection.clone()));
+                    self.finish_segment();
+                    // The next segment's variables are the projected column names.
+                    for item in &projection.items {
+                        self.bindings.slot_or_create(&item.column_name());
+                    }
+                }
+                Clause::Create(patterns) => {
+                    // Named entities introduced by CREATE get slots so later
+                    // clauses (RETURN, SET) can reference them.
+                    for pattern in patterns {
+                        for node in pattern.nodes() {
+                            if let Some(var) = &node.variable {
+                                self.bindings.slot_or_create(var);
+                            }
+                        }
+                        for (rel, _) in &pattern.steps {
+                            if let Some(var) = &rel.variable {
+                                self.bindings.slot_or_create(var);
+                            }
+                        }
+                    }
+                    self.ops.push(PlanOp::Create { patterns: patterns.clone() });
+                }
+                Clause::Delete { detach, variables } => {
+                    for var in variables {
+                        if !self.bindings.is_bound(var) {
+                            return Err(QueryError::UnknownVariable(var.clone()));
+                        }
+                    }
+                    self.ops.push(PlanOp::Delete { detach: *detach, vars: variables.clone() });
+                }
+                Clause::Set(items) => {
+                    for item in items {
+                        if !self.bindings.is_bound(&item.variable) {
+                            return Err(QueryError::UnknownVariable(item.variable.clone()));
+                        }
+                    }
+                    self.ops.push(PlanOp::SetProps { items: items.clone() });
+                }
+                Clause::Unwind { list, variable } => {
+                    let slot = self.bindings.slot_or_create(variable);
+                    self.ops.push(PlanOp::Unwind {
+                        list: list.clone(),
+                        slot,
+                        var: variable.clone(),
+                    });
+                }
+            }
+        }
+        self.finish_segment();
+        Ok(ExecutionPlan { segments: self.segments })
+    }
+
+    /// Plan one linear path pattern of a MATCH clause.
+    fn plan_pattern(
+        &mut self,
+        pattern: &PathPattern,
+        id_seeks: &HashMap<String, Expr>,
+    ) -> Result<(), QueryError> {
+        // Start node.
+        let start_var = pattern
+            .start
+            .variable
+            .clone()
+            .unwrap_or_else(|| self.anon_var());
+        let start_bound = self.bindings.is_bound(&start_var);
+        let start_slot = self.bindings.slot_or_create(&start_var);
+        if !start_bound {
+            self.plan_node_access(&pattern.start, &start_var, start_slot, id_seeks);
+        } else {
+            self.plan_node_constraints(&pattern.start, start_slot);
+        }
+
+        // Relationship steps.
+        let mut src_slot = start_slot;
+        for (rel, node) in &pattern.steps {
+            let dst_var = node.variable.clone().unwrap_or_else(|| self.anon_var());
+            let expand_into = self.bindings.is_bound(&dst_var);
+            let dst_slot = self.bindings.slot_or_create(&dst_var);
+            // An edge slot is needed when the edge is named or when inline
+            // property constraints must be checked against it (single hop only).
+            let edge_slot = if rel.var_length.is_none()
+                && (rel.variable.is_some() || !rel.properties.is_empty())
+            {
+                let name = rel.variable.clone().unwrap_or_else(|| self.anon_var());
+                Some(self.bindings.slot_or_create(&name))
+            } else {
+                None
+            };
+            let (min_hops, max_hops) = match rel.var_length {
+                None => (1, Some(1)),
+                Some((min, max)) => (min, max),
+            };
+            self.ops.push(PlanOp::Traverse {
+                src_slot,
+                dst_slot,
+                dst_var: dst_var.clone(),
+                edge_slot,
+                rel_types: rel.types.clone(),
+                direction: rel.direction,
+                min_hops,
+                max_hops,
+                expand_into,
+            });
+            // Edge property constraints (single hop only).
+            if let Some(es) = edge_slot {
+                for (key, lit) in &rel.properties {
+                    self.ops.push(PlanOp::PropFilter {
+                        slot: es,
+                        key: key.clone(),
+                        value: Value::from(lit),
+                    });
+                }
+            }
+            if !expand_into {
+                self.plan_node_constraints(node, dst_slot);
+            } else {
+                self.plan_node_constraints(node, dst_slot);
+            }
+            src_slot = dst_slot;
+        }
+        Ok(())
+    }
+
+    /// Choose the access path for an unbound start node.
+    fn plan_node_access(
+        &mut self,
+        node: &NodePattern,
+        var: &str,
+        slot: usize,
+        id_seeks: &HashMap<String, Expr>,
+    ) {
+        if let Some(id_expr) = id_seeks.get(var) {
+            self.ops.push(PlanOp::NodeByIdSeek {
+                slot,
+                var: var.to_string(),
+                id_expr: id_expr.clone(),
+            });
+            // Remaining label/property constraints still apply.
+            self.plan_node_constraints(node, slot);
+            return;
+        }
+        if let Some(first_label) = node.labels.first() {
+            self.ops.push(PlanOp::NodeByLabelScan {
+                slot,
+                var: var.to_string(),
+                label: first_label.clone(),
+            });
+            for label in node.labels.iter().skip(1) {
+                self.ops.push(PlanOp::LabelFilter { slot, label: label.clone() });
+            }
+        } else {
+            self.ops.push(PlanOp::AllNodeScan { slot, var: var.to_string() });
+        }
+        for (key, lit) in &node.properties {
+            self.ops.push(PlanOp::PropFilter { slot, key: key.clone(), value: Value::from(lit) });
+        }
+    }
+
+    /// Emit label / property filters for a node that is bound by a traverse or
+    /// by an earlier pattern.
+    fn plan_node_constraints(&mut self, node: &NodePattern, slot: usize) {
+        for label in &node.labels {
+            self.ops.push(PlanOp::LabelFilter { slot, label: label.clone() });
+        }
+        for (key, lit) in &node.properties {
+            self.ops.push(PlanOp::PropFilter { slot, key: key.clone(), value: Value::from(lit) });
+        }
+    }
+}
+
+/// Scan the WHERE clauses for `id(var) = <expr>` conjuncts usable as
+/// `Node By Id Seek` access paths.
+fn collect_id_seeks(query: &Query) -> HashMap<String, Expr> {
+    let mut seeks = HashMap::new();
+    for clause in &query.clauses {
+        if let Clause::Where(expr) = clause {
+            collect_id_seeks_expr(expr, &mut seeks);
+        }
+    }
+    seeks
+}
+
+fn collect_id_seeks_expr(expr: &Expr, seeks: &mut HashMap<String, Expr>) {
+    match expr {
+        Expr::Binary(cypher::BinaryOperator::And, lhs, rhs) => {
+            collect_id_seeks_expr(lhs, seeks);
+            collect_id_seeks_expr(rhs, seeks);
+        }
+        Expr::Binary(cypher::BinaryOperator::Eq, lhs, rhs) => {
+            if let Some((var, value)) = match_id_eq(lhs, rhs).or_else(|| match_id_eq(rhs, lhs)) {
+                seeks.insert(var, value);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn match_id_eq(call: &Expr, value: &Expr) -> Option<(String, Expr)> {
+    if let Expr::FunctionCall { name, args, .. } = call {
+        if name == "id" && args.len() == 1 {
+            if let Expr::Variable(var) = &args[0] {
+                if matches!(value, Expr::Literal(_) | Expr::Parameter(_)) {
+                    return Some((var.clone(), value.clone()));
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(q: &str) -> ExecutionPlan {
+        ExecutionPlan::build(&cypher::parse(q).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn label_scan_chosen_when_label_present() {
+        let p = plan("MATCH (a:Person) RETURN a");
+        let text = p.describe().join("\n");
+        assert!(text.contains("Node By Label Scan"));
+        assert!(!text.contains("All Node Scan"));
+    }
+
+    #[test]
+    fn all_node_scan_when_no_label() {
+        let p = plan("MATCH (a) RETURN a");
+        assert!(p.describe().join("\n").contains("All Node Scan"));
+    }
+
+    #[test]
+    fn id_seek_chosen_when_where_pins_id() {
+        let p = plan("MATCH (s:Node)-[*1..2]->(t) WHERE id(s) = 5 RETURN count(t)");
+        let text = p.describe().join("\n");
+        assert!(text.contains("Node By Id Seek"), "plan was:\n{text}");
+        assert!(text.contains("Conditional Traverse"));
+        assert!(text.contains("Aggregate"));
+    }
+
+    #[test]
+    fn expand_into_when_destination_already_bound() {
+        let p = plan("MATCH (a:Person)-[:KNOWS]->(b:Person), (a)-[:LIKES]->(b) RETURN a");
+        let text = p.describe().join("\n");
+        assert!(text.contains("Expand Into"), "plan was:\n{text}");
+    }
+
+    #[test]
+    fn with_splits_segments() {
+        let p = plan("MATCH (a:Person) WITH a.name AS n RETURN n");
+        assert_eq!(p.segments().len(), 2);
+        assert!(p.describe().join("\n").contains("--- segment ---"));
+    }
+
+    #[test]
+    fn unknown_variable_in_delete_is_an_error() {
+        let err = ExecutionPlan::build(&cypher::parse("MATCH (a) DELETE b").unwrap()).unwrap_err();
+        assert!(matches!(err, QueryError::UnknownVariable(v) if v == "b"));
+    }
+
+    #[test]
+    fn optional_match_is_rejected() {
+        let err =
+            ExecutionPlan::build(&cypher::parse("OPTIONAL MATCH (a) RETURN a").unwrap()).unwrap_err();
+        assert!(matches!(err, QueryError::Unsupported(_)));
+    }
+}

@@ -1,0 +1,41 @@
+//! # redisgraph-core
+//!
+//! The core of the RedisGraph reproduction: a property-graph database whose
+//! storage is a set of GraphBLAS sparse matrices and whose openCypher queries
+//! are executed as sparse linear algebra, as described in *"RedisGraph:
+//! GraphBLAS Enabled Graph Database"* (Cailliau et al., 2019).
+//!
+//! * [`store`] — the graph object: node/edge entity storage (DataBlocks),
+//!   label matrices, one adjacency matrix per relationship type plus the
+//!   combined adjacency matrix and its transpose, and the schema registries.
+//! * [`exec`] — the query engine: an AST→execution-plan compiler and the
+//!   operations (scans, algebraic traversals, filters, projections,
+//!   aggregations, writes) that evaluate it.
+//! * [`value`] — the runtime value type (`SIValue` in RedisGraph).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use redisgraph_core::Graph;
+//!
+//! let mut g = Graph::new("social");
+//! g.query("CREATE (:Person {name: 'Ann', age: 34})-[:KNOWS]->(:Person {name: 'Bob', age: 28})").unwrap();
+//! let result = g.query("MATCH (a:Person)-[:KNOWS]->(b) RETURN a.name, b.name").unwrap();
+//! assert_eq!(result.rows.len(), 1);
+//! ```
+
+pub mod error;
+pub mod exec;
+pub mod store;
+pub mod value;
+
+pub use error::QueryError;
+pub use exec::plan::ExecutionPlan;
+pub use exec::resultset::{QueryStats, ResultSet};
+pub use store::graph::Graph;
+pub use value::Value;
+
+/// Node identifier: the row/column index of the node in every matrix.
+pub type NodeId = u64;
+/// Edge identifier: index into the edge DataBlock.
+pub type EdgeId = u64;

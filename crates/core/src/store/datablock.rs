@@ -1,0 +1,170 @@
+//! DataBlock: RedisGraph's blocked entity store.
+//!
+//! Entities (nodes, edges) are stored in fixed-size blocks so that the store
+//! can grow without reallocating or moving existing entities, and deleted
+//! slots are recycled through a free list. Entity ids are stable for the
+//! lifetime of the entity and double as matrix row/column indices.
+
+const BLOCK_CAP: usize = 16_384;
+
+/// A blocked, free-list-recycling arena of `T`.
+#[derive(Debug, Clone)]
+pub struct DataBlock<T> {
+    blocks: Vec<Vec<Option<T>>>,
+    free: Vec<u64>,
+    len: usize,
+    high_watermark: u64,
+}
+
+impl<T> Default for DataBlock<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> DataBlock<T> {
+    /// Create an empty DataBlock.
+    pub fn new() -> Self {
+        DataBlock { blocks: Vec::new(), free: Vec::new(), len: 0, high_watermark: 0 }
+    }
+
+    /// Number of live entities.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no live entities are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// One past the largest id ever allocated (matrix dimension requirement).
+    pub fn high_watermark(&self) -> u64 {
+        self.high_watermark
+    }
+
+    /// Insert an entity, returning its id. Recycles the most recently freed
+    /// slot if one exists.
+    pub fn insert(&mut self, item: T) -> u64 {
+        let id = if let Some(id) = self.free.pop() {
+            id
+        } else {
+            let id = self.high_watermark;
+            self.high_watermark += 1;
+            id
+        };
+        let (b, i) = (id as usize / BLOCK_CAP, id as usize % BLOCK_CAP);
+        while self.blocks.len() <= b {
+            self.blocks.push(Vec::new());
+        }
+        let block = &mut self.blocks[b];
+        if block.len() <= i {
+            block.resize_with(i + 1, || None);
+        }
+        debug_assert!(block[i].is_none(), "slot {id} already occupied");
+        block[i] = Some(item);
+        self.len += 1;
+        id
+    }
+
+    /// Get a reference to an entity by id.
+    pub fn get(&self, id: u64) -> Option<&T> {
+        let (b, i) = (id as usize / BLOCK_CAP, id as usize % BLOCK_CAP);
+        self.blocks.get(b)?.get(i)?.as_ref()
+    }
+
+    /// Get a mutable reference to an entity by id.
+    pub fn get_mut(&mut self, id: u64) -> Option<&mut T> {
+        let (b, i) = (id as usize / BLOCK_CAP, id as usize % BLOCK_CAP);
+        self.blocks.get_mut(b)?.get_mut(i)?.as_mut()
+    }
+
+    /// Remove an entity, freeing its slot for reuse. Returns the entity.
+    pub fn remove(&mut self, id: u64) -> Option<T> {
+        let (b, i) = (id as usize / BLOCK_CAP, id as usize % BLOCK_CAP);
+        let slot = self.blocks.get_mut(b)?.get_mut(i)?;
+        let item = slot.take();
+        if item.is_some() {
+            self.free.push(id);
+            self.len -= 1;
+        }
+        item
+    }
+
+    /// Whether an entity with this id is live.
+    pub fn contains(&self, id: u64) -> bool {
+        self.get(id).is_some()
+    }
+
+    /// Iterate `(id, &entity)` over live entities in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &T)> + '_ {
+        self.blocks.iter().enumerate().flat_map(|(b, block)| {
+            block.iter().enumerate().filter_map(move |(i, slot)| {
+                slot.as_ref().map(|item| ((b * BLOCK_CAP + i) as u64, item))
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut db = DataBlock::new();
+        let a = db.insert("a");
+        let b = db.insert("b");
+        assert_eq!(a, 0);
+        assert_eq!(b, 1);
+        assert_eq!(db.get(a), Some(&"a"));
+        assert_eq!(db.get(b), Some(&"b"));
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.high_watermark(), 2);
+    }
+
+    #[test]
+    fn remove_recycles_ids() {
+        let mut db = DataBlock::new();
+        let a = db.insert(1);
+        let _b = db.insert(2);
+        assert_eq!(db.remove(a), Some(1));
+        assert_eq!(db.len(), 1);
+        assert!(!db.contains(a));
+        let c = db.insert(3);
+        assert_eq!(c, a, "freed id should be recycled");
+        assert_eq!(db.high_watermark(), 2);
+        assert_eq!(db.remove(99), None);
+    }
+
+    #[test]
+    fn iteration_skips_holes() {
+        let mut db = DataBlock::new();
+        for i in 0..10 {
+            db.insert(i);
+        }
+        db.remove(3);
+        db.remove(7);
+        let ids: Vec<u64> = db.iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 4, 5, 6, 8, 9]);
+    }
+
+    #[test]
+    fn get_mut_updates_in_place() {
+        let mut db = DataBlock::new();
+        let id = db.insert(vec![1, 2]);
+        db.get_mut(id).unwrap().push(3);
+        assert_eq!(db.get(id).unwrap(), &vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn grows_past_one_block() {
+        let mut db = DataBlock::new();
+        let n = BLOCK_CAP + 10;
+        for i in 0..n {
+            assert_eq!(db.insert(i) as usize, i);
+        }
+        assert_eq!(db.len(), n);
+        assert_eq!(db.get((BLOCK_CAP + 5) as u64), Some(&(BLOCK_CAP + 5)));
+    }
+}

@@ -1,0 +1,141 @@
+//! Node and edge entities and their attribute sets.
+
+use crate::store::schema::{AttributeId, LabelId, RelTypeId};
+use crate::value::Value;
+use crate::NodeId;
+
+/// A set of `(attribute id, value)` pairs attached to a node or edge.
+///
+/// Stored as a small sorted vector: property counts per entity are tiny, and a
+/// vector beats a hash map for both memory and lookup speed at that size.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AttributeSet {
+    attrs: Vec<(AttributeId, Value)>,
+}
+
+impl AttributeSet {
+    /// Create an empty attribute set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// True if no attributes are set.
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// Set (insert or overwrite) an attribute. Setting `Null` removes it, as
+    /// in openCypher `SET n.p = null`. Returns true if a value was added or
+    /// replaced.
+    pub fn set(&mut self, id: AttributeId, value: Value) -> bool {
+        if value.is_null() {
+            return self.remove(id);
+        }
+        match self.attrs.binary_search_by_key(&id, |(a, _)| *a) {
+            Ok(pos) => {
+                self.attrs[pos].1 = value;
+                true
+            }
+            Err(pos) => {
+                self.attrs.insert(pos, (id, value));
+                true
+            }
+        }
+    }
+
+    /// Remove an attribute; returns whether it existed.
+    pub fn remove(&mut self, id: AttributeId) -> bool {
+        match self.attrs.binary_search_by_key(&id, |(a, _)| *a) {
+            Ok(pos) => {
+                self.attrs.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Read an attribute; `Value::Null` when absent (openCypher semantics).
+    pub fn get(&self, id: AttributeId) -> Value {
+        match self.attrs.binary_search_by_key(&id, |(a, _)| *a) {
+            Ok(pos) => self.attrs[pos].1.clone(),
+            Err(_) => Value::Null,
+        }
+    }
+
+    /// Iterate over `(attribute id, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (AttributeId, &Value)> + '_ {
+        self.attrs.iter().map(|(id, v)| (*id, v))
+    }
+}
+
+/// A node entity: labels plus properties. The node's id (matrix index) is the
+/// DataBlock slot it lives in.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NodeEntity {
+    /// Label ids attached to this node.
+    pub labels: Vec<LabelId>,
+    /// Property values.
+    pub attributes: AttributeSet,
+}
+
+impl NodeEntity {
+    /// Whether the node carries the given label.
+    pub fn has_label(&self, label: LabelId) -> bool {
+        self.labels.contains(&label)
+    }
+}
+
+/// An edge entity: endpoints, relationship type, properties.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgeEntity {
+    /// Source node id.
+    pub src: NodeId,
+    /// Destination node id.
+    pub dst: NodeId,
+    /// Relationship type id.
+    pub rel_type: RelTypeId,
+    /// Property values.
+    pub attributes: AttributeSet,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attribute_set_get_set_remove() {
+        let mut a = AttributeSet::new();
+        assert!(a.is_empty());
+        a.set(3, Value::Int(1));
+        a.set(1, Value::Str("x".into()));
+        a.set(3, Value::Int(2)); // overwrite
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.get(3), Value::Int(2));
+        assert_eq!(a.get(1), Value::Str("x".into()));
+        assert_eq!(a.get(9), Value::Null);
+        assert!(a.remove(1));
+        assert!(!a.remove(1));
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn setting_null_deletes_the_attribute() {
+        let mut a = AttributeSet::new();
+        a.set(0, Value::Int(5));
+        a.set(0, Value::Null);
+        assert_eq!(a.get(0), Value::Null);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn node_label_membership() {
+        let n = NodeEntity { labels: vec![0, 2], attributes: AttributeSet::new() };
+        assert!(n.has_label(0));
+        assert!(!n.has_label(1));
+    }
+}

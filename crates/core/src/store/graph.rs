@@ -1,0 +1,639 @@
+//! The matrix-backed property graph object — RedisGraph's `Graph` struct.
+//!
+//! Layout (exactly as described in the paper and the RedisGraph architecture
+//! docs):
+//!
+//! * one **boolean adjacency matrix** `ADJ` holding the union of all edges,
+//!   plus its transpose for reverse traversals;
+//! * one **relation matrix per relationship type** whose stored values are
+//!   edge ids (so traversals can recover the traversed edge entity);
+//! * one **boolean label matrix per label** with a diagonal entry for every
+//!   node carrying that label;
+//! * node and edge entities (labels + property sets) in DataBlocks; the
+//!   DataBlock slot index *is* the matrix row/column index.
+//!
+//! All matrices share one dimension, grown in chunks as nodes are added.
+
+use crate::error::QueryError;
+use crate::exec::plan::ExecutionPlan;
+use crate::exec::resultset::ResultSet;
+use crate::store::datablock::DataBlock;
+use crate::store::entity::{AttributeSet, EdgeEntity, NodeEntity};
+use crate::store::schema::{LabelId, RelTypeId, Schema};
+use crate::value::Value;
+use crate::{EdgeId, NodeId};
+use graphblas::prelude::*;
+
+/// Matrices are grown in chunks of this many rows/columns so that node
+/// insertion does not resize on every call (RedisGraph uses 16384).
+const GROW_CHUNK: u64 = 16_384;
+
+/// Traversal direction at the storage level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraverseDir {
+    /// Follow edges from source to destination.
+    Outgoing,
+    /// Follow edges backwards.
+    Incoming,
+    /// Follow edges in both directions.
+    Both,
+}
+
+/// A property graph stored as GraphBLAS sparse matrices.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    name: String,
+    /// Label / relationship type / attribute registries.
+    pub schema: Schema,
+    nodes: DataBlock<NodeEntity>,
+    edges: DataBlock<EdgeEntity>,
+    dim: u64,
+    adjacency: SparseMatrix<bool>,
+    adjacency_t: SparseMatrix<bool>,
+    adjacency_t_dirty: bool,
+    relation_matrices: Vec<SparseMatrix<u64>>,
+    relation_matrices_t: Vec<SparseMatrix<u64>>,
+    relation_t_dirty: bool,
+    label_matrices: Vec<SparseMatrix<bool>>,
+}
+
+impl Graph {
+    /// Create an empty graph with the given key name (the Redis key it would
+    /// live under).
+    pub fn new(name: &str) -> Self {
+        Graph {
+            name: name.to_string(),
+            schema: Schema::new(),
+            nodes: DataBlock::new(),
+            edges: DataBlock::new(),
+            dim: GROW_CHUNK,
+            adjacency: SparseMatrix::new(GROW_CHUNK, GROW_CHUNK),
+            adjacency_t: SparseMatrix::new(GROW_CHUNK, GROW_CHUNK),
+            adjacency_t_dirty: false,
+            relation_matrices: Vec::new(),
+            relation_matrices_t: Vec::new(),
+            relation_t_dirty: false,
+            label_matrices: Vec::new(),
+        }
+    }
+
+    /// The graph's key name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of live nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of live edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Current matrix dimension (≥ the highest node id ever created).
+    pub fn dim(&self) -> u64 {
+        self.dim
+    }
+
+    // ------------------------------------------------------------- queries
+
+    /// Parse, plan and execute an openCypher query against this graph.
+    pub fn query(&mut self, text: &str) -> Result<ResultSet, QueryError> {
+        let ast = cypher::parse(text)?;
+        let plan = ExecutionPlan::build(&ast)?;
+        plan.execute(self)
+    }
+
+    /// Parse, plan and execute a **read-only** query through a shared
+    /// reference. Errors if the query contains write clauses. This is the path
+    /// the server uses so that many read queries can run concurrently on
+    /// different threadpool workers while holding only a read lock.
+    pub fn query_readonly(&self, text: &str) -> Result<ResultSet, QueryError> {
+        let ast = cypher::parse(text)?;
+        let plan = ExecutionPlan::build(&ast)?;
+        plan.execute_read_only(self)
+    }
+
+    /// Build the execution plan for a query without running it
+    /// (`GRAPH.EXPLAIN`).
+    pub fn explain(&self, text: &str) -> Result<Vec<String>, QueryError> {
+        let ast = cypher::parse(text)?;
+        let plan = ExecutionPlan::build(&ast)?;
+        Ok(plan.describe())
+    }
+
+    // ------------------------------------------------------------ mutation
+
+    fn ensure_dim(&mut self, needed: u64) {
+        if needed < self.dim {
+            return;
+        }
+        let new_dim = ((needed / GROW_CHUNK) + 1) * GROW_CHUNK;
+        self.adjacency.resize(new_dim, new_dim);
+        self.adjacency_t.resize(new_dim, new_dim);
+        for m in &mut self.relation_matrices {
+            m.resize(new_dim, new_dim);
+        }
+        for m in &mut self.relation_matrices_t {
+            m.resize(new_dim, new_dim);
+        }
+        for m in &mut self.label_matrices {
+            m.resize(new_dim, new_dim);
+        }
+        self.dim = new_dim;
+    }
+
+    /// Get or create a label id, creating its label matrix on first use.
+    pub fn label_id_or_create(&mut self, name: &str) -> LabelId {
+        let id = self.schema.label_id_or_create(name);
+        while self.label_matrices.len() <= id {
+            self.label_matrices.push(SparseMatrix::new(self.dim, self.dim));
+        }
+        id
+    }
+
+    /// Get or create a relationship type id, creating its matrices on first use.
+    pub fn rel_type_id_or_create(&mut self, name: &str) -> RelTypeId {
+        let id = self.schema.rel_type_id_or_create(name);
+        while self.relation_matrices.len() <= id {
+            self.relation_matrices.push(SparseMatrix::new(self.dim, self.dim));
+            self.relation_matrices_t.push(SparseMatrix::new(self.dim, self.dim));
+        }
+        id
+    }
+
+    /// Create a node with labels and properties; returns its id.
+    pub fn add_node(&mut self, labels: &[&str], props: Vec<(&str, Value)>) -> NodeId {
+        let label_ids: Vec<LabelId> = labels.iter().map(|l| self.label_id_or_create(l)).collect();
+        let mut attrs = AttributeSet::new();
+        for (key, value) in props {
+            let attr = self.schema.attribute_id_or_create(key);
+            attrs.set(attr, value);
+        }
+        let id = self.nodes.insert(NodeEntity { labels: label_ids.clone(), attributes: attrs });
+        self.ensure_dim(id + 1);
+        for label in label_ids {
+            self.label_matrices[label].set_element(id, id, true);
+        }
+        id
+    }
+
+    /// Create an edge of the given relationship type; returns its id.
+    pub fn add_edge(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        rel_type: &str,
+        props: Vec<(&str, Value)>,
+    ) -> Result<EdgeId, QueryError> {
+        if !self.nodes.contains(src) {
+            return Err(QueryError::Internal(format!("source node {src} does not exist")));
+        }
+        if !self.nodes.contains(dst) {
+            return Err(QueryError::Internal(format!("destination node {dst} does not exist")));
+        }
+        let rel = self.rel_type_id_or_create(rel_type);
+        let mut attrs = AttributeSet::new();
+        for (key, value) in props {
+            let attr = self.schema.attribute_id_or_create(key);
+            attrs.set(attr, value);
+        }
+        let id = self.edges.insert(EdgeEntity { src, dst, rel_type: rel, attributes: attrs });
+        self.relation_matrices[rel].set_element(src, dst, id);
+        self.adjacency.set_element(src, dst, true);
+        self.adjacency_t_dirty = true;
+        self.relation_t_dirty = true;
+        Ok(id)
+    }
+
+    /// Delete an edge by id.
+    pub fn delete_edge(&mut self, id: EdgeId) -> bool {
+        let Some(edge) = self.edges.remove(id) else { return false };
+        // Remove the matrix entry only if no other edge of the same type
+        // connects the same endpoints.
+        let other_same_type = self
+            .edges
+            .iter()
+            .any(|(_, e)| e.src == edge.src && e.dst == edge.dst && e.rel_type == edge.rel_type);
+        if !other_same_type {
+            self.relation_matrices[edge.rel_type]
+                .remove_element(edge.src, edge.dst)
+                .expect("in-bounds");
+        }
+        let any_edge_left =
+            self.edges.iter().any(|(_, e)| e.src == edge.src && e.dst == edge.dst);
+        if !any_edge_left {
+            self.adjacency.remove_element(edge.src, edge.dst).expect("in-bounds");
+        }
+        self.adjacency_t_dirty = true;
+        self.relation_t_dirty = true;
+        true
+    }
+
+    /// Delete a node and all edges incident to it.
+    pub fn delete_node(&mut self, id: NodeId) -> bool {
+        if !self.nodes.contains(id) {
+            return false;
+        }
+        let incident: Vec<EdgeId> = self
+            .edges
+            .iter()
+            .filter(|(_, e)| e.src == id || e.dst == id)
+            .map(|(eid, _)| eid)
+            .collect();
+        for eid in incident {
+            self.delete_edge(eid);
+        }
+        let node = self.nodes.remove(id).expect("checked above");
+        for label in node.labels {
+            self.label_matrices[label].remove_element(id, id).expect("in-bounds");
+        }
+        true
+    }
+
+    /// Flush pending matrix updates and refresh the transposed matrices.
+    /// Called automatically at the end of every write query.
+    pub fn sync_matrices(&mut self) {
+        self.adjacency.wait();
+        for m in &mut self.relation_matrices {
+            m.wait();
+        }
+        for m in &mut self.label_matrices {
+            m.wait();
+        }
+        if self.adjacency_t_dirty {
+            self.adjacency_t = transpose(&self.adjacency);
+            self.adjacency_t_dirty = false;
+        }
+        if self.relation_t_dirty {
+            self.relation_matrices_t =
+                self.relation_matrices.iter().map(transpose).collect();
+            self.relation_t_dirty = false;
+        }
+    }
+
+    // ------------------------------------------------------------- readers
+
+    /// Node entity by id.
+    pub fn node(&self, id: NodeId) -> Option<&NodeEntity> {
+        self.nodes.get(id)
+    }
+
+    /// Edge entity by id.
+    pub fn edge(&self, id: EdgeId) -> Option<&EdgeEntity> {
+        self.edges.get(id)
+    }
+
+    /// Read a node property by name (`Null` when absent).
+    pub fn node_property(&self, id: NodeId, key: &str) -> Value {
+        let Some(attr) = self.schema.attribute_id(key) else { return Value::Null };
+        self.nodes.get(id).map(|n| n.attributes.get(attr)).unwrap_or(Value::Null)
+    }
+
+    /// Read an edge property by name.
+    pub fn edge_property(&self, id: EdgeId, key: &str) -> Value {
+        let Some(attr) = self.schema.attribute_id(key) else { return Value::Null };
+        self.edges.get(id).map(|e| e.attributes.get(attr)).unwrap_or(Value::Null)
+    }
+
+    /// Set a node property; returns false if the node does not exist.
+    pub fn set_node_property(&mut self, id: NodeId, key: &str, value: Value) -> bool {
+        let attr = self.schema.attribute_id_or_create(key);
+        match self.nodes.get_mut(id) {
+            Some(n) => {
+                n.attributes.set(attr, value);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Set an edge property; returns false if the edge does not exist.
+    pub fn set_edge_property(&mut self, id: EdgeId, key: &str, value: Value) -> bool {
+        let attr = self.schema.attribute_id_or_create(key);
+        match self.edges.get_mut(id) {
+            Some(e) => {
+                e.attributes.set(attr, value);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// All live node ids.
+    pub fn all_node_ids(&self) -> Vec<NodeId> {
+        self.nodes.iter().map(|(id, _)| id).collect()
+    }
+
+    /// Ids of nodes carrying the given label (by name). Unknown label → empty.
+    pub fn nodes_with_label(&self, label: &str) -> Vec<NodeId> {
+        let Some(id) = self.schema.label_id(label) else { return Vec::new() };
+        self.label_matrices[id].to_triples().into_iter().map(|(r, _, _)| r).collect()
+    }
+
+    /// Whether the node carries the label (by name).
+    pub fn node_has_label(&self, node: NodeId, label: &str) -> bool {
+        match self.schema.label_id(label) {
+            Some(id) => self.nodes.get(node).map(|n| n.has_label(id)).unwrap_or(false),
+            None => false,
+        }
+    }
+
+    /// The combined boolean adjacency matrix (flushed).
+    pub fn adjacency_matrix(&self) -> &SparseMatrix<bool> {
+        debug_assert!(self.adjacency.is_flushed(), "call sync_matrices() after writes");
+        &self.adjacency
+    }
+
+    /// The transposed adjacency matrix.
+    pub fn adjacency_matrix_t(&self) -> &SparseMatrix<bool> {
+        debug_assert!(!self.adjacency_t_dirty, "call sync_matrices() after writes");
+        &self.adjacency_t
+    }
+
+    /// The relation matrix for a relationship type id.
+    pub fn relation_matrix(&self, rel: RelTypeId) -> Option<&SparseMatrix<u64>> {
+        self.relation_matrices.get(rel)
+    }
+
+    /// Out-neighbours (or in-neighbours, or both) of a node, optionally
+    /// restricted to a set of relationship types. Returns `(neighbour, edge)`
+    /// pairs by reading matrix rows.
+    pub fn neighbors(
+        &self,
+        node: NodeId,
+        rel_types: Option<&[RelTypeId]>,
+        dir: TraverseDir,
+    ) -> Vec<(NodeId, EdgeId)> {
+        let mut out = Vec::new();
+        let forward = matches!(dir, TraverseDir::Outgoing | TraverseDir::Both);
+        let backward = matches!(dir, TraverseDir::Incoming | TraverseDir::Both);
+        match rel_types {
+            Some(types) => {
+                for &t in types {
+                    if let Some(m) = self.relation_matrices.get(t) {
+                        if forward {
+                            let (cols, vals) = m.row(node);
+                            out.extend(cols.iter().copied().zip(vals.iter().copied()));
+                        }
+                        if backward {
+                            let mt = &self.relation_matrices_t[t];
+                            let (cols, vals) = mt.row(node);
+                            out.extend(cols.iter().copied().zip(vals.iter().copied()));
+                        }
+                    }
+                }
+            }
+            None => {
+                for (t, m) in self.relation_matrices.iter().enumerate() {
+                    if forward {
+                        let (cols, vals) = m.row(node);
+                        out.extend(cols.iter().copied().zip(vals.iter().copied()));
+                    }
+                    if backward {
+                        let mt = &self.relation_matrices_t[t];
+                        let (cols, vals) = mt.row(node);
+                        out.extend(cols.iter().copied().zip(vals.iter().copied()));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Algebraic k-hop reachability: the set of nodes reachable from `source`
+    /// in between `min_hops` and `max_hops` hops following `dir`, computed as a
+    /// level-synchronous BFS of masked `vxm` operations over the boolean
+    /// adjacency matrix — the core primitive behind the paper's k-hop
+    /// benchmark.
+    pub fn khop_reach(
+        &self,
+        source: NodeId,
+        min_hops: u32,
+        max_hops: u32,
+        dir: TraverseDir,
+    ) -> SparseVector<bool> {
+        let matrix = match dir {
+            TraverseDir::Outgoing => &self.adjacency,
+            TraverseDir::Incoming => &self.adjacency_t,
+            TraverseDir::Both => &self.adjacency, // handled below with a second sweep
+        };
+        let semiring = Semiring::lor_land();
+        let desc = Descriptor::new().with_mask_complement().with_mask_structure();
+
+        let mut frontier = SparseVector::<bool>::new(self.dim);
+        frontier.set_element(source, true);
+        let mut visited = SparseVector::<bool>::new(self.dim);
+        visited.set_element(source, true);
+        let mut reached = SparseVector::<bool>::new(self.dim);
+
+        for hop in 1..=max_hops {
+            if frontier.is_empty() {
+                break;
+            }
+            let mask = VectorMask::new(&visited);
+            let mut next = vxm(&frontier, matrix, &semiring, Some(&mask), &desc);
+            if dir == TraverseDir::Both {
+                let back = vxm(&frontier, &self.adjacency_t, &semiring, Some(&mask), &desc);
+                next = ewise_add_vector(&next, &back, &BinaryOp::LOr);
+            }
+            // mark visited and accumulate the reached set when within range
+            visited = ewise_add_vector(&visited, &next, &BinaryOp::LOr);
+            if hop >= min_hops {
+                reached = ewise_add_vector(&reached, &next, &BinaryOp::LOr);
+            }
+            frontier = next;
+        }
+        reached
+    }
+
+    /// Count of distinct nodes reachable within `k` hops (the TigerGraph
+    /// benchmark's k-hop neighbourhood count).
+    pub fn khop_count(&self, source: NodeId, k: u32) -> u64 {
+        self.khop_reach(source, 1, k, TraverseDir::Outgoing).nvals() as u64
+    }
+
+    // ----------------------------------------------------------- bulk load
+
+    /// Bulk-load a generated edge list: every vertex becomes a `:Node` node
+    /// whose `id` property equals its vertex id, and every edge becomes a
+    /// `:LINK` relationship. Duplicate edges and self-loops are dropped, as
+    /// they are by an adjacency-matrix representation.
+    pub fn bulk_load(&mut self, num_vertices: u64, edges: &[(u64, u64)]) {
+        let label = self.label_id_or_create("Node");
+        let rel = self.rel_type_id_or_create("LINK");
+        let id_attr = self.schema.attribute_id_or_create("id");
+
+        self.ensure_dim(num_vertices + 1);
+        let mut label_triples = Vec::with_capacity(num_vertices as usize);
+        for v in 0..num_vertices {
+            let mut attrs = AttributeSet::new();
+            attrs.set(id_attr, Value::Int(v as i64));
+            let id = self.nodes.insert(NodeEntity { labels: vec![label], attributes: attrs });
+            debug_assert_eq!(id, v, "bulk_load requires an empty graph");
+            label_triples.push((v, v, true));
+        }
+        self.label_matrices[label] =
+            SparseMatrix::from_triples(self.dim, self.dim, &label_triples).expect("in range");
+
+        let mut dedup: Vec<(u64, u64)> =
+            edges.iter().copied().filter(|&(s, d)| s != d && s < num_vertices && d < num_vertices).collect();
+        dedup.sort_unstable();
+        dedup.dedup();
+
+        let mut adj_triples = Vec::with_capacity(dedup.len());
+        let mut rel_triples = Vec::with_capacity(dedup.len());
+        for &(s, d) in &dedup {
+            let eid = self.edges.insert(EdgeEntity {
+                src: s,
+                dst: d,
+                rel_type: rel,
+                attributes: AttributeSet::new(),
+            });
+            adj_triples.push((s, d, true));
+            rel_triples.push((s, d, eid));
+        }
+        self.adjacency = SparseMatrix::from_triples(self.dim, self.dim, &adj_triples).expect("in range");
+        self.relation_matrices[rel] =
+            SparseMatrix::from_triples(self.dim, self.dim, &rel_triples).expect("in range");
+        self.adjacency_t_dirty = true;
+        self.relation_t_dirty = true;
+        self.sync_matrices();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        let mut g = Graph::new("t");
+        let a = g.add_node(&["Person"], vec![("name", Value::Str("a".into()))]);
+        let b = g.add_node(&["Person"], vec![("name", Value::Str("b".into()))]);
+        let c = g.add_node(&["City"], vec![("name", Value::Str("c".into()))]);
+        g.add_edge(a, b, "KNOWS", vec![]).unwrap();
+        g.add_edge(b, c, "LIVES_IN", vec![]).unwrap();
+        g.add_edge(a, c, "LIVES_IN", vec![("since", Value::Int(2020))]).unwrap();
+        g.sync_matrices();
+        g
+    }
+
+    #[test]
+    fn add_nodes_and_edges() {
+        let g = triangle();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.node_property(0, "name"), Value::Str("a".into()));
+        assert_eq!(g.node_property(0, "missing"), Value::Null);
+        assert_eq!(g.edge_property(2, "since"), Value::Int(2020));
+        assert!(g.node_has_label(0, "Person"));
+        assert!(!g.node_has_label(2, "Person"));
+        assert_eq!(g.nodes_with_label("Person"), vec![0, 1]);
+        assert_eq!(g.nodes_with_label("Nope"), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn adjacency_matrix_reflects_edges() {
+        let g = triangle();
+        let adj = g.adjacency_matrix();
+        assert_eq!(adj.nvals(), 3);
+        assert_eq!(adj.extract_element(0, 1), Some(true));
+        assert_eq!(adj.extract_element(1, 0), None);
+        let adj_t = g.adjacency_matrix_t();
+        assert_eq!(adj_t.extract_element(1, 0), Some(true));
+    }
+
+    #[test]
+    fn neighbors_by_type_and_direction() {
+        let g = triangle();
+        let knows = g.schema.rel_type_id("KNOWS").unwrap();
+        let lives = g.schema.rel_type_id("LIVES_IN").unwrap();
+        let out = g.neighbors(0, None, TraverseDir::Outgoing);
+        assert_eq!(out.len(), 2);
+        let only_knows = g.neighbors(0, Some(&[knows]), TraverseDir::Outgoing);
+        assert_eq!(only_knows, vec![(1, 0)]);
+        let incoming_c = g.neighbors(2, Some(&[lives]), TraverseDir::Incoming);
+        assert_eq!(incoming_c.len(), 2);
+        let both = g.neighbors(1, None, TraverseDir::Both);
+        assert_eq!(both.len(), 2); // in from a, out to c
+    }
+
+    #[test]
+    fn khop_reach_and_count() {
+        // path 0→1→2→3 plus shortcut 0→2
+        let mut g = Graph::new("k");
+        for _ in 0..4 {
+            g.add_node(&["Node"], vec![]);
+        }
+        g.add_edge(0, 1, "L", vec![]).unwrap();
+        g.add_edge(1, 2, "L", vec![]).unwrap();
+        g.add_edge(2, 3, "L", vec![]).unwrap();
+        g.add_edge(0, 2, "L", vec![]).unwrap();
+        g.sync_matrices();
+
+        assert_eq!(g.khop_count(0, 1), 2); // {1,2}
+        assert_eq!(g.khop_count(0, 2), 3); // {1,2,3}
+        assert_eq!(g.khop_count(0, 6), 3);
+        assert_eq!(g.khop_count(3, 3), 0);
+        // min_hops: nodes first reached at exactly 2 hops
+        let exactly2 = g.khop_reach(0, 2, 2, TraverseDir::Outgoing);
+        assert_eq!(exactly2.nvals(), 1); // only node 3 (2 was already reached at hop 1)
+        // incoming direction
+        assert_eq!(g.khop_reach(3, 1, 3, TraverseDir::Incoming).nvals(), 3);
+        // both directions from the middle
+        assert!(g.khop_reach(2, 1, 1, TraverseDir::Both).nvals() >= 2);
+    }
+
+    #[test]
+    fn delete_edge_updates_matrices() {
+        let mut g = triangle();
+        assert!(g.delete_edge(0));
+        g.sync_matrices();
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.adjacency_matrix().extract_element(0, 1), None);
+        assert!(!g.delete_edge(0));
+    }
+
+    #[test]
+    fn delete_node_removes_incident_edges() {
+        let mut g = triangle();
+        assert!(g.delete_node(2));
+        g.sync_matrices();
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1); // only a-KNOWS->b remains
+        assert_eq!(g.adjacency_matrix().nvals(), 1);
+        assert_eq!(g.nodes_with_label("City"), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn set_properties() {
+        let mut g = triangle();
+        assert!(g.set_node_property(0, "age", Value::Int(40)));
+        assert_eq!(g.node_property(0, "age"), Value::Int(40));
+        assert!(g.set_edge_property(0, "w", Value::Float(0.5)));
+        assert_eq!(g.edge_property(0, "w"), Value::Float(0.5));
+        assert!(!g.set_node_property(99, "x", Value::Int(1)));
+    }
+
+    #[test]
+    fn bulk_load_builds_consistent_matrices() {
+        let mut g = Graph::new("bulk");
+        g.bulk_load(5, &[(0, 1), (0, 1), (1, 2), (2, 2), (3, 4), (4, 0)]);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 4); // dup and self-loop dropped
+        assert_eq!(g.adjacency_matrix().nvals(), 4);
+        assert_eq!(g.node_property(3, "id"), Value::Int(3));
+        assert_eq!(g.nodes_with_label("Node").len(), 5);
+        assert_eq!(g.khop_count(0, 2), 2); // 0→1→2
+    }
+
+    #[test]
+    fn grows_past_initial_dimension() {
+        let mut g = Graph::new("grow");
+        g.bulk_load(GROW_CHUNK + 5, &[(0, GROW_CHUNK + 1)]);
+        assert!(g.dim() > GROW_CHUNK);
+        assert_eq!(g.khop_count(0, 1), 1);
+    }
+}

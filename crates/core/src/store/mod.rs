@@ -1,0 +1,12 @@
+//! The graph storage layer: entity DataBlocks, schemas (label / relationship
+//! type / attribute registries) and the matrix-backed [`graph::Graph`] object.
+
+pub mod datablock;
+pub mod entity;
+pub mod graph;
+pub mod schema;
+
+pub use datablock::DataBlock;
+pub use entity::{AttributeSet, EdgeEntity, NodeEntity};
+pub use graph::Graph;
+pub use schema::{AttributeId, LabelId, RelTypeId, Schema};

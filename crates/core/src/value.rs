@@ -1,0 +1,282 @@
+//! Runtime values (`SIValue` in the RedisGraph C code base).
+//!
+//! Values flow through execution-plan records, property stores, and the result
+//! set. Comparison follows openCypher semantics closely enough for the
+//! supported subset: numbers compare numerically across Int/Float, strings
+//! lexicographically, `Null` compares equal to nothing (including itself) for
+//! filters but sorts last in `ORDER BY`.
+
+use crate::{EdgeId, NodeId};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A runtime value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Missing / unknown.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// Double-precision float.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// A graph node, by id.
+    Node(NodeId),
+    /// A graph relationship, by id.
+    Edge(EdgeId),
+    /// An ordered list of values.
+    List(Vec<Value>),
+}
+
+impl Value {
+    /// True if this is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Coerce to a boolean for filter evaluation: `Bool` is itself, `Null` is
+    /// false, anything else is a type error represented as `false`.
+    pub fn is_truthy(&self) -> bool {
+        matches!(self, Value::Bool(true))
+    }
+
+    /// Numeric view (Int and Float only).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Integer view.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Float(f) => Some(*f as i64),
+            _ => None,
+        }
+    }
+
+    /// openCypher equality: numbers compare across Int/Float; `Null` is never
+    /// equal to anything (returns `None`, i.e. unknown).
+    pub fn cypher_eq(&self, other: &Value) -> Option<bool> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (a, b) => match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => Some(x == y),
+                _ => Some(a == b),
+            },
+        }
+    }
+
+    /// openCypher ordering for comparisons; `None` when incomparable or null.
+    pub fn cypher_cmp(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            (a, b) => match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => x.partial_cmp(&y),
+                _ => None,
+            },
+        }
+    }
+
+    /// Total ordering used by `ORDER BY` and `DISTINCT`: nulls sort last, then
+    /// bools, numbers, strings, nodes, edges, lists.
+    pub fn sort_cmp(&self, other: &Value) -> Ordering {
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Bool(_) => 0,
+                Value::Int(_) | Value::Float(_) => 1,
+                Value::Str(_) => 2,
+                Value::Node(_) => 3,
+                Value::Edge(_) => 4,
+                Value::List(_) => 5,
+                Value::Null => 6,
+            }
+        }
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            _ if rank(self) != rank(other) => rank(self).cmp(&rank(other)),
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (Value::Node(a), Value::Node(b)) => a.cmp(b),
+            (Value::Edge(a), Value::Edge(b)) => a.cmp(b),
+            (Value::List(a), Value::List(b)) => {
+                for (x, y) in a.iter().zip(b.iter()) {
+                    let c = x.sort_cmp(y);
+                    if c != Ordering::Equal {
+                        return c;
+                    }
+                }
+                a.len().cmp(&b.len())
+            }
+            (a, b) => a
+                .as_f64()
+                .unwrap_or(f64::NAN)
+                .partial_cmp(&b.as_f64().unwrap_or(f64::NAN))
+                .unwrap_or(Ordering::Equal),
+        }
+    }
+
+    /// Arithmetic addition (numeric or string concatenation).
+    pub fn add(&self, other: &Value) -> Value {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Value::Int(a.wrapping_add(*b)),
+            (Value::Str(a), Value::Str(b)) => Value::Str(format!("{a}{b}")),
+            (a, b) => match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => Value::Float(x + y),
+                _ => Value::Null,
+            },
+        }
+    }
+
+    /// Arithmetic subtraction.
+    pub fn sub(&self, other: &Value) -> Value {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Value::Int(a.wrapping_sub(*b)),
+            (a, b) => match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => Value::Float(x - y),
+                _ => Value::Null,
+            },
+        }
+    }
+
+    /// Arithmetic multiplication.
+    pub fn mul(&self, other: &Value) -> Value {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Value::Int(a.wrapping_mul(*b)),
+            (a, b) => match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => Value::Float(x * y),
+                _ => Value::Null,
+            },
+        }
+    }
+
+    /// Arithmetic division (always float, like openCypher's `/` on mixed input;
+    /// integer division when both are integers). Division by zero gives Null.
+    pub fn div(&self, other: &Value) -> Value {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => {
+                if *b == 0 {
+                    Value::Null
+                } else {
+                    Value::Int(a / b)
+                }
+            }
+            (a, b) => match (a.as_f64(), b.as_f64()) {
+                (Some(_), Some(y)) if y == 0.0 => Value::Null,
+                (Some(x), Some(y)) => Value::Float(x / y),
+                _ => Value::Null,
+            },
+        }
+    }
+
+    /// Modulo.
+    pub fn rem(&self, other: &Value) -> Value {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) if *b != 0 => Value::Int(a % b),
+            _ => Value::Null,
+        }
+    }
+}
+
+impl From<&cypher::Literal> for Value {
+    fn from(lit: &cypher::Literal) -> Self {
+        match lit {
+            cypher::Literal::Integer(i) => Value::Int(*i),
+            cypher::Literal::Float(f) => Value::Float(*f),
+            cypher::Literal::Str(s) => Value::Str(s.clone()),
+            cypher::Literal::Bool(b) => Value::Bool(*b),
+            cypher::Literal::Null => Value::Null,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Node(id) => write!(f, "(node:{id})"),
+            Value::Edge(id) => write!(f, "[edge:{id}]"),
+            Value::List(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_type_numeric_equality() {
+        assert_eq!(Value::Int(3).cypher_eq(&Value::Float(3.0)), Some(true));
+        assert_eq!(Value::Int(3).cypher_eq(&Value::Int(4)), Some(false));
+        assert_eq!(Value::Null.cypher_eq(&Value::Int(1)), None);
+        assert_eq!(Value::Str("a".into()).cypher_eq(&Value::Str("a".into())), Some(true));
+    }
+
+    #[test]
+    fn comparisons_and_sorting() {
+        assert_eq!(Value::Int(2).cypher_cmp(&Value::Float(2.5)), Some(Ordering::Less));
+        assert_eq!(Value::Str("a".into()).cypher_cmp(&Value::Str("b".into())), Some(Ordering::Less));
+        assert_eq!(Value::Str("a".into()).cypher_cmp(&Value::Int(1)), None);
+        // nulls sort last
+        assert_eq!(Value::Null.sort_cmp(&Value::Int(5)), Ordering::Greater);
+        assert_eq!(Value::Int(5).sort_cmp(&Value::Null), Ordering::Less);
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(Value::Int(2).add(&Value::Int(3)), Value::Int(5));
+        assert_eq!(Value::Int(2).add(&Value::Float(0.5)), Value::Float(2.5));
+        assert_eq!(Value::Str("a".into()).add(&Value::Str("b".into())), Value::Str("ab".into()));
+        assert_eq!(Value::Int(7).div(&Value::Int(2)), Value::Int(3));
+        assert_eq!(Value::Int(7).div(&Value::Int(0)), Value::Null);
+        assert_eq!(Value::Int(7).rem(&Value::Int(4)), Value::Int(3));
+        assert_eq!(Value::Int(7).mul(&Value::Int(6)), Value::Int(42));
+        assert_eq!(Value::Int(7).sub(&Value::Int(6)), Value::Int(1));
+    }
+
+    #[test]
+    fn truthiness_is_strict() {
+        assert!(Value::Bool(true).is_truthy());
+        assert!(!Value::Bool(false).is_truthy());
+        assert!(!Value::Int(1).is_truthy());
+        assert!(!Value::Null.is_truthy());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Int(42).to_string(), "42");
+        assert_eq!(Value::Str("hi".into()).to_string(), "hi");
+        assert_eq!(Value::Null.to_string(), "null");
+        assert_eq!(Value::List(vec![Value::Int(1), Value::Int(2)]).to_string(), "[1, 2]");
+        assert_eq!(Value::Node(3).to_string(), "(node:3)");
+    }
+
+    #[test]
+    fn literal_conversion() {
+        assert_eq!(Value::from(&cypher::Literal::Integer(5)), Value::Int(5));
+        assert_eq!(Value::from(&cypher::Literal::Bool(true)), Value::Bool(true));
+        assert_eq!(Value::from(&cypher::Literal::Null), Value::Null);
+    }
+}

@@ -1,0 +1,319 @@
+//! End-to-end query tests: Cypher text in, result rows out, exercising the
+//! full parse → plan → execute pipeline against the matrix-backed store.
+
+use redisgraph_core::{Graph, Value};
+
+/// A small social graph used by most tests.
+fn social_graph() -> Graph {
+    let mut g = Graph::new("social");
+    g.query(
+        "CREATE (ann:Person {name: 'Ann', age: 34}), \
+                (bob:Person {name: 'Bob', age: 28}), \
+                (cat:Person {name: 'Cat', age: 41}), \
+                (dan:Person {name: 'Dan', age: 23}), \
+                (acme:Company {name: 'Acme'}), \
+                (ann)-[:KNOWS {since: 2015}]->(bob), \
+                (bob)-[:KNOWS {since: 2019}]->(cat), \
+                (cat)-[:KNOWS {since: 2020}]->(dan), \
+                (ann)-[:WORKS_AT]->(acme), \
+                (bob)-[:WORKS_AT]->(acme)",
+    )
+    .unwrap();
+    g
+}
+
+#[test]
+fn create_reports_statistics() {
+    let mut g = Graph::new("t");
+    let rs = g
+        .query("CREATE (:A {x: 1})-[:R {w: 2}]->(:B)")
+        .unwrap();
+    assert_eq!(rs.stats.nodes_created, 2);
+    assert_eq!(rs.stats.relationships_created, 1);
+    assert_eq!(rs.stats.properties_set, 2);
+    assert_eq!(g.node_count(), 2);
+    assert_eq!(g.edge_count(), 1);
+}
+
+#[test]
+fn match_all_nodes() {
+    let mut g = social_graph();
+    let rs = g.query("MATCH (n) RETURN n").unwrap();
+    assert_eq!(rs.rows.len(), 5);
+}
+
+#[test]
+fn match_by_label() {
+    let mut g = social_graph();
+    let rs = g.query("MATCH (p:Person) RETURN p.name ORDER BY p.name").unwrap();
+    let names: Vec<String> = rs.rows.iter().map(|r| r[0].to_string()).collect();
+    assert_eq!(names, vec!["Ann", "Bob", "Cat", "Dan"]);
+}
+
+#[test]
+fn match_with_inline_properties() {
+    let mut g = social_graph();
+    let rs = g.query("MATCH (p:Person {name: 'Bob'}) RETURN p.age").unwrap();
+    assert_eq!(rs.scalar(), Some(&Value::Int(28)));
+}
+
+#[test]
+fn single_hop_traversal_with_type() {
+    let mut g = social_graph();
+    let rs = g
+        .query("MATCH (a:Person {name: 'Ann'})-[:KNOWS]->(b) RETURN b.name")
+        .unwrap();
+    assert_eq!(rs.scalar(), Some(&Value::Str("Bob".into())));
+}
+
+#[test]
+fn traversal_direction_matters() {
+    let mut g = social_graph();
+    let out = g.query("MATCH (a {name: 'Bob'})-[:KNOWS]->(b) RETURN b.name").unwrap();
+    assert_eq!(out.scalar(), Some(&Value::Str("Cat".into())));
+    let incoming = g.query("MATCH (a {name: 'Bob'})<-[:KNOWS]-(b) RETURN b.name").unwrap();
+    assert_eq!(incoming.scalar(), Some(&Value::Str("Ann".into())));
+    let both = g.query("MATCH (a {name: 'Bob'})-[:KNOWS]-(b) RETURN b.name ORDER BY b.name").unwrap();
+    assert_eq!(both.rows.len(), 2);
+}
+
+#[test]
+fn multi_hop_chained_pattern() {
+    let mut g = social_graph();
+    let rs = g
+        .query("MATCH (a:Person {name: 'Ann'})-[:KNOWS]->()-[:KNOWS]->(c) RETURN c.name")
+        .unwrap();
+    assert_eq!(rs.scalar(), Some(&Value::Str("Cat".into())));
+}
+
+#[test]
+fn variable_length_traversal() {
+    let mut g = social_graph();
+    let rs = g
+        .query("MATCH (a:Person {name: 'Ann'})-[:KNOWS*1..3]->(b) RETURN b.name ORDER BY b.name")
+        .unwrap();
+    let names: Vec<String> = rs.rows.iter().map(|r| r[0].to_string()).collect();
+    assert_eq!(names, vec!["Bob", "Cat", "Dan"]);
+
+    let rs = g
+        .query("MATCH (a:Person {name: 'Ann'})-[:KNOWS*2..2]->(b) RETURN b.name")
+        .unwrap();
+    assert_eq!(rs.scalar(), Some(&Value::Str("Cat".into())));
+}
+
+#[test]
+fn khop_count_query_matches_library_fast_path() {
+    let mut g = Graph::new("k");
+    g.query("CREATE (a:Node), (b:Node), (c:Node), (d:Node), (a)-[:LINK]->(b), (b)-[:LINK]->(c), (c)-[:LINK]->(d), (a)-[:LINK]->(c)").unwrap();
+    let rs = g.query("MATCH (s)-[*1..2]->(t) WHERE id(s) = 0 RETURN count(t)").unwrap();
+    assert_eq!(rs.scalar(), Some(&Value::Int(3)));
+    assert_eq!(g.khop_count(0, 2), 3);
+    let rs6 = g.query("MATCH (s)-[*1..6]->(t) WHERE id(s) = 0 RETURN count(t)").unwrap();
+    assert_eq!(rs6.scalar(), Some(&Value::Int(3)));
+}
+
+#[test]
+fn where_filters_with_boolean_logic() {
+    let mut g = social_graph();
+    let rs = g
+        .query("MATCH (p:Person) WHERE p.age > 25 AND p.age < 40 RETURN p.name ORDER BY p.name")
+        .unwrap();
+    let names: Vec<String> = rs.rows.iter().map(|r| r[0].to_string()).collect();
+    assert_eq!(names, vec!["Ann", "Bob"]);
+
+    let rs = g
+        .query("MATCH (p:Person) WHERE p.name = 'Ann' OR p.name = 'Dan' RETURN count(p)")
+        .unwrap();
+    assert_eq!(rs.scalar(), Some(&Value::Int(2)));
+}
+
+#[test]
+fn aggregations_with_grouping() {
+    let mut g = social_graph();
+    // group people by whether they work at Acme
+    let rs = g
+        .query("MATCH (p:Person)-[:WORKS_AT]->(c:Company) RETURN c.name, count(p)")
+        .unwrap();
+    assert_eq!(rs.rows.len(), 1);
+    assert_eq!(rs.rows[0][0], Value::Str("Acme".into()));
+    assert_eq!(rs.rows[0][1], Value::Int(2));
+
+    let rs = g.query("MATCH (p:Person) RETURN min(p.age), max(p.age), avg(p.age), sum(p.age)").unwrap();
+    assert_eq!(rs.rows[0][0], Value::Int(23));
+    assert_eq!(rs.rows[0][1], Value::Int(41));
+    assert_eq!(rs.rows[0][2], Value::Float(31.5));
+    assert_eq!(rs.rows[0][3], Value::Int(126));
+}
+
+#[test]
+fn count_star_and_distinct() {
+    let mut g = social_graph();
+    let rs = g.query("MATCH (p:Person) RETURN count(*)").unwrap();
+    assert_eq!(rs.scalar(), Some(&Value::Int(4)));
+    let rs = g
+        .query("MATCH (:Person)-[:WORKS_AT]->(c) RETURN count(DISTINCT c)")
+        .unwrap();
+    assert_eq!(rs.scalar(), Some(&Value::Int(1)));
+}
+
+#[test]
+fn order_skip_limit() {
+    let mut g = social_graph();
+    let rs = g
+        .query("MATCH (p:Person) RETURN p.name ORDER BY p.age DESC SKIP 1 LIMIT 2")
+        .unwrap();
+    let names: Vec<String> = rs.rows.iter().map(|r| r[0].to_string()).collect();
+    // ages desc: Cat(41), Ann(34), Bob(28), Dan(23); skip 1, limit 2 → Ann, Bob
+    assert_eq!(names, vec!["Ann", "Bob"]);
+}
+
+#[test]
+fn distinct_rows() {
+    let mut g = social_graph();
+    let rs = g
+        .query("MATCH (p:Person)-[:WORKS_AT]->(c:Company) RETURN DISTINCT c.name")
+        .unwrap();
+    assert_eq!(rs.rows.len(), 1);
+}
+
+#[test]
+fn set_updates_properties() {
+    let mut g = social_graph();
+    let rs = g
+        .query("MATCH (p:Person {name: 'Ann'}) SET p.age = 35, p.title = 'engineer' RETURN p.age")
+        .unwrap();
+    assert_eq!(rs.stats.properties_set, 2);
+    assert_eq!(rs.scalar(), Some(&Value::Int(35)));
+    assert_eq!(g.node_property(0, "title"), Value::Str("engineer".into()));
+}
+
+#[test]
+fn delete_removes_nodes_and_edges() {
+    let mut g = social_graph();
+    let before_edges = g.edge_count();
+    let rs = g.query("MATCH (p:Person {name: 'Bob'}) DETACH DELETE p").unwrap();
+    assert_eq!(rs.stats.nodes_deleted, 1);
+    assert!(rs.stats.relationships_deleted >= 2);
+    assert_eq!(g.node_count(), 4);
+    assert!(g.edge_count() < before_edges);
+    // Bob is gone from label scans and traversals.
+    let rs = g.query("MATCH (p:Person) RETURN count(p)").unwrap();
+    assert_eq!(rs.scalar(), Some(&Value::Int(3)));
+}
+
+#[test]
+fn unwind_produces_one_row_per_element() {
+    let mut g = Graph::new("u");
+    let rs = g.query("UNWIND [1, 2, 3] AS x RETURN x * 10 ORDER BY x").unwrap();
+    let values: Vec<i64> = rs.rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
+    assert_eq!(values, vec![10, 20, 30]);
+}
+
+#[test]
+fn with_chains_projections() {
+    let mut g = social_graph();
+    let rs = g
+        .query("MATCH (p:Person) WITH p.age AS age WHERE age > 30 RETURN count(age)")
+        .unwrap();
+    assert_eq!(rs.scalar(), Some(&Value::Int(2)));
+}
+
+#[test]
+fn scalar_functions_in_projections() {
+    let mut g = social_graph();
+    let rs = g
+        .query("MATCH (p:Person {name: 'Ann'}) RETURN id(p), labels(p), size(labels(p))")
+        .unwrap();
+    assert_eq!(rs.rows[0][0], Value::Int(0));
+    assert_eq!(rs.rows[0][1], Value::List(vec![Value::Str("Person".into())]));
+    assert_eq!(rs.rows[0][2], Value::Int(1));
+}
+
+#[test]
+fn relationship_property_filter() {
+    let mut g = social_graph();
+    let rs = g
+        .query("MATCH (a)-[k:KNOWS]->(b) WHERE k.since >= 2019 RETURN b.name ORDER BY b.name")
+        .unwrap();
+    let names: Vec<String> = rs.rows.iter().map(|r| r[0].to_string()).collect();
+    assert_eq!(names, vec!["Cat", "Dan"]);
+}
+
+#[test]
+fn relationship_inline_property_map() {
+    let mut g = social_graph();
+    let rs = g
+        .query("MATCH (a)-[:KNOWS {since: 2015}]->(b) RETURN b.name")
+        .unwrap();
+    assert_eq!(rs.scalar(), Some(&Value::Str("Bob".into())));
+}
+
+#[test]
+fn nonexistent_relationship_type_matches_nothing() {
+    let mut g = social_graph();
+    let rs = g.query("MATCH (a)-[:NOPE]->(b) RETURN count(b)").unwrap();
+    assert_eq!(rs.scalar(), Some(&Value::Int(0)));
+}
+
+#[test]
+fn cartesian_product_of_patterns() {
+    let mut g = social_graph();
+    let rs = g
+        .query("MATCH (p:Person), (c:Company) RETURN count(*)")
+        .unwrap();
+    assert_eq!(rs.scalar(), Some(&Value::Int(4)));
+}
+
+#[test]
+fn match_after_create_sees_new_data() {
+    let mut g = Graph::new("rw");
+    g.query("CREATE (:X {v: 1})").unwrap();
+    g.query("CREATE (:X {v: 2})").unwrap();
+    let rs = g.query("MATCH (x:X) RETURN sum(x.v)").unwrap();
+    assert_eq!(rs.scalar(), Some(&Value::Int(3)));
+}
+
+#[test]
+fn match_then_create_connects_existing_nodes() {
+    let mut g = social_graph();
+    g.query("MATCH (a:Person {name: 'Ann'}), (d:Person {name: 'Dan'}) CREATE (a)-[:KNOWS {since: 2024}]->(d)").unwrap();
+    let rs = g.query("MATCH (a {name: 'Ann'})-[:KNOWS]->(b) RETURN count(b)").unwrap();
+    assert_eq!(rs.scalar(), Some(&Value::Int(2)));
+}
+
+#[test]
+fn explain_lists_plan_operations() {
+    let g = social_graph();
+    let plan = g
+        .explain("MATCH (s:Node)-[*1..3]->(t) WHERE id(s) = 7 RETURN count(t)")
+        .unwrap();
+    let text = plan.join("\n");
+    assert!(text.contains("Node By Id Seek"));
+    assert!(text.contains("Conditional Traverse"));
+    assert!(text.contains("Aggregate"));
+}
+
+#[test]
+fn syntax_errors_are_reported() {
+    let mut g = Graph::new("err");
+    let err = g.query("MATCH (a RETURN a").unwrap_err();
+    assert!(matches!(err, redisgraph_core::QueryError::Syntax(_)));
+    let err = g.query("MATCH (a) DELETE zz").unwrap_err();
+    assert!(matches!(err, redisgraph_core::QueryError::UnknownVariable(_)));
+}
+
+#[test]
+fn return_without_match_evaluates_expressions() {
+    let mut g = Graph::new("expr");
+    let rs = g.query("RETURN 1 + 2 * 3 AS x, 'a' + 'b' AS s").unwrap();
+    assert_eq!(rs.rows[0][0], Value::Int(7));
+    assert_eq!(rs.rows[0][1], Value::Str("ab".into()));
+    assert_eq!(rs.columns, vec!["x", "s"]);
+}
+
+#[test]
+fn execution_time_is_recorded() {
+    let mut g = social_graph();
+    let rs = g.query("MATCH (p:Person) RETURN count(p)").unwrap();
+    assert!(rs.stats.execution_time.as_nanos() > 0);
+}

@@ -1,0 +1,325 @@
+//! Abstract syntax tree for the supported Cypher subset.
+
+/// A literal value appearing in query text.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// 64-bit signed integer.
+    Integer(i64),
+    /// Double-precision float.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+    /// The SQL-ish `NULL`.
+    Null,
+}
+
+/// Relationship traversal direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// `-[]->` left to right.
+    Outgoing,
+    /// `<-[]-` right to left.
+    Incoming,
+    /// `-[]-` either direction.
+    Both,
+}
+
+/// A node pattern: `(var:Label1:Label2 {key: literal, …})`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct NodePattern {
+    /// Binding variable, if named.
+    pub variable: Option<String>,
+    /// Label constraints (conjunctive).
+    pub labels: Vec<String>,
+    /// Inline property equality constraints.
+    pub properties: Vec<(String, Literal)>,
+}
+
+/// A relationship pattern: `-[var:TYPE1|TYPE2 *min..max {key: literal}]->`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelationshipPattern {
+    /// Binding variable, if named.
+    pub variable: Option<String>,
+    /// Relationship type alternatives (disjunctive). Empty = any type.
+    pub types: Vec<String>,
+    /// Traversal direction.
+    pub direction: Direction,
+    /// Variable-length bounds: `None` = single hop; `Some((min, max))` where
+    /// `max = None` means unbounded (`*`, `*2..`).
+    pub var_length: Option<(u32, Option<u32>)>,
+    /// Inline property equality constraints on the edge.
+    pub properties: Vec<(String, Literal)>,
+}
+
+impl Default for RelationshipPattern {
+    fn default() -> Self {
+        RelationshipPattern {
+            variable: None,
+            types: Vec::new(),
+            direction: Direction::Outgoing,
+            var_length: None,
+            properties: Vec::new(),
+        }
+    }
+}
+
+/// A linear path pattern: a node followed by zero or more (relationship, node)
+/// steps, e.g. `(a)-[:KNOWS]->(b)<-[:LIKES]-(c)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathPattern {
+    /// The first node of the path.
+    pub start: NodePattern,
+    /// Each traversal step: the relationship and the node it lands on.
+    pub steps: Vec<(RelationshipPattern, NodePattern)>,
+}
+
+impl PathPattern {
+    /// All node patterns in order along the path.
+    pub fn nodes(&self) -> Vec<&NodePattern> {
+        let mut out = vec![&self.start];
+        out.extend(self.steps.iter().map(|(_, n)| n));
+        out
+    }
+
+    /// Number of relationship steps.
+    pub fn hop_count(&self) -> usize {
+        self.steps.len()
+    }
+}
+
+/// Scalar and boolean expressions (WHERE predicates, RETURN projections).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A literal constant.
+    Literal(Literal),
+    /// A bound variable (`a`).
+    Variable(String),
+    /// Property access (`a.name`).
+    Property(String, String),
+    /// A query parameter (`$id`).
+    Parameter(String),
+    /// Unary operators.
+    Unary(UnaryOperator, Box<Expr>),
+    /// Binary operators.
+    Binary(BinaryOperator, Box<Expr>, Box<Expr>),
+    /// Function call, possibly an aggregation; `distinct` covers
+    /// `count(DISTINCT x)`.
+    FunctionCall {
+        /// Lower-cased function name.
+        name: String,
+        /// Argument expressions (`count(*)` is represented with no arguments).
+        args: Vec<Expr>,
+        /// Whether `DISTINCT` was specified.
+        distinct: bool,
+    },
+    /// A bracketed list literal.
+    List(Vec<Expr>),
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOperator {
+    /// Logical negation.
+    Not,
+    /// Arithmetic negation.
+    Minus,
+}
+
+/// Binary operators, in the Cypher sense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOperator {
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+    /// `XOR`
+    Xor,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `IN`
+    In,
+}
+
+/// One projected item of a `RETURN` or `WITH` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReturnItem {
+    /// The projected expression.
+    pub expr: Expr,
+    /// Optional `AS alias`.
+    pub alias: Option<String>,
+}
+
+impl ReturnItem {
+    /// The column name this item produces in the result set.
+    pub fn column_name(&self) -> String {
+        if let Some(alias) = &self.alias {
+            return alias.clone();
+        }
+        match &self.expr {
+            Expr::Variable(v) => v.clone(),
+            Expr::Property(v, p) => format!("{v}.{p}"),
+            Expr::FunctionCall { name, args, .. } => {
+                if args.is_empty() {
+                    format!("{name}(*)")
+                } else {
+                    format!("{name}(…)")
+                }
+            }
+            _ => "expr".to_string(),
+        }
+    }
+}
+
+/// Sort direction of an `ORDER BY` key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortOrder {
+    /// Ascending (default).
+    Ascending,
+    /// Descending.
+    Descending,
+}
+
+/// A `RETURN` / `WITH` projection with its modifiers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Projection {
+    /// Whether `DISTINCT` was given.
+    pub distinct: bool,
+    /// Projected items, in order.
+    pub items: Vec<ReturnItem>,
+    /// `ORDER BY` keys.
+    pub order_by: Vec<(Expr, SortOrder)>,
+    /// `SKIP n`.
+    pub skip: Option<u64>,
+    /// `LIMIT n`.
+    pub limit: Option<u64>,
+}
+
+/// A single `SET` assignment: `variable.property = expression`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SetItem {
+    /// Target variable.
+    pub variable: String,
+    /// Target property name.
+    pub property: String,
+    /// Value expression.
+    pub value: Expr,
+}
+
+/// Top-level query clauses, in source order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Clause {
+    /// `MATCH pattern [, pattern]*` (with `optional = true` for `OPTIONAL MATCH`).
+    Match {
+        /// Whether this is an `OPTIONAL MATCH`.
+        optional: bool,
+        /// Comma-separated path patterns.
+        patterns: Vec<PathPattern>,
+    },
+    /// `WHERE predicate`.
+    Where(Expr),
+    /// `RETURN …`.
+    Return(Projection),
+    /// `WITH …` (intermediate projection).
+    With(Projection),
+    /// `CREATE pattern [, pattern]*`.
+    Create(Vec<PathPattern>),
+    /// `DELETE var [, var]*` (with `detach = true` for `DETACH DELETE`).
+    Delete {
+        /// Whether `DETACH` was specified.
+        detach: bool,
+        /// Variables naming the entities to delete.
+        variables: Vec<String>,
+    },
+    /// `SET a.p = expr [, …]`.
+    Set(Vec<SetItem>),
+    /// `UNWIND list AS var`.
+    Unwind {
+        /// The list-valued expression.
+        list: Expr,
+        /// The introduced variable.
+        variable: String,
+    },
+}
+
+/// A parsed query: an ordered list of clauses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Clauses in the order they appear in the query text.
+    pub clauses: Vec<Clause>,
+}
+
+impl Query {
+    /// The `RETURN` projection, if the query has one.
+    pub fn return_clause(&self) -> Option<&Projection> {
+        self.clauses.iter().find_map(|c| match c {
+            Clause::Return(p) => Some(p),
+            _ => None,
+        })
+    }
+
+    /// True if the query only reads (no CREATE / DELETE / SET).
+    pub fn is_read_only(&self) -> bool {
+        !self.clauses.iter().any(|c| {
+            matches!(c, Clause::Create(_) | Clause::Delete { .. } | Clause::Set(_))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn return_item_column_names() {
+        let item = ReturnItem { expr: Expr::Property("a".into(), "name".into()), alias: None };
+        assert_eq!(item.column_name(), "a.name");
+        let aliased = ReturnItem { expr: Expr::Variable("a".into()), alias: Some("x".into()) };
+        assert_eq!(aliased.column_name(), "x");
+        let agg = ReturnItem {
+            expr: Expr::FunctionCall { name: "count".into(), args: vec![], distinct: false },
+            alias: None,
+        };
+        assert_eq!(agg.column_name(), "count(*)");
+    }
+
+    #[test]
+    fn path_pattern_helpers() {
+        let p = PathPattern {
+            start: NodePattern { variable: Some("a".into()), ..Default::default() },
+            steps: vec![(RelationshipPattern::default(), NodePattern::default())],
+        };
+        assert_eq!(p.hop_count(), 1);
+        assert_eq!(p.nodes().len(), 2);
+    }
+
+    #[test]
+    fn read_only_detection() {
+        let read = Query { clauses: vec![Clause::Return(Projection {
+            distinct: false, items: vec![], order_by: vec![], skip: None, limit: None })] };
+        assert!(read.is_read_only());
+        let write = Query { clauses: vec![Clause::Create(vec![])] };
+        assert!(!write.is_read_only());
+    }
+}

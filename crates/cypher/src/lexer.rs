@@ -1,0 +1,422 @@
+//! The Cypher lexer: turns query text into a token stream.
+
+use crate::token::{is_keyword, Token, TokenKind};
+
+/// Errors produced while lexing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// Description of the problem.
+    pub message: String,
+    /// Byte offset where it occurred.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lex error at offset {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// A streaming lexer over a query string.
+pub struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    /// Create a lexer over `src`.
+    pub fn new(src: &'a str) -> Self {
+        Lexer { src: src.as_bytes(), pos: 0 }
+    }
+
+    /// Lex the entire input into a vector of tokens terminated by `Eof`.
+    pub fn tokenize(src: &'a str) -> Result<Vec<Token>, LexError> {
+        let mut lexer = Lexer::new(src);
+        let mut tokens = Vec::new();
+        loop {
+            let tok = lexer.next_token()?;
+            let done = tok.kind == TokenKind::Eof;
+            tokens.push(tok);
+            if done {
+                break;
+            }
+        }
+        Ok(tokens)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn skip_whitespace_and_comments(&mut self) -> Result<(), LexError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.pos += 1;
+                }
+                // line comment `// ...`
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                }
+                // block comment `/* ... */`
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let start = self.pos;
+                    self.pos += 2;
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some(b'*'), Some(b'/')) => {
+                                self.pos += 2;
+                                break;
+                            }
+                            (Some(_), _) => self.pos += 1,
+                            (None, _) => {
+                                return Err(LexError {
+                                    message: "unterminated block comment".into(),
+                                    offset: start,
+                                })
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    /// Produce the next token.
+    pub fn next_token(&mut self) -> Result<Token, LexError> {
+        self.skip_whitespace_and_comments()?;
+        let offset = self.pos;
+        let Some(c) = self.peek() else {
+            return Ok(Token { kind: TokenKind::Eof, offset });
+        };
+
+        let kind = match c {
+            b'(' => {
+                self.bump();
+                TokenKind::LParen
+            }
+            b')' => {
+                self.bump();
+                TokenKind::RParen
+            }
+            b'[' => {
+                self.bump();
+                TokenKind::LBracket
+            }
+            b']' => {
+                self.bump();
+                TokenKind::RBracket
+            }
+            b'{' => {
+                self.bump();
+                TokenKind::LBrace
+            }
+            b'}' => {
+                self.bump();
+                TokenKind::RBrace
+            }
+            b':' => {
+                self.bump();
+                TokenKind::Colon
+            }
+            b',' => {
+                self.bump();
+                TokenKind::Comma
+            }
+            b'|' => {
+                self.bump();
+                TokenKind::Pipe
+            }
+            b'+' => {
+                self.bump();
+                TokenKind::Plus
+            }
+            b'*' => {
+                self.bump();
+                TokenKind::Star
+            }
+            b'/' => {
+                self.bump();
+                TokenKind::Slash
+            }
+            b'%' => {
+                self.bump();
+                TokenKind::Percent
+            }
+            b'-' => {
+                self.bump();
+                TokenKind::Dash
+            }
+            b'=' => {
+                self.bump();
+                TokenKind::Eq
+            }
+            b'<' => {
+                self.bump();
+                match self.peek() {
+                    Some(b'=') => {
+                        self.bump();
+                        TokenKind::Le
+                    }
+                    Some(b'>') => {
+                        self.bump();
+                        TokenKind::Ne
+                    }
+                    _ => TokenKind::Lt,
+                }
+            }
+            b'>' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    TokenKind::Ge
+                } else {
+                    TokenKind::Gt
+                }
+            }
+            b'.' => {
+                self.bump();
+                if self.peek() == Some(b'.') {
+                    self.bump();
+                    TokenKind::DotDot
+                } else {
+                    TokenKind::Dot
+                }
+            }
+            b'$' => {
+                self.bump();
+                let name = self.lex_bare_word();
+                if name.is_empty() {
+                    return Err(LexError { message: "empty parameter name".into(), offset });
+                }
+                TokenKind::Parameter(name)
+            }
+            b'\'' | b'"' => self.lex_string(c, offset)?,
+            b'`' => {
+                // back-quoted identifier
+                self.bump();
+                let start = self.pos;
+                while let Some(ch) = self.peek() {
+                    if ch == b'`' {
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                if self.peek() != Some(b'`') {
+                    return Err(LexError { message: "unterminated quoted identifier".into(), offset });
+                }
+                let name = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+                self.bump();
+                TokenKind::Ident(name)
+            }
+            c if c.is_ascii_digit() => self.lex_number(offset)?,
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let word = self.lex_bare_word();
+                if is_keyword(&word) {
+                    TokenKind::Keyword(word.to_ascii_uppercase())
+                } else {
+                    TokenKind::Ident(word)
+                }
+            }
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character `{}`", other as char),
+                    offset,
+                })
+            }
+        };
+        Ok(Token { kind, offset })
+    }
+
+    fn lex_bare_word(&mut self) -> String {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
+    }
+
+    fn lex_number(&mut self, offset: usize) -> Result<TokenKind, LexError> {
+        let start = self.pos;
+        while self.peek().map(|c| c.is_ascii_digit()).unwrap_or(false) {
+            self.pos += 1;
+        }
+        // A fractional part only if the dot is followed by a digit; this keeps
+        // `1..3` (a variable-length range) lexing as Integer DotDot Integer.
+        let mut is_float = false;
+        if self.peek() == Some(b'.') && self.peek2().map(|c| c.is_ascii_digit()).unwrap_or(false) {
+            is_float = true;
+            self.pos += 1;
+            while self.peek().map(|c| c.is_ascii_digit()).unwrap_or(false) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+        if is_float {
+            text.parse::<f64>()
+                .map(TokenKind::Float)
+                .map_err(|e| LexError { message: format!("bad float literal: {e}"), offset })
+        } else {
+            text.parse::<i64>()
+                .map(TokenKind::Integer)
+                .map_err(|e| LexError { message: format!("bad integer literal: {e}"), offset })
+        }
+    }
+
+    fn lex_string(&mut self, quote: u8, offset: usize) -> Result<TokenKind, LexError> {
+        self.bump(); // opening quote
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some(c) if c == quote => break,
+                Some(b'\\') => match self.bump() {
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(c) if c == quote => out.push(c as char),
+                    Some(c) => out.push(c as char),
+                    None => {
+                        return Err(LexError { message: "unterminated string".into(), offset })
+                    }
+                },
+                Some(c) => out.push(c as char),
+                None => return Err(LexError { message: "unterminated string".into(), offset }),
+            }
+        }
+        Ok(TokenKind::Str(out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_a_basic_match_query() {
+        let k = kinds("MATCH (a:Person) RETURN a");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Keyword("MATCH".into()),
+                TokenKind::LParen,
+                TokenKind::Ident("a".into()),
+                TokenKind::Colon,
+                TokenKind::Ident("Person".into()),
+                TokenKind::RParen,
+                TokenKind::Keyword("RETURN".into()),
+                TokenKind::Ident("a".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert_eq!(kinds("match")[0], TokenKind::Keyword("MATCH".into()));
+        assert_eq!(kinds("ReTuRn")[0], TokenKind::Keyword("RETURN".into()));
+    }
+
+    #[test]
+    fn variable_length_range_does_not_lex_as_float() {
+        let k = kinds("*1..3");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Star,
+                TokenKind::Integer(1),
+                TokenKind::DotDot,
+                TokenKind::Integer(3),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_floats() {
+        assert_eq!(kinds("42")[0], TokenKind::Integer(42));
+        assert_eq!(kinds("3.25")[0], TokenKind::Float(3.25));
+    }
+
+    #[test]
+    fn relationship_arrows_lex_as_punctuation() {
+        let k = kinds("-[:KNOWS]->");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Dash,
+                TokenKind::LBracket,
+                TokenKind::Colon,
+                TokenKind::Ident("KNOWS".into()),
+                TokenKind::RBracket,
+                TokenKind::Dash,
+                TokenKind::Gt,
+                TokenKind::Eof
+            ]
+        );
+        let k = kinds("<-[r]-");
+        assert_eq!(k[0], TokenKind::Lt);
+        assert_eq!(k[1], TokenKind::Dash);
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(kinds("<= >= <> < > =").len(), 7);
+        assert_eq!(kinds("a <> b")[1], TokenKind::Ne);
+        assert_eq!(kinds("a <= b")[1], TokenKind::Le);
+    }
+
+    #[test]
+    fn strings_with_both_quote_styles_and_escapes() {
+        assert_eq!(kinds("'hello'")[0], TokenKind::Str("hello".into()));
+        assert_eq!(kinds("\"world\"")[0], TokenKind::Str("world".into()));
+        assert_eq!(kinds(r#"'it\'s'"#)[0], TokenKind::Str("it's".into()));
+    }
+
+    #[test]
+    fn parameters_and_backquoted_identifiers() {
+        assert_eq!(kinds("$name")[0], TokenKind::Parameter("name".into()));
+        assert_eq!(kinds("`weird name`")[0], TokenKind::Ident("weird name".into()));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let k = kinds("MATCH // a comment\n (a) /* block */ RETURN a");
+        assert_eq!(k.len(), 7);
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let err = Lexer::tokenize("MATCH ^").unwrap_err();
+        assert_eq!(err.offset, 6);
+        assert!(Lexer::tokenize("'oops").is_err());
+        assert!(Lexer::tokenize("/* nope").is_err());
+    }
+}

@@ -1,0 +1,795 @@
+//! Recursive-descent parser producing [`crate::ast::Query`] values.
+
+use crate::ast::*;
+use crate::lexer::Lexer;
+use crate::token::{Token, TokenKind};
+
+/// Errors produced while parsing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Description of the problem.
+    pub message: String,
+    /// Byte offset in the query text.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at offset {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a Cypher query string into an AST.
+pub fn parse(src: &str) -> Result<Query, ParseError> {
+    let tokens = Lexer::tokenize(src)
+        .map_err(|e| ParseError { message: e.message, offset: e.offset })?;
+    Parser { tokens, pos: 0 }.parse_query()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek_offset(&self) -> usize {
+        self.tokens[self.pos].offset
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let kind = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        kind
+    }
+
+    fn error<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { message: message.into(), offset: self.peek_offset() })
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<(), ParseError> {
+        if self.peek() == kind {
+            self.bump();
+            Ok(())
+        } else {
+            self.error(format!("expected {kind}, found {}", self.peek()))
+        }
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), TokenKind::Keyword(k) if k == kw)
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.at_keyword(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            self.error(format!("expected keyword `{kw}`, found {}", self.peek()))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(name)
+            }
+            // Allow non-reserved-looking keywords as identifiers where openCypher does
+            // (e.g. a property called `count`).
+            TokenKind::Keyword(k) if k == "COUNT" => {
+                self.bump();
+                Ok(k.to_ascii_lowercase())
+            }
+            other => self.error(format!("expected an identifier, found {other}")),
+        }
+    }
+
+    // ------------------------------------------------------------- queries
+
+    fn parse_query(&mut self) -> Result<Query, ParseError> {
+        let mut clauses = Vec::new();
+        loop {
+            match self.peek().clone() {
+                TokenKind::Eof => break,
+                TokenKind::Keyword(kw) => match kw.as_str() {
+                    "MATCH" => {
+                        self.bump();
+                        clauses.push(Clause::Match {
+                            optional: false,
+                            patterns: self.parse_pattern_list()?,
+                        });
+                    }
+                    "OPTIONAL" => {
+                        self.bump();
+                        self.expect_keyword("MATCH")?;
+                        clauses.push(Clause::Match {
+                            optional: true,
+                            patterns: self.parse_pattern_list()?,
+                        });
+                    }
+                    "WHERE" => {
+                        self.bump();
+                        clauses.push(Clause::Where(self.parse_expr()?));
+                    }
+                    "RETURN" => {
+                        self.bump();
+                        clauses.push(Clause::Return(self.parse_projection()?));
+                    }
+                    "WITH" => {
+                        self.bump();
+                        clauses.push(Clause::With(self.parse_projection()?));
+                    }
+                    "CREATE" => {
+                        self.bump();
+                        clauses.push(Clause::Create(self.parse_pattern_list()?));
+                    }
+                    "MERGE" => {
+                        // Treated as CREATE-if-absent by the engine; the parse shape is identical.
+                        self.bump();
+                        clauses.push(Clause::Create(self.parse_pattern_list()?));
+                    }
+                    "DELETE" => {
+                        self.bump();
+                        clauses.push(self.parse_delete(false)?);
+                    }
+                    "DETACH" => {
+                        self.bump();
+                        self.expect_keyword("DELETE")?;
+                        clauses.push(self.parse_delete(true)?);
+                    }
+                    "SET" => {
+                        self.bump();
+                        clauses.push(Clause::Set(self.parse_set_items()?));
+                    }
+                    "UNWIND" => {
+                        self.bump();
+                        let list = self.parse_expr()?;
+                        self.expect_keyword("AS")?;
+                        let variable = self.expect_ident()?;
+                        clauses.push(Clause::Unwind { list, variable });
+                    }
+                    other => return self.error(format!("unexpected keyword `{other}`")),
+                },
+                other => return self.error(format!("unexpected {other}")),
+            }
+        }
+        if clauses.is_empty() {
+            return self.error("empty query");
+        }
+        Ok(Query { clauses })
+    }
+
+    fn parse_delete(&mut self, detach: bool) -> Result<Clause, ParseError> {
+        let mut variables = vec![self.expect_ident()?];
+        while self.peek() == &TokenKind::Comma {
+            self.bump();
+            variables.push(self.expect_ident()?);
+        }
+        Ok(Clause::Delete { detach, variables })
+    }
+
+    fn parse_set_items(&mut self) -> Result<Vec<SetItem>, ParseError> {
+        let mut items = Vec::new();
+        loop {
+            let variable = self.expect_ident()?;
+            self.expect(&TokenKind::Dot)?;
+            let property = self.expect_ident()?;
+            self.expect(&TokenKind::Eq)?;
+            let value = self.parse_expr()?;
+            items.push(SetItem { variable, property, value });
+            if self.peek() == &TokenKind::Comma {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Ok(items)
+    }
+
+    // ------------------------------------------------------------ patterns
+
+    fn parse_pattern_list(&mut self) -> Result<Vec<PathPattern>, ParseError> {
+        let mut patterns = vec![self.parse_path_pattern()?];
+        while self.peek() == &TokenKind::Comma {
+            self.bump();
+            patterns.push(self.parse_path_pattern()?);
+        }
+        Ok(patterns)
+    }
+
+    fn parse_path_pattern(&mut self) -> Result<PathPattern, ParseError> {
+        let start = self.parse_node_pattern()?;
+        let mut steps = Vec::new();
+        while matches!(self.peek(), TokenKind::Dash | TokenKind::Lt) {
+            let rel = self.parse_relationship_pattern()?;
+            let node = self.parse_node_pattern()?;
+            steps.push((rel, node));
+        }
+        Ok(PathPattern { start, steps })
+    }
+
+    fn parse_node_pattern(&mut self) -> Result<NodePattern, ParseError> {
+        self.expect(&TokenKind::LParen)?;
+        let mut node = NodePattern::default();
+        if let TokenKind::Ident(name) = self.peek().clone() {
+            node.variable = Some(name);
+            self.bump();
+        }
+        while self.peek() == &TokenKind::Colon {
+            self.bump();
+            node.labels.push(self.expect_ident()?);
+        }
+        if self.peek() == &TokenKind::LBrace {
+            node.properties = self.parse_property_map()?;
+        }
+        self.expect(&TokenKind::RParen)?;
+        Ok(node)
+    }
+
+    fn parse_relationship_pattern(&mut self) -> Result<RelationshipPattern, ParseError> {
+        // leading `<-` or `-`
+        let incoming = if self.peek() == &TokenKind::Lt {
+            self.bump();
+            self.expect(&TokenKind::Dash)?;
+            true
+        } else {
+            self.expect(&TokenKind::Dash)?;
+            false
+        };
+
+        let mut rel = RelationshipPattern::default();
+        if self.peek() == &TokenKind::LBracket {
+            self.bump();
+            if let TokenKind::Ident(name) = self.peek().clone() {
+                rel.variable = Some(name);
+                self.bump();
+            }
+            if self.peek() == &TokenKind::Colon {
+                self.bump();
+                rel.types.push(self.expect_ident()?);
+                while self.peek() == &TokenKind::Pipe {
+                    self.bump();
+                    if self.peek() == &TokenKind::Colon {
+                        self.bump();
+                    }
+                    rel.types.push(self.expect_ident()?);
+                }
+            }
+            if self.peek() == &TokenKind::Star {
+                self.bump();
+                rel.var_length = Some(self.parse_var_length_bounds()?);
+            }
+            if self.peek() == &TokenKind::LBrace {
+                rel.properties = self.parse_property_map()?;
+            }
+            self.expect(&TokenKind::RBracket)?;
+        }
+
+        // trailing `->` or `-`
+        self.expect(&TokenKind::Dash)?;
+        let outgoing = if self.peek() == &TokenKind::Gt {
+            self.bump();
+            true
+        } else {
+            false
+        };
+
+        rel.direction = match (incoming, outgoing) {
+            (true, false) => Direction::Incoming,
+            (false, true) => Direction::Outgoing,
+            (false, false) => Direction::Both,
+            (true, true) => Direction::Both,
+        };
+        Ok(rel)
+    }
+
+    fn parse_var_length_bounds(&mut self) -> Result<(u32, Option<u32>), ParseError> {
+        // `*`, `*n`, `*n..`, `*n..m`, `*..m`
+        let min = if let TokenKind::Integer(n) = *self.peek() {
+            self.bump();
+            n as u32
+        } else {
+            1
+        };
+        if self.peek() == &TokenKind::DotDot {
+            self.bump();
+            if let TokenKind::Integer(m) = *self.peek() {
+                self.bump();
+                Ok((min, Some(m as u32)))
+            } else {
+                Ok((min, None))
+            }
+        } else if min == 1 && !matches!(self.peek(), TokenKind::Integer(_)) {
+            // bare `*` means any length ≥ 1 … unless a fixed length was given
+            Ok((1, None))
+        } else {
+            // fixed length `*n`
+            Ok((min, Some(min)))
+        }
+    }
+
+    fn parse_property_map(&mut self) -> Result<Vec<(String, Literal)>, ParseError> {
+        self.expect(&TokenKind::LBrace)?;
+        let mut props = Vec::new();
+        if self.peek() != &TokenKind::RBrace {
+            loop {
+                let key = self.expect_ident()?;
+                self.expect(&TokenKind::Colon)?;
+                let value = self.parse_literal()?;
+                props.push((key, value));
+                if self.peek() == &TokenKind::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::RBrace)?;
+        Ok(props)
+    }
+
+    fn parse_literal(&mut self) -> Result<Literal, ParseError> {
+        let lit = match self.peek().clone() {
+            TokenKind::Integer(v) => Literal::Integer(v),
+            TokenKind::Float(v) => Literal::Float(v),
+            TokenKind::Str(s) => Literal::Str(s),
+            TokenKind::Keyword(k) if k == "TRUE" => Literal::Bool(true),
+            TokenKind::Keyword(k) if k == "FALSE" => Literal::Bool(false),
+            TokenKind::Keyword(k) if k == "NULL" => Literal::Null,
+            TokenKind::Dash => {
+                self.bump();
+                return match self.peek().clone() {
+                    TokenKind::Integer(v) => {
+                        self.bump();
+                        Ok(Literal::Integer(-v))
+                    }
+                    TokenKind::Float(v) => {
+                        self.bump();
+                        Ok(Literal::Float(-v))
+                    }
+                    other => self.error(format!("expected a number after `-`, found {other}")),
+                };
+            }
+            other => return self.error(format!("expected a literal, found {other}")),
+        };
+        self.bump();
+        Ok(lit)
+    }
+
+    // -------------------------------------------------------- projections
+
+    fn parse_projection(&mut self) -> Result<Projection, ParseError> {
+        let distinct = self.eat_keyword("DISTINCT");
+        let mut items = vec![self.parse_return_item()?];
+        while self.peek() == &TokenKind::Comma {
+            self.bump();
+            items.push(self.parse_return_item()?);
+        }
+        let mut order_by = Vec::new();
+        if self.eat_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            loop {
+                let expr = self.parse_expr()?;
+                let order = if self.eat_keyword("DESC") {
+                    SortOrder::Descending
+                } else {
+                    self.eat_keyword("ASC");
+                    SortOrder::Ascending
+                };
+                order_by.push((expr, order));
+                if self.peek() == &TokenKind::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        let skip = if self.eat_keyword("SKIP") { Some(self.parse_unsigned()?) } else { None };
+        let limit = if self.eat_keyword("LIMIT") { Some(self.parse_unsigned()?) } else { None };
+        Ok(Projection { distinct, items, order_by, skip, limit })
+    }
+
+    fn parse_unsigned(&mut self) -> Result<u64, ParseError> {
+        match *self.peek() {
+            TokenKind::Integer(n) if n >= 0 => {
+                self.bump();
+                Ok(n as u64)
+            }
+            _ => self.error("expected a non-negative integer"),
+        }
+    }
+
+    fn parse_return_item(&mut self) -> Result<ReturnItem, ParseError> {
+        let expr = self.parse_expr()?;
+        let alias = if self.eat_keyword("AS") { Some(self.expect_ident()?) } else { None };
+        Ok(ReturnItem { expr, alias })
+    }
+
+    // -------------------------------------------------------- expressions
+
+    fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_xor()?;
+        while self.eat_keyword("OR") {
+            let rhs = self.parse_xor()?;
+            lhs = Expr::Binary(BinaryOperator::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_xor(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_and()?;
+        while self.eat_keyword("XOR") {
+            let rhs = self.parse_and()?;
+            lhs = Expr::Binary(BinaryOperator::Xor, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_not()?;
+        while self.eat_keyword("AND") {
+            let rhs = self.parse_not()?;
+            lhs = Expr::Binary(BinaryOperator::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_not(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_keyword("NOT") {
+            let inner = self.parse_not()?;
+            return Ok(Expr::Unary(UnaryOperator::Not, Box::new(inner)));
+        }
+        self.parse_comparison()
+    }
+
+    fn parse_comparison(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.parse_additive()?;
+        let op = match self.peek() {
+            TokenKind::Eq => Some(BinaryOperator::Eq),
+            TokenKind::Ne => Some(BinaryOperator::Ne),
+            TokenKind::Lt => Some(BinaryOperator::Lt),
+            TokenKind::Le => Some(BinaryOperator::Le),
+            TokenKind::Gt => Some(BinaryOperator::Gt),
+            TokenKind::Ge => Some(BinaryOperator::Ge),
+            TokenKind::Keyword(k) if k == "IN" => Some(BinaryOperator::In),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let rhs = self.parse_additive()?;
+            Ok(Expr::Binary(op, Box::new(lhs), Box::new(rhs)))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinaryOperator::Add,
+                TokenKind::Dash => BinaryOperator::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.parse_multiplicative()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinaryOperator::Mul,
+                TokenKind::Slash => BinaryOperator::Div,
+                TokenKind::Percent => BinaryOperator::Mod,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.parse_unary()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, ParseError> {
+        if self.peek() == &TokenKind::Dash {
+            self.bump();
+            let inner = self.parse_unary()?;
+            return Ok(Expr::Unary(UnaryOperator::Minus, Box::new(inner)));
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Integer(v) => {
+                self.bump();
+                Ok(Expr::Literal(Literal::Integer(v)))
+            }
+            TokenKind::Float(v) => {
+                self.bump();
+                Ok(Expr::Literal(Literal::Float(v)))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Expr::Literal(Literal::Str(s)))
+            }
+            TokenKind::Parameter(p) => {
+                self.bump();
+                Ok(Expr::Parameter(p))
+            }
+            TokenKind::Keyword(k) if k == "TRUE" => {
+                self.bump();
+                Ok(Expr::Literal(Literal::Bool(true)))
+            }
+            TokenKind::Keyword(k) if k == "FALSE" => {
+                self.bump();
+                Ok(Expr::Literal(Literal::Bool(false)))
+            }
+            TokenKind::Keyword(k) if k == "NULL" => {
+                self.bump();
+                Ok(Expr::Literal(Literal::Null))
+            }
+            TokenKind::Keyword(k) if k == "COUNT" => {
+                self.bump();
+                self.parse_function_call("count".to_string())
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let expr = self.parse_expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(expr)
+            }
+            TokenKind::LBracket => {
+                self.bump();
+                let mut items = Vec::new();
+                if self.peek() != &TokenKind::RBracket {
+                    loop {
+                        items.push(self.parse_expr()?);
+                        if self.peek() == &TokenKind::Comma {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&TokenKind::RBracket)?;
+                Ok(Expr::List(items))
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if self.peek() == &TokenKind::LParen {
+                    return self.parse_function_call(name.to_ascii_lowercase());
+                }
+                if self.peek() == &TokenKind::Dot {
+                    self.bump();
+                    let prop = self.expect_ident()?;
+                    return Ok(Expr::Property(name, prop));
+                }
+                Ok(Expr::Variable(name))
+            }
+            other => self.error(format!("unexpected {other} in expression")),
+        }
+    }
+
+    fn parse_function_call(&mut self, name: String) -> Result<Expr, ParseError> {
+        self.expect(&TokenKind::LParen)?;
+        let distinct = self.eat_keyword("DISTINCT");
+        let mut args = Vec::new();
+        if self.peek() == &TokenKind::Star {
+            // count(*)
+            self.bump();
+        } else if self.peek() != &TokenKind::RParen {
+            loop {
+                args.push(self.parse_expr()?);
+                if self.peek() == &TokenKind::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        Ok(Expr::FunctionCall { name, args, distinct })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_match_return() {
+        let q = parse("MATCH (a:Person) RETURN a").unwrap();
+        assert_eq!(q.clauses.len(), 2);
+        match &q.clauses[0] {
+            Clause::Match { optional, patterns } => {
+                assert!(!optional);
+                assert_eq!(patterns.len(), 1);
+                assert_eq!(patterns[0].start.variable.as_deref(), Some("a"));
+                assert_eq!(patterns[0].start.labels, vec!["Person"]);
+            }
+            other => panic!("expected MATCH, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_relationship_directions() {
+        let q = parse("MATCH (a)-[:KNOWS]->(b), (a)<-[:LIKES]-(c), (a)-[r]-(d) RETURN a").unwrap();
+        let Clause::Match { patterns, .. } = &q.clauses[0] else { panic!() };
+        assert_eq!(patterns[0].steps[0].0.direction, Direction::Outgoing);
+        assert_eq!(patterns[0].steps[0].0.types, vec!["KNOWS"]);
+        assert_eq!(patterns[1].steps[0].0.direction, Direction::Incoming);
+        assert_eq!(patterns[2].steps[0].0.direction, Direction::Both);
+        assert_eq!(patterns[2].steps[0].0.variable.as_deref(), Some("r"));
+    }
+
+    #[test]
+    fn parses_variable_length_paths() {
+        let q = parse("MATCH (a)-[*1..3]->(b) RETURN b").unwrap();
+        let Clause::Match { patterns, .. } = &q.clauses[0] else { panic!() };
+        assert_eq!(patterns[0].steps[0].0.var_length, Some((1, Some(3))));
+
+        let q = parse("MATCH (a)-[:KNOWS*2]->(b) RETURN b").unwrap();
+        let Clause::Match { patterns, .. } = &q.clauses[0] else { panic!() };
+        assert_eq!(patterns[0].steps[0].0.var_length, Some((2, Some(2))));
+
+        let q = parse("MATCH (a)-[*]->(b) RETURN b").unwrap();
+        let Clause::Match { patterns, .. } = &q.clauses[0] else { panic!() };
+        assert_eq!(patterns[0].steps[0].0.var_length, Some((1, None)));
+
+        let q = parse("MATCH (a)-[*2..]->(b) RETURN b").unwrap();
+        let Clause::Match { patterns, .. } = &q.clauses[0] else { panic!() };
+        assert_eq!(patterns[0].steps[0].0.var_length, Some((2, None)));
+    }
+
+    #[test]
+    fn parses_node_property_maps() {
+        let q = parse("MATCH (a:Node {id: 42, name: 'x', active: true}) RETURN a").unwrap();
+        let Clause::Match { patterns, .. } = &q.clauses[0] else { panic!() };
+        let props = &patterns[0].start.properties;
+        assert_eq!(props[0], ("id".to_string(), Literal::Integer(42)));
+        assert_eq!(props[1], ("name".to_string(), Literal::Str("x".into())));
+        assert_eq!(props[2], ("active".to_string(), Literal::Bool(true)));
+    }
+
+    #[test]
+    fn parses_where_with_precedence() {
+        let q = parse("MATCH (a) WHERE a.age > 30 AND a.name = 'bob' OR NOT a.active RETURN a").unwrap();
+        let Clause::Where(expr) = &q.clauses[1] else { panic!() };
+        // top level must be OR
+        let Expr::Binary(BinaryOperator::Or, lhs, rhs) = expr else { panic!("expected OR at top") };
+        assert!(matches!(**lhs, Expr::Binary(BinaryOperator::And, _, _)));
+        assert!(matches!(**rhs, Expr::Unary(UnaryOperator::Not, _)));
+    }
+
+    #[test]
+    fn parses_arithmetic_precedence() {
+        let q = parse("RETURN 1 + 2 * 3 AS x").unwrap();
+        let proj = q.return_clause().unwrap();
+        let Expr::Binary(BinaryOperator::Add, _, rhs) = &proj.items[0].expr else { panic!() };
+        assert!(matches!(**rhs, Expr::Binary(BinaryOperator::Mul, _, _)));
+        assert_eq!(proj.items[0].alias.as_deref(), Some("x"));
+    }
+
+    #[test]
+    fn parses_return_modifiers() {
+        let q = parse("MATCH (a) RETURN DISTINCT a.name AS n ORDER BY n DESC, a.age SKIP 5 LIMIT 10").unwrap();
+        let proj = q.return_clause().unwrap();
+        assert!(proj.distinct);
+        assert_eq!(proj.order_by.len(), 2);
+        assert_eq!(proj.order_by[0].1, SortOrder::Descending);
+        assert_eq!(proj.order_by[1].1, SortOrder::Ascending);
+        assert_eq!(proj.skip, Some(5));
+        assert_eq!(proj.limit, Some(10));
+    }
+
+    #[test]
+    fn parses_aggregations() {
+        let q = parse("MATCH (a)-[]->(b) RETURN count(b), count(DISTINCT b), sum(b.x), count(*)").unwrap();
+        let proj = q.return_clause().unwrap();
+        assert_eq!(proj.items.len(), 4);
+        let Expr::FunctionCall { name, distinct, .. } = &proj.items[1].expr else { panic!() };
+        assert_eq!(name, "count");
+        assert!(*distinct);
+        let Expr::FunctionCall { name, args, .. } = &proj.items[3].expr else { panic!() };
+        assert_eq!(name, "count");
+        assert!(args.is_empty());
+    }
+
+    #[test]
+    fn parses_create_delete_set() {
+        let q = parse(
+            "CREATE (a:Person {name: 'x'})-[:KNOWS]->(b:Person {name: 'y'})",
+        )
+        .unwrap();
+        assert!(matches!(q.clauses[0], Clause::Create(_)));
+        assert!(!q.is_read_only());
+
+        let q = parse("MATCH (a) WHERE a.id = 1 DETACH DELETE a").unwrap();
+        assert!(matches!(q.clauses[2], Clause::Delete { detach: true, .. }));
+
+        let q = parse("MATCH (a) SET a.age = 31, a.name = 'z' RETURN a").unwrap();
+        let Clause::Set(items) = &q.clauses[1] else { panic!() };
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].property, "age");
+    }
+
+    #[test]
+    fn parses_unwind_and_with() {
+        let q = parse("UNWIND [1, 2, 3] AS x WITH x RETURN x").unwrap();
+        assert!(matches!(q.clauses[0], Clause::Unwind { .. }));
+        assert!(matches!(q.clauses[1], Clause::With(_)));
+    }
+
+    #[test]
+    fn parses_multiple_relationship_types() {
+        let q = parse("MATCH (a)-[:KNOWS|LIKES|:FOLLOWS]->(b) RETURN b").unwrap();
+        let Clause::Match { patterns, .. } = &q.clauses[0] else { panic!() };
+        assert_eq!(patterns[0].steps[0].0.types, vec!["KNOWS", "LIKES", "FOLLOWS"]);
+    }
+
+    #[test]
+    fn parses_the_khop_benchmark_query() {
+        let q = parse("MATCH (s:Node)-[*1..6]->(t) WHERE s.id = 12345 RETURN count(t)").unwrap();
+        assert_eq!(q.clauses.len(), 3);
+        assert!(q.is_read_only());
+        let Clause::Match { patterns, .. } = &q.clauses[0] else { panic!() };
+        assert_eq!(patterns[0].steps[0].0.var_length, Some((1, Some(6))));
+    }
+
+    #[test]
+    fn parses_multi_hop_chained_pattern() {
+        let q = parse("MATCH (a)-[:X]->(b)-[:Y]->(c)<-[:Z]-(d) RETURN a, d").unwrap();
+        let Clause::Match { patterns, .. } = &q.clauses[0] else { panic!() };
+        assert_eq!(patterns[0].hop_count(), 3);
+        assert_eq!(patterns[0].steps[2].0.direction, Direction::Incoming);
+    }
+
+    #[test]
+    fn rejects_malformed_queries() {
+        assert!(parse("").is_err());
+        assert!(parse("MATCH (a").is_err());
+        assert!(parse("MATCH (a) RETURN").is_err());
+        assert!(parse("FROB (a)").is_err());
+        assert!(parse("MATCH (a)-[>(b) RETURN a").is_err());
+        assert!(parse("MATCH (a) WHERE RETURN a").is_err());
+    }
+
+    #[test]
+    fn error_offsets_point_at_the_problem() {
+        let err = parse("MATCH (a) RETURN ").unwrap_err();
+        assert!(err.offset >= 17);
+        assert!(err.to_string().contains("parse error"));
+    }
+
+    #[test]
+    fn parameters_parse_in_expressions() {
+        let q = parse("MATCH (a) WHERE a.id = $id RETURN a").unwrap();
+        let Clause::Where(Expr::Binary(_, _, rhs)) = &q.clauses[1] else { panic!() };
+        assert_eq!(**rhs, Expr::Parameter("id".into()));
+    }
+}

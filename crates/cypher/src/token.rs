@@ -1,0 +1,149 @@
+//! Token definitions for the Cypher lexer.
+
+use std::fmt;
+
+/// The kind of a lexed token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    // literals & names
+    /// An identifier or unquoted name (`a`, `Person`, `KNOWS`).
+    Ident(String),
+    /// A reserved keyword, stored upper-cased (`MATCH`, `RETURN`, …).
+    Keyword(String),
+    /// An integer literal.
+    Integer(i64),
+    /// A floating-point literal.
+    Float(f64),
+    /// A single- or double-quoted string literal (quotes stripped).
+    Str(String),
+    /// A query parameter (`$name`).
+    Parameter(String),
+
+    // punctuation
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `..`
+    DotDot,
+    /// `-`
+    Dash,
+    /// `+`
+    Plus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `|`
+    Pipe,
+
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Keyword(s) => write!(f, "keyword `{s}`"),
+            TokenKind::Integer(v) => write!(f, "integer `{v}`"),
+            TokenKind::Float(v) => write!(f, "float `{v}`"),
+            TokenKind::Str(s) => write!(f, "string \"{s}\""),
+            TokenKind::Parameter(s) => write!(f, "parameter `${s}`"),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::LBracket => write!(f, "`[`"),
+            TokenKind::RBracket => write!(f, "`]`"),
+            TokenKind::LBrace => write!(f, "`{{`"),
+            TokenKind::RBrace => write!(f, "`}}`"),
+            TokenKind::Colon => write!(f, "`:`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Dot => write!(f, "`.`"),
+            TokenKind::DotDot => write!(f, "`..`"),
+            TokenKind::Dash => write!(f, "`-`"),
+            TokenKind::Plus => write!(f, "`+`"),
+            TokenKind::Star => write!(f, "`*`"),
+            TokenKind::Slash => write!(f, "`/`"),
+            TokenKind::Percent => write!(f, "`%`"),
+            TokenKind::Eq => write!(f, "`=`"),
+            TokenKind::Ne => write!(f, "`<>`"),
+            TokenKind::Lt => write!(f, "`<`"),
+            TokenKind::Le => write!(f, "`<=`"),
+            TokenKind::Gt => write!(f, "`>`"),
+            TokenKind::Ge => write!(f, "`>=`"),
+            TokenKind::Pipe => write!(f, "`|`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token plus its byte offset in the source (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Byte offset of the first character of the token in the query text.
+    pub offset: usize,
+}
+
+/// The reserved words of the supported Cypher subset. Keywords are recognised
+/// case-insensitively, as required by openCypher.
+pub const KEYWORDS: &[&str] = &[
+    "MATCH", "OPTIONAL", "WHERE", "RETURN", "CREATE", "DELETE", "DETACH", "SET", "UNWIND", "WITH",
+    "AS", "ORDER", "BY", "ASC", "DESC", "SKIP", "LIMIT", "DISTINCT", "AND", "OR", "NOT", "XOR",
+    "TRUE", "FALSE", "NULL", "IN", "IS", "MERGE", "COUNT",
+];
+
+/// True if `word` (any case) is a reserved keyword.
+pub fn is_keyword(word: &str) -> bool {
+    let upper = word.to_ascii_uppercase();
+    KEYWORDS.contains(&upper.as_str())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_check_is_case_insensitive() {
+        assert!(is_keyword("match"));
+        assert!(is_keyword("Match"));
+        assert!(is_keyword("RETURN"));
+        assert!(!is_keyword("person"));
+    }
+
+    #[test]
+    fn tokens_display_for_error_messages() {
+        assert_eq!(TokenKind::Ident("a".into()).to_string(), "identifier `a`");
+        assert_eq!(TokenKind::DotDot.to_string(), "`..`");
+        assert_eq!(TokenKind::Eof.to_string(), "end of input");
+    }
+}

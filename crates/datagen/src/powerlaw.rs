@@ -1,0 +1,129 @@
+//! Twitter-like power-law graph generator.
+//!
+//! The paper's second dataset is a crawl of the Twitter follower network
+//! (41.6 M vertices, 1.47 B edges) — a proprietary snapshot we cannot ship.
+//! What matters for the k-hop benchmark is its *shape*: a directed graph whose
+//! in-degree follows a heavy-tailed power law (a few celebrity accounts with
+//! enormous in-degree), dense enough that 3- and 6-hop neighbourhoods explode
+//! to a large fraction of the graph. We reproduce that shape with a
+//! preferential-attachment process (directed Barabási–Albert with extra random
+//! rewiring), scaled down by a configurable factor.
+
+use crate::EdgeList;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the Twitter-like generator.
+#[derive(Debug, Clone, Copy)]
+pub struct PowerLawConfig {
+    /// Number of vertices.
+    pub num_vertices: u64,
+    /// Outgoing edges created per newly added vertex (the "follows" count).
+    pub edges_per_vertex: u32,
+    /// Fraction of edges attached uniformly at random instead of
+    /// preferentially (adds long-range randomness, avoids a pure tree core).
+    pub random_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PowerLawConfig {
+    fn default() -> Self {
+        PowerLawConfig {
+            num_vertices: 100_000,
+            edges_per_vertex: 10,
+            random_fraction: 0.15,
+            seed: 1,
+        }
+    }
+}
+
+/// Generate a Twitter-like directed graph with a power-law in-degree
+/// distribution via preferential attachment.
+pub fn generate(config: &PowerLawConfig) -> EdgeList {
+    assert!(config.num_vertices >= 2, "need at least two vertices");
+    let n = config.num_vertices;
+    let m = config.edges_per_vertex.max(1) as u64;
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // `targets` is a multiset of edge destinations: sampling uniformly from it
+    // implements preferential attachment (probability ∝ current in-degree + 1,
+    // because every vertex is inserted once when it is created).
+    let mut targets: Vec<u64> = Vec::with_capacity((n * (m + 1)) as usize);
+    let mut edges: Vec<(u64, u64)> = Vec::with_capacity((n * m) as usize);
+
+    targets.push(0);
+    for v in 1..n {
+        let out = m.min(v); // early vertices cannot follow more accounts than exist
+        for _ in 0..out {
+            let dst = if rng.gen::<f64>() < config.random_fraction || targets.is_empty() {
+                rng.gen_range(0..v)
+            } else {
+                targets[rng.gen_range(0..targets.len())]
+            };
+            if dst != v {
+                edges.push((v, dst));
+                targets.push(dst);
+            }
+        }
+        targets.push(v);
+    }
+    EdgeList { num_vertices: n, edges }
+}
+
+/// The paper's "Twitter" dataset shape at a reduced size: `num_vertices`
+/// vertices with an average out-degree similar to the original's 35
+/// (1.47 B / 41.6 M ≈ 35 edges per vertex).
+pub fn twitter_like(num_vertices: u64, seed: u64) -> EdgeList {
+    generate(&PowerLawConfig {
+        num_vertices,
+        edges_per_vertex: 35,
+        random_fraction: 0.15,
+        seed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_vertex_count_and_bounds() {
+        let el = generate(&PowerLawConfig { num_vertices: 500, edges_per_vertex: 5, ..Default::default() });
+        assert_eq!(el.num_vertices, 500);
+        assert!(el.edges.iter().all(|&(s, d)| s < 500 && d < 500 && s != d));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = PowerLawConfig { num_vertices: 300, edges_per_vertex: 4, seed: 9, ..Default::default() };
+        assert_eq!(generate(&cfg).edges, generate(&cfg).edges);
+    }
+
+    #[test]
+    fn in_degree_is_heavy_tailed() {
+        let el = generate(&PowerLawConfig { num_vertices: 5_000, edges_per_vertex: 8, ..Default::default() });
+        let mut indeg = vec![0usize; el.num_vertices as usize];
+        for &(_, d) in &el.edges {
+            indeg[d as usize] += 1;
+        }
+        let max = *indeg.iter().max().unwrap();
+        let avg = indeg.iter().sum::<usize>() as f64 / indeg.len() as f64;
+        // the most-followed "celebrity" should dominate the average by a wide margin
+        assert!(max as f64 > 20.0 * avg, "max={max}, avg={avg:.2}");
+    }
+
+    #[test]
+    fn average_out_degree_close_to_requested() {
+        let el = generate(&PowerLawConfig { num_vertices: 2_000, edges_per_vertex: 10, ..Default::default() });
+        let avg = el.num_edges() as f64 / el.num_vertices as f64;
+        assert!(avg > 8.0 && avg <= 10.0, "avg out-degree {avg}");
+    }
+
+    #[test]
+    fn twitter_preset_matches_paper_density() {
+        let el = twitter_like(1_000, 3);
+        let avg = el.num_edges() as f64 / el.num_vertices as f64;
+        assert!(avg > 25.0 && avg <= 35.0, "avg out-degree {avg}");
+    }
+}

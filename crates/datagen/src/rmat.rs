@@ -1,0 +1,178 @@
+//! Graph500 RMAT / Kronecker graph generator.
+//!
+//! The Graph500 benchmark defines its input graph as a stochastic Kronecker
+//! graph: each edge is placed by recursively descending `scale` levels of a
+//! 2×2 probability matrix `[[A, B], [C, D]]` with A=0.57, B=0.19, C=0.19,
+//! D=0.05. The paper's "Graph500" dataset (2.4 M vertices, 67 M edges) is this
+//! generator at scale ≈ 21 with edge factor 28; we default to a smaller scale
+//! so the reproduction runs on a laptop, and the harness exposes `--scale` to
+//! go bigger.
+
+use crate::EdgeList;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the RMAT generator.
+#[derive(Debug, Clone, Copy)]
+pub struct RmatConfig {
+    /// log2 of the number of vertices.
+    pub scale: u32,
+    /// Average number of generated edges per vertex (Graph500 uses 16; the
+    /// TigerGraph benchmark's Graph500 instance has ≈ 28).
+    pub edge_factor: u32,
+    /// Kronecker probabilities (must sum to 1).
+    pub a: f64,
+    /// Probability of the upper-right quadrant.
+    pub b: f64,
+    /// Probability of the lower-left quadrant.
+    pub c: f64,
+    /// RNG seed for reproducibility.
+    pub seed: u64,
+    /// Perturbation noise applied to the quadrant probabilities at each level,
+    /// as in the reference Graph500 implementation, to avoid exactly
+    /// self-similar structure. 0.0 disables it.
+    pub noise: f64,
+}
+
+impl Default for RmatConfig {
+    fn default() -> Self {
+        RmatConfig {
+            scale: 14,
+            edge_factor: 16,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            seed: 42,
+            noise: 0.1,
+        }
+    }
+}
+
+impl RmatConfig {
+    /// Number of vertices (`2^scale`).
+    pub fn num_vertices(&self) -> u64 {
+        1u64 << self.scale
+    }
+
+    /// Number of edges the generator will emit.
+    pub fn num_edges(&self) -> u64 {
+        self.num_vertices() * self.edge_factor as u64
+    }
+
+    /// Probability of the lower-right quadrant.
+    pub fn d(&self) -> f64 {
+        1.0 - self.a - self.b - self.c
+    }
+}
+
+/// Generate an RMAT edge list.
+///
+/// Duplicate edges and self-loops are kept (as in the raw Graph500 kernel-1
+/// output); the consuming engine deduplicates them when building its
+/// adjacency structure.
+pub fn generate(config: &RmatConfig) -> EdgeList {
+    let n = config.num_vertices();
+    let m = config.num_edges();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut edges = Vec::with_capacity(m as usize);
+    for _ in 0..m {
+        edges.push(sample_edge(config, &mut rng));
+    }
+    EdgeList { num_vertices: n, edges }
+}
+
+/// Generate the paper's "Graph500" dataset shape at the given scale.
+pub fn graph500(scale: u32, seed: u64) -> EdgeList {
+    generate(&RmatConfig { scale, seed, edge_factor: 28, ..RmatConfig::default() })
+}
+
+fn sample_edge(config: &RmatConfig, rng: &mut StdRng) -> (u64, u64) {
+    let mut src = 0u64;
+    let mut dst = 0u64;
+    let (mut a, mut b, mut c) = (config.a, config.b, config.c);
+    for _ in 0..config.scale {
+        let d = (1.0 - a - b - c).max(0.0);
+        let r: f64 = rng.gen();
+        src <<= 1;
+        dst <<= 1;
+        if r < a {
+            // upper-left quadrant: no bits set
+        } else if r < a + b {
+            dst |= 1;
+        } else if r < a + b + c {
+            src |= 1;
+        } else {
+            let _ = d;
+            src |= 1;
+            dst |= 1;
+        }
+        if config.noise > 0.0 {
+            // multiplicative noise, renormalised, as in the Graph500 reference code
+            let perturb = |p: f64, rng: &mut StdRng| {
+                p * (1.0 - config.noise / 2.0 + rng.gen::<f64>() * config.noise)
+            };
+            let (na, nb, nc, nd) =
+                (perturb(a, rng), perturb(b, rng), perturb(c, rng), perturb((1.0 - a - b - c).max(0.0), rng));
+            let total = na + nb + nc + nd;
+            a = na / total;
+            b = nb / total;
+            c = nc / total;
+        }
+    }
+    (src, dst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_respects_requested_sizes() {
+        let cfg = RmatConfig { scale: 8, edge_factor: 4, ..RmatConfig::default() };
+        let el = generate(&cfg);
+        assert_eq!(el.num_vertices, 256);
+        assert_eq!(el.num_edges(), 1024);
+        assert!(el.edges.iter().all(|&(s, d)| s < 256 && d < 256));
+    }
+
+    #[test]
+    fn generator_is_deterministic_per_seed() {
+        let cfg = RmatConfig { scale: 8, edge_factor: 4, seed: 7, ..RmatConfig::default() };
+        assert_eq!(generate(&cfg).edges, generate(&cfg).edges);
+        let other = RmatConfig { seed: 8, ..cfg };
+        assert_ne!(generate(&cfg).edges, generate(&other).edges);
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        // RMAT graphs are heavy-tailed: the max out-degree should far exceed
+        // the average.
+        let cfg = RmatConfig { scale: 10, edge_factor: 16, noise: 0.0, ..RmatConfig::default() };
+        let el = generate(&cfg);
+        let degs = el.out_degrees();
+        let max = *degs.iter().max().unwrap();
+        let avg = degs.iter().sum::<usize>() as f64 / degs.len() as f64;
+        assert!(
+            max as f64 > 4.0 * avg,
+            "expected a heavy tail: max={max}, avg={avg:.1}"
+        );
+    }
+
+    #[test]
+    fn quadrant_probabilities_bias_low_ids() {
+        // With A=0.57 the mass concentrates on low vertex ids: the first half
+        // of id space should hold clearly more than half the edge endpoints.
+        let cfg = RmatConfig { scale: 10, edge_factor: 8, noise: 0.0, ..RmatConfig::default() };
+        let el = generate(&cfg);
+        let half = el.num_vertices / 2;
+        let low = el.edges.iter().filter(|&&(s, _)| s < half).count();
+        assert!(low as f64 > 0.6 * el.num_edges() as f64);
+    }
+
+    #[test]
+    fn graph500_preset_uses_edge_factor_28() {
+        let el = graph500(6, 1);
+        assert_eq!(el.num_vertices, 64);
+        assert_eq!(el.num_edges(), 64 * 28);
+    }
+}

@@ -1,0 +1,52 @@
+//! `GrB_apply`: apply a unary operator to every stored entry.
+
+use crate::matrix::SparseMatrix;
+use crate::types::Scalar;
+use crate::unary_op::{UnaryApply, UnaryOp};
+use crate::vector::SparseVector;
+
+/// Apply `op` to every stored entry of a matrix, preserving the pattern.
+pub fn apply_matrix<T: Scalar + UnaryApply>(a: &SparseMatrix<T>, op: &UnaryOp<T>) -> SparseMatrix<T> {
+    assert!(a.is_flushed(), "apply requires a flushed matrix");
+    let triples: Vec<_> = a
+        .iter()
+        .map(|(r, c, v)| (r, c, T::apply_unary(op, v)))
+        .collect();
+    SparseMatrix::from_triples(a.nrows(), a.ncols(), &triples).expect("pattern already valid")
+}
+
+/// Apply `op` to every stored entry of a vector, preserving the pattern.
+pub fn apply_vector<T: Scalar + UnaryApply>(u: &SparseVector<T>, op: &UnaryOp<T>) -> SparseVector<T> {
+    let entries: Vec<_> = u.iter().map(|(i, v)| (i, T::apply_unary(op, v))).collect();
+    SparseVector::from_entries(u.size(), &entries).expect("pattern already valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_one_flattens_values_keeps_pattern() {
+        let a = SparseMatrix::from_triples(2, 2, &[(0, 0, 5i64), (1, 1, -3)]).unwrap();
+        let ones = apply_matrix(&a, &UnaryOp::One);
+        assert_eq!(ones.nvals(), 2);
+        assert_eq!(ones.extract_element(0, 0), Some(1));
+        assert_eq!(ones.extract_element(1, 1), Some(1));
+        assert_eq!(ones.extract_element(0, 1), None);
+    }
+
+    #[test]
+    fn apply_custom_to_vector() {
+        let u = SparseVector::from_entries(4, &[(0, 2i32), (3, 5)]).unwrap();
+        let sq = apply_vector(&u, &UnaryOp::custom(|x| x * x));
+        assert_eq!(sq.extract_element(0), Some(4));
+        assert_eq!(sq.extract_element(3), Some(25));
+        assert_eq!(sq.nvals(), 2);
+    }
+
+    #[test]
+    fn apply_identity_is_noop() {
+        let a = SparseMatrix::from_triples(3, 3, &[(0, 2, 1.5), (2, 1, 2.5)]).unwrap();
+        assert_eq!(apply_matrix(&a, &UnaryOp::Identity), a);
+    }
+}

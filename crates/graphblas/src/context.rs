@@ -1,0 +1,92 @@
+//! Global execution context (`GxB_Context` / `GxB_set(GxB_NTHREADS, …)`).
+//!
+//! SuiteSparse:GraphBLAS lets the caller cap the number of OpenMP threads its
+//! kernels use. RedisGraph sets this to 1 so that every query runs on exactly
+//! one core and concurrency comes from the module threadpool instead. We expose
+//! the same knob: a process-wide default plus per-call overrides through
+//! [`crate::Descriptor::nthreads`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static GLOBAL_NTHREADS: AtomicUsize = AtomicUsize::new(1);
+
+/// Handle for configuring library-wide execution parameters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Context;
+
+impl Context {
+    /// Set the default number of threads used by parallel kernels (mxm over
+    /// large matrices). A value of `0` is clamped to `1`.
+    ///
+    /// RedisGraph loads the library with `nthreads = 1` — intra-query
+    /// parallelism off — and scales throughput with its own threadpool.
+    pub fn set_nthreads(n: usize) {
+        GLOBAL_NTHREADS.store(n.max(1), Ordering::Relaxed);
+    }
+
+    /// Current default number of threads for parallel kernels.
+    pub fn nthreads() -> usize {
+        GLOBAL_NTHREADS.load(Ordering::Relaxed)
+    }
+
+    /// Number of hardware threads available on this machine (best effort).
+    pub fn hardware_threads() -> usize {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    }
+}
+
+/// Split `0..n` into at most `parts` contiguous, nearly equal chunks.
+/// Used by the parallel kernels to partition rows across worker threads.
+pub fn partition_ranges(n: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    let parts = parts.clamp(1, n.max(1));
+    let base = n / parts;
+    let extra = n % parts;
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = 0usize;
+    for p in 0..parts {
+        let len = base + usize::from(p < extra);
+        if len == 0 {
+            continue;
+        }
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_covers_range_exactly() {
+        for n in [0usize, 1, 5, 16, 17, 1000] {
+            for parts in [1usize, 2, 3, 7, 8] {
+                let ranges = partition_ranges(n, parts);
+                let total: usize = ranges.iter().map(|r| r.len()).sum();
+                assert_eq!(total, n, "n={n} parts={parts}");
+                // contiguity
+                let mut expected = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, expected);
+                    expected = r.end;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partition_never_exceeds_requested_parts() {
+        assert!(partition_ranges(3, 8).len() <= 3);
+        assert_eq!(partition_ranges(8, 4).len(), 4);
+    }
+
+    #[test]
+    fn nthreads_clamped_to_one() {
+        Context::set_nthreads(0);
+        assert_eq!(Context::nthreads(), 1);
+        Context::set_nthreads(2);
+        assert_eq!(Context::nthreads(), 2);
+        Context::set_nthreads(1);
+    }
+}

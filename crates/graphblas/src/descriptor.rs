@@ -1,0 +1,120 @@
+//! Operation descriptors (`GrB_Descriptor`).
+//!
+//! A descriptor modifies how an operation treats its mask, inputs and output:
+//! complement the mask, use only the mask structure, clear (replace) the output
+//! first, transpose either input, and optionally override the number of threads
+//! for this one call.
+
+/// Per-call modifiers for GraphBLAS operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Descriptor {
+    /// Use the complement of the mask (`GrB_COMP`): entries *not* present (or
+    /// false) in the mask are computed.
+    pub mask_complement: bool,
+    /// Use only the structure of the mask (`GrB_STRUCTURE`): any stored entry
+    /// counts, regardless of its value.
+    pub mask_structure: bool,
+    /// Clear the output object before writing results (`GrB_REPLACE`).
+    pub replace: bool,
+    /// Transpose the first input (`GrB_TRAN` on `GrB_INP0`).
+    pub transpose_a: bool,
+    /// Transpose the second input (`GrB_TRAN` on `GrB_INP1`).
+    pub transpose_b: bool,
+    /// Override the context thread count for this call (`None` = use
+    /// [`crate::Context::nthreads`]).
+    pub nthreads: Option<usize>,
+}
+
+impl Default for Descriptor {
+    fn default() -> Self {
+        Descriptor {
+            mask_complement: false,
+            mask_structure: false,
+            replace: false,
+            transpose_a: false,
+            transpose_b: false,
+            nthreads: None,
+        }
+    }
+}
+
+impl Descriptor {
+    /// The default descriptor (no modifiers).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder: complement the mask.
+    pub fn with_mask_complement(mut self) -> Self {
+        self.mask_complement = true;
+        self
+    }
+
+    /// Builder: treat the mask structurally.
+    pub fn with_mask_structure(mut self) -> Self {
+        self.mask_structure = true;
+        self
+    }
+
+    /// Builder: replace the output.
+    pub fn with_replace(mut self) -> Self {
+        self.replace = true;
+        self
+    }
+
+    /// Builder: transpose the first input.
+    pub fn with_transpose_a(mut self) -> Self {
+        self.transpose_a = true;
+        self
+    }
+
+    /// Builder: transpose the second input.
+    pub fn with_transpose_b(mut self) -> Self {
+        self.transpose_b = true;
+        self
+    }
+
+    /// Builder: set a per-call thread count.
+    pub fn with_nthreads(mut self, n: usize) -> Self {
+        self.nthreads = Some(n.max(1));
+        self
+    }
+
+    /// Effective thread count for this call.
+    pub fn effective_nthreads(&self) -> usize {
+        self.nthreads.unwrap_or_else(crate::context::Context::nthreads).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_descriptor_has_no_modifiers() {
+        let d = Descriptor::default();
+        assert!(!d.mask_complement && !d.replace && !d.transpose_a && !d.transpose_b);
+        assert!(d.nthreads.is_none());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let d = Descriptor::new()
+            .with_mask_complement()
+            .with_replace()
+            .with_transpose_a()
+            .with_nthreads(4);
+        assert!(d.mask_complement);
+        assert!(d.replace);
+        assert!(d.transpose_a);
+        assert!(!d.transpose_b);
+        assert_eq!(d.effective_nthreads(), 4);
+    }
+
+    #[test]
+    fn effective_threads_falls_back_to_context() {
+        let d = Descriptor::default();
+        assert!(d.effective_nthreads() >= 1);
+        assert_eq!(Descriptor::new().with_nthreads(0).effective_nthreads(), 1);
+    }
+}

@@ -1,0 +1,92 @@
+//! Kronecker product (`GrB_kronecker`). Included both for API completeness and
+//! because the Graph500 RMAT generator used in the paper's benchmark is defined
+//! as repeated Kronecker products of a small seed matrix; `datagen` uses the
+//! streaming sampler, but tests cross-check it against this exact kernel on
+//! small scales.
+
+use crate::binary_op::{BinaryOp, OpApply};
+use crate::matrix::SparseMatrix;
+use crate::types::Scalar;
+
+/// `C = A ⊗_kron B`: the output is `(a.nrows*b.nrows) × (a.ncols*b.ncols)` and
+/// entry `((ia*bn + ib), (ja*bm + jb)) = op(A[ia,ja], B[ib,jb])`.
+pub fn kronecker<T: Scalar + OpApply>(
+    a: &SparseMatrix<T>,
+    b: &SparseMatrix<T>,
+    op: &BinaryOp<T>,
+) -> SparseMatrix<T> {
+    assert!(a.is_flushed() && b.is_flushed(), "kronecker requires flushed matrices");
+    let bn = b.nrows();
+    let bm = b.ncols();
+    let mut triples = Vec::with_capacity(a.nvals() * b.nvals());
+    for (ia, ja, va) in a.iter() {
+        for (ib, jb, vb) in b.iter() {
+            triples.push((ia * bn + ib, ja * bm + jb, T::apply(op, va, vb)));
+        }
+    }
+    SparseMatrix::from_triples(a.nrows() * bn, a.ncols() * bm, &triples)
+        .expect("kronecker indices are in range by construction")
+}
+
+/// Convenience: the `k`-fold Kronecker power of a square seed matrix, the
+/// textbook definition of an RMAT/Kronecker graph.
+pub fn kronecker_power<T: Scalar + OpApply>(
+    seed: &SparseMatrix<T>,
+    k: u32,
+    op: &BinaryOp<T>,
+) -> SparseMatrix<T> {
+    assert!(k >= 1, "kronecker power requires k >= 1");
+    let mut acc = seed.clone();
+    for _ in 1..k {
+        acc = kronecker(&acc, seed, op);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kronecker_dimensions_and_values() {
+        let a = SparseMatrix::from_triples(2, 2, &[(0, 0, 2.0), (1, 1, 3.0)]).unwrap();
+        let b = SparseMatrix::from_triples(2, 2, &[(0, 1, 5.0), (1, 0, 7.0)]).unwrap();
+        let c = kronecker(&a, &b, &BinaryOp::Times);
+        assert_eq!(c.nrows(), 4);
+        assert_eq!(c.ncols(), 4);
+        assert_eq!(c.nvals(), 4);
+        assert_eq!(c.extract_element(0, 1), Some(10.0)); // 2*5 at (0*2+0, 0*2+1)
+        assert_eq!(c.extract_element(3, 2), Some(21.0)); // 3*7 at (1*2+1, 1*2+0)
+    }
+
+    #[test]
+    fn kronecker_power_grows_exponentially() {
+        let seed =
+            SparseMatrix::from_triples(2, 2, &[(0, 0, 1u64), (0, 1, 1), (1, 0, 1)]).unwrap();
+        let k3 = kronecker_power(&seed, 3, &BinaryOp::Times);
+        assert_eq!(k3.nrows(), 8);
+        assert_eq!(k3.nvals(), 27); // 3^3 entries
+        let k1 = kronecker_power(&seed, 1, &BinaryOp::Times);
+        assert_eq!(k1, seed);
+    }
+
+    #[test]
+    fn kronecker_with_empty_matrix_is_empty() {
+        let a = SparseMatrix::from_triples(2, 2, &[(0, 0, 1i64)]).unwrap();
+        let empty = SparseMatrix::<i64>::new(2, 2);
+        let c = kronecker(&a, &empty, &BinaryOp::Times);
+        assert_eq!(c.nvals(), 0);
+        assert_eq!(c.nrows(), 4);
+    }
+
+    #[test]
+    fn index_arithmetic_is_block_structured() {
+        // A has a single entry at (1,0); C must be B shifted into block (1,0).
+        let a = SparseMatrix::from_triples(2, 2, &[(1, 0, 1i64)]).unwrap();
+        let b = SparseMatrix::from_triples(3, 3, &[(0, 2, 4), (2, 1, 5)]).unwrap();
+        let c = kronecker(&a, &b, &BinaryOp::Times);
+        assert_eq!(c.extract_element(3, 2), Some(4)); // (1*3+0, 0*3+2)
+        assert_eq!(c.extract_element(5, 1), Some(5)); // (1*3+2, 0*3+1)
+        assert_eq!(c.nvals(), 2);
+    }
+}

@@ -1,0 +1,97 @@
+//! # graphblas
+//!
+//! A pure-Rust reimplementation of the subset of the [GraphBLAS C API] /
+//! SuiteSparse:GraphBLAS that RedisGraph relies on, plus the general typed
+//! machinery (operators, monoids, semirings, masks, descriptors) needed to make
+//! it a usable standalone sparse linear-algebra library.
+//!
+//! The central idea — exploited by RedisGraph and described in the paper this
+//! repository reproduces — is the duality between graphs and sparse matrices:
+//! a graph traversal step is a (masked) sparse matrix–vector or matrix–matrix
+//! multiplication over a suitable semiring.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use graphblas::prelude::*;
+//!
+//! // Build a 4x4 boolean adjacency matrix of a directed path 0→1→2→3.
+//! let mut a = SparseMatrix::<bool>::new(4, 4);
+//! for i in 0..3 {
+//!     a.set_element(i, i + 1, true);
+//! }
+//! a.wait(); // flush pending tuples (SuiteSparse "non-blocking mode")
+//!
+//! // One BFS step from vertex 0: frontier × adjacency over the LOR-LAND semiring.
+//! let mut frontier = SparseVector::<bool>::new(4);
+//! frontier.set_element(0, true);
+//! let next = vxm(&frontier, &a, &Semiring::lor_land(), None, &Descriptor::default());
+//! assert_eq!(next.extract_element(1), Some(true));
+//! assert_eq!(next.nvals(), 1);
+//! ```
+//!
+//! [GraphBLAS C API]: https://graphblas.org
+
+pub mod apply;
+pub mod binary_op;
+pub mod context;
+pub mod descriptor;
+pub mod error;
+pub mod ewise;
+pub mod extract;
+pub mod kron;
+pub mod mask;
+pub mod matrix;
+pub mod monoid;
+pub mod mxm;
+pub mod mxv;
+pub mod reduce;
+pub mod select;
+pub mod semiring;
+pub mod transpose;
+pub mod types;
+pub mod unary_op;
+pub mod vector;
+
+pub use binary_op::BinaryOp;
+pub use context::Context;
+pub use descriptor::Descriptor;
+pub use error::{GrbError, GrbResult};
+pub use mask::{MatrixMask, VectorMask};
+pub use matrix::SparseMatrix;
+pub use monoid::Monoid;
+pub use mxm::mxm;
+pub use mxv::{mxv, vxm};
+pub use semiring::Semiring;
+pub use types::Scalar;
+pub use unary_op::UnaryOp;
+pub use vector::SparseVector;
+
+/// Convenience re-exports for downstream crates.
+pub mod prelude {
+    pub use crate::apply::{apply_matrix, apply_vector};
+    pub use crate::binary_op::BinaryOp;
+    pub use crate::context::Context;
+    pub use crate::descriptor::Descriptor;
+    pub use crate::error::{GrbError, GrbResult};
+    pub use crate::ewise::{
+        ewise_add_matrix, ewise_add_vector, ewise_mult_matrix, ewise_mult_vector,
+    };
+    pub use crate::extract::{extract_col, extract_row, extract_submatrix};
+    pub use crate::kron::kronecker;
+    pub use crate::mask::{MatrixMask, VectorMask};
+    pub use crate::matrix::SparseMatrix;
+    pub use crate::monoid::Monoid;
+    pub use crate::mxm::mxm;
+    pub use crate::mxv::{mxv, vxm};
+    pub use crate::reduce::{reduce_matrix_to_scalar, reduce_to_vector, reduce_vector_to_scalar};
+    pub use crate::select::{select_matrix, SelectOp};
+    pub use crate::semiring::Semiring;
+    pub use crate::transpose::transpose;
+    pub use crate::types::Scalar;
+    pub use crate::unary_op::UnaryOp;
+    pub use crate::vector::SparseVector;
+}
+
+/// Index type used throughout the library (matches `GrB_Index`).
+pub type Index = u64;

@@ -1,0 +1,143 @@
+//! Monoids (`GrB_Monoid`): an associative, commutative binary operator with an
+//! identity element, optionally with a *terminal* (annihilator) value that lets
+//! kernels exit a reduction early (SuiteSparse's `GxB_Monoid_terminal_new`).
+
+use crate::binary_op::{BinaryOp, OpApply};
+use crate::types::Scalar;
+
+/// An associative binary operator together with its identity value.
+#[derive(Clone, Debug)]
+pub struct Monoid<T: Scalar> {
+    /// The combining operator.
+    pub op: BinaryOp<T>,
+    /// The identity of `op` (e.g. `0` for plus, `false` for lor).
+    pub identity: T,
+    /// Optional terminal value: once a partial reduction reaches this value the
+    /// kernel may stop (e.g. `true` for the LOR monoid, `0` for TIMES over
+    /// unsigned integers).
+    pub terminal: Option<T>,
+}
+
+impl<T: Scalar + OpApply> Monoid<T> {
+    /// Create a monoid from an operator and identity, with no terminal value.
+    pub fn new(op: BinaryOp<T>, identity: T) -> Self {
+        Monoid { op, identity, terminal: None }
+    }
+
+    /// Create a monoid with a terminal (annihilator) value.
+    pub fn with_terminal(op: BinaryOp<T>, identity: T, terminal: T) -> Self {
+        Monoid { op, identity, terminal: Some(terminal) }
+    }
+
+    /// Combine two values with the monoid operator.
+    #[inline]
+    pub fn combine(&self, x: T, y: T) -> T {
+        T::apply(&self.op, x, y)
+    }
+
+    /// True if `v` equals the terminal value (reduction can stop early).
+    #[inline]
+    pub fn is_terminal(&self, v: T) -> bool {
+        self.terminal.map(|t| t == v).unwrap_or(false)
+    }
+
+    /// Reduce a slice of values; returns the identity for an empty slice.
+    pub fn reduce_slice(&self, values: &[T]) -> T {
+        let mut acc = self.identity;
+        for &v in values {
+            acc = self.combine(acc, v);
+            if self.is_terminal(acc) {
+                break;
+            }
+        }
+        acc
+    }
+}
+
+/// The PLUS monoid over a numeric type.
+pub fn plus_monoid<T: Scalar + OpApply>() -> Monoid<T> {
+    Monoid::new(BinaryOp::Plus, T::zero())
+}
+
+/// The TIMES monoid over a numeric type.
+pub fn times_monoid<T: Scalar + OpApply>() -> Monoid<T> {
+    Monoid::new(BinaryOp::Times, T::one())
+}
+
+/// The MIN monoid with a caller-supplied identity (the type's "+infinity").
+pub fn min_monoid<T: Scalar + OpApply>(identity: T) -> Monoid<T> {
+    Monoid::new(BinaryOp::Min, identity)
+}
+
+/// The MAX monoid with a caller-supplied identity (the type's "-infinity").
+pub fn max_monoid<T: Scalar + OpApply>(identity: T) -> Monoid<T> {
+    Monoid::new(BinaryOp::Max, identity)
+}
+
+/// The LOR monoid over `bool` (identity `false`, terminal `true`).
+pub fn lor_monoid() -> Monoid<bool> {
+    Monoid::with_terminal(BinaryOp::LOr, false, true)
+}
+
+/// The LAND monoid over `bool` (identity `true`, terminal `false`).
+pub fn land_monoid() -> Monoid<bool> {
+    Monoid::with_terminal(BinaryOp::LAnd, true, false)
+}
+
+/// The ANY monoid: picks an arbitrary operand; every value is terminal, so a
+/// reduction may stop at the first entry it sees. This is what makes the
+/// ANY_PAIR semiring the cheapest possible structural traversal.
+pub fn any_monoid<T: Scalar + OpApply>() -> Monoid<T> {
+    Monoid { op: BinaryOp::Any, identity: T::zero(), terminal: None }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plus_monoid_reduces() {
+        let m = plus_monoid::<i64>();
+        assert_eq!(m.reduce_slice(&[1, 2, 3, 4]), 10);
+        assert_eq!(m.reduce_slice(&[]), 0);
+    }
+
+    #[test]
+    fn times_monoid_identity() {
+        let m = times_monoid::<i64>();
+        assert_eq!(m.reduce_slice(&[]), 1);
+        assert_eq!(m.reduce_slice(&[2, 3, 4]), 24);
+    }
+
+    #[test]
+    fn min_max_monoids() {
+        let min = min_monoid(i64::MAX);
+        let max = max_monoid(i64::MIN);
+        assert_eq!(min.reduce_slice(&[5, 2, 8]), 2);
+        assert_eq!(max.reduce_slice(&[5, 2, 8]), 8);
+        assert_eq!(min.reduce_slice(&[]), i64::MAX);
+    }
+
+    #[test]
+    fn lor_terminal_short_circuits() {
+        let m = lor_monoid();
+        assert!(m.is_terminal(true));
+        assert!(!m.is_terminal(false));
+        assert!(m.reduce_slice(&[false, true, false]));
+        assert!(!m.reduce_slice(&[false, false]));
+    }
+
+    #[test]
+    fn land_monoid_identity_true() {
+        let m = land_monoid();
+        assert!(m.reduce_slice(&[]));
+        assert!(!m.reduce_slice(&[true, false, true]));
+    }
+
+    #[test]
+    fn monoid_combine_is_associative_spot_check() {
+        let m = plus_monoid::<i64>();
+        let (a, b, c) = (3, 7, 11);
+        assert_eq!(m.combine(m.combine(a, b), c), m.combine(a, m.combine(b, c)));
+    }
+}

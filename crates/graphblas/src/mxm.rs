@@ -1,0 +1,289 @@
+//! Matrix–matrix multiplication (`GrB_mxm`) — masked, row-wise Gustavson
+//! SpGEMM, optionally parallelised over row blocks with scoped threads.
+//!
+//! RedisGraph compiles a multi-hop `MATCH` pattern into a chain of `mxm`
+//! calls over the per-relation adjacency matrices; the mask is used to
+//! restrict the result to labelled nodes or to exclude already-bound ones.
+
+use crate::binary_op::OpApply;
+use crate::context::partition_ranges;
+use crate::descriptor::Descriptor;
+use crate::mask::MatrixMask;
+use crate::matrix::SparseMatrix;
+use crate::semiring::Semiring;
+use crate::transpose::transpose;
+use crate::types::Scalar;
+use crate::Index;
+
+/// `C = A ⊕.⊗ B` with an optional mask on the output.
+///
+/// Dimensions: `A` is `m×k`, `B` is `k×n`, the result is `m×n`. The descriptor
+/// may request transposition of either input, mask complement / structural
+/// interpretation, and a per-call thread count (`Descriptor::with_nthreads`);
+/// the default thread count comes from [`crate::Context`], which RedisGraph
+/// sets to 1 so a single query never occupies more than one core.
+///
+/// # Panics
+/// Panics on dimension mismatch or if either input has pending updates.
+pub fn mxm<T: Scalar + OpApply>(
+    a: &SparseMatrix<T>,
+    b: &SparseMatrix<T>,
+    semiring: &Semiring<T>,
+    mask: Option<&MatrixMask<'_>>,
+    desc: &Descriptor,
+) -> SparseMatrix<T> {
+    assert!(a.is_flushed() && b.is_flushed(), "mxm requires flushed matrices");
+
+    // Apply descriptor-requested transposes up front; correctness first, the
+    // transposes are linear in nnz.
+    let at;
+    let bt;
+    let a = if desc.transpose_a {
+        at = transpose(a);
+        &at
+    } else {
+        a
+    };
+    let b = if desc.transpose_b {
+        bt = transpose(b);
+        &bt
+    } else {
+        b
+    };
+
+    assert_eq!(a.ncols(), b.nrows(), "mxm dimension mismatch: a.ncols != b.nrows");
+    let m = a.nrows();
+    let n = b.ncols();
+    let nthreads = desc.effective_nthreads().min(m.max(1) as usize);
+
+    if nthreads <= 1 {
+        let (row_ptr, col_idx, values) = mxm_rows(a, b, semiring, mask, desc, 0..m as usize);
+        return SparseMatrix::from_csr_parts(m, n, row_ptr, col_idx, values);
+    }
+
+    // Parallel over contiguous row blocks; each block produces an independent
+    // CSR fragment which is stitched afterwards.
+    let ranges = partition_ranges(m as usize, nthreads);
+    let mut results: Vec<Option<(Vec<usize>, Vec<Index>, Vec<T>)>> = Vec::new();
+    results.resize_with(ranges.len(), || None);
+
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for range in ranges.iter().cloned() {
+            let handle = scope.spawn(move |_| mxm_rows(a, b, semiring, mask, desc, range));
+            handles.push(handle);
+        }
+        for (slot, handle) in results.iter_mut().zip(handles) {
+            *slot = Some(handle.join().expect("mxm worker panicked"));
+        }
+    })
+    .expect("mxm thread scope failed");
+
+    // Stitch fragments.
+    let mut row_ptr = Vec::with_capacity(m as usize + 1);
+    row_ptr.push(0usize);
+    let total_nnz: usize = results
+        .iter()
+        .map(|r| r.as_ref().map(|(_, c, _)| c.len()).unwrap_or(0))
+        .sum();
+    let mut col_idx = Vec::with_capacity(total_nnz);
+    let mut values = Vec::with_capacity(total_nnz);
+    for frag in results.into_iter().flatten() {
+        let (frag_ptr, frag_cols, frag_vals) = frag;
+        let base = col_idx.len();
+        // frag_ptr is local (starts at 0); skip its first element.
+        for &p in &frag_ptr[1..] {
+            row_ptr.push(base + p);
+        }
+        col_idx.extend(frag_cols);
+        values.extend(frag_vals);
+    }
+    SparseMatrix::from_csr_parts(m, n, row_ptr, col_idx, values)
+}
+
+/// Compute a contiguous block of output rows with a per-thread SPA.
+fn mxm_rows<T: Scalar + OpApply>(
+    a: &SparseMatrix<T>,
+    b: &SparseMatrix<T>,
+    semiring: &Semiring<T>,
+    mask: Option<&MatrixMask<'_>>,
+    desc: &Descriptor,
+    rows: std::ops::Range<usize>,
+) -> (Vec<usize>, Vec<Index>, Vec<T>) {
+    let n = b.ncols() as usize;
+    let mut occupied = vec![false; n];
+    let mut acc = vec![T::zero(); n];
+    let mut touched: Vec<Index> = Vec::new();
+
+    let mut row_ptr = Vec::with_capacity(rows.len() + 1);
+    row_ptr.push(0usize);
+    let mut col_idx = Vec::new();
+    let mut values = Vec::new();
+
+    for i in rows {
+        let i = i as Index;
+        let (a_cols, a_vals) = a.row(i);
+        for (&k, &av) in a_cols.iter().zip(a_vals.iter()) {
+            let (b_cols, b_vals) = b.row(k);
+            for (&j, &bv) in b_cols.iter().zip(b_vals.iter()) {
+                let prod = semiring.mult(av, bv);
+                let idx = j as usize;
+                if occupied[idx] {
+                    acc[idx] = semiring.add(acc[idx], prod);
+                } else {
+                    occupied[idx] = true;
+                    acc[idx] = prod;
+                    touched.push(j);
+                }
+            }
+        }
+        touched.sort_unstable();
+        for &j in &touched {
+            let keep = mask.map(|mk| mk.allows(i, j, desc)).unwrap_or(true);
+            if keep {
+                col_idx.push(j);
+                values.push(acc[j as usize]);
+            }
+            occupied[j as usize] = false;
+        }
+        touched.clear();
+        row_ptr.push(col_idx.len());
+    }
+    (row_ptr, col_idx, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semiring::Semiring;
+
+    fn dense_mult(a: &[[f64; 3]; 3], b: &[[f64; 3]; 3]) -> [[f64; 3]; 3] {
+        let mut c = [[0.0; 3]; 3];
+        for i in 0..3 {
+            for j in 0..3 {
+                for k in 0..3 {
+                    c[i][j] += a[i][k] * b[k][j];
+                }
+            }
+        }
+        c
+    }
+
+    fn to_sparse(d: &[[f64; 3]; 3]) -> SparseMatrix<f64> {
+        let mut t = Vec::new();
+        for (i, row) in d.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                if v != 0.0 {
+                    t.push((i as Index, j as Index, v));
+                }
+            }
+        }
+        SparseMatrix::from_triples(3, 3, &t).unwrap()
+    }
+
+    #[test]
+    fn plus_times_matches_dense_reference() {
+        let da = [[1.0, 0.0, 2.0], [0.0, 3.0, 0.0], [4.0, 0.0, 5.0]];
+        let db = [[0.0, 1.0, 0.0], [2.0, 0.0, 0.0], [0.0, 0.0, 3.0]];
+        let dc = dense_mult(&da, &db);
+        let c = mxm(&to_sparse(&da), &to_sparse(&db), &Semiring::plus_times(), None, &Descriptor::default());
+        for i in 0..3u64 {
+            for j in 0..3u64 {
+                let expect = dc[i as usize][j as usize];
+                let got = c.extract_element(i, j).unwrap_or(0.0);
+                assert_eq!(got, expect, "mismatch at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn boolean_mxm_is_two_hop_reachability() {
+        // 0→1→2, 1→3
+        let a = SparseMatrix::from_triples(
+            4,
+            4,
+            &[(0, 1, true), (1, 2, true), (1, 3, true), (2, 3, true)],
+        )
+        .unwrap();
+        let c = mxm(&a, &a, &Semiring::lor_land(), None, &Descriptor::default());
+        // 2-hop: 0→{2,3}, 1→3
+        assert_eq!(c.extract_element(0, 2), Some(true));
+        assert_eq!(c.extract_element(0, 3), Some(true));
+        assert_eq!(c.extract_element(1, 3), Some(true));
+        assert_eq!(c.extract_element(0, 1), None);
+        assert_eq!(c.nvals(), 3);
+    }
+
+    #[test]
+    fn mask_restricts_output() {
+        let a = SparseMatrix::from_triples(2, 2, &[(0, 0, 1i64), (0, 1, 1), (1, 0, 1), (1, 1, 1)])
+            .unwrap();
+        let mask_m = SparseMatrix::from_triples(2, 2, &[(0, 0, true), (1, 1, true)]).unwrap();
+        let mask = MatrixMask::new(&mask_m);
+        let c = mxm(&a, &a, &Semiring::plus_times(), Some(&mask), &Descriptor::default());
+        assert_eq!(c.nvals(), 2);
+        assert_eq!(c.extract_element(0, 0), Some(2));
+        assert_eq!(c.extract_element(0, 1), None);
+    }
+
+    #[test]
+    fn complemented_mask_excludes_existing_edges() {
+        // "two-hop neighbours that are not one-hop neighbours"
+        let a = SparseMatrix::from_triples(3, 3, &[(0, 1, true), (1, 2, true), (0, 2, true)]).unwrap();
+        let mask = MatrixMask::new(&a);
+        let c = mxm(
+            &a,
+            &a,
+            &Semiring::lor_land(),
+            Some(&mask),
+            &Descriptor::new().with_mask_complement().with_mask_structure(),
+        );
+        // two-hop 0→2 exists but is masked out because 0→2 is already an edge
+        assert_eq!(c.nvals(), 0);
+    }
+
+    #[test]
+    fn transpose_descriptor_matches_explicit_transpose() {
+        let a = SparseMatrix::from_triples(3, 3, &[(0, 1, 2.0), (1, 2, 3.0), (2, 0, 4.0)]).unwrap();
+        let b = SparseMatrix::from_triples(3, 3, &[(0, 2, 1.0), (2, 1, 5.0)]).unwrap();
+        let via_desc = mxm(&a, &b, &Semiring::plus_times(), None, &Descriptor::new().with_transpose_a());
+        let via_explicit = mxm(&transpose(&a), &b, &Semiring::plus_times(), None, &Descriptor::default());
+        assert_eq!(via_desc, via_explicit);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        // random-ish 64x64 band matrix
+        let mut triples = Vec::new();
+        for i in 0..64u64 {
+            for d in 1..=5u64 {
+                triples.push((i, (i + d * 7) % 64, ((i + d) % 11 + 1) as i64));
+            }
+        }
+        let a = SparseMatrix::from_triples(64, 64, &triples).unwrap();
+        let serial = mxm(&a, &a, &Semiring::plus_times(), None, &Descriptor::new().with_nthreads(1));
+        let parallel = mxm(&a, &a, &Semiring::plus_times(), None, &Descriptor::new().with_nthreads(4));
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.nvals(), parallel.nvals());
+    }
+
+    #[test]
+    fn rectangular_dimensions() {
+        let a = SparseMatrix::from_triples(2, 3, &[(0, 0, 1.0), (1, 2, 2.0)]).unwrap();
+        let b = SparseMatrix::from_triples(3, 4, &[(0, 3, 5.0), (2, 1, 7.0)]).unwrap();
+        let c = mxm(&a, &b, &Semiring::plus_times(), None, &Descriptor::default());
+        assert_eq!(c.nrows(), 2);
+        assert_eq!(c.ncols(), 4);
+        assert_eq!(c.extract_element(0, 3), Some(5.0));
+        assert_eq!(c.extract_element(1, 1), Some(14.0));
+        assert_eq!(c.nvals(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dimension_mismatch_panics() {
+        let a = SparseMatrix::<f64>::new(2, 3);
+        let b = SparseMatrix::<f64>::new(2, 3);
+        let _ = mxm(&a, &b, &Semiring::plus_times(), None, &Descriptor::default());
+    }
+}

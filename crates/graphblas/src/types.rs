@@ -1,0 +1,104 @@
+//! Scalar element types storable in GraphBLAS matrices and vectors.
+//!
+//! The GraphBLAS C API defines a fixed set of built-in types (`GrB_BOOL`,
+//! `GrB_INT64`, `GrB_UINT64`, `GrB_FP64`, …) plus user-defined types. In Rust we
+//! express the same idea with the [`Scalar`] trait: any `Copy` type that is
+//! `Send + Sync` and comparable can be stored. RedisGraph uses `bool` matrices
+//! for label/relation membership and `u64` matrices that carry edge identifiers.
+
+use std::fmt::Debug;
+
+/// Trait bound for every element type stored in a [`crate::SparseMatrix`] or
+/// [`crate::SparseVector`].
+///
+/// `zero()` provides the additive identity used when densifying accumulators;
+/// it is *not* treated as an implicit stored value — GraphBLAS distinguishes
+/// structural zeros (absent entries) from stored zeros.
+pub trait Scalar: Copy + Send + Sync + PartialEq + Debug + 'static {
+    /// The conventional "zero" for the type, used to initialise dense
+    /// accumulators before the first `accum` application.
+    fn zero() -> Self;
+    /// The conventional "one" for the type (multiplicative identity).
+    fn one() -> Self;
+}
+
+macro_rules! impl_scalar_num {
+    ($($t:ty),*) => {
+        $(impl Scalar for $t {
+            #[inline]
+            fn zero() -> Self { 0 as $t }
+            #[inline]
+            fn one() -> Self { 1 as $t }
+        })*
+    };
+}
+
+impl_scalar_num!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Scalar for f32 {
+    #[inline]
+    fn zero() -> Self {
+        0.0
+    }
+    #[inline]
+    fn one() -> Self {
+        1.0
+    }
+}
+
+impl Scalar for f64 {
+    #[inline]
+    fn zero() -> Self {
+        0.0
+    }
+    #[inline]
+    fn one() -> Self {
+        1.0
+    }
+}
+
+impl Scalar for bool {
+    #[inline]
+    fn zero() -> Self {
+        false
+    }
+    #[inline]
+    fn one() -> Self {
+        true
+    }
+}
+
+/// Unit type: useful for purely structural matrices where only the sparsity
+/// pattern matters (the `ANY_PAIR` semiring over `()` is the cheapest possible
+/// traversal semiring).
+impl Scalar for () {
+    #[inline]
+    fn zero() -> Self {}
+    #[inline]
+    fn one() -> Self {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_one_are_distinct_for_numeric_types() {
+        assert_ne!(i64::zero(), i64::one());
+        assert_ne!(u64::zero(), u64::one());
+        assert_ne!(f64::zero(), f64::one());
+        assert_ne!(bool::zero(), bool::one());
+    }
+
+    #[test]
+    fn unit_type_is_storable() {
+        assert_eq!(<() as Scalar>::zero(), ());
+        assert_eq!(<() as Scalar>::one(), ());
+    }
+
+    #[test]
+    fn zero_is_additive_identity_numeric() {
+        assert_eq!(5i64 + i64::zero(), 5);
+        assert_eq!(5.5f64 + f64::zero(), 5.5);
+    }
+}

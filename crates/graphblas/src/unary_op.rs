@@ -1,0 +1,114 @@
+//! Unary operators (`GrB_UnaryOp`), used by [`crate::apply`].
+
+use crate::types::Scalar;
+use std::sync::Arc;
+
+/// A unary operator `z = f(x)`.
+#[derive(Clone)]
+pub enum UnaryOp<T: Scalar> {
+    /// `z = x`.
+    Identity,
+    /// `z = 1` (the scalar one of the type) — `GrB_ONE`.
+    One,
+    /// Logical negation: `z = !x` for `bool`, `z = (x == 0)` for numeric types.
+    LNot,
+    /// A user-defined unary operator.
+    Custom(Arc<dyn Fn(T) -> T + Send + Sync>),
+}
+
+impl<T: Scalar> std::fmt::Debug for UnaryOp<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl<T: Scalar> UnaryOp<T> {
+    /// Human-readable operator name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            UnaryOp::Identity => "identity",
+            UnaryOp::One => "one",
+            UnaryOp::LNot => "lnot",
+            UnaryOp::Custom(_) => "custom",
+        }
+    }
+
+    /// Construct a user-defined unary operator from a closure.
+    pub fn custom<F>(f: F) -> Self
+    where
+        F: Fn(T) -> T + Send + Sync + 'static,
+    {
+        UnaryOp::Custom(Arc::new(f))
+    }
+}
+
+/// Typed application of unary operators.
+pub trait UnaryApply: Scalar {
+    /// Apply the operator to a value.
+    fn apply_unary(op: &UnaryOp<Self>, x: Self) -> Self;
+}
+
+macro_rules! impl_unary_num {
+    ($($t:ty),*) => {$(
+        impl UnaryApply for $t {
+            #[inline]
+            fn apply_unary(op: &UnaryOp<Self>, x: Self) -> Self {
+                match op {
+                    UnaryOp::Identity => x,
+                    UnaryOp::One => Self::one(),
+                    UnaryOp::LNot => (x == Self::zero()) as u8 as $t,
+                    UnaryOp::Custom(f) => f(x),
+                }
+            }
+        }
+    )*};
+}
+
+impl_unary_num!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize, f32, f64);
+
+impl UnaryApply for bool {
+    #[inline]
+    fn apply_unary(op: &UnaryOp<Self>, x: Self) -> Self {
+        match op {
+            UnaryOp::Identity => x,
+            UnaryOp::One => true,
+            UnaryOp::LNot => !x,
+            UnaryOp::Custom(f) => f(x),
+        }
+    }
+}
+
+impl UnaryApply for () {
+    #[inline]
+    fn apply_unary(op: &UnaryOp<Self>, x: Self) -> Self {
+        if let UnaryOp::Custom(f) = op {
+            f(x)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_and_one() {
+        assert_eq!(i64::apply_unary(&UnaryOp::Identity, 7), 7);
+        assert_eq!(i64::apply_unary(&UnaryOp::One, 7), 1);
+        assert_eq!(f64::apply_unary(&UnaryOp::One, 2.5), 1.0);
+    }
+
+    #[test]
+    fn lnot_semantics() {
+        assert!(!bool::apply_unary(&UnaryOp::LNot, true));
+        assert_eq!(i64::apply_unary(&UnaryOp::LNot, 0), 1);
+        assert_eq!(i64::apply_unary(&UnaryOp::LNot, 3), 0);
+    }
+
+    #[test]
+    fn custom_unary() {
+        let double = UnaryOp::custom(|x: i32| x * 2);
+        assert_eq!(i32::apply_unary(&double, 21), 42);
+        assert_eq!(double.name(), "custom");
+    }
+}

@@ -1,0 +1,196 @@
+//! Property-based tests for the GraphBLAS data structures and kernels.
+//!
+//! The properties mirror the algebraic identities the library is supposed to
+//! satisfy: CSR invariants after arbitrary update sequences, agreement between
+//! sparse kernels and dense reference implementations, transpose involution,
+//! and semiring identities used by the traversal engine.
+
+use graphblas::prelude::*;
+use proptest::prelude::*;
+
+const DIM: u64 = 12;
+
+/// Strategy: a list of in-bounds (row, col, value) triples.
+fn triples() -> impl Strategy<Value = Vec<(u64, u64, i64)>> {
+    prop::collection::vec(((0..DIM), (0..DIM), -100i64..100), 0..80)
+}
+
+/// Dense reference multiply under plus_times.
+fn dense_mxm(a: &SparseMatrix<i64>, b: &SparseMatrix<i64>) -> Vec<Vec<i64>> {
+    let mut da = vec![vec![0i64; DIM as usize]; DIM as usize];
+    let mut db = vec![vec![0i64; DIM as usize]; DIM as usize];
+    for (r, c, v) in a.to_triples() {
+        da[r as usize][c as usize] = v;
+    }
+    for (r, c, v) in b.to_triples() {
+        db[r as usize][c as usize] = v;
+    }
+    let mut dc = vec![vec![0i64; DIM as usize]; DIM as usize];
+    for i in 0..DIM as usize {
+        for k in 0..DIM as usize {
+            if da[i][k] == 0 {
+                continue;
+            }
+            for j in 0..DIM as usize {
+                dc[i][j] = dc[i][j].wrapping_add(da[i][k].wrapping_mul(db[k][j]));
+            }
+        }
+    }
+    dc
+}
+
+proptest! {
+    #[test]
+    fn matrix_invariants_hold_after_arbitrary_updates(ops in triples(), removals in prop::collection::vec(((0..DIM), (0..DIM)), 0..20)) {
+        let mut m = SparseMatrix::<i64>::new(DIM, DIM);
+        for &(r, c, v) in &ops {
+            m.set_element(r, c, v);
+        }
+        for &(r, c) in &removals {
+            m.remove_element(r, c).unwrap();
+        }
+        m.wait();
+        prop_assert!(m.check_invariants().is_ok());
+        // Every removed coordinate that was not re-set afterwards must be absent.
+        for &(r, c) in &removals {
+            if !ops.is_empty() {
+                // (ordering: all sets happen before removals in this test)
+                prop_assert!(m.extract_element(r, c).is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn set_then_get_roundtrip(ops in triples()) {
+        let mut m = SparseMatrix::<i64>::new(DIM, DIM);
+        let mut last = std::collections::HashMap::new();
+        for &(r, c, v) in &ops {
+            m.set_element(r, c, v);
+            last.insert((r, c), v);
+        }
+        // visible both before and after wait()
+        for (&(r, c), &v) in &last {
+            prop_assert_eq!(m.extract_element(r, c), Some(v));
+        }
+        m.wait();
+        prop_assert_eq!(m.nvals(), last.len());
+        for (&(r, c), &v) in &last {
+            prop_assert_eq!(m.extract_element(r, c), Some(v));
+        }
+    }
+
+    #[test]
+    fn transpose_is_an_involution(ts in triples()) {
+        let m = SparseMatrix::from_triples(DIM, DIM, &ts).unwrap();
+        let tt = transpose(&transpose(&m));
+        prop_assert_eq!(tt, m);
+    }
+
+    #[test]
+    fn transpose_swaps_every_entry(ts in triples()) {
+        let m = SparseMatrix::from_triples(DIM, DIM, &ts).unwrap();
+        let t = transpose(&m);
+        for (r, c, v) in m.to_triples() {
+            prop_assert_eq!(t.extract_element(c, r), Some(v));
+        }
+        prop_assert_eq!(t.nvals(), m.nvals());
+    }
+
+    #[test]
+    fn mxm_plus_times_matches_dense_reference(ta in triples(), tb in triples()) {
+        let a = SparseMatrix::from_triples_dup(DIM, DIM, &ta, |x, y| x.wrapping_add(y)).unwrap();
+        let b = SparseMatrix::from_triples_dup(DIM, DIM, &tb, |x, y| x.wrapping_add(y)).unwrap();
+        let c = mxm(&a, &b, &Semiring::plus_times(), None, &Descriptor::default());
+        let dc = dense_mxm(&a, &b);
+        for i in 0..DIM {
+            for j in 0..DIM {
+                let sparse = c.extract_element(i, j).unwrap_or(0);
+                // A stored explicit zero is allowed; value must match the dense result.
+                prop_assert_eq!(sparse, dc[i as usize][j as usize], "mismatch at ({}, {})", i, j);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_mxm_equals_serial(ta in triples(), tb in triples()) {
+        let a = SparseMatrix::from_triples(DIM, DIM, &ta).unwrap();
+        let b = SparseMatrix::from_triples(DIM, DIM, &tb).unwrap();
+        let serial = mxm(&a, &b, &Semiring::plus_times(), None, &Descriptor::new().with_nthreads(1));
+        let parallel = mxm(&a, &b, &Semiring::plus_times(), None, &Descriptor::new().with_nthreads(3));
+        prop_assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn vxm_equals_row_of_mxm(ts in triples(), src in 0..DIM) {
+        // Multiplying by an indicator vector e_src must equal extracting row src
+        // of A (over any semiring; we use plus_times).
+        let a = SparseMatrix::from_triples(DIM, DIM, &ts).unwrap();
+        let mut e = SparseVector::<i64>::new(DIM);
+        e.set_element(src, 1);
+        let w = vxm(&e, &a, &Semiring::plus_times(), None, &Descriptor::default());
+        let row = extract_row(&a, src).unwrap();
+        prop_assert_eq!(w.to_entries(), row.to_entries());
+    }
+
+    #[test]
+    fn ewise_add_is_commutative_and_counts_union(ta in triples(), tb in triples()) {
+        let a = SparseMatrix::from_triples(DIM, DIM, &ta).unwrap();
+        let b = SparseMatrix::from_triples(DIM, DIM, &tb).unwrap();
+        let ab = ewise_add_matrix(&a, &b, &BinaryOp::Plus);
+        let ba = ewise_add_matrix(&b, &a, &BinaryOp::Plus);
+        prop_assert_eq!(&ab, &ba);
+        // union pattern size
+        let mut coords: std::collections::HashSet<(u64, u64)> = std::collections::HashSet::new();
+        coords.extend(a.to_triples().iter().map(|&(r, c, _)| (r, c)));
+        coords.extend(b.to_triples().iter().map(|&(r, c, _)| (r, c)));
+        prop_assert_eq!(ab.nvals(), coords.len());
+    }
+
+    #[test]
+    fn ewise_mult_pattern_is_intersection(ta in triples(), tb in triples()) {
+        let a = SparseMatrix::from_triples(DIM, DIM, &ta).unwrap();
+        let b = SparseMatrix::from_triples(DIM, DIM, &tb).unwrap();
+        let m = ewise_mult_matrix(&a, &b, &BinaryOp::Times);
+        let pa: std::collections::HashSet<_> = a.to_triples().iter().map(|&(r, c, _)| (r, c)).collect();
+        let pb: std::collections::HashSet<_> = b.to_triples().iter().map(|&(r, c, _)| (r, c)).collect();
+        prop_assert_eq!(m.nvals(), pa.intersection(&pb).count());
+    }
+
+    #[test]
+    fn reduce_matrix_scalar_equals_sum_of_triples(ts in triples()) {
+        let a = SparseMatrix::from_triples_dup(DIM, DIM, &ts, |x, y| x.wrapping_add(y)).unwrap();
+        let total: i64 = a.to_triples().iter().map(|&(_, _, v)| v).sum();
+        prop_assert_eq!(reduce_matrix_to_scalar(&a, &graphblas::monoid::plus_monoid()), total);
+    }
+
+    #[test]
+    fn masked_mxm_is_subset_of_unmasked(ta in triples(), tb in triples(), tm in triples()) {
+        let a = SparseMatrix::from_triples(DIM, DIM, &ta).unwrap();
+        let b = SparseMatrix::from_triples(DIM, DIM, &tb).unwrap();
+        let mask_pattern: Vec<_> = tm.iter().map(|&(r, c, _)| (r, c, true)).collect();
+        let mask_m = SparseMatrix::from_triples(DIM, DIM, &mask_pattern).unwrap();
+        let mask = MatrixMask::new(&mask_m);
+        let unmasked = mxm(&a, &b, &Semiring::plus_times(), None, &Descriptor::default());
+        let masked = mxm(&a, &b, &Semiring::plus_times(), Some(&mask), &Descriptor::default());
+        prop_assert!(masked.nvals() <= unmasked.nvals());
+        for (r, c, v) in masked.to_triples() {
+            prop_assert_eq!(unmasked.extract_element(r, c), Some(v));
+            prop_assert!(mask_m.contains(r, c));
+        }
+    }
+
+    #[test]
+    fn vector_updates_preserve_invariants(entries in prop::collection::vec(((0..DIM), -50i64..50), 0..40)) {
+        let mut v = SparseVector::<i64>::new(DIM);
+        let mut last = std::collections::HashMap::new();
+        for &(i, x) in &entries {
+            v.set_element(i, x);
+            last.insert(i, x);
+        }
+        v.check_invariants().unwrap();
+        prop_assert_eq!(v.nvals(), last.len());
+        for (&i, &x) in &last {
+            prop_assert_eq!(v.extract_element(i), Some(x));
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! The `GRAPH.*` module commands and their RESP encodings.
+
+use crate::resp::RespValue;
+use redisgraph_core::{ResultSet, Value};
+
+/// A parsed client command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `PING`
+    Ping,
+    /// `GRAPH.QUERY <graph> <cypher>`
+    GraphQuery {
+        /// Graph key name.
+        graph: String,
+        /// Cypher query text.
+        query: String,
+    },
+    /// `GRAPH.EXPLAIN <graph> <cypher>`
+    GraphExplain {
+        /// Graph key name.
+        graph: String,
+        /// Cypher query text.
+        query: String,
+    },
+    /// `GRAPH.DELETE <graph>`
+    GraphDelete {
+        /// Graph key name.
+        graph: String,
+    },
+    /// `GRAPH.LIST`
+    GraphList,
+}
+
+impl Command {
+    /// Parse a command from a RESP array of bulk strings, as sent by clients.
+    pub fn parse(value: &RespValue) -> Result<Command, String> {
+        let RespValue::Array(items) = value else {
+            return Err("expected a RESP array".to_string());
+        };
+        let parts: Vec<&str> = items
+            .iter()
+            .map(|v| match v {
+                RespValue::BulkString(s) | RespValue::SimpleString(s) => Ok(s.as_str()),
+                _ => Err("command arguments must be strings".to_string()),
+            })
+            .collect::<Result<_, _>>()?;
+        let Some((&name, args)) = parts.split_first() else {
+            return Err("empty command".to_string());
+        };
+        match name.to_ascii_uppercase().as_str() {
+            "PING" => Ok(Command::Ping),
+            "GRAPH.QUERY" => match args {
+                [graph, query] => Ok(Command::GraphQuery {
+                    graph: graph.to_string(),
+                    query: query.to_string(),
+                }),
+                _ => Err("GRAPH.QUERY takes exactly 2 arguments".to_string()),
+            },
+            "GRAPH.EXPLAIN" => match args {
+                [graph, query] => Ok(Command::GraphExplain {
+                    graph: graph.to_string(),
+                    query: query.to_string(),
+                }),
+                _ => Err("GRAPH.EXPLAIN takes exactly 2 arguments".to_string()),
+            },
+            "GRAPH.DELETE" => match args {
+                [graph] => Ok(Command::GraphDelete { graph: graph.to_string() }),
+                _ => Err("GRAPH.DELETE takes exactly 1 argument".to_string()),
+            },
+            "GRAPH.LIST" => Ok(Command::GraphList),
+            other => Err(format!("unknown command `{other}`")),
+        }
+    }
+}
+
+/// Encode a runtime value as a RESP reply element (the same flattening the C
+/// module performs).
+pub fn value_to_resp(value: &Value) -> RespValue {
+    match value {
+        Value::Null => RespValue::Null,
+        Value::Bool(b) => RespValue::BulkString(if *b { "true".into() } else { "false".into() }),
+        Value::Int(i) => RespValue::Integer(*i),
+        Value::Float(f) => RespValue::BulkString(format!("{f}")),
+        Value::Str(s) => RespValue::BulkString(s.clone()),
+        Value::Node(id) => RespValue::BulkString(format!("(node:{id})")),
+        Value::Edge(id) => RespValue::BulkString(format!("[edge:{id}]")),
+        Value::List(items) => RespValue::Array(items.iter().map(value_to_resp).collect()),
+    }
+}
+
+/// Encode a [`ResultSet`] as the three-section reply `GRAPH.QUERY` returns:
+/// header, rows, statistics.
+pub fn resultset_to_resp(rs: &ResultSet) -> RespValue {
+    let header = RespValue::Array(
+        rs.columns.iter().map(|c| RespValue::BulkString(c.clone())).collect(),
+    );
+    let rows = RespValue::Array(
+        rs.rows
+            .iter()
+            .map(|row| RespValue::Array(row.iter().map(value_to_resp).collect()))
+            .collect(),
+    );
+    let stats = RespValue::Array(vec![
+        RespValue::BulkString(format!("Nodes created: {}", rs.stats.nodes_created)),
+        RespValue::BulkString(format!("Relationships created: {}", rs.stats.relationships_created)),
+        RespValue::BulkString(format!("Properties set: {}", rs.stats.properties_set)),
+        RespValue::BulkString(format!("Nodes deleted: {}", rs.stats.nodes_deleted)),
+        RespValue::BulkString(format!("Relationships deleted: {}", rs.stats.relationships_deleted)),
+        RespValue::BulkString(format!(
+            "Query internal execution time: {:.6} milliseconds",
+            rs.stats.execution_time.as_secs_f64() * 1e3
+        )),
+    ]);
+    RespValue::Array(vec![header, rows, stats])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_graph_query() {
+        let cmd = Command::parse(&RespValue::command(&["graph.query", "g", "MATCH (n) RETURN n"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::GraphQuery { graph: "g".into(), query: "MATCH (n) RETURN n".into() }
+        );
+    }
+
+    #[test]
+    fn parses_other_commands_case_insensitively() {
+        assert_eq!(Command::parse(&RespValue::command(&["PING"])).unwrap(), Command::Ping);
+        assert_eq!(
+            Command::parse(&RespValue::command(&["Graph.Delete", "g"])).unwrap(),
+            Command::GraphDelete { graph: "g".into() }
+        );
+        assert_eq!(Command::parse(&RespValue::command(&["GRAPH.LIST"])).unwrap(), Command::GraphList);
+    }
+
+    #[test]
+    fn rejects_malformed_commands() {
+        assert!(Command::parse(&RespValue::command(&["GRAPH.QUERY", "g"])).is_err());
+        assert!(Command::parse(&RespValue::command(&["FLUSHALL"])).is_err());
+        assert!(Command::parse(&RespValue::Integer(1)).is_err());
+        assert!(Command::parse(&RespValue::Array(vec![])).is_err());
+    }
+
+    #[test]
+    fn resultset_reply_has_three_sections() {
+        let rs = ResultSet {
+            columns: vec!["count(t)".into()],
+            rows: vec![vec![Value::Int(9)]],
+            stats: Default::default(),
+        };
+        let reply = resultset_to_resp(&rs);
+        let RespValue::Array(sections) = reply else { panic!() };
+        assert_eq!(sections.len(), 3);
+        let RespValue::Array(rows) = &sections[1] else { panic!() };
+        assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    fn value_conversion_covers_all_kinds() {
+        assert_eq!(value_to_resp(&Value::Int(3)), RespValue::Integer(3));
+        assert_eq!(value_to_resp(&Value::Null), RespValue::Null);
+        assert_eq!(value_to_resp(&Value::Bool(true)), RespValue::BulkString("true".into()));
+        assert!(matches!(value_to_resp(&Value::List(vec![Value::Int(1)])), RespValue::Array(_)));
+    }
+}

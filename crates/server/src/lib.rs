@@ -1,0 +1,29 @@
+//! # redisgraph-server
+//!
+//! The Redis substrate of the reproduction: an in-process, single-threaded
+//! command loop speaking (a subset of) the RESP protocol, with the RedisGraph
+//! module's **worker threadpool** bolted on exactly as §II of the paper
+//! describes:
+//!
+//! * every command arrives on the single main thread (Redis is
+//!   single-threaded);
+//! * `GRAPH.QUERY` work is handed to one thread of a pool whose size is fixed
+//!   when the module is loaded;
+//! * each query runs on exactly **one** thread — reads scale with concurrent
+//!   clients because many pool threads can serve different queries at once,
+//!   not because one query uses many cores.
+//!
+//! The crate provides both a synchronous façade ([`server::RedisGraphServer`])
+//! used by the examples and an asynchronous dispatch path
+//! ([`server::RedisGraphServer::dispatch`]) used by the throughput benchmark
+//! (experiment E5) to measure queries/second as the pool grows.
+
+pub mod commands;
+pub mod pool;
+pub mod resp;
+pub mod server;
+
+pub use commands::Command;
+pub use pool::ThreadPool;
+pub use resp::RespValue;
+pub use server::{RedisGraphServer, ServerConfig};

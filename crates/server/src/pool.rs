@@ -1,0 +1,137 @@
+//! The RedisGraph module threadpool.
+//!
+//! The pool size is fixed at construction ("a configurable number of threads
+//! at the module's loading time", §II). The main Redis thread pushes each
+//! query as one job; one worker executes it to completion on a single core.
+
+use crossbeam::channel::{unbounded, Sender};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of worker threads consuming jobs from a shared queue.
+pub struct ThreadPool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    size: usize,
+}
+
+impl ThreadPool {
+    /// Create a pool with `size` workers (clamped to at least 1).
+    pub fn new(size: usize) -> Self {
+        let size = size.max(1);
+        let (sender, receiver) = unbounded::<Job>();
+        let mut workers = Vec::with_capacity(size);
+        for i in 0..size {
+            let rx = receiver.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("redisgraph-worker-{i}"))
+                .spawn(move || {
+                    // Workers exit when the channel disconnects (pool dropped).
+                    while let Ok(job) = rx.recv() {
+                        job();
+                    }
+                })
+                .expect("failed to spawn worker thread");
+            workers.push(handle);
+        }
+        ThreadPool { sender: Some(sender), workers, size }
+    }
+
+    /// Number of worker threads.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Submit a job; it will run on exactly one worker thread.
+    pub fn execute<F>(&self, job: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        self.sender
+            .as_ref()
+            .expect("pool is shutting down")
+            .send(Box::new(job))
+            .expect("worker threads have exited");
+    }
+
+    /// Submit a job and block until it completes, returning its result.
+    /// This is how the single-threaded command loop serves a synchronous
+    /// client call while still running the query on a pool thread.
+    pub fn execute_blocking<F, R>(&self, job: F) -> R
+    where
+        F: FnOnce() -> R + Send + 'static,
+        R: Send + 'static,
+    {
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        self.execute(move || {
+            let result = job();
+            let _ = tx.send(result);
+        });
+        rx.recv().expect("worker dropped the result")
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Disconnect the channel so workers drain and exit, then join them.
+        self.sender.take();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn runs_all_submitted_jobs() {
+        let pool = ThreadPool::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = crossbeam::channel::unbounded();
+        for _ in 0..100 {
+            let counter = counter.clone();
+            let tx = tx.clone();
+            pool.execute(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+                let _ = tx.send(());
+            });
+        }
+        for _ in 0..100 {
+            rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn execute_blocking_returns_result() {
+        let pool = ThreadPool::new(2);
+        let result = pool.execute_blocking(|| 21 * 2);
+        assert_eq!(result, 42);
+    }
+
+    #[test]
+    fn size_is_clamped_to_one() {
+        assert_eq!(ThreadPool::new(0).size(), 1);
+        assert_eq!(ThreadPool::new(8).size(), 8);
+    }
+
+    #[test]
+    fn jobs_run_on_worker_threads_not_the_caller() {
+        let pool = ThreadPool::new(1);
+        let caller = std::thread::current().id();
+        let worker = pool.execute_blocking(move || std::thread::current().id());
+        assert_ne!(caller, worker);
+    }
+
+    #[test]
+    fn drop_joins_workers_cleanly() {
+        let pool = ThreadPool::new(3);
+        pool.execute(|| {});
+        drop(pool); // must not hang or panic
+    }
+}

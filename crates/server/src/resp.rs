@@ -1,0 +1,180 @@
+//! A minimal RESP (REdis Serialization Protocol) v2 encoder/decoder — enough
+//! to frame `GRAPH.*` commands and their replies the way a Redis client would
+//! see them.
+
+use std::fmt;
+
+/// A RESP protocol value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RespValue {
+    /// `+OK\r\n`
+    SimpleString(String),
+    /// `-ERR …\r\n`
+    Error(String),
+    /// `:42\r\n`
+    Integer(i64),
+    /// `$5\r\nhello\r\n`
+    BulkString(String),
+    /// `*N\r\n…`
+    Array(Vec<RespValue>),
+    /// `$-1\r\n`
+    Null,
+}
+
+impl fmt::Display for RespValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RespValue::SimpleString(s) | RespValue::BulkString(s) => write!(f, "{s}"),
+            RespValue::Error(e) => write!(f, "(error) {e}"),
+            RespValue::Integer(i) => write!(f, "{i}"),
+            RespValue::Array(items) => {
+                let rendered: Vec<String> = items.iter().map(|v| v.to_string()).collect();
+                write!(f, "[{}]", rendered.join(", "))
+            }
+            RespValue::Null => write!(f, "(nil)"),
+        }
+    }
+}
+
+impl RespValue {
+    /// Encode to the RESP wire format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            RespValue::SimpleString(s) => {
+                out.extend_from_slice(b"+");
+                out.extend_from_slice(s.as_bytes());
+                out.extend_from_slice(b"\r\n");
+            }
+            RespValue::Error(e) => {
+                out.extend_from_slice(b"-");
+                out.extend_from_slice(e.as_bytes());
+                out.extend_from_slice(b"\r\n");
+            }
+            RespValue::Integer(i) => {
+                out.extend_from_slice(format!(":{i}\r\n").as_bytes());
+            }
+            RespValue::BulkString(s) => {
+                out.extend_from_slice(format!("${}\r\n", s.len()).as_bytes());
+                out.extend_from_slice(s.as_bytes());
+                out.extend_from_slice(b"\r\n");
+            }
+            RespValue::Array(items) => {
+                out.extend_from_slice(format!("*{}\r\n", items.len()).as_bytes());
+                for item in items {
+                    item.encode_into(out);
+                }
+            }
+            RespValue::Null => out.extend_from_slice(b"$-1\r\n"),
+        }
+    }
+
+    /// Decode one RESP value from the front of `input`, returning the value and
+    /// the number of bytes consumed. Returns `None` on incomplete or malformed
+    /// input.
+    pub fn decode(input: &[u8]) -> Option<(RespValue, usize)> {
+        let (line, consumed) = read_line(input)?;
+        let kind = *line.first()?;
+        let body = &line[1..];
+        match kind {
+            b'+' => Some((RespValue::SimpleString(String::from_utf8_lossy(body).into_owned()), consumed)),
+            b'-' => Some((RespValue::Error(String::from_utf8_lossy(body).into_owned()), consumed)),
+            b':' => {
+                let i: i64 = std::str::from_utf8(body).ok()?.parse().ok()?;
+                Some((RespValue::Integer(i), consumed))
+            }
+            b'$' => {
+                let len: i64 = std::str::from_utf8(body).ok()?.parse().ok()?;
+                if len < 0 {
+                    return Some((RespValue::Null, consumed));
+                }
+                let len = len as usize;
+                let start = consumed;
+                if input.len() < start + len + 2 {
+                    return None;
+                }
+                let s = String::from_utf8_lossy(&input[start..start + len]).into_owned();
+                Some((RespValue::BulkString(s), start + len + 2))
+            }
+            b'*' => {
+                let count: i64 = std::str::from_utf8(body).ok()?.parse().ok()?;
+                let mut items = Vec::new();
+                let mut offset = consumed;
+                for _ in 0..count {
+                    let (item, used) = RespValue::decode(&input[offset..])?;
+                    items.push(item);
+                    offset += used;
+                }
+                Some((RespValue::Array(items), offset))
+            }
+            _ => None,
+        }
+    }
+
+    /// Convenience: build a RESP array of bulk strings (how clients send
+    /// commands).
+    pub fn command(parts: &[&str]) -> RespValue {
+        RespValue::Array(parts.iter().map(|p| RespValue::BulkString(p.to_string())).collect())
+    }
+}
+
+fn read_line(input: &[u8]) -> Option<(&[u8], usize)> {
+    let pos = input.windows(2).position(|w| w == b"\r\n")?;
+    Some((&input[..pos], pos + 2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip_all_kinds() {
+        let values = vec![
+            RespValue::SimpleString("OK".into()),
+            RespValue::Error("ERR boom".into()),
+            RespValue::Integer(-42),
+            RespValue::BulkString("hello world".into()),
+            RespValue::Null,
+            RespValue::Array(vec![
+                RespValue::Integer(1),
+                RespValue::BulkString("two".into()),
+                RespValue::Array(vec![RespValue::Null]),
+            ]),
+        ];
+        for v in values {
+            let bytes = v.encode();
+            let (decoded, used) = RespValue::decode(&bytes).unwrap();
+            assert_eq!(decoded, v);
+            assert_eq!(used, bytes.len());
+        }
+    }
+
+    #[test]
+    fn command_builder_produces_bulk_array() {
+        let cmd = RespValue::command(&["GRAPH.QUERY", "social", "MATCH (n) RETURN n"]);
+        let encoded = cmd.encode();
+        assert!(encoded.starts_with(b"*3\r\n$11\r\nGRAPH.QUERY"));
+    }
+
+    #[test]
+    fn incomplete_input_returns_none() {
+        assert!(RespValue::decode(b"$10\r\nshort\r\n").is_none());
+        assert!(RespValue::decode(b"*2\r\n:1\r\n").is_none());
+        assert!(RespValue::decode(b"").is_none());
+    }
+
+    #[test]
+    fn display_renders_human_readable() {
+        assert_eq!(RespValue::Integer(5).to_string(), "5");
+        assert_eq!(RespValue::Null.to_string(), "(nil)");
+        assert_eq!(
+            RespValue::Array(vec![RespValue::Integer(1), RespValue::BulkString("a".into())]).to_string(),
+            "[1, a]"
+        );
+    }
+}

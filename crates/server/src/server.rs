@@ -1,0 +1,288 @@
+//! The in-process RedisGraph server: a single-threaded command dispatcher in
+//! front of the module threadpool, plus the keyspace of named graphs.
+//!
+//! Concurrency model (paper §II):
+//!
+//! * all commands funnel through the single main thread ([`RedisGraphServer::handle`]
+//!   or the dispatcher thread started by [`RedisGraphServer::start_dispatcher`]);
+//! * each `GRAPH.QUERY` is executed by **one** worker of the threadpool;
+//! * reads on the same graph proceed concurrently under a read lock, writes
+//!   take the write lock — so read throughput scales with the pool size while
+//!   any individual query stays on a single core.
+
+use crate::commands::{resultset_to_resp, Command};
+use crate::pool::ThreadPool;
+use crate::resp::RespValue;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::RwLock;
+use redisgraph_core::Graph;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Server configuration (the module load-time options).
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Number of worker threads in the query pool (`THREAD_COUNT` module arg).
+    pub thread_count: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig { thread_count: 4 }
+    }
+}
+
+/// A request travelling from a client to the dispatcher thread.
+pub struct Request {
+    /// The already-framed command.
+    pub command: RespValue,
+    /// Where to deliver the reply.
+    pub reply_to: Sender<RespValue>,
+}
+
+/// The in-process server.
+pub struct RedisGraphServer {
+    graphs: Arc<RwLock<HashMap<String, Arc<RwLock<Graph>>>>>,
+    pool: Arc<ThreadPool>,
+    config: ServerConfig,
+}
+
+impl RedisGraphServer {
+    /// Create a server with the given module configuration.
+    pub fn new(config: ServerConfig) -> Self {
+        RedisGraphServer {
+            graphs: Arc::new(RwLock::new(HashMap::new())),
+            pool: Arc::new(ThreadPool::new(config.thread_count)),
+            config,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> ServerConfig {
+        self.config
+    }
+
+    /// Fetch (or create) the graph stored under `name`.
+    pub fn graph(&self, name: &str) -> Arc<RwLock<Graph>> {
+        if let Some(g) = self.graphs.read().get(name) {
+            return g.clone();
+        }
+        let mut graphs = self.graphs.write();
+        graphs
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(RwLock::new(Graph::new(name))))
+            .clone()
+    }
+
+    /// Names of the graphs currently stored.
+    pub fn graph_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.graphs.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Handle one framed command synchronously: the calling thread plays the
+    /// role of the main Redis thread, the query itself runs on a pool worker.
+    pub fn handle(&self, command: &RespValue) -> RespValue {
+        let parsed = match Command::parse(command) {
+            Ok(c) => c,
+            Err(e) => return RespValue::Error(format!("ERR {e}")),
+        };
+        self.execute(parsed)
+    }
+
+    /// Convenience wrapper: run a Cypher query against a named graph.
+    pub fn query(&self, graph: &str, query: &str) -> RespValue {
+        self.handle(&RespValue::command(&["GRAPH.QUERY", graph, query]))
+    }
+
+    /// Execute a parsed command.
+    pub fn execute(&self, command: Command) -> RespValue {
+        match command {
+            Command::Ping => RespValue::SimpleString("PONG".to_string()),
+            Command::GraphList => RespValue::Array(
+                self.graph_names().into_iter().map(RespValue::BulkString).collect(),
+            ),
+            Command::GraphDelete { graph } => {
+                let removed = self.graphs.write().remove(&graph).is_some();
+                if removed {
+                    RespValue::SimpleString("OK".to_string())
+                } else {
+                    RespValue::Error(format!("ERR graph `{graph}` does not exist"))
+                }
+            }
+            Command::GraphExplain { graph, query } => {
+                let graph = self.graph(&graph);
+                let guard = graph.read();
+                match guard.explain(&query) {
+                    Ok(lines) => RespValue::Array(lines.into_iter().map(RespValue::BulkString).collect()),
+                    Err(e) => RespValue::Error(format!("ERR {e}")),
+                }
+            }
+            Command::GraphQuery { graph, query } => {
+                // One query = one pool thread (the paper's execution model).
+                let graph = self.graph(&graph);
+                let pool = self.pool.clone();
+                pool.execute_blocking(move || {
+                    let is_write = cypher::parse(&query)
+                        .map(|ast| !ast.is_read_only())
+                        .unwrap_or(true);
+                    if is_write {
+                        let mut g = graph.write();
+                        match g.query(&query) {
+                            Ok(rs) => resultset_to_resp(&rs),
+                            Err(e) => RespValue::Error(format!("ERR {e}")),
+                        }
+                    } else {
+                        // Read queries share the graph under a read lock so
+                        // many of them can run concurrently on different
+                        // worker threads.
+                        let g = graph.read();
+                        match g.query_readonly(&query) {
+                            Ok(rs) => resultset_to_resp(&rs),
+                            Err(e) => RespValue::Error(format!("ERR {e}")),
+                        }
+                    }
+                })
+            }
+        }
+    }
+
+    /// Start the single-threaded dispatcher loop used by the throughput
+    /// benchmark: clients push [`Request`]s onto the returned channel; the
+    /// dispatcher (one thread, like Redis) forwards each to the pool and the
+    /// reply is sent back on the request's own channel. Dropping the sender
+    /// shuts the dispatcher down.
+    pub fn start_dispatcher(self: &Arc<Self>) -> (Sender<Request>, JoinHandle<()>) {
+        let (tx, rx): (Sender<Request>, Receiver<Request>) = unbounded();
+        let server = self.clone();
+        let handle = std::thread::Builder::new()
+            .name("redis-main-thread".to_string())
+            .spawn(move || {
+                while let Ok(request) = rx.recv() {
+                    // Parse on the main thread, execute on the pool, reply
+                    // asynchronously so the main thread is never blocked by a
+                    // long query.
+                    let parsed = match Command::parse(&request.command) {
+                        Ok(c) => c,
+                        Err(e) => {
+                            let _ = request.reply_to.send(RespValue::Error(format!("ERR {e}")));
+                            continue;
+                        }
+                    };
+                    match parsed {
+                        Command::GraphQuery { graph, query } => {
+                            let graph = server.graph(&graph);
+                            let reply_to = request.reply_to;
+                            server.pool.execute(move || {
+                                let is_write = cypher::parse(&query)
+                                    .map(|ast| !ast.is_read_only())
+                                    .unwrap_or(true);
+                                let reply = if is_write {
+                                    let mut g = graph.write();
+                                    match g.query(&query) {
+                                        Ok(rs) => resultset_to_resp(&rs),
+                                        Err(e) => RespValue::Error(format!("ERR {e}")),
+                                    }
+                                } else {
+                                    let g = graph.read();
+                                    match g.query_readonly(&query) {
+                                        Ok(rs) => resultset_to_resp(&rs),
+                                        Err(e) => RespValue::Error(format!("ERR {e}")),
+                                    }
+                                };
+                                let _ = reply_to.send(reply);
+                            });
+                        }
+                        other => {
+                            let _ = request.reply_to.send(server.execute(other));
+                        }
+                    }
+                }
+            })
+            .expect("failed to start dispatcher thread");
+        (tx, handle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ping_and_graph_lifecycle() {
+        let server = RedisGraphServer::new(ServerConfig { thread_count: 2 });
+        assert_eq!(server.handle(&RespValue::command(&["PING"])), RespValue::SimpleString("PONG".into()));
+        server.query("g1", "CREATE (:A)");
+        server.query("g2", "CREATE (:B)");
+        assert_eq!(server.graph_names(), vec!["g1", "g2"]);
+        let del = server.handle(&RespValue::command(&["GRAPH.DELETE", "g1"]));
+        assert_eq!(del, RespValue::SimpleString("OK".into()));
+        assert_eq!(server.graph_names(), vec!["g2"]);
+        assert!(matches!(
+            server.handle(&RespValue::command(&["GRAPH.DELETE", "nope"])),
+            RespValue::Error(_)
+        ));
+    }
+
+    #[test]
+    fn query_roundtrip_through_resp() {
+        let server = RedisGraphServer::new(ServerConfig::default());
+        server.query("social", "CREATE (:Person {name: 'Ann'})-[:KNOWS]->(:Person {name: 'Bob'})");
+        let reply = server.query("social", "MATCH (a)-[:KNOWS]->(b) RETURN b.name");
+        let RespValue::Array(sections) = reply else { panic!("expected array reply") };
+        let RespValue::Array(rows) = &sections[1] else { panic!() };
+        assert_eq!(rows.len(), 1);
+        let RespValue::Array(row) = &rows[0] else { panic!() };
+        assert_eq!(row[0], RespValue::BulkString("Bob".into()));
+    }
+
+    #[test]
+    fn errors_are_resp_errors() {
+        let server = RedisGraphServer::new(ServerConfig::default());
+        assert!(matches!(server.query("g", "MATCH (a RETURN a"), RespValue::Error(_)));
+        assert!(matches!(
+            server.handle(&RespValue::command(&["NOT.A.COMMAND"])),
+            RespValue::Error(_)
+        ));
+    }
+
+    #[test]
+    fn explain_returns_plan_lines() {
+        let server = RedisGraphServer::new(ServerConfig::default());
+        server.query("g", "CREATE (:Node)");
+        let reply = server.handle(&RespValue::command(&["GRAPH.EXPLAIN", "g", "MATCH (a:Node) RETURN a"]));
+        let RespValue::Array(lines) = reply else { panic!() };
+        assert!(lines.iter().any(|l| l.to_string().contains("Node By Label Scan")));
+    }
+
+    #[test]
+    fn dispatcher_serves_concurrent_clients() {
+        let server = Arc::new(RedisGraphServer::new(ServerConfig { thread_count: 4 }));
+        server.query("g", "CREATE (:Node {id: 0})-[:LINK]->(:Node {id: 1})");
+        let (tx, handle) = server.start_dispatcher();
+
+        let mut clients = Vec::new();
+        for _ in 0..8 {
+            let tx = tx.clone();
+            clients.push(std::thread::spawn(move || {
+                let (reply_tx, reply_rx) = unbounded();
+                for _ in 0..5 {
+                    tx.send(Request {
+                        command: RespValue::command(&["GRAPH.QUERY", "g", "MATCH (a)-[:LINK]->(b) RETURN count(b)"]),
+                        reply_to: reply_tx.clone(),
+                    })
+                    .unwrap();
+                    let reply = reply_rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap();
+                    assert!(matches!(reply, RespValue::Array(_)), "unexpected reply {reply}");
+                }
+            }));
+        }
+        for c in clients {
+            c.join().unwrap();
+        }
+        drop(tx);
+        handle.join().unwrap();
+    }
+}

@@ -1,0 +1,60 @@
+//! A client session against the Redis-like server substrate: commands are
+//! framed in RESP exactly as a Redis client would send them, dispatched by the
+//! single main thread, and executed on the module threadpool — the
+//! architecture §II of the paper describes.
+//!
+//! ```text
+//! cargo run --release -p redisgraph-bench --example redis_server_session
+//! ```
+
+use redisgraph_server::{RedisGraphServer, RespValue, ServerConfig};
+
+fn send(server: &RedisGraphServer, parts: &[&str]) -> RespValue {
+    let command = RespValue::command(parts);
+    // Round-trip through the wire encoding to demonstrate the protocol layer.
+    let bytes = command.encode();
+    let (decoded, _) = RespValue::decode(&bytes).expect("well-formed frame");
+    let reply = server.handle(&decoded);
+    println!("> {}", parts.join(" "));
+    println!("{reply}\n");
+    reply
+}
+
+fn main() {
+    // THREAD_COUNT 4: the module loads with a four-worker query pool.
+    let server = RedisGraphServer::new(ServerConfig { thread_count: 4 });
+
+    send(&server, &["PING"]);
+
+    send(
+        &server,
+        &[
+            "GRAPH.QUERY",
+            "motogp",
+            "CREATE (:Rider {name: 'Valentino Rossi'})-[:rides]->(:Team {name: 'Yamaha'}), \
+                    (:Rider {name: 'Dani Pedrosa'})-[:rides]->(:Team {name: 'Honda'}), \
+                    (:Rider {name: 'Andrea Dovizioso'})-[:rides]->(:Team {name: 'Ducati'})",
+        ],
+    );
+
+    let reply = send(
+        &server,
+        &[
+            "GRAPH.QUERY",
+            "motogp",
+            "MATCH (r:Rider)-[:rides]->(t:Team) WHERE t.name = 'Yamaha' RETURN r.name, t.name",
+        ],
+    );
+    assert!(matches!(reply, RespValue::Array(_)));
+
+    send(
+        &server,
+        &["GRAPH.EXPLAIN", "motogp", "MATCH (r:Rider)-[:rides]->(t:Team) RETURN count(r)"],
+    );
+
+    send(&server, &["GRAPH.QUERY", "motogp", "MATCH (r:Rider) RETURN count(r)"]);
+
+    send(&server, &["GRAPH.LIST"]);
+    send(&server, &["GRAPH.DELETE", "motogp"]);
+    send(&server, &["GRAPH.LIST"]);
+}

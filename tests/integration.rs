@@ -1,0 +1,171 @@
+//! Cross-crate integration tests: generated datasets flow through both engines,
+//! the Cypher path agrees with the algebraic fast path and with the baseline,
+//! and the server substrate serves the benchmark workload correctly under
+//! concurrency.
+
+use crossbeam::channel::unbounded;
+use datagen::{KhopWorkload, RmatConfig, SeedSelection};
+use redisgraph_bench::{load_dataset, Dataset};
+use redisgraph_core::{Graph, Value};
+use redisgraph_server::server::Request;
+use redisgraph_server::{RedisGraphServer, RespValue, ServerConfig};
+use std::sync::Arc;
+
+/// The three implementations of the k-hop count — baseline BFS, algebraic BFS,
+/// and the full Cypher query — must agree on every seed and every k.
+#[test]
+fn khop_agreement_across_all_three_paths() {
+    let loaded = load_dataset(Dataset::Graph500, 9, 5);
+    let degrees = loaded.edges.out_degrees();
+    let workload = KhopWorkload::with_seed_count(
+        2,
+        loaded.edges.num_vertices,
+        &degrees,
+        SeedSelection::NonIsolated,
+        3,
+        8,
+    );
+    for &seed in &workload.seeds {
+        for k in [1u32, 2, 3, 6] {
+            let algebraic = loaded.redisgraph.khop_count(seed, k);
+            let pointer_chasing = loaded.baseline.khop_count(seed, k);
+            assert_eq!(algebraic, pointer_chasing, "seed {seed} k {k}");
+
+            let query = format!("MATCH (s:Node)-[*1..{k}]->(t) WHERE id(s) = {seed} RETURN count(t)");
+            let rs = loaded.redisgraph.query_readonly(&query).unwrap();
+            let via_cypher = rs.scalar().and_then(|v| v.as_i64()).unwrap() as u64;
+            assert_eq!(via_cypher, algebraic, "cypher path diverged at seed {seed} k {k}");
+        }
+    }
+}
+
+/// The Twitter-like dataset behaves the same way (denser, heavy-tailed).
+#[test]
+fn khop_agreement_on_twitter_dataset() {
+    let loaded = load_dataset(Dataset::Twitter, 9, 6);
+    for seed in [1u64, 7, 63, 200] {
+        for k in [1u32, 2, 3] {
+            assert_eq!(
+                loaded.redisgraph.khop_count(seed, k),
+                loaded.baseline.khop_count(seed, k),
+                "seed {seed} k {k}"
+            );
+        }
+    }
+}
+
+/// Graph mutations through Cypher stay consistent with the matrices: counts
+/// reported by queries match the store after interleaved writes and deletes.
+#[test]
+fn interleaved_writes_keep_matrices_consistent() {
+    let mut g = Graph::new("consistency");
+    // build a ring of 20 nodes
+    g.query("CREATE (:Node {id: 0})").unwrap();
+    for i in 1..20 {
+        g.query(&format!("CREATE (:Node {{id: {i}}})")).unwrap();
+    }
+    for i in 0..20u64 {
+        let j = (i + 1) % 20;
+        g.query(&format!(
+            "MATCH (a:Node {{id: {i}}}), (b:Node {{id: {j}}}) CREATE (a)-[:NEXT]->(b)"
+        ))
+        .unwrap();
+    }
+    assert_eq!(g.node_count(), 20);
+    assert_eq!(g.edge_count(), 20);
+    // every node reaches every other node in ≤ 19 hops around the ring
+    assert_eq!(g.khop_count(0, 19), 19);
+    // the Cypher count agrees
+    let rs = g
+        .query("MATCH (s:Node {id: 0})-[*1..19]->(t) RETURN count(t)")
+        .unwrap();
+    assert_eq!(rs.scalar(), Some(&Value::Int(19)));
+
+    // break the ring and check reachability drops
+    g.query("MATCH (a:Node {id: 9})-[r:NEXT]->(b) DELETE r").unwrap();
+    assert_eq!(g.edge_count(), 19);
+    assert_eq!(g.khop_count(0, 19), 9, "nodes past the cut are unreachable");
+
+    // delete a node: its incident edges disappear from traversals
+    g.query("MATCH (n:Node {id: 5}) DETACH DELETE n").unwrap();
+    assert_eq!(g.node_count(), 19);
+    assert_eq!(g.khop_count(0, 19), 4, "reachability stops at the deleted node");
+}
+
+/// The RMAT generator, bulk load, and the benchmark's Cypher query all work
+/// through the server substrate, concurrently, with consistent answers.
+#[test]
+fn server_serves_benchmark_workload_concurrently() {
+    let el = datagen::rmat::generate(&RmatConfig { scale: 8, edge_factor: 8, seed: 3, ..Default::default() });
+    let server = Arc::new(RedisGraphServer::new(ServerConfig { thread_count: 4 }));
+    server.graph("bench").write().bulk_load(el.num_vertices, &el.edges);
+
+    // Expected answers straight from the core library.
+    let expected: Vec<(u64, u64)> = (0..16u64)
+        .map(|seed| (seed, server.graph("bench").read().khop_count(seed, 2)))
+        .collect();
+
+    let (tx, handle) = server.start_dispatcher();
+    let mut clients = Vec::new();
+    for chunk in expected.chunks(4) {
+        let tx = tx.clone();
+        let chunk = chunk.to_vec();
+        clients.push(std::thread::spawn(move || {
+            let (reply_tx, reply_rx) = unbounded();
+            for (seed, expected_count) in chunk {
+                let query =
+                    format!("MATCH (s:Node)-[*1..2]->(t) WHERE id(s) = {seed} RETURN count(t)");
+                tx.send(Request {
+                    command: RespValue::command(&["GRAPH.QUERY", "bench", &query]),
+                    reply_to: reply_tx.clone(),
+                })
+                .unwrap();
+                let reply = reply_rx.recv().unwrap();
+                let RespValue::Array(sections) = reply else { panic!("bad reply") };
+                let RespValue::Array(rows) = &sections[1] else { panic!("bad rows") };
+                let RespValue::Array(row) = &rows[0] else { panic!("bad row") };
+                let RespValue::Integer(count) = row[0] else { panic!("bad count") };
+                assert_eq!(count as u64, expected_count, "seed {seed}");
+            }
+        }));
+    }
+    for c in clients {
+        c.join().unwrap();
+    }
+    drop(tx);
+    handle.join().unwrap();
+}
+
+/// Writes and reads interleave correctly through the server's lock discipline.
+#[test]
+fn server_mixes_reads_and_writes() {
+    let server = RedisGraphServer::new(ServerConfig { thread_count: 2 });
+    server.query("g", "CREATE (:Counter {n: 0})");
+    for i in 1..=10 {
+        let reply = server.query("g", &format!("MATCH (c:Counter) SET c.n = {i} RETURN c.n"));
+        assert!(!matches!(reply, RespValue::Error(_)), "write {i} failed: {reply}");
+        let read = server.query("g", "MATCH (c:Counter) RETURN c.n");
+        let RespValue::Array(sections) = read else { panic!() };
+        let RespValue::Array(rows) = &sections[1] else { panic!() };
+        let RespValue::Array(row) = &rows[0] else { panic!() };
+        assert_eq!(row[0], RespValue::Integer(i));
+    }
+}
+
+/// The workload generator's query text is accepted verbatim by the engine —
+/// i.e. the benchmark driver and the query language stay in sync.
+#[test]
+fn workload_queries_parse_and_execute() {
+    let loaded = load_dataset(Dataset::Graph500, 8, 11);
+    let degrees = loaded.edges.out_degrees();
+    let suite = KhopWorkload::full_suite(loaded.edges.num_vertices, &degrees, SeedSelection::NonIsolated, 13);
+    for workload in suite.iter() {
+        let seed = workload.seeds[0];
+        let rs = loaded
+            .redisgraph
+            .query_readonly(&workload.cypher_query(seed))
+            .unwrap_or_else(|e| panic!("workload query failed for k={}: {e}", workload.k));
+        let count = rs.scalar().and_then(|v| v.as_i64()).unwrap();
+        assert_eq!(count as u64, loaded.redisgraph.khop_count(seed, workload.k));
+    }
+}
