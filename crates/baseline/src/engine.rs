@@ -163,10 +163,7 @@ impl AdjacencyListGraph {
     /// Find the node whose `id` property equals `value` by scanning — the
     /// un-indexed lookup a property filter costs in a traversal engine.
     pub fn find_by_property(&self, key: &str, value: PropValue) -> Option<u64> {
-        self.nodes
-            .iter()
-            .position(|n| n.properties.get(key) == Some(&value))
-            .map(|i| i as u64)
+        self.nodes.iter().position(|n| n.properties.get(key) == Some(&value)).map(|i| i as u64)
     }
 }
 

@@ -26,23 +26,83 @@ pub struct LiteratureEntry {
 
 /// RedisGraph's own published numbers (for calibration in EXPERIMENTS.md).
 pub const REDISGRAPH_PUBLISHED: &[LiteratureEntry] = &[
-    LiteratureEntry { system: "RedisGraph (published)", dataset: "graph500", one_hop_ms: 0.399, uses_all_cores: false },
-    LiteratureEntry { system: "RedisGraph (published)", dataset: "twitter", one_hop_ms: 0.936, uses_all_cores: false },
+    LiteratureEntry {
+        system: "RedisGraph (published)",
+        dataset: "graph500",
+        one_hop_ms: 0.399,
+        uses_all_cores: false,
+    },
+    LiteratureEntry {
+        system: "RedisGraph (published)",
+        dataset: "twitter",
+        one_hop_ms: 0.936,
+        uses_all_cores: false,
+    },
 ];
 
 /// Published 1-hop response times for the comparison systems of Fig. 1.
 pub fn literature_response_times() -> Vec<LiteratureEntry> {
     vec![
-        LiteratureEntry { system: "TigerGraph", dataset: "graph500", one_hop_ms: 0.755, uses_all_cores: true },
-        LiteratureEntry { system: "TigerGraph", dataset: "twitter", one_hop_ms: 0.745, uses_all_cores: true },
-        LiteratureEntry { system: "Neo4j", dataset: "graph500", one_hop_ms: 14.5, uses_all_cores: true },
-        LiteratureEntry { system: "Neo4j", dataset: "twitter", one_hop_ms: 51.0, uses_all_cores: true },
-        LiteratureEntry { system: "Amazon Neptune", dataset: "graph500", one_hop_ms: 28.5, uses_all_cores: true },
-        LiteratureEntry { system: "Amazon Neptune", dataset: "twitter", one_hop_ms: 29.1, uses_all_cores: true },
-        LiteratureEntry { system: "JanusGraph", dataset: "graph500", one_hop_ms: 26.0, uses_all_cores: true },
-        LiteratureEntry { system: "JanusGraph", dataset: "twitter", one_hop_ms: 50.0, uses_all_cores: true },
-        LiteratureEntry { system: "ArangoDB", dataset: "graph500", one_hop_ms: 37.0, uses_all_cores: true },
-        LiteratureEntry { system: "ArangoDB", dataset: "twitter", one_hop_ms: 62.0, uses_all_cores: true },
+        LiteratureEntry {
+            system: "TigerGraph",
+            dataset: "graph500",
+            one_hop_ms: 0.755,
+            uses_all_cores: true,
+        },
+        LiteratureEntry {
+            system: "TigerGraph",
+            dataset: "twitter",
+            one_hop_ms: 0.745,
+            uses_all_cores: true,
+        },
+        LiteratureEntry {
+            system: "Neo4j",
+            dataset: "graph500",
+            one_hop_ms: 14.5,
+            uses_all_cores: true,
+        },
+        LiteratureEntry {
+            system: "Neo4j",
+            dataset: "twitter",
+            one_hop_ms: 51.0,
+            uses_all_cores: true,
+        },
+        LiteratureEntry {
+            system: "Amazon Neptune",
+            dataset: "graph500",
+            one_hop_ms: 28.5,
+            uses_all_cores: true,
+        },
+        LiteratureEntry {
+            system: "Amazon Neptune",
+            dataset: "twitter",
+            one_hop_ms: 29.1,
+            uses_all_cores: true,
+        },
+        LiteratureEntry {
+            system: "JanusGraph",
+            dataset: "graph500",
+            one_hop_ms: 26.0,
+            uses_all_cores: true,
+        },
+        LiteratureEntry {
+            system: "JanusGraph",
+            dataset: "twitter",
+            one_hop_ms: 50.0,
+            uses_all_cores: true,
+        },
+        LiteratureEntry {
+            system: "ArangoDB",
+            dataset: "graph500",
+            one_hop_ms: 37.0,
+            uses_all_cores: true,
+        },
+        LiteratureEntry {
+            system: "ArangoDB",
+            dataset: "twitter",
+            one_hop_ms: 62.0,
+            uses_all_cores: true,
+        },
     ]
 }
 
@@ -70,11 +130,7 @@ mod tests {
     fn published_ordering_matches_the_papers_claim() {
         // RedisGraph's published 1-hop time beats every non-TigerGraph system
         // by at least an order of magnitude on graph500.
-        let rg = REDISGRAPH_PUBLISHED
-            .iter()
-            .find(|e| e.dataset == "graph500")
-            .unwrap()
-            .one_hop_ms;
+        let rg = REDISGRAPH_PUBLISHED.iter().find(|e| e.dataset == "graph500").unwrap().one_hop_ms;
         for e in literature_response_times() {
             if e.dataset == "graph500" && e.system != "TigerGraph" {
                 assert!(e.one_hop_ms / rg > 30.0, "{} should be ≥ 36x slower", e.system);

@@ -11,11 +11,15 @@ use graphblas::prelude::*;
 use std::hint::black_box;
 
 fn build_matrix(scale: u32) -> (SparseMatrix<bool>, AdjacencyListGraph, u64) {
-    let el = datagen::rmat::generate(&RmatConfig { scale, edge_factor: 16, seed: 9, ..Default::default() });
+    let el = datagen::rmat::generate(&RmatConfig {
+        scale,
+        edge_factor: 16,
+        seed: 9,
+        ..Default::default()
+    });
     let n = el.num_vertices;
     let triples: Vec<(u64, u64, bool)> = {
-        let mut e: Vec<(u64, u64)> =
-            el.edges.iter().copied().filter(|&(s, d)| s != d).collect();
+        let mut e: Vec<(u64, u64)> = el.edges.iter().copied().filter(|&(s, d)| s != d).collect();
         e.sort_unstable();
         e.dedup();
         e.into_iter().map(|(s, d)| (s, d, true)).collect()

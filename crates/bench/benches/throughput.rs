@@ -33,10 +33,7 @@ fn throughput_scaling(c: &mut Criterion) {
     for pool_size in [1usize, 2, 4] {
         // One server per pool size, reused across iterations.
         let server = Arc::new(RedisGraphServer::new(ServerConfig { thread_count: pool_size }));
-        server
-            .graph("bench")
-            .write()
-            .bulk_load(loaded.edges.num_vertices, &loaded.edges.edges);
+        server.graph("bench").write().bulk_load(loaded.edges.num_vertices, &loaded.edges.edges);
         let (tx, _dispatcher) = server.start_dispatcher();
 
         group.bench_with_input(BenchmarkId::new("pool", pool_size), &pool_size, |b, _| {

@@ -73,15 +73,32 @@ fn main() {
         let baseline_ms = start.elapsed().as_secs_f64() * 1e3 / workload.len() as f64;
         std::hint::black_box(total);
 
-        measured.push((dataset.name().to_string(), "RedisGraph (repro, matrix BFS)".into(), fast_ms));
-        measured.push((dataset.name().to_string(), "RedisGraph (repro, Cypher path)".into(), cypher_ms));
-        measured.push((dataset.name().to_string(), "Adjacency-list baseline (measured)".into(), baseline_ms));
+        measured.push((
+            dataset.name().to_string(),
+            "RedisGraph (repro, matrix BFS)".into(),
+            fast_ms,
+        ));
+        measured.push((
+            dataset.name().to_string(),
+            "RedisGraph (repro, Cypher path)".into(),
+            cypher_ms,
+        ));
+        measured.push((
+            dataset.name().to_string(),
+            "Adjacency-list baseline (measured)".into(),
+            baseline_ms,
+        ));
     }
 
     // Assemble the figure: measured rows + published rows.
     let mut rows: Vec<Vec<String>> = Vec::new();
     for (dataset, system, ms) in &measured {
-        rows.push(vec![system.clone(), dataset.clone(), format!("{ms:.3}"), "measured here".into()]);
+        rows.push(vec![
+            system.clone(),
+            dataset.clone(),
+            format!("{ms:.3}"),
+            "measured here".into(),
+        ]);
     }
     for entry in REDISGRAPH_PUBLISHED {
         rows.push(vec![
@@ -102,7 +119,9 @@ fn main() {
     println!("{}", render_table(&["system", "dataset", "1-hop avg (ms)", "source"], &rows));
 
     if summary {
-        println!("\nE4 — speedup summary (paper conclusion: 36x to 15,000x vs non-TigerGraph systems)");
+        println!(
+            "\nE4 — speedup summary (paper conclusion: 36x to 15,000x vs non-TigerGraph systems)"
+        );
         let mut rows = Vec::new();
         for dataset in ["Graph500", "Twitter"] {
             let repro = measured
@@ -120,9 +139,10 @@ fn main() {
                 "measured repro vs measured baseline".into(),
                 format!("{:.2}x", base / repro),
             ]);
-            for entry in literature_response_times().iter().filter(|e| {
-                e.dataset.eq_ignore_ascii_case(dataset) && e.system != "TigerGraph"
-            }) {
+            for entry in literature_response_times()
+                .iter()
+                .filter(|e| e.dataset.eq_ignore_ascii_case(dataset) && e.system != "TigerGraph")
+            {
                 let published_rg = REDISGRAPH_PUBLISHED
                     .iter()
                     .find(|e2| e2.dataset.eq_ignore_ascii_case(dataset))
@@ -136,9 +156,6 @@ fn main() {
             }
         }
         println!("{}", render_table(&["dataset", "comparison", "speedup"], &rows));
-        println!(
-            "paper's reported range: {}x – {}x",
-            PAPER_SPEEDUP_RANGE.0, PAPER_SPEEDUP_RANGE.1
-        );
+        println!("paper's reported range: {}x – {}x", PAPER_SPEEDUP_RANGE.0, PAPER_SPEEDUP_RANGE.1);
     }
 }

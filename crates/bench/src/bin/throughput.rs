@@ -33,18 +33,33 @@ fn main() {
     println!("Threadpool read-throughput scaling (paper §II architecture claim)\n");
     let loaded = load_dataset(Dataset::Graph500, scale, 42);
     let degrees = loaded.edges.out_degrees();
-    let workload =
-        KhopWorkload::with_seed_count(1, loaded.edges.num_vertices, &degrees, SeedSelection::NonIsolated, 7, queries);
+    let workload = KhopWorkload::with_seed_count(
+        1,
+        loaded.edges.num_vertices,
+        &degrees,
+        SeedSelection::NonIsolated,
+        7,
+        queries,
+    );
 
     let mut rows = Vec::new();
     for pool_size in [1usize, 2, 4, 8] {
-        let qps = run_with_pool(pool_size, clients, k, &loaded.edges.edges, loaded.edges.num_vertices, &workload);
-        rows.push(vec![pool_size.to_string(), clients.to_string(), queries.to_string(), format!("{qps:.0}")]);
+        let qps = run_with_pool(
+            pool_size,
+            clients,
+            k,
+            &loaded.edges.edges,
+            loaded.edges.num_vertices,
+            &workload,
+        );
+        rows.push(vec![
+            pool_size.to_string(),
+            clients.to_string(),
+            queries.to_string(),
+            format!("{qps:.0}"),
+        ]);
     }
-    println!(
-        "{}",
-        render_table(&["pool threads", "clients", "queries", "queries/sec"], &rows)
-    );
+    println!("{}", render_table(&["pool threads", "clients", "queries", "queries/sec"], &rows));
     println!("Each query runs on exactly one pool thread; throughput should grow with the pool\nuntil the host's core count is reached, while single-query latency stays flat.");
 }
 
@@ -83,7 +98,8 @@ fn run_with_pool(
         client_handles.push(std::thread::spawn(move || {
             let (reply_tx, reply_rx) = unbounded();
             for seed in seeds {
-                let query = format!("MATCH (s:Node)-[*1..{k}]->(t) WHERE id(s) = {seed} RETURN count(t)");
+                let query =
+                    format!("MATCH (s:Node)-[*1..{k}]->(t) WHERE id(s) = {seed} RETURN count(t)");
                 tx.send(Request {
                     command: RespValue::command(&["GRAPH.QUERY", "bench", &query]),
                     reply_to: reply_tx.clone(),

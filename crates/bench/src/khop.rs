@@ -97,10 +97,7 @@ pub fn measure_one_hop_cypher(loaded: &LoadedDataset, seeds: &[u64]) -> f64 {
     for &seed in seeds {
         let query = format!("MATCH (s:Node)-[*1..1]->(t) WHERE id(s) = {seed} RETURN count(t)");
         let start = Instant::now();
-        let rs = loaded
-            .redisgraph
-            .query_readonly(&query)
-            .expect("benchmark query must execute");
+        let rs = loaded.redisgraph.query_readonly(&query).expect("benchmark query must execute");
         total_ms += start.elapsed().as_secs_f64() * 1e3;
         std::hint::black_box(rs);
     }

@@ -198,11 +198,7 @@ mod tests {
 
     #[test]
     fn collect_preserves_order() {
-        let v = run(
-            AggFunc::Collect,
-            false,
-            vec![Value::Int(3), Value::Null, Value::Int(1)],
-        );
+        let v = run(AggFunc::Collect, false, vec![Value::Int(3), Value::Null, Value::Int(1)]);
         assert_eq!(v, Value::List(vec![Value::Int(3), Value::Int(1)]));
     }
 

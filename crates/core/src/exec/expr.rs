@@ -18,8 +18,7 @@ pub const AGGREGATE_FUNCTIONS: &[&str] = &["count", "sum", "avg", "min", "max", 
 pub fn contains_aggregate(expr: &Expr) -> bool {
     match expr {
         Expr::FunctionCall { name, args, .. } => {
-            AGGREGATE_FUNCTIONS.contains(&name.as_str())
-                || args.iter().any(contains_aggregate)
+            AGGREGATE_FUNCTIONS.contains(&name.as_str()) || args.iter().any(contains_aggregate)
         }
         Expr::Unary(_, inner) => contains_aggregate(inner),
         Expr::Binary(_, lhs, rhs) => contains_aggregate(lhs) || contains_aggregate(rhs),
@@ -75,8 +74,7 @@ pub fn eval(expr: &Expr, record: &Record, bindings: &Bindings, graph: &Graph) ->
             Value::List(items.iter().map(|e| eval(e, record, bindings, graph)).collect())
         }
         Expr::FunctionCall { name, args, .. } => {
-            let argv: Vec<Value> =
-                args.iter().map(|a| eval(a, record, bindings, graph)).collect();
+            let argv: Vec<Value> = args.iter().map(|a| eval(a, record, bindings, graph)).collect();
             eval_function(name, &argv, graph)
         }
     }
@@ -177,7 +175,10 @@ mod tests {
 
     fn setup() -> (Graph, Bindings, Record) {
         let mut g = Graph::new("t");
-        let a = g.add_node(&["Person"], vec![("name", Value::Str("ann".into())), ("age", Value::Int(34))]);
+        let a = g.add_node(
+            &["Person"],
+            vec![("name", Value::Str("ann".into())), ("age", Value::Int(34))],
+        );
         let b = g.add_node(&["Person"], vec![("age", Value::Int(28))]);
         let e = g.add_edge(a, b, "KNOWS", vec![("since", Value::Int(2019))]).unwrap();
         g.sync_matrices();
@@ -223,13 +224,29 @@ mod tests {
     #[test]
     fn scalar_functions() {
         let (g, b, r) = setup();
-        let id = Expr::FunctionCall { name: "id".into(), args: vec![Expr::Variable("a".into())], distinct: false };
+        let id = Expr::FunctionCall {
+            name: "id".into(),
+            args: vec![Expr::Variable("a".into())],
+            distinct: false,
+        };
         assert_eq!(eval(&id, &r, &b, &g), Value::Int(0));
-        let labels = Expr::FunctionCall { name: "labels".into(), args: vec![Expr::Variable("a".into())], distinct: false };
+        let labels = Expr::FunctionCall {
+            name: "labels".into(),
+            args: vec![Expr::Variable("a".into())],
+            distinct: false,
+        };
         assert_eq!(eval(&labels, &r, &b, &g), Value::List(vec![Value::Str("Person".into())]));
-        let ty = Expr::FunctionCall { name: "type".into(), args: vec![Expr::Variable("e".into())], distinct: false };
+        let ty = Expr::FunctionCall {
+            name: "type".into(),
+            args: vec![Expr::Variable("e".into())],
+            distinct: false,
+        };
         assert_eq!(eval(&ty, &r, &b, &g), Value::Str("KNOWS".into()));
-        let abs = Expr::FunctionCall { name: "abs".into(), args: vec![Expr::Unary(UnaryOperator::Minus, Box::new(lit(5)))], distinct: false };
+        let abs = Expr::FunctionCall {
+            name: "abs".into(),
+            args: vec![Expr::Unary(UnaryOperator::Minus, Box::new(lit(5)))],
+            distinct: false,
+        };
         assert_eq!(eval(&abs, &r, &b, &g), Value::Int(5));
     }
 
@@ -242,7 +259,8 @@ mod tests {
             Box::new(Expr::List(vec![lit(1), lit(2), lit(3)])),
         );
         assert_eq!(eval(&expr, &r, &b, &g), Value::Bool(true));
-        let expr = Expr::Binary(BinaryOperator::In, Box::new(lit(9)), Box::new(Expr::List(vec![lit(1)])));
+        let expr =
+            Expr::Binary(BinaryOperator::In, Box::new(lit(9)), Box::new(Expr::List(vec![lit(1)])));
         assert_eq!(eval(&expr, &r, &b, &g), Value::Bool(false));
     }
 

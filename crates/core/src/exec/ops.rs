@@ -134,7 +134,8 @@ impl PlanOp {
             PlanOp::LabelFilter { label, .. } => format!("Label Filter | :{label}"),
             PlanOp::PropFilter { key, .. } => format!("Property Filter | .{key}"),
             PlanOp::Traverse { dst_var, rel_types, min_hops, max_hops, expand_into, .. } => {
-                let types = if rel_types.is_empty() { "*".to_string() } else { rel_types.join("|") };
+                let types =
+                    if rel_types.is_empty() { "*".to_string() } else { rel_types.join("|") };
                 let hops = match (min_hops, max_hops) {
                     (1, Some(1)) => String::new(),
                     (min, Some(max)) => format!(" *{min}..{max}"),
@@ -309,10 +310,7 @@ pub fn run_traverse(
         } else {
             // Variable-length traversal.
             let reached: Vec<NodeId> = match &rel_ids {
-                None => graph
-                    .khop_reach(src, min_hops, max, dir)
-                    .indices()
-                    .to_vec(),
+                None => graph.khop_reach(src, min_hops, max, dir).indices().to_vec(),
                 Some(ids) => typed_bfs(graph, src, min_hops, max, ids, dir),
             };
             if expand_into {
@@ -372,6 +370,9 @@ fn typed_bfs(
     out
 }
 
+/// An output row paired with its evaluated `ORDER BY` keys.
+type SortableRow = (Vec<Value>, Vec<(Value, SortOrder)>);
+
 /// Evaluate the sort keys of `ORDER BY` for one output row.
 fn sort_keys(
     order_by: &[(Expr, SortOrder)],
@@ -399,10 +400,7 @@ fn sort_keys(
         .collect()
 }
 
-fn apply_order_skip_limit(
-    projection: &Projection,
-    mut rows: Vec<(Vec<Value>, Vec<(Value, SortOrder)>)>,
-) -> Vec<Vec<Value>> {
+fn apply_order_skip_limit(projection: &Projection, mut rows: Vec<SortableRow>) -> Vec<Vec<Value>> {
     if !projection.order_by.is_empty() {
         rows.sort_by(|a, b| {
             for ((va, order), (vb, _)) in a.1.iter().zip(b.1.iter()) {
@@ -440,7 +438,7 @@ pub fn run_project(
     bindings: &Bindings,
     graph: &Graph,
 ) -> Vec<Vec<Value>> {
-    let rows: Vec<(Vec<Value>, Vec<(Value, SortOrder)>)> = records
+    let rows: Vec<SortableRow> = records
         .iter()
         .map(|record| {
             let row: Vec<Value> = projection
@@ -525,7 +523,7 @@ pub fn run_aggregate(
         group_order.push("empty".into());
     }
 
-    let rows: Vec<(Vec<Value>, Vec<(Value, SortOrder)>)> = group_order
+    let rows: Vec<SortableRow> = group_order
         .into_iter()
         .map(|key| {
             let (key_values, accs) = groups.remove(&key).expect("group exists");
@@ -536,7 +534,8 @@ pub fn run_aggregate(
             for (acc, &pos) in accs.into_iter().zip(agg_positions.iter()) {
                 row[pos] = acc.finish();
             }
-            let keys = sort_keys(&projection.order_by, projection, &row, &Vec::new(), bindings, graph);
+            let keys =
+                sort_keys(&projection.order_by, projection, &row, &Vec::new(), bindings, graph);
             (row, keys)
         })
         .collect();
@@ -562,11 +561,8 @@ pub fn run_create(
             for (rel, node) in &pattern.steps {
                 let current = resolve_or_create_node(node, record, bindings, graph, stats);
                 let rel_type = rel.types.first().map(|s| s.as_str()).unwrap_or("RELATED_TO");
-                let props: Vec<(&str, Value)> = rel
-                    .properties
-                    .iter()
-                    .map(|(k, lit)| (k.as_str(), Value::from(lit)))
-                    .collect();
+                let props: Vec<(&str, Value)> =
+                    rel.properties.iter().map(|(k, lit)| (k.as_str(), Value::from(lit))).collect();
                 stats.properties_set += props.len();
                 let (src, dst) = match rel.direction {
                     Direction::Incoming => (current, prev),
@@ -665,18 +661,13 @@ pub fn run_set(
         for item in items {
             let Some(slot) = bindings.slot(&item.variable) else { continue };
             let value = eval(&item.value, record, bindings, graph);
-            match record.get(slot) {
-                Some(Value::Node(id)) => {
-                    if graph.set_node_property(*id, &item.property, value) {
-                        stats.properties_set += 1;
-                    }
-                }
-                Some(Value::Edge(id)) => {
-                    if graph.set_edge_property(*id, &item.property, value) {
-                        stats.properties_set += 1;
-                    }
-                }
-                _ => {}
+            let updated = match record.get(slot) {
+                Some(Value::Node(id)) => graph.set_node_property(*id, &item.property, value),
+                Some(Value::Edge(id)) => graph.set_edge_property(*id, &item.property, value),
+                _ => false,
+            };
+            if updated {
+                stats.properties_set += 1;
             }
         }
     }

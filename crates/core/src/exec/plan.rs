@@ -96,7 +96,9 @@ impl ExecutionPlan {
                     | PlanOp::NodeByIdSeek { .. } => {
                         records = run_scan(op, records, bindings, access.graph());
                     }
-                    PlanOp::Filter { .. } | PlanOp::LabelFilter { .. } | PlanOp::PropFilter { .. } => {
+                    PlanOp::Filter { .. }
+                    | PlanOp::LabelFilter { .. }
+                    | PlanOp::PropFilter { .. } => {
                         records = run_filter(op, records, bindings, access.graph());
                     }
                     PlanOp::Traverse {
@@ -154,7 +156,13 @@ impl ExecutionPlan {
                             .collect();
                     }
                     PlanOp::Create { patterns } => {
-                        run_create(patterns, &mut records, bindings, access.graph_mut()?, &mut stats);
+                        run_create(
+                            patterns,
+                            &mut records,
+                            bindings,
+                            access.graph_mut()?,
+                            &mut stats,
+                        );
                         wrote = true;
                     }
                     PlanOp::Delete { vars, .. } => {
@@ -178,7 +186,6 @@ impl ExecutionPlan {
         Ok(ResultSet { columns, rows, stats })
     }
 }
-
 
 /// How the executor is allowed to touch the graph: read-only plans can run
 /// against a shared reference (many at once on different threadpool workers),
@@ -218,7 +225,12 @@ struct Builder {
 
 impl Builder {
     fn new() -> Self {
-        Builder { segments: Vec::new(), bindings: Bindings::new(), ops: Vec::new(), anon_counter: 0 }
+        Builder {
+            segments: Vec::new(),
+            bindings: Bindings::new(),
+            ops: Vec::new(),
+            anon_counter: 0,
+        }
     }
 
     fn anon_var(&mut self) -> String {
@@ -319,11 +331,7 @@ impl Builder {
         id_seeks: &HashMap<String, Expr>,
     ) -> Result<(), QueryError> {
         // Start node.
-        let start_var = pattern
-            .start
-            .variable
-            .clone()
-            .unwrap_or_else(|| self.anon_var());
+        let start_var = pattern.start.variable.clone().unwrap_or_else(|| self.anon_var());
         let start_bound = self.bindings.is_bound(&start_var);
         let start_slot = self.bindings.slot_or_create(&start_var);
         if !start_bound {
@@ -373,11 +381,9 @@ impl Builder {
                     });
                 }
             }
-            if !expand_into {
-                self.plan_node_constraints(node, dst_slot);
-            } else {
-                self.plan_node_constraints(node, dst_slot);
-            }
+            // Destination constraints apply whether the traversal expands into
+            // a fresh slot or re-checks an already-bound one.
+            self.plan_node_constraints(node, dst_slot);
             src_slot = dst_slot;
         }
         Ok(())
@@ -523,8 +529,8 @@ mod tests {
 
     #[test]
     fn optional_match_is_rejected() {
-        let err =
-            ExecutionPlan::build(&cypher::parse("OPTIONAL MATCH (a) RETURN a").unwrap()).unwrap_err();
+        let err = ExecutionPlan::build(&cypher::parse("OPTIONAL MATCH (a) RETURN a").unwrap())
+            .unwrap_err();
         assert!(matches!(err, QueryError::Unsupported(_)));
     }
 }

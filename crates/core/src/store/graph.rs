@@ -222,8 +222,7 @@ impl Graph {
                 .remove_element(edge.src, edge.dst)
                 .expect("in-bounds");
         }
-        let any_edge_left =
-            self.edges.iter().any(|(_, e)| e.src == edge.src && e.dst == edge.dst);
+        let any_edge_left = self.edges.iter().any(|(_, e)| e.src == edge.src && e.dst == edge.dst);
         if !any_edge_left {
             self.adjacency.remove_element(edge.src, edge.dst).expect("in-bounds");
         }
@@ -268,8 +267,7 @@ impl Graph {
             self.adjacency_t_dirty = false;
         }
         if self.relation_t_dirty {
-            self.relation_matrices_t =
-                self.relation_matrices.iter().map(transpose).collect();
+            self.relation_matrices_t = self.relation_matrices.iter().map(transpose).collect();
             self.relation_t_dirty = false;
         }
     }
@@ -478,8 +476,11 @@ impl Graph {
         self.label_matrices[label] =
             SparseMatrix::from_triples(self.dim, self.dim, &label_triples).expect("in range");
 
-        let mut dedup: Vec<(u64, u64)> =
-            edges.iter().copied().filter(|&(s, d)| s != d && s < num_vertices && d < num_vertices).collect();
+        let mut dedup: Vec<(u64, u64)> = edges
+            .iter()
+            .copied()
+            .filter(|&(s, d)| s != d && s < num_vertices && d < num_vertices)
+            .collect();
         dedup.sort_unstable();
         dedup.dedup();
 
@@ -495,7 +496,8 @@ impl Graph {
             adj_triples.push((s, d, true));
             rel_triples.push((s, d, eid));
         }
-        self.adjacency = SparseMatrix::from_triples(self.dim, self.dim, &adj_triples).expect("in range");
+        self.adjacency =
+            SparseMatrix::from_triples(self.dim, self.dim, &adj_triples).expect("in range");
         self.relation_matrices[rel] =
             SparseMatrix::from_triples(self.dim, self.dim, &rel_triples).expect("in range");
         self.adjacency_t_dirty = true;
@@ -579,7 +581,8 @@ mod tests {
         assert_eq!(g.khop_count(3, 3), 0);
         // min_hops: nodes first reached at exactly 2 hops
         let exactly2 = g.khop_reach(0, 2, 2, TraverseDir::Outgoing);
-        assert_eq!(exactly2.nvals(), 1); // only node 3 (2 was already reached at hop 1)
+        // only node 3 (2 was already reached at hop 1)
+        assert_eq!(exactly2.nvals(), 1);
         // incoming direction
         assert_eq!(g.khop_reach(3, 1, 3, TraverseDir::Incoming).nvals(), 3);
         // both directions from the middle

@@ -170,7 +170,7 @@ impl Value {
                 }
             }
             (a, b) => match (a.as_f64(), b.as_f64()) {
-                (Some(_), Some(y)) if y == 0.0 => Value::Null,
+                (Some(_), Some(0.0)) => Value::Null,
                 (Some(x), Some(y)) => Value::Float(x / y),
                 _ => Value::Null,
             },
@@ -237,7 +237,10 @@ mod tests {
     #[test]
     fn comparisons_and_sorting() {
         assert_eq!(Value::Int(2).cypher_cmp(&Value::Float(2.5)), Some(Ordering::Less));
-        assert_eq!(Value::Str("a".into()).cypher_cmp(&Value::Str("b".into())), Some(Ordering::Less));
+        assert_eq!(
+            Value::Str("a".into()).cypher_cmp(&Value::Str("b".into())),
+            Some(Ordering::Less)
+        );
         assert_eq!(Value::Str("a".into()).cypher_cmp(&Value::Int(1)), None);
         // nulls sort last
         assert_eq!(Value::Null.sort_cmp(&Value::Int(5)), Ordering::Greater);

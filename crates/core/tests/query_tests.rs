@@ -25,9 +25,7 @@ fn social_graph() -> Graph {
 #[test]
 fn create_reports_statistics() {
     let mut g = Graph::new("t");
-    let rs = g
-        .query("CREATE (:A {x: 1})-[:R {w: 2}]->(:B)")
-        .unwrap();
+    let rs = g.query("CREATE (:A {x: 1})-[:R {w: 2}]->(:B)").unwrap();
     assert_eq!(rs.stats.nodes_created, 2);
     assert_eq!(rs.stats.relationships_created, 1);
     assert_eq!(rs.stats.properties_set, 2);
@@ -60,9 +58,7 @@ fn match_with_inline_properties() {
 #[test]
 fn single_hop_traversal_with_type() {
     let mut g = social_graph();
-    let rs = g
-        .query("MATCH (a:Person {name: 'Ann'})-[:KNOWS]->(b) RETURN b.name")
-        .unwrap();
+    let rs = g.query("MATCH (a:Person {name: 'Ann'})-[:KNOWS]->(b) RETURN b.name").unwrap();
     assert_eq!(rs.scalar(), Some(&Value::Str("Bob".into())));
 }
 
@@ -73,16 +69,16 @@ fn traversal_direction_matters() {
     assert_eq!(out.scalar(), Some(&Value::Str("Cat".into())));
     let incoming = g.query("MATCH (a {name: 'Bob'})<-[:KNOWS]-(b) RETURN b.name").unwrap();
     assert_eq!(incoming.scalar(), Some(&Value::Str("Ann".into())));
-    let both = g.query("MATCH (a {name: 'Bob'})-[:KNOWS]-(b) RETURN b.name ORDER BY b.name").unwrap();
+    let both =
+        g.query("MATCH (a {name: 'Bob'})-[:KNOWS]-(b) RETURN b.name ORDER BY b.name").unwrap();
     assert_eq!(both.rows.len(), 2);
 }
 
 #[test]
 fn multi_hop_chained_pattern() {
     let mut g = social_graph();
-    let rs = g
-        .query("MATCH (a:Person {name: 'Ann'})-[:KNOWS]->()-[:KNOWS]->(c) RETURN c.name")
-        .unwrap();
+    let rs =
+        g.query("MATCH (a:Person {name: 'Ann'})-[:KNOWS]->()-[:KNOWS]->(c) RETURN c.name").unwrap();
     assert_eq!(rs.scalar(), Some(&Value::Str("Cat".into())));
 }
 
@@ -95,9 +91,7 @@ fn variable_length_traversal() {
     let names: Vec<String> = rs.rows.iter().map(|r| r[0].to_string()).collect();
     assert_eq!(names, vec!["Bob", "Cat", "Dan"]);
 
-    let rs = g
-        .query("MATCH (a:Person {name: 'Ann'})-[:KNOWS*2..2]->(b) RETURN b.name")
-        .unwrap();
+    let rs = g.query("MATCH (a:Person {name: 'Ann'})-[:KNOWS*2..2]->(b) RETURN b.name").unwrap();
     assert_eq!(rs.scalar(), Some(&Value::Str("Cat".into())));
 }
 
@@ -121,9 +115,8 @@ fn where_filters_with_boolean_logic() {
     let names: Vec<String> = rs.rows.iter().map(|r| r[0].to_string()).collect();
     assert_eq!(names, vec!["Ann", "Bob"]);
 
-    let rs = g
-        .query("MATCH (p:Person) WHERE p.name = 'Ann' OR p.name = 'Dan' RETURN count(p)")
-        .unwrap();
+    let rs =
+        g.query("MATCH (p:Person) WHERE p.name = 'Ann' OR p.name = 'Dan' RETURN count(p)").unwrap();
     assert_eq!(rs.scalar(), Some(&Value::Int(2)));
 }
 
@@ -131,14 +124,13 @@ fn where_filters_with_boolean_logic() {
 fn aggregations_with_grouping() {
     let mut g = social_graph();
     // group people by whether they work at Acme
-    let rs = g
-        .query("MATCH (p:Person)-[:WORKS_AT]->(c:Company) RETURN c.name, count(p)")
-        .unwrap();
+    let rs = g.query("MATCH (p:Person)-[:WORKS_AT]->(c:Company) RETURN c.name, count(p)").unwrap();
     assert_eq!(rs.rows.len(), 1);
     assert_eq!(rs.rows[0][0], Value::Str("Acme".into()));
     assert_eq!(rs.rows[0][1], Value::Int(2));
 
-    let rs = g.query("MATCH (p:Person) RETURN min(p.age), max(p.age), avg(p.age), sum(p.age)").unwrap();
+    let rs =
+        g.query("MATCH (p:Person) RETURN min(p.age), max(p.age), avg(p.age), sum(p.age)").unwrap();
     assert_eq!(rs.rows[0][0], Value::Int(23));
     assert_eq!(rs.rows[0][1], Value::Int(41));
     assert_eq!(rs.rows[0][2], Value::Float(31.5));
@@ -150,18 +142,14 @@ fn count_star_and_distinct() {
     let mut g = social_graph();
     let rs = g.query("MATCH (p:Person) RETURN count(*)").unwrap();
     assert_eq!(rs.scalar(), Some(&Value::Int(4)));
-    let rs = g
-        .query("MATCH (:Person)-[:WORKS_AT]->(c) RETURN count(DISTINCT c)")
-        .unwrap();
+    let rs = g.query("MATCH (:Person)-[:WORKS_AT]->(c) RETURN count(DISTINCT c)").unwrap();
     assert_eq!(rs.scalar(), Some(&Value::Int(1)));
 }
 
 #[test]
 fn order_skip_limit() {
     let mut g = social_graph();
-    let rs = g
-        .query("MATCH (p:Person) RETURN p.name ORDER BY p.age DESC SKIP 1 LIMIT 2")
-        .unwrap();
+    let rs = g.query("MATCH (p:Person) RETURN p.name ORDER BY p.age DESC SKIP 1 LIMIT 2").unwrap();
     let names: Vec<String> = rs.rows.iter().map(|r| r[0].to_string()).collect();
     // ages desc: Cat(41), Ann(34), Bob(28), Dan(23); skip 1, limit 2 → Ann, Bob
     assert_eq!(names, vec!["Ann", "Bob"]);
@@ -170,9 +158,7 @@ fn order_skip_limit() {
 #[test]
 fn distinct_rows() {
     let mut g = social_graph();
-    let rs = g
-        .query("MATCH (p:Person)-[:WORKS_AT]->(c:Company) RETURN DISTINCT c.name")
-        .unwrap();
+    let rs = g.query("MATCH (p:Person)-[:WORKS_AT]->(c:Company) RETURN DISTINCT c.name").unwrap();
     assert_eq!(rs.rows.len(), 1);
 }
 
@@ -212,18 +198,16 @@ fn unwind_produces_one_row_per_element() {
 #[test]
 fn with_chains_projections() {
     let mut g = social_graph();
-    let rs = g
-        .query("MATCH (p:Person) WITH p.age AS age WHERE age > 30 RETURN count(age)")
-        .unwrap();
+    let rs =
+        g.query("MATCH (p:Person) WITH p.age AS age WHERE age > 30 RETURN count(age)").unwrap();
     assert_eq!(rs.scalar(), Some(&Value::Int(2)));
 }
 
 #[test]
 fn scalar_functions_in_projections() {
     let mut g = social_graph();
-    let rs = g
-        .query("MATCH (p:Person {name: 'Ann'}) RETURN id(p), labels(p), size(labels(p))")
-        .unwrap();
+    let rs =
+        g.query("MATCH (p:Person {name: 'Ann'}) RETURN id(p), labels(p), size(labels(p))").unwrap();
     assert_eq!(rs.rows[0][0], Value::Int(0));
     assert_eq!(rs.rows[0][1], Value::List(vec![Value::Str("Person".into())]));
     assert_eq!(rs.rows[0][2], Value::Int(1));
@@ -242,9 +226,7 @@ fn relationship_property_filter() {
 #[test]
 fn relationship_inline_property_map() {
     let mut g = social_graph();
-    let rs = g
-        .query("MATCH (a)-[:KNOWS {since: 2015}]->(b) RETURN b.name")
-        .unwrap();
+    let rs = g.query("MATCH (a)-[:KNOWS {since: 2015}]->(b) RETURN b.name").unwrap();
     assert_eq!(rs.scalar(), Some(&Value::Str("Bob".into())));
 }
 
@@ -258,9 +240,7 @@ fn nonexistent_relationship_type_matches_nothing() {
 #[test]
 fn cartesian_product_of_patterns() {
     let mut g = social_graph();
-    let rs = g
-        .query("MATCH (p:Person), (c:Company) RETURN count(*)")
-        .unwrap();
+    let rs = g.query("MATCH (p:Person), (c:Company) RETURN count(*)").unwrap();
     assert_eq!(rs.scalar(), Some(&Value::Int(4)));
 }
 
@@ -284,9 +264,7 @@ fn match_then_create_connects_existing_nodes() {
 #[test]
 fn explain_lists_plan_operations() {
     let g = social_graph();
-    let plan = g
-        .explain("MATCH (s:Node)-[*1..3]->(t) WHERE id(s) = 7 RETURN count(t)")
-        .unwrap();
+    let plan = g.explain("MATCH (s:Node)-[*1..3]->(t) WHERE id(s) = 7 RETURN count(t)").unwrap();
     let text = plan.join("\n");
     assert!(text.contains("Node By Id Seek"));
     assert!(text.contains("Conditional Traverse"));

@@ -281,9 +281,10 @@ impl Query {
 
     /// True if the query only reads (no CREATE / DELETE / SET).
     pub fn is_read_only(&self) -> bool {
-        !self.clauses.iter().any(|c| {
-            matches!(c, Clause::Create(_) | Clause::Delete { .. } | Clause::Set(_))
-        })
+        !self
+            .clauses
+            .iter()
+            .any(|c| matches!(c, Clause::Create(_) | Clause::Delete { .. } | Clause::Set(_)))
     }
 }
 
@@ -316,8 +317,15 @@ mod tests {
 
     #[test]
     fn read_only_detection() {
-        let read = Query { clauses: vec![Clause::Return(Projection {
-            distinct: false, items: vec![], order_by: vec![], skip: None, limit: None })] };
+        let read = Query {
+            clauses: vec![Clause::Return(Projection {
+                distinct: false,
+                items: vec![],
+                order_by: vec![],
+                skip: None,
+                limit: None,
+            })],
+        };
         assert!(read.is_read_only());
         let write = Query { clauses: vec![Clause::Create(vec![])] };
         assert!(!write.is_read_only());

@@ -223,7 +223,10 @@ impl<'a> Lexer<'a> {
                     self.pos += 1;
                 }
                 if self.peek() != Some(b'`') {
-                    return Err(LexError { message: "unterminated quoted identifier".into(), offset });
+                    return Err(LexError {
+                        message: "unterminated quoted identifier".into(),
+                        offset,
+                    });
                 }
                 let name = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
                 self.bump();
@@ -299,9 +302,7 @@ impl<'a> Lexer<'a> {
                     Some(b'\\') => out.push('\\'),
                     Some(c) if c == quote => out.push(c as char),
                     Some(c) => out.push(c as char),
-                    None => {
-                        return Err(LexError { message: "unterminated string".into(), offset })
-                    }
+                    None => return Err(LexError { message: "unterminated string".into(), offset }),
                 },
                 Some(c) => out.push(c as char),
                 None => return Err(LexError { message: "unterminated string".into(), offset }),

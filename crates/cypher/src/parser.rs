@@ -23,8 +23,8 @@ impl std::error::Error for ParseError {}
 
 /// Parse a Cypher query string into an AST.
 pub fn parse(src: &str) -> Result<Query, ParseError> {
-    let tokens = Lexer::tokenize(src)
-        .map_err(|e| ParseError { message: e.message, offset: e.offset })?;
+    let tokens =
+        Lexer::tokenize(src).map_err(|e| ParseError { message: e.message, offset: e.offset })?;
     Parser { tokens, pos: 0 }.parse_query()
 }
 
@@ -678,7 +678,8 @@ mod tests {
 
     #[test]
     fn parses_where_with_precedence() {
-        let q = parse("MATCH (a) WHERE a.age > 30 AND a.name = 'bob' OR NOT a.active RETURN a").unwrap();
+        let q = parse("MATCH (a) WHERE a.age > 30 AND a.name = 'bob' OR NOT a.active RETURN a")
+            .unwrap();
         let Clause::Where(expr) = &q.clauses[1] else { panic!() };
         // top level must be OR
         let Expr::Binary(BinaryOperator::Or, lhs, rhs) = expr else { panic!("expected OR at top") };
@@ -697,7 +698,9 @@ mod tests {
 
     #[test]
     fn parses_return_modifiers() {
-        let q = parse("MATCH (a) RETURN DISTINCT a.name AS n ORDER BY n DESC, a.age SKIP 5 LIMIT 10").unwrap();
+        let q =
+            parse("MATCH (a) RETURN DISTINCT a.name AS n ORDER BY n DESC, a.age SKIP 5 LIMIT 10")
+                .unwrap();
         let proj = q.return_clause().unwrap();
         assert!(proj.distinct);
         assert_eq!(proj.order_by.len(), 2);
@@ -709,7 +712,8 @@ mod tests {
 
     #[test]
     fn parses_aggregations() {
-        let q = parse("MATCH (a)-[]->(b) RETURN count(b), count(DISTINCT b), sum(b.x), count(*)").unwrap();
+        let q = parse("MATCH (a)-[]->(b) RETURN count(b), count(DISTINCT b), sum(b.x), count(*)")
+            .unwrap();
         let proj = q.return_clause().unwrap();
         assert_eq!(proj.items.len(), 4);
         let Expr::FunctionCall { name, distinct, .. } = &proj.items[1].expr else { panic!() };
@@ -722,10 +726,7 @@ mod tests {
 
     #[test]
     fn parses_create_delete_set() {
-        let q = parse(
-            "CREATE (a:Person {name: 'x'})-[:KNOWS]->(b:Person {name: 'y'})",
-        )
-        .unwrap();
+        let q = parse("CREATE (a:Person {name: 'x'})-[:KNOWS]->(b:Person {name: 'y'})").unwrap();
         assert!(matches!(q.clauses[0], Clause::Create(_)));
         assert!(!q.is_read_only());
 

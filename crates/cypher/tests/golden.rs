@@ -1,0 +1,192 @@
+//! Golden-file parser tests: each query's parsed AST (pretty `Debug`) — or,
+//! for the error cases, the `ParseError` display — is snapshotted under
+//! `tests/golden/*.snap` and compared verbatim on every run.
+//!
+//! To (re)generate snapshots after an intentional grammar change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p cypher --test golden
+//! ```
+//!
+//! and review the diff like any other code change.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// The corpus: name → query. Covers every clause the README advertises
+/// (MATCH / WHERE / CREATE / DELETE / SET / UNWIND / WITH), the aggregate
+/// functions, projection modifiers, and a set of malformed inputs whose
+/// error messages are part of the contract.
+const CASES: &[(&str, &str)] = &[
+    (
+        "match_simple",
+        "MATCH (a:Person)-[:KNOWS]->(b) RETURN a.name, b.name",
+    ),
+    (
+        "match_where_boolean",
+        "MATCH (a:Person) WHERE a.age > 30 AND NOT a.name = 'Bob' RETURN a",
+    ),
+    (
+        "match_varlength_id_seek",
+        "MATCH (s:Node)-[*1..3]->(t) WHERE id(s) = 7 RETURN count(t)",
+    ),
+    (
+        "match_undirected_with_props",
+        "MATCH (a {name: 'Ann'})-[r:PAID {amount: 30}]-(b:Merchant) RETURN r",
+    ),
+    (
+        "match_multi_pattern",
+        "MATCH (a:Customer)-[:HOLDS]->(card:Card)<-[:HOLDS]-(b:Customer) \
+         WHERE a.name < b.name RETURN a.name, b.name, card.number",
+    ),
+    (
+        "create_nodes_and_edges",
+        "CREATE (ann:Person {name: 'Ann', age: 34})-[:KNOWS {since: 2015}]->(bob:Person {name: 'Bob'})",
+    ),
+    (
+        "delete_edge",
+        "MATCH (a:Node {id: 9})-[r:NEXT]->(b) DELETE r",
+    ),
+    (
+        "detach_delete_node",
+        "MATCH (n:Node {id: 5}) DETACH DELETE n",
+    ),
+    (
+        "set_properties",
+        "MATCH (c:Counter) SET c.n = 10, c.label = 'updated' RETURN c.n",
+    ),
+    (
+        "unwind_list",
+        "UNWIND [1, 2, 3] AS x RETURN x",
+    ),
+    (
+        "aggregates_order_skip_limit",
+        "MATCH (p:Person) RETURN count(p), avg(p.age) AS mean, min(p.age), max(p.age), collect(p.name) \
+         ORDER BY mean DESC SKIP 1 LIMIT 2",
+    ),
+    (
+        "return_distinct",
+        "MATCH (a)-[:KNOWS]->(b) RETURN DISTINCT b.name",
+    ),
+    (
+        "with_projection",
+        "MATCH (a:Person) WITH a.age AS age RETURN age",
+    ),
+    // Error paths: the snapshot records the ParseError display, so offset and
+    // wording regressions are caught too.
+    ("err_unclosed_node", "MATCH (a RETURN a"),
+    ("err_dangling_relationship", "MATCH (a)-[:KNOWS]-> RETURN a"),
+    ("err_bad_property_literal", "CREATE (a:Person {name: })"),
+    ("err_unknown_clause", "FROBNICATE (a) RETURN a"),
+    ("err_missing_return_items", "MATCH (a) RETURN"),
+    ("err_unterminated_string", "MATCH (a {name: 'Ann) RETURN a"),
+];
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn render(query: &str) -> String {
+    let mut out = String::new();
+    writeln!(out, "query: {query}").unwrap();
+    match cypher::parse(query) {
+        Ok(ast) => writeln!(out, "{ast:#?}").unwrap(),
+        Err(err) => writeln!(out, "ERROR: {err}").unwrap(),
+    }
+    out
+}
+
+#[test]
+fn parser_output_matches_golden_snapshots() {
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    let dir = golden_dir();
+    let mut failures = Vec::new();
+
+    for (name, query) in CASES {
+        let actual = render(query);
+        let path = dir.join(format!("{name}.snap"));
+        if update {
+            std::fs::create_dir_all(&dir).unwrap();
+            std::fs::write(&path, &actual).unwrap();
+            continue;
+        }
+        match std::fs::read_to_string(&path) {
+            Ok(expected) if expected == actual => {}
+            Ok(expected) => failures.push(format!(
+                "snapshot mismatch for `{name}`\n--- expected ({}) ---\n{expected}\n--- actual ---\n{actual}",
+                path.display()
+            )),
+            Err(e) => failures.push(format!(
+                "missing snapshot {} for `{name}` ({e}); run with UPDATE_GOLDEN=1 to create it",
+                path.display()
+            )),
+        }
+    }
+
+    assert!(
+        failures.is_empty(),
+        "{} golden case(s) diverged:\n\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn golden_corpus_covers_the_advertised_grammar() {
+    // The corpus itself is part of the contract: make sure the happy-path
+    // cases exercise every clause kind so a grammar regression cannot hide
+    // behind a shrunken test set.
+    use cypher::Clause;
+    let mut seen_match = false;
+    let mut seen_where = false;
+    let mut seen_create = false;
+    let mut seen_delete = false;
+    let mut seen_set = false;
+    let mut seen_unwind = false;
+    let mut seen_with = false;
+    let mut seen_aggregate = false;
+
+    for (name, query) in CASES {
+        if name.starts_with("err_") {
+            assert!(
+                cypher::parse(query).is_err(),
+                "`{name}` is expected to be a parse error but parsed successfully"
+            );
+            continue;
+        }
+        let ast = cypher::parse(query)
+            .unwrap_or_else(|e| panic!("happy-path case `{name}` failed to parse: {e}"));
+        for clause in &ast.clauses {
+            match clause {
+                Clause::Match { .. } => seen_match = true,
+                Clause::Where(_) => seen_where = true,
+                Clause::Create(_) => seen_create = true,
+                Clause::Delete { .. } => seen_delete = true,
+                Clause::Set(_) => seen_set = true,
+                Clause::Unwind { .. } => seen_unwind = true,
+                Clause::With(_) => seen_with = true,
+                Clause::Return(projection) => {
+                    if projection.items.iter().any(|item| {
+                        matches!(
+                            &item.expr,
+                            cypher::Expr::FunctionCall { name, .. }
+                                if ["count", "sum", "avg", "min", "max", "collect"]
+                                    .contains(&name.to_ascii_lowercase().as_str())
+                        )
+                    }) {
+                        seen_aggregate = true;
+                    }
+                }
+            }
+        }
+    }
+
+    assert!(seen_match, "corpus must cover MATCH");
+    assert!(seen_where, "corpus must cover WHERE");
+    assert!(seen_create, "corpus must cover CREATE");
+    assert!(seen_delete, "corpus must cover DELETE");
+    assert!(seen_set, "corpus must cover SET");
+    assert!(seen_unwind, "corpus must cover UNWIND");
+    assert!(seen_with, "corpus must cover WITH");
+    assert!(seen_aggregate, "corpus must cover aggregate functions");
+}

@@ -23,7 +23,9 @@ pub mod workload;
 
 pub use powerlaw::{twitter_like, PowerLawConfig};
 pub use rmat::{graph500, RmatConfig};
-pub use workload::{KhopWorkload, SeedSelection, TIGERGRAPH_SEEDS_LARGE_K, TIGERGRAPH_SEEDS_SMALL_K};
+pub use workload::{
+    KhopWorkload, SeedSelection, TIGERGRAPH_SEEDS_LARGE_K, TIGERGRAPH_SEEDS_SMALL_K,
+};
 
 /// An edge list together with its vertex count — the interchange format
 /// between generators and the engines under test.
@@ -46,12 +48,7 @@ impl EdgeList {
     /// Deduplicated edge count, ignoring self-loops — the number of entries an
     /// adjacency matrix built from this list will hold.
     pub fn distinct_edge_count(&self) -> usize {
-        let mut e: Vec<(u64, u64)> = self
-            .edges
-            .iter()
-            .copied()
-            .filter(|&(s, d)| s != d)
-            .collect();
+        let mut e: Vec<(u64, u64)> = self.edges.iter().copied().filter(|&(s, d)| s != d).collect();
         e.sort_unstable();
         e.dedup();
         e.len()

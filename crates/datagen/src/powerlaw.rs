@@ -75,12 +75,7 @@ pub fn generate(config: &PowerLawConfig) -> EdgeList {
 /// vertices with an average out-degree similar to the original's 35
 /// (1.47 B / 41.6 M ≈ 35 edges per vertex).
 pub fn twitter_like(num_vertices: u64, seed: u64) -> EdgeList {
-    generate(&PowerLawConfig {
-        num_vertices,
-        edges_per_vertex: 35,
-        random_fraction: 0.15,
-        seed,
-    })
+    generate(&PowerLawConfig { num_vertices, edges_per_vertex: 35, random_fraction: 0.15, seed })
 }
 
 #[cfg(test)]
@@ -89,20 +84,33 @@ mod tests {
 
     #[test]
     fn respects_vertex_count_and_bounds() {
-        let el = generate(&PowerLawConfig { num_vertices: 500, edges_per_vertex: 5, ..Default::default() });
+        let el = generate(&PowerLawConfig {
+            num_vertices: 500,
+            edges_per_vertex: 5,
+            ..Default::default()
+        });
         assert_eq!(el.num_vertices, 500);
         assert!(el.edges.iter().all(|&(s, d)| s < 500 && d < 500 && s != d));
     }
 
     #[test]
     fn deterministic_per_seed() {
-        let cfg = PowerLawConfig { num_vertices: 300, edges_per_vertex: 4, seed: 9, ..Default::default() };
+        let cfg = PowerLawConfig {
+            num_vertices: 300,
+            edges_per_vertex: 4,
+            seed: 9,
+            ..Default::default()
+        };
         assert_eq!(generate(&cfg).edges, generate(&cfg).edges);
     }
 
     #[test]
     fn in_degree_is_heavy_tailed() {
-        let el = generate(&PowerLawConfig { num_vertices: 5_000, edges_per_vertex: 8, ..Default::default() });
+        let el = generate(&PowerLawConfig {
+            num_vertices: 5_000,
+            edges_per_vertex: 8,
+            ..Default::default()
+        });
         let mut indeg = vec![0usize; el.num_vertices as usize];
         for &(_, d) in &el.edges {
             indeg[d as usize] += 1;
@@ -115,7 +123,11 @@ mod tests {
 
     #[test]
     fn average_out_degree_close_to_requested() {
-        let el = generate(&PowerLawConfig { num_vertices: 2_000, edges_per_vertex: 10, ..Default::default() });
+        let el = generate(&PowerLawConfig {
+            num_vertices: 2_000,
+            edges_per_vertex: 10,
+            ..Default::default()
+        });
         let avg = el.num_edges() as f64 / el.num_vertices as f64;
         assert!(avg > 8.0 && avg <= 10.0, "avg out-degree {avg}");
     }

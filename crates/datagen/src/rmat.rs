@@ -36,15 +36,7 @@ pub struct RmatConfig {
 
 impl Default for RmatConfig {
     fn default() -> Self {
-        RmatConfig {
-            scale: 14,
-            edge_factor: 16,
-            a: 0.57,
-            b: 0.19,
-            c: 0.19,
-            seed: 42,
-            noise: 0.1,
-        }
+        RmatConfig { scale: 14, edge_factor: 16, a: 0.57, b: 0.19, c: 0.19, seed: 42, noise: 0.1 }
     }
 }
 
@@ -111,8 +103,12 @@ fn sample_edge(config: &RmatConfig, rng: &mut StdRng) -> (u64, u64) {
             let perturb = |p: f64, rng: &mut StdRng| {
                 p * (1.0 - config.noise / 2.0 + rng.gen::<f64>() * config.noise)
             };
-            let (na, nb, nc, nd) =
-                (perturb(a, rng), perturb(b, rng), perturb(c, rng), perturb((1.0 - a - b - c).max(0.0), rng));
+            let (na, nb, nc, nd) = (
+                perturb(a, rng),
+                perturb(b, rng),
+                perturb(c, rng),
+                perturb((1.0 - a - b - c).max(0.0), rng),
+            );
             let total = na + nb + nc + nd;
             a = na / total;
             b = nb / total;
@@ -152,10 +148,7 @@ mod tests {
         let degs = el.out_degrees();
         let max = *degs.iter().max().unwrap();
         let avg = degs.iter().sum::<usize>() as f64 / degs.len() as f64;
-        assert!(
-            max as f64 > 4.0 * avg,
-            "expected a heavy tail: max={max}, avg={avg:.1}"
-        );
+        assert!(max as f64 > 4.0 * avg, "expected a heavy tail: max={max}, avg={avg:.1}");
     }
 
     #[test]

@@ -69,10 +69,8 @@ impl KhopWorkload {
                 .collect(),
         };
         assert!(!candidates.is_empty(), "no candidate seed vertices");
-        let mut seeds: Vec<u64> = candidates
-            .choose_multiple(&mut rng, count.min(candidates.len()))
-            .copied()
-            .collect();
+        let mut seeds: Vec<u64> =
+            candidates.choose_multiple(&mut rng, count.min(candidates.len())).copied().collect();
         // If the graph has fewer candidates than requested seeds, cycle them so
         // the workload still issues `count` queries like the benchmark does.
         while seeds.len() < count {
@@ -110,10 +108,7 @@ impl KhopWorkload {
     /// so the planner can use a `Node By Id Seek` instead of a full scan, the
     /// same access path the original benchmark relies on.
     pub fn cypher_query(&self, seed: u64) -> String {
-        format!(
-            "MATCH (s:Node)-[*1..{}]->(t) WHERE id(s) = {} RETURN count(t)",
-            self.k, seed
-        )
+        format!("MATCH (s:Node)-[*1..{}]->(t) WHERE id(s) = {} RETURN count(t)", self.k, seed)
     }
 }
 
@@ -124,10 +119,22 @@ mod tests {
     #[test]
     fn tigergraph_seed_counts_match_paper() {
         let deg = vec![1usize; 1000];
-        assert_eq!(KhopWorkload::tigergraph(1, 1000, &deg, SeedSelection::UniformRandom, 1).len(), 300);
-        assert_eq!(KhopWorkload::tigergraph(2, 1000, &deg, SeedSelection::UniformRandom, 1).len(), 300);
-        assert_eq!(KhopWorkload::tigergraph(3, 1000, &deg, SeedSelection::UniformRandom, 1).len(), 10);
-        assert_eq!(KhopWorkload::tigergraph(6, 1000, &deg, SeedSelection::UniformRandom, 1).len(), 10);
+        assert_eq!(
+            KhopWorkload::tigergraph(1, 1000, &deg, SeedSelection::UniformRandom, 1).len(),
+            300
+        );
+        assert_eq!(
+            KhopWorkload::tigergraph(2, 1000, &deg, SeedSelection::UniformRandom, 1).len(),
+            300
+        );
+        assert_eq!(
+            KhopWorkload::tigergraph(3, 1000, &deg, SeedSelection::UniformRandom, 1).len(),
+            10
+        );
+        assert_eq!(
+            KhopWorkload::tigergraph(6, 1000, &deg, SeedSelection::UniformRandom, 1).len(),
+            10
+        );
     }
 
     #[test]

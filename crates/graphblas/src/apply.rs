@@ -6,17 +6,20 @@ use crate::unary_op::{UnaryApply, UnaryOp};
 use crate::vector::SparseVector;
 
 /// Apply `op` to every stored entry of a matrix, preserving the pattern.
-pub fn apply_matrix<T: Scalar + UnaryApply>(a: &SparseMatrix<T>, op: &UnaryOp<T>) -> SparseMatrix<T> {
+pub fn apply_matrix<T: Scalar + UnaryApply>(
+    a: &SparseMatrix<T>,
+    op: &UnaryOp<T>,
+) -> SparseMatrix<T> {
     assert!(a.is_flushed(), "apply requires a flushed matrix");
-    let triples: Vec<_> = a
-        .iter()
-        .map(|(r, c, v)| (r, c, T::apply_unary(op, v)))
-        .collect();
+    let triples: Vec<_> = a.iter().map(|(r, c, v)| (r, c, T::apply_unary(op, v))).collect();
     SparseMatrix::from_triples(a.nrows(), a.ncols(), &triples).expect("pattern already valid")
 }
 
 /// Apply `op` to every stored entry of a vector, preserving the pattern.
-pub fn apply_vector<T: Scalar + UnaryApply>(u: &SparseVector<T>, op: &UnaryOp<T>) -> SparseVector<T> {
+pub fn apply_vector<T: Scalar + UnaryApply>(
+    u: &SparseVector<T>,
+    op: &UnaryOp<T>,
+) -> SparseVector<T> {
     let entries: Vec<_> = u.iter().map(|(i, v)| (i, T::apply_unary(op, v))).collect();
     SparseVector::from_entries(u.size(), &entries).expect("pattern already valid")
 }

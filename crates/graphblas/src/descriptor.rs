@@ -6,7 +6,7 @@
 //! for this one call.
 
 /// Per-call modifiers for GraphBLAS operations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Descriptor {
     /// Use the complement of the mask (`GrB_COMP`): entries *not* present (or
     /// false) in the mask are computed.
@@ -23,19 +23,6 @@ pub struct Descriptor {
     /// Override the context thread count for this call (`None` = use
     /// [`crate::Context::nthreads`]).
     pub nthreads: Option<usize>,
-}
-
-impl Default for Descriptor {
-    fn default() -> Self {
-        Descriptor {
-            mask_complement: false,
-            mask_structure: false,
-            replace: false,
-            transpose_a: false,
-            transpose_b: false,
-            nthreads: None,
-        }
-    }
 }
 
 impl Descriptor {

@@ -63,9 +63,7 @@ pub fn check_dims(a: u64, b: u64, what: &str) -> GrbResult<()> {
     if a == b {
         Ok(())
     } else {
-        Err(GrbError::DimensionMismatch {
-            what: format!("{what}: {a} != {b}"),
-        })
+        Err(GrbError::DimensionMismatch { what: format!("{what}: {a} != {b}") })
     }
 }
 

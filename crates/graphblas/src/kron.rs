@@ -61,8 +61,7 @@ mod tests {
 
     #[test]
     fn kronecker_power_grows_exponentially() {
-        let seed =
-            SparseMatrix::from_triples(2, 2, &[(0, 0, 1u64), (0, 1, 1), (1, 0, 1)]).unwrap();
+        let seed = SparseMatrix::from_triples(2, 2, &[(0, 0, 1u64), (0, 1, 1), (1, 0, 1)]).unwrap();
         let k3 = kronecker_power(&seed, 3, &BinaryOp::Times);
         assert_eq!(k3.nrows(), 8);
         assert_eq!(k3.nvals(), 27); // 3^3 entries

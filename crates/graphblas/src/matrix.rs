@@ -63,7 +63,11 @@ impl<T: Scalar> SparseMatrix<T> {
     /// Build a matrix from `(row, col, value)` triples. Duplicate coordinates
     /// keep the last value supplied (use [`SparseMatrix::from_triples_dup`] to
     /// combine duplicates with an operator instead).
-    pub fn from_triples(nrows: Index, ncols: Index, triples: &[(Index, Index, T)]) -> GrbResult<Self> {
+    pub fn from_triples(
+        nrows: Index,
+        ncols: Index,
+        triples: &[(Index, Index, T)],
+    ) -> GrbResult<Self> {
         Self::build(nrows, ncols, triples, None)
     }
 
@@ -259,7 +263,7 @@ impl<T: Scalar> SparseMatrix<T> {
             let mut k = start;
             // Merge existing row entries with this row's changes.
             while ch < changes.len() && changes[ch].0 .0 == row {
-                let (( _, col), ref val) = changes[ch];
+                let ((_, col), ref val) = changes[ch];
                 // copy existing entries with smaller column
                 while k < end && self.col_idx[k] < col {
                     new_col_idx.push(self.col_idx[k]);
@@ -344,10 +348,7 @@ impl<T: Scalar> SparseMatrix<T> {
             self.ncols = ncols;
             return;
         }
-        let triples: Vec<_> = self
-            .iter()
-            .filter(|&(r, c, _)| r < nrows && c < ncols)
-            .collect();
+        let triples: Vec<_> = self.iter().filter(|&(r, c, _)| r < nrows && c < ncols).collect();
         *self = SparseMatrix::from_triples(nrows, ncols, &triples).expect("resize rebuild");
     }
 
@@ -428,8 +429,9 @@ mod tests {
 
     #[test]
     fn from_triples_dup_combines() {
-        let m = SparseMatrix::from_triples_dup(2, 2, &[(0, 0, 1), (0, 0, 2), (1, 1, 5)], |a, b| a + b)
-            .unwrap();
+        let m =
+            SparseMatrix::from_triples_dup(2, 2, &[(0, 0, 1), (0, 0, 2), (1, 1, 5)], |a, b| a + b)
+                .unwrap();
         assert_eq!(m.extract_element(0, 0), Some(3));
         assert_eq!(m.extract_element(1, 1), Some(5));
     }

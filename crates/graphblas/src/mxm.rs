@@ -15,6 +15,10 @@ use crate::transpose::transpose;
 use crate::types::Scalar;
 use crate::Index;
 
+/// One thread's slice of the output in CSR form: `(row_ptr, col_idx, values)`
+/// with a local `row_ptr` starting at 0.
+type CsrFragment<T> = (Vec<usize>, Vec<Index>, Vec<T>);
+
 /// `C = A ⊕.⊗ B` with an optional mask on the output.
 ///
 /// Dimensions: `A` is `m×k`, `B` is `k×n`, the result is `m×n`. The descriptor
@@ -64,7 +68,7 @@ pub fn mxm<T: Scalar + OpApply>(
     // Parallel over contiguous row blocks; each block produces an independent
     // CSR fragment which is stitched afterwards.
     let ranges = partition_ranges(m as usize, nthreads);
-    let mut results: Vec<Option<(Vec<usize>, Vec<Index>, Vec<T>)>> = Vec::new();
+    let mut results: Vec<Option<CsrFragment<T>>> = Vec::new();
     results.resize_with(ranges.len(), || None);
 
     crossbeam::thread::scope(|scope| {
@@ -82,10 +86,8 @@ pub fn mxm<T: Scalar + OpApply>(
     // Stitch fragments.
     let mut row_ptr = Vec::with_capacity(m as usize + 1);
     row_ptr.push(0usize);
-    let total_nnz: usize = results
-        .iter()
-        .map(|r| r.as_ref().map(|(_, c, _)| c.len()).unwrap_or(0))
-        .sum();
+    let total_nnz: usize =
+        results.iter().map(|r| r.as_ref().map(|(_, c, _)| c.len()).unwrap_or(0)).sum();
     let mut col_idx = Vec::with_capacity(total_nnz);
     let mut values = Vec::with_capacity(total_nnz);
     for frag in results.into_iter().flatten() {
@@ -109,7 +111,7 @@ fn mxm_rows<T: Scalar + OpApply>(
     mask: Option<&MatrixMask<'_>>,
     desc: &Descriptor,
     rows: std::ops::Range<usize>,
-) -> (Vec<usize>, Vec<Index>, Vec<T>) {
+) -> CsrFragment<T> {
     let n = b.ncols() as usize;
     let mut occupied = vec![false; n];
     let mut acc = vec![T::zero(); n];
@@ -186,7 +188,13 @@ mod tests {
         let da = [[1.0, 0.0, 2.0], [0.0, 3.0, 0.0], [4.0, 0.0, 5.0]];
         let db = [[0.0, 1.0, 0.0], [2.0, 0.0, 0.0], [0.0, 0.0, 3.0]];
         let dc = dense_mult(&da, &db);
-        let c = mxm(&to_sparse(&da), &to_sparse(&db), &Semiring::plus_times(), None, &Descriptor::default());
+        let c = mxm(
+            &to_sparse(&da),
+            &to_sparse(&db),
+            &Semiring::plus_times(),
+            None,
+            &Descriptor::default(),
+        );
         for i in 0..3u64 {
             for j in 0..3u64 {
                 let expect = dc[i as usize][j as usize];
@@ -229,7 +237,8 @@ mod tests {
     #[test]
     fn complemented_mask_excludes_existing_edges() {
         // "two-hop neighbours that are not one-hop neighbours"
-        let a = SparseMatrix::from_triples(3, 3, &[(0, 1, true), (1, 2, true), (0, 2, true)]).unwrap();
+        let a =
+            SparseMatrix::from_triples(3, 3, &[(0, 1, true), (1, 2, true), (0, 2, true)]).unwrap();
         let mask = MatrixMask::new(&a);
         let c = mxm(
             &a,
@@ -246,8 +255,10 @@ mod tests {
     fn transpose_descriptor_matches_explicit_transpose() {
         let a = SparseMatrix::from_triples(3, 3, &[(0, 1, 2.0), (1, 2, 3.0), (2, 0, 4.0)]).unwrap();
         let b = SparseMatrix::from_triples(3, 3, &[(0, 2, 1.0), (2, 1, 5.0)]).unwrap();
-        let via_desc = mxm(&a, &b, &Semiring::plus_times(), None, &Descriptor::new().with_transpose_a());
-        let via_explicit = mxm(&transpose(&a), &b, &Semiring::plus_times(), None, &Descriptor::default());
+        let via_desc =
+            mxm(&a, &b, &Semiring::plus_times(), None, &Descriptor::new().with_transpose_a());
+        let via_explicit =
+            mxm(&transpose(&a), &b, &Semiring::plus_times(), None, &Descriptor::default());
         assert_eq!(via_desc, via_explicit);
     }
 
@@ -261,8 +272,10 @@ mod tests {
             }
         }
         let a = SparseMatrix::from_triples(64, 64, &triples).unwrap();
-        let serial = mxm(&a, &a, &Semiring::plus_times(), None, &Descriptor::new().with_nthreads(1));
-        let parallel = mxm(&a, &a, &Semiring::plus_times(), None, &Descriptor::new().with_nthreads(4));
+        let serial =
+            mxm(&a, &a, &Semiring::plus_times(), None, &Descriptor::new().with_nthreads(1));
+        let parallel =
+            mxm(&a, &a, &Semiring::plus_times(), None, &Descriptor::new().with_nthreads(4));
         assert_eq!(serial, parallel);
         assert_eq!(serial.nvals(), parallel.nvals());
     }

@@ -173,12 +173,8 @@ mod tests {
 
     /// Path graph 0→1→2→3 plus a branch 1→3.
     fn adj() -> SparseMatrix<bool> {
-        SparseMatrix::from_triples(
-            4,
-            4,
-            &[(0, 1, true), (1, 2, true), (2, 3, true), (1, 3, true)],
-        )
-        .unwrap()
+        SparseMatrix::from_triples(4, 4, &[(0, 1, true), (1, 2, true), (2, 3, true), (1, 3, true)])
+            .unwrap()
     }
 
     #[test]
@@ -228,13 +224,8 @@ mod tests {
     fn vxm_transposed_equals_mxv() {
         let a = adj();
         let f = SparseVector::from_entries(4, &[(3, true)]).unwrap();
-        let via_desc = vxm(
-            &f,
-            &a,
-            &Semiring::lor_land(),
-            None,
-            &Descriptor::new().with_transpose_b(),
-        );
+        let via_desc =
+            vxm(&f, &a, &Semiring::lor_land(), None, &Descriptor::new().with_transpose_b());
         let via_mxv = mxv(&a, &f, &Semiring::lor_land(), None, &Descriptor::default());
         assert_eq!(via_desc, via_mxv);
     }
@@ -242,8 +233,7 @@ mod tests {
     #[test]
     fn plus_pair_counts_incoming_paths() {
         // two vertices both pointing at 2
-        let a =
-            SparseMatrix::from_triples(3, 3, &[(0, 2, 1u64), (1, 2, 1u64)]).unwrap();
+        let a = SparseMatrix::from_triples(3, 3, &[(0, 2, 1u64), (1, 2, 1u64)]).unwrap();
         let f = SparseVector::from_entries(3, &[(0, 1u64), (1, 1u64)]).unwrap();
         let r = vxm(&f, &a, &Semiring::plus_pair(), None, &Descriptor::default());
         assert_eq!(r.extract_element(2), Some(2));

@@ -71,12 +71,7 @@ mod tests {
 
     #[test]
     fn row_reduce_computes_out_degree() {
-        let a = SparseMatrix::from_triples(
-            3,
-            3,
-            &[(0, 1, 1u64), (0, 2, 1), (2, 0, 1)],
-        )
-        .unwrap();
+        let a = SparseMatrix::from_triples(3, 3, &[(0, 1, 1u64), (0, 2, 1), (2, 0, 1)]).unwrap();
         let deg = reduce_to_vector(&a, &plus_monoid());
         assert_eq!(deg.extract_element(0), Some(2));
         assert_eq!(deg.extract_element(1), None); // empty row → no entry

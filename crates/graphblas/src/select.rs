@@ -61,12 +61,8 @@ mod tests {
     use super::*;
 
     fn m() -> SparseMatrix<i64> {
-        SparseMatrix::from_triples(
-            3,
-            3,
-            &[(0, 0, 1), (0, 2, 2), (1, 1, 0), (2, 0, 3), (2, 2, 4)],
-        )
-        .unwrap()
+        SparseMatrix::from_triples(3, 3, &[(0, 0, 1), (0, 2, 2), (1, 1, 0), (2, 0, 3), (2, 2, 4)])
+            .unwrap()
     }
 
     #[test]

@@ -61,12 +61,9 @@ mod tests {
 
     #[test]
     fn double_transpose_is_identity() {
-        let a = SparseMatrix::from_triples(
-            5,
-            4,
-            &[(0, 0, 1.5), (2, 3, 2.5), (4, 1, 3.5), (4, 2, 4.5)],
-        )
-        .unwrap();
+        let a =
+            SparseMatrix::from_triples(5, 4, &[(0, 0, 1.5), (2, 3, 2.5), (4, 1, 3.5), (4, 2, 4.5)])
+                .unwrap();
         assert_eq!(transpose(&transpose(&a)), a);
     }
 
@@ -82,7 +79,8 @@ mod tests {
 
     #[test]
     fn transpose_preserves_entry_count_per_column() {
-        let a = SparseMatrix::from_triples(3, 3, &[(0, 1, true), (1, 1, true), (2, 1, true)]).unwrap();
+        let a =
+            SparseMatrix::from_triples(3, 3, &[(0, 1, true), (1, 1, true), (2, 1, true)]).unwrap();
         let t = transpose(&a);
         assert_eq!(t.row_degree(1), 3);
         assert_eq!(t.row_degree(0), 0);

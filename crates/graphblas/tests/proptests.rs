@@ -9,10 +9,18 @@ use graphblas::prelude::*;
 use proptest::prelude::*;
 
 const DIM: u64 = 12;
+/// Rectangular dimensions for the transpose tests (shape must round-trip too).
+const RDIM_ROWS: u64 = 9;
+const RDIM_COLS: u64 = 13;
 
 /// Strategy: a list of in-bounds (row, col, value) triples.
 fn triples() -> impl Strategy<Value = Vec<(u64, u64, i64)>> {
     prop::collection::vec(((0..DIM), (0..DIM), -100i64..100), 0..80)
+}
+
+/// Strategy: triples in bounds for a rectangular `RDIM_ROWS × RDIM_COLS` matrix.
+fn rect_triples() -> impl Strategy<Value = Vec<(u64, u64, i64)>> {
+    prop::collection::vec(((0..RDIM_ROWS), (0..RDIM_COLS), -100i64..100), 0..80)
 }
 
 /// Dense reference multiply under plus_times.
@@ -177,6 +185,80 @@ proptest! {
             prop_assert_eq!(unmasked.extract_element(r, c), Some(v));
             prop_assert!(mask_m.contains(r, c));
         }
+    }
+
+    #[test]
+    fn transpose_involution_holds_on_rectangular_matrices(ts in rect_triples()) {
+        let m = SparseMatrix::from_triples(RDIM_ROWS, RDIM_COLS, &ts).unwrap();
+        let t = transpose(&m);
+        prop_assert_eq!(t.nrows(), RDIM_COLS);
+        prop_assert_eq!(t.ncols(), RDIM_ROWS);
+        prop_assert!(t.check_invariants().is_ok());
+        let tt = transpose(&t);
+        prop_assert_eq!(tt, m);
+    }
+
+    #[test]
+    fn mxv_matches_dense_reference(ts in triples(), entries in prop::collection::vec(((0..DIM), -50i64..50), 0..24)) {
+        let a = SparseMatrix::from_triples(DIM, DIM, &ts).unwrap();
+        let mut u = SparseVector::<i64>::new(DIM);
+        for &(j, x) in &entries {
+            u.set_element(j, x);
+        }
+        let w = mxv(&a, &u, &Semiring::plus_times(), None, &Descriptor::default());
+        // Dense reference: w[i] = Σ_j a[i][j] * u[j], absent ⇔ no stored a[i][j]
+        // meets a stored u[j] (GraphBLAS keeps structural zeros out of the result).
+        let dense_u: Vec<Option<i64>> = u.to_dense();
+        for i in 0..DIM {
+            let (cols, vals) = a.row(i);
+            let mut acc: Option<i64> = None;
+            for (&j, &av) in cols.iter().zip(vals.iter()) {
+                if let Some(uv) = dense_u[j as usize] {
+                    acc = Some(acc.unwrap_or(0).wrapping_add(av.wrapping_mul(uv)));
+                }
+            }
+            prop_assert_eq!(w.extract_element(i), acc, "row {}", i);
+        }
+    }
+
+    #[test]
+    fn mxv_agrees_with_mxm_columns(ta in triples(), tb in triples()) {
+        // Multiplying A by each column of B must reproduce the corresponding
+        // column of A ⊕.⊗ B — the defining relation between mxv and mxm.
+        let a = SparseMatrix::from_triples(DIM, DIM, &ta).unwrap();
+        let b = SparseMatrix::from_triples(DIM, DIM, &tb).unwrap();
+        let c = mxm(&a, &b, &Semiring::plus_times(), None, &Descriptor::default());
+        for j in 0..DIM {
+            let b_col = extract_col(&b, j).unwrap();
+            let w = mxv(&a, &b_col, &Semiring::plus_times(), None, &Descriptor::default());
+            let c_col = extract_col(&c, j).unwrap();
+            prop_assert_eq!(w.to_entries(), c_col.to_entries(), "column {}", j);
+        }
+    }
+
+    #[test]
+    fn mxv_on_explicit_transpose_equals_vxm(ts in triples(), entries in prop::collection::vec(((0..DIM), -50i64..50), 0..24)) {
+        // Pull traversal over Aᵀ and push traversal over A are the same map:
+        // Aᵀ ⊕.⊗ u == u ⊕.⊗ A.
+        let a = SparseMatrix::from_triples(DIM, DIM, &ts).unwrap();
+        let mut u = SparseVector::<i64>::new(DIM);
+        for &(j, x) in &entries {
+            u.set_element(j, x);
+        }
+        let pull = mxv(&transpose(&a), &u, &Semiring::plus_times(), None, &Descriptor::default());
+        let push = vxm(&u, &a, &Semiring::plus_times(), None, &Descriptor::default());
+        prop_assert_eq!(pull.to_entries(), push.to_entries());
+    }
+
+    #[test]
+    fn mxv_indicator_extracts_matrix_columns(ts in triples(), col in 0..DIM) {
+        // A ⊕.⊗ e_col over plus_times is exactly column `col` of A.
+        let a = SparseMatrix::from_triples(DIM, DIM, &ts).unwrap();
+        let mut e = SparseVector::<i64>::new(DIM);
+        e.set_element(col, 1);
+        let w = mxv(&a, &e, &Semiring::plus_times(), None, &Descriptor::default());
+        let column = extract_col(&a, col).unwrap();
+        prop_assert_eq!(w.to_entries(), column.to_entries());
     }
 
     #[test]

@@ -50,17 +50,15 @@ impl Command {
         match name.to_ascii_uppercase().as_str() {
             "PING" => Ok(Command::Ping),
             "GRAPH.QUERY" => match args {
-                [graph, query] => Ok(Command::GraphQuery {
-                    graph: graph.to_string(),
-                    query: query.to_string(),
-                }),
+                [graph, query] => {
+                    Ok(Command::GraphQuery { graph: graph.to_string(), query: query.to_string() })
+                }
                 _ => Err("GRAPH.QUERY takes exactly 2 arguments".to_string()),
             },
             "GRAPH.EXPLAIN" => match args {
-                [graph, query] => Ok(Command::GraphExplain {
-                    graph: graph.to_string(),
-                    query: query.to_string(),
-                }),
+                [graph, query] => {
+                    Ok(Command::GraphExplain { graph: graph.to_string(), query: query.to_string() })
+                }
                 _ => Err("GRAPH.EXPLAIN takes exactly 2 arguments".to_string()),
             },
             "GRAPH.DELETE" => match args {
@@ -91,9 +89,8 @@ pub fn value_to_resp(value: &Value) -> RespValue {
 /// Encode a [`ResultSet`] as the three-section reply `GRAPH.QUERY` returns:
 /// header, rows, statistics.
 pub fn resultset_to_resp(rs: &ResultSet) -> RespValue {
-    let header = RespValue::Array(
-        rs.columns.iter().map(|c| RespValue::BulkString(c.clone())).collect(),
-    );
+    let header =
+        RespValue::Array(rs.columns.iter().map(|c| RespValue::BulkString(c.clone())).collect());
     let rows = RespValue::Array(
         rs.rows
             .iter()
@@ -120,7 +117,8 @@ mod tests {
 
     #[test]
     fn parses_graph_query() {
-        let cmd = Command::parse(&RespValue::command(&["graph.query", "g", "MATCH (n) RETURN n"])).unwrap();
+        let cmd = Command::parse(&RespValue::command(&["graph.query", "g", "MATCH (n) RETURN n"]))
+            .unwrap();
         assert_eq!(
             cmd,
             Command::GraphQuery { graph: "g".into(), query: "MATCH (n) RETURN n".into() }
@@ -134,7 +132,10 @@ mod tests {
             Command::parse(&RespValue::command(&["Graph.Delete", "g"])).unwrap(),
             Command::GraphDelete { graph: "g".into() }
         );
-        assert_eq!(Command::parse(&RespValue::command(&["GRAPH.LIST"])).unwrap(), Command::GraphList);
+        assert_eq!(
+            Command::parse(&RespValue::command(&["GRAPH.LIST"])).unwrap(),
+            Command::GraphList
+        );
     }
 
     #[test]

@@ -82,7 +82,10 @@ impl RespValue {
         let kind = *line.first()?;
         let body = &line[1..];
         match kind {
-            b'+' => Some((RespValue::SimpleString(String::from_utf8_lossy(body).into_owned()), consumed)),
+            b'+' => Some((
+                RespValue::SimpleString(String::from_utf8_lossy(body).into_owned()),
+                consumed,
+            )),
             b'-' => Some((RespValue::Error(String::from_utf8_lossy(body).into_owned()), consumed)),
             b':' => {
                 let i: i64 = std::str::from_utf8(body).ok()?.parse().ok()?;
@@ -173,7 +176,8 @@ mod tests {
         assert_eq!(RespValue::Integer(5).to_string(), "5");
         assert_eq!(RespValue::Null.to_string(), "(nil)");
         assert_eq!(
-            RespValue::Array(vec![RespValue::Integer(1), RespValue::BulkString("a".into())]).to_string(),
+            RespValue::Array(vec![RespValue::Integer(1), RespValue::BulkString("a".into())])
+                .to_string(),
             "[1, a]"
         );
     }

@@ -116,7 +116,9 @@ impl RedisGraphServer {
                 let graph = self.graph(&graph);
                 let guard = graph.read();
                 match guard.explain(&query) {
-                    Ok(lines) => RespValue::Array(lines.into_iter().map(RespValue::BulkString).collect()),
+                    Ok(lines) => {
+                        RespValue::Array(lines.into_iter().map(RespValue::BulkString).collect())
+                    }
                     Err(e) => RespValue::Error(format!("ERR {e}")),
                 }
             }
@@ -125,9 +127,8 @@ impl RedisGraphServer {
                 let graph = self.graph(&graph);
                 let pool = self.pool.clone();
                 pool.execute_blocking(move || {
-                    let is_write = cypher::parse(&query)
-                        .map(|ast| !ast.is_read_only())
-                        .unwrap_or(true);
+                    let is_write =
+                        cypher::parse(&query).map(|ast| !ast.is_read_only()).unwrap_or(true);
                     if is_write {
                         let mut g = graph.write();
                         match g.query(&query) {
@@ -213,7 +214,10 @@ mod tests {
     #[test]
     fn ping_and_graph_lifecycle() {
         let server = RedisGraphServer::new(ServerConfig { thread_count: 2 });
-        assert_eq!(server.handle(&RespValue::command(&["PING"])), RespValue::SimpleString("PONG".into()));
+        assert_eq!(
+            server.handle(&RespValue::command(&["PING"])),
+            RespValue::SimpleString("PONG".into())
+        );
         server.query("g1", "CREATE (:A)");
         server.query("g2", "CREATE (:B)");
         assert_eq!(server.graph_names(), vec!["g1", "g2"]);
@@ -252,7 +256,8 @@ mod tests {
     fn explain_returns_plan_lines() {
         let server = RedisGraphServer::new(ServerConfig::default());
         server.query("g", "CREATE (:Node)");
-        let reply = server.handle(&RespValue::command(&["GRAPH.EXPLAIN", "g", "MATCH (a:Node) RETURN a"]));
+        let reply =
+            server.handle(&RespValue::command(&["GRAPH.EXPLAIN", "g", "MATCH (a:Node) RETURN a"]));
         let RespValue::Array(lines) = reply else { panic!() };
         assert!(lines.iter().any(|l| l.to_string().contains("Node By Label Scan")));
     }
@@ -270,7 +275,11 @@ mod tests {
                 let (reply_tx, reply_rx) = unbounded();
                 for _ in 0..5 {
                     tx.send(Request {
-                        command: RespValue::command(&["GRAPH.QUERY", "g", "MATCH (a)-[:LINK]->(b) RETURN count(b)"]),
+                        command: RespValue::command(&[
+                            "GRAPH.QUERY",
+                            "g",
+                            "MATCH (a)-[:LINK]->(b) RETURN count(b)",
+                        ]),
                         reply_to: reply_tx.clone(),
                     })
                     .unwrap();

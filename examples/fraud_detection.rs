@@ -46,9 +46,12 @@ fn main() {
         ))
         .unwrap();
     }
-    for (customer, merchant, amount) in
-        [("alice", "GoodShop", 30), ("carol", "ShadyShop", 900), ("dave", "ShadyShop", 850), ("bob", "GoodShop", 12)]
-    {
+    for (customer, merchant, amount) in [
+        ("alice", "GoodShop", 30),
+        ("carol", "ShadyShop", 900),
+        ("dave", "ShadyShop", 850),
+        ("bob", "GoodShop", 12),
+    ] {
         g.query(&format!(
             "MATCH (c:Customer {{name: '{customer}'}}), (m:Merchant {{name: '{merchant}'}}) \
              CREATE (c)-[:PAID {{amount: {amount}}}]->(m)"
@@ -83,9 +86,7 @@ fn main() {
 
     // 3. Blast radius of the riskiest customer: everything reachable in ≤3 hops
     //    in either direction (the k-hop primitive of the paper's benchmark).
-    let risky = g
-        .query("MATCH (c:Customer) RETURN c.name ORDER BY c.risk DESC LIMIT 1")
-        .unwrap();
+    let risky = g.query("MATCH (c:Customer) RETURN c.name ORDER BY c.risk DESC LIMIT 1").unwrap();
     let name = risky.rows[0][0].to_string();
     let blast = g
         .query(&format!(

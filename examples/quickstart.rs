@@ -29,7 +29,9 @@ fn main() {
 
     // Read queries: traversals become sparse-matrix operations internally.
     let friends_of_friends = g
-        .query("MATCH (a:Person {name: 'Ann'})-[:KNOWS*1..2]->(p) RETURN p.name, p.age ORDER BY p.age")
+        .query(
+            "MATCH (a:Person {name: 'Ann'})-[:KNOWS*1..2]->(p) RETURN p.name, p.age ORDER BY p.age",
+        )
         .expect("query succeeds");
     println!("-- Ann's 1..2-hop KNOWS neighbourhood --");
     println!("{}", friends_of_friends.to_table());

@@ -25,11 +25,7 @@ fn main() {
     });
     let mut g = Graph::new("followers");
     g.bulk_load(network.num_vertices, &network.edges);
-    println!(
-        "loaded follower graph: {} accounts, {} follow edges",
-        g.node_count(),
-        g.edge_count()
-    );
+    println!("loaded follower graph: {} accounts, {} follow edges", g.node_count(), g.edge_count());
 
     // Recommend for a handful of accounts.
     for account in [5u64, 42, 300] {
@@ -45,7 +41,10 @@ fn main() {
             .expect("recommendation query succeeds");
         let elapsed = start.elapsed();
 
-        println!("\naccount {account}: top follow recommendations ({:.2} ms)", elapsed.as_secs_f64() * 1e3);
+        println!(
+            "\naccount {account}: top follow recommendations ({:.2} ms)",
+            elapsed.as_secs_f64() * 1e3
+        );
         if recs.rows.is_empty() {
             println!("    (no second-degree connections)");
         }
@@ -58,7 +57,10 @@ fn main() {
         // Cross-check the candidate pool size with the algebraic 2-hop reach.
         let pool = g.khop_count(account, 2);
         let direct = g.khop_count(account, 1);
-        println!("    candidate pool: {} accounts within 2 hops ({} followed directly)", pool, direct);
+        println!(
+            "    candidate pool: {} accounts within 2 hops ({} followed directly)",
+            pool, direct
+        );
         assert!(pool >= direct);
     }
 

@@ -1,0 +1,29 @@
+//! # redisgraph (umbrella crate)
+//!
+//! Facade over the workspace reproducing *"RedisGraph: GraphBLAS Enabled
+//! Graph Database"* (Cailliau et al., IPDPSW 2019). It re-exports the
+//! user-facing pieces of each layer so quick experiments can depend on one
+//! crate, and it hosts the cross-crate integration tests
+//! (`tests/integration.rs`) and the runnable examples (`examples/`).
+//!
+//! Layer map (bottom to top):
+//!
+//! * [`graphblas`] — sparse matrices/vectors and the algebraic kernels
+//!   (`mxm`, `mxv`/`vxm`, `ewise`, `transpose`, …);
+//! * [`cypher`] — openCypher lexer/parser producing the AST;
+//! * [`core`](redisgraph_core) — the graph store (DataBlocks + label and
+//!   relation matrices) and the AST→plan→GraphBLAS executor;
+//! * [`server`](redisgraph_server) — RESP framing, the single-threaded
+//!   dispatcher, and the module worker pool;
+//! * [`datagen`] / [`baseline`] — benchmark datasets and the
+//!   adjacency-list comparison engine.
+
+pub use baseline;
+pub use cypher;
+pub use datagen;
+pub use graphblas;
+pub use redisgraph_core as core;
+pub use redisgraph_server as server;
+
+pub use redisgraph_core::{Graph, Value};
+pub use redisgraph_server::{RedisGraphServer, RespValue, ServerConfig};

@@ -31,7 +31,8 @@ fn khop_agreement_across_all_three_paths() {
             let pointer_chasing = loaded.baseline.khop_count(seed, k);
             assert_eq!(algebraic, pointer_chasing, "seed {seed} k {k}");
 
-            let query = format!("MATCH (s:Node)-[*1..{k}]->(t) WHERE id(s) = {seed} RETURN count(t)");
+            let query =
+                format!("MATCH (s:Node)-[*1..{k}]->(t) WHERE id(s) = {seed} RETURN count(t)");
             let rs = loaded.redisgraph.query_readonly(&query).unwrap();
             let via_cypher = rs.scalar().and_then(|v| v.as_i64()).unwrap() as u64;
             assert_eq!(via_cypher, algebraic, "cypher path diverged at seed {seed} k {k}");
@@ -76,9 +77,7 @@ fn interleaved_writes_keep_matrices_consistent() {
     // every node reaches every other node in ≤ 19 hops around the ring
     assert_eq!(g.khop_count(0, 19), 19);
     // the Cypher count agrees
-    let rs = g
-        .query("MATCH (s:Node {id: 0})-[*1..19]->(t) RETURN count(t)")
-        .unwrap();
+    let rs = g.query("MATCH (s:Node {id: 0})-[*1..19]->(t) RETURN count(t)").unwrap();
     assert_eq!(rs.scalar(), Some(&Value::Int(19)));
 
     // break the ring and check reachability drops
@@ -96,14 +95,18 @@ fn interleaved_writes_keep_matrices_consistent() {
 /// through the server substrate, concurrently, with consistent answers.
 #[test]
 fn server_serves_benchmark_workload_concurrently() {
-    let el = datagen::rmat::generate(&RmatConfig { scale: 8, edge_factor: 8, seed: 3, ..Default::default() });
+    let el = datagen::rmat::generate(&RmatConfig {
+        scale: 8,
+        edge_factor: 8,
+        seed: 3,
+        ..Default::default()
+    });
     let server = Arc::new(RedisGraphServer::new(ServerConfig { thread_count: 4 }));
     server.graph("bench").write().bulk_load(el.num_vertices, &el.edges);
 
     // Expected answers straight from the core library.
-    let expected: Vec<(u64, u64)> = (0..16u64)
-        .map(|seed| (seed, server.graph("bench").read().khop_count(seed, 2)))
-        .collect();
+    let expected: Vec<(u64, u64)> =
+        (0..16u64).map(|seed| (seed, server.graph("bench").read().khop_count(seed, 2))).collect();
 
     let (tx, handle) = server.start_dispatcher();
     let mut clients = Vec::new();
@@ -158,7 +161,12 @@ fn server_mixes_reads_and_writes() {
 fn workload_queries_parse_and_execute() {
     let loaded = load_dataset(Dataset::Graph500, 8, 11);
     let degrees = loaded.edges.out_degrees();
-    let suite = KhopWorkload::full_suite(loaded.edges.num_vertices, &degrees, SeedSelection::NonIsolated, 13);
+    let suite = KhopWorkload::full_suite(
+        loaded.edges.num_vertices,
+        &degrees,
+        SeedSelection::NonIsolated,
+        13,
+    );
     for workload in suite.iter() {
         let seed = workload.seeds[0];
         let rs = loaded

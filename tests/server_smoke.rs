@@ -1,0 +1,142 @@
+//! Multi-threaded server smoke test: concurrent clients push a mixed
+//! read/write `GRAPH.QUERY` workload at one graph through the single-threaded
+//! dispatcher (`start_dispatcher`) and the module threadpool.
+//!
+//! What it asserts:
+//!
+//! * **no deadlock** — every reply arrives within a generous timeout (a stuck
+//!   lock or a wedged pool fails the test instead of hanging it);
+//! * **writes are not lost** — the final node/edge counts equal exactly what
+//!   the writer clients created;
+//! * **reads are consistent** — each reader observes monotonically
+//!   non-decreasing counts (the workload only adds entities, so a decreasing
+//!   count would mean a read saw a torn graph).
+
+use crossbeam::channel::{unbounded, Sender};
+use redisgraph_server::server::Request;
+use redisgraph_server::{RedisGraphServer, RespValue, ServerConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+const WRITERS: usize = 4;
+const READERS: usize = 4;
+const WRITES_PER_WRITER: usize = 25;
+const READS_PER_READER: usize = 40;
+const REPLY_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Send one framed GRAPH.QUERY and wait (bounded) for its reply.
+fn roundtrip(tx: &Sender<Request>, graph: &str, query: &str) -> RespValue {
+    let (reply_tx, reply_rx) = unbounded();
+    tx.send(Request {
+        command: RespValue::command(&["GRAPH.QUERY", graph, query]),
+        reply_to: reply_tx,
+    })
+    .expect("dispatcher is alive");
+    reply_rx
+        .recv_timeout(REPLY_TIMEOUT)
+        .expect("no reply within timeout — dispatcher or pool deadlocked")
+}
+
+/// Pull the single integer cell out of a `count(...)` reply.
+fn scalar_count(reply: &RespValue) -> i64 {
+    let RespValue::Array(sections) = reply else { panic!("expected an array reply, got {reply}") };
+    let RespValue::Array(rows) = &sections[1] else { panic!("bad rows section") };
+    let RespValue::Array(row) = &rows[0] else { panic!("bad row") };
+    let RespValue::Integer(n) = row[0] else { panic!("bad count cell") };
+    n
+}
+
+#[test]
+fn concurrent_mixed_reads_and_writes_stay_consistent() {
+    let server = Arc::new(RedisGraphServer::new(ServerConfig { thread_count: 4 }));
+    // Anchor node so writers can attach edges with a MATCH + CREATE.
+    let seeded = server.query("smoke", "CREATE (:Hub {name: 'hub'})");
+    assert!(!matches!(seeded, RespValue::Error(_)), "seed failed: {seeded}");
+
+    let (tx, dispatcher) = server.start_dispatcher();
+
+    let mut clients = Vec::new();
+    for w in 0..WRITERS {
+        let tx = tx.clone();
+        clients.push(std::thread::spawn(move || {
+            for i in 0..WRITES_PER_WRITER {
+                let query =
+                    format!("MATCH (h:Hub) CREATE (:Item {{writer: {w}, seq: {i}}})-[:OF]->(h)");
+                let reply = roundtrip(&tx, "smoke", &query);
+                assert!(!matches!(reply, RespValue::Error(_)), "write {w}/{i} failed: {reply}");
+            }
+        }));
+    }
+    for r in 0..READERS {
+        let tx = tx.clone();
+        clients.push(std::thread::spawn(move || {
+            let mut last = -1i64;
+            for i in 0..READS_PER_READER {
+                let reply = roundtrip(&tx, "smoke", "MATCH (i:Item)-[:OF]->(:Hub) RETURN count(i)");
+                let count = scalar_count(&reply);
+                assert!(
+                    count >= last,
+                    "reader {r} read {i}: count went backwards ({last} -> {count})"
+                );
+                assert!(
+                    count <= (WRITERS * WRITES_PER_WRITER) as i64,
+                    "reader {r} read {i}: impossible count {count}"
+                );
+                last = count;
+            }
+        }));
+    }
+    for client in clients {
+        client.join().expect("client thread panicked");
+    }
+
+    // Every write must be visible once the clients are done.
+    let expected = (WRITERS * WRITES_PER_WRITER) as i64;
+    let final_count = scalar_count(&roundtrip(&tx, "smoke", "MATCH (i:Item) RETURN count(i)"));
+    assert_eq!(final_count, expected, "lost or duplicated writes");
+    let edge_count =
+        scalar_count(&roundtrip(&tx, "smoke", "MATCH (:Item)-[r:OF]->(:Hub) RETURN count(r)"));
+    assert_eq!(edge_count, expected, "edge count diverged from node count");
+
+    // The store agrees with the Cypher view (+1 for the hub node).
+    {
+        let graph = server.graph("smoke");
+        let guard = graph.read();
+        assert_eq!(guard.node_count() as i64, expected + 1);
+        assert_eq!(guard.edge_count() as i64, expected);
+    }
+
+    // Clean shutdown: dropping the request channel stops the dispatcher.
+    drop(tx);
+    dispatcher.join().expect("dispatcher thread panicked");
+}
+
+#[test]
+fn dispatcher_survives_malformed_queries_under_load() {
+    let server = Arc::new(RedisGraphServer::new(ServerConfig { thread_count: 2 }));
+    server.query("smoke", "CREATE (:Hub)");
+    let (tx, dispatcher) = server.start_dispatcher();
+
+    let mut clients = Vec::new();
+    for c in 0..4 {
+        let tx = tx.clone();
+        clients.push(std::thread::spawn(move || {
+            for i in 0..20 {
+                if (c + i) % 3 == 0 {
+                    // Malformed on purpose: must produce an error reply, not
+                    // poison the graph lock or kill the worker.
+                    let reply = roundtrip(&tx, "smoke", "MATCH (h:Hub RETURN h");
+                    assert!(matches!(reply, RespValue::Error(_)));
+                } else {
+                    let reply = roundtrip(&tx, "smoke", "MATCH (h:Hub) RETURN count(h)");
+                    assert_eq!(scalar_count(&reply), 1);
+                }
+            }
+        }));
+    }
+    for client in clients {
+        client.join().expect("client thread panicked");
+    }
+    drop(tx);
+    dispatcher.join().expect("dispatcher thread panicked");
+}

@@ -1,0 +1,260 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! crate. The build environment has no crates.io access, so this vendored
+//! crate provides criterion's API shape — `Criterion`, benchmark groups,
+//! `Bencher::iter`, `BenchmarkId`, `Throughput`, and the
+//! `criterion_group!`/`criterion_main!` macros — over a simple wall-clock
+//! harness: each benchmark is warmed up once, then timed over a bounded
+//! number of iterations, and the mean time per iteration is printed.
+//!
+//! It does not implement statistical analysis, HTML reports, or baselines;
+//! it exists so `cargo bench` runs and prints comparable numbers without the
+//! real dependency.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use black_box_shim::black_box;
+
+mod black_box_shim {
+    /// Re-export of `std::hint::black_box` under criterion's historical name.
+    pub use std::hint::black_box;
+}
+
+/// Throughput annotation for a benchmark group: scales the printed rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier composed of a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("threads", 4)` → `threads/4`.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// An id from a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Names acceptable where criterion takes `impl Into<BenchmarkId>`-ish ids.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self.to_string() }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+/// The measurement driver handed to benchmark closures.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`: one warm-up call, then `iterations` timed calls.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warm-up, untimed
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Top-level benchmark registry. `Default` honours the
+/// `CRITERION_SAMPLE_SIZE` environment variable (default 10 iterations per
+/// benchmark — this is a stub harness, not a statistics engine).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let sample_size =
+            std::env::var("CRITERION_SAMPLE_SIZE").ok().and_then(|v| v.parse().ok()).unwrap_or(10);
+        Criterion { sample_size }
+    }
+}
+
+impl Criterion {
+    /// Override the default per-benchmark iteration count.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        let sample_size = self.sample_size;
+        run_one("", &id.into_benchmark_id(), sample_size, None, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the iteration count for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotate the group's throughput (printed as a rate).
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        run_one(&self.name, &id.into_benchmark_id(), self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Benchmark a closure parameterised by an input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&self.name, &id, self.sample_size, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (prints nothing extra in the stub; exists for API
+    /// compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    group: &str,
+    id: &BenchmarkId,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut bencher = Bencher { iterations: sample_size as u64, elapsed: Duration::ZERO };
+    f(&mut bencher);
+    let label = if group.is_empty() { id.to_string() } else { format!("{group}/{id}") };
+    let per_iter = bencher.elapsed.as_secs_f64() / bencher.iterations.max(1) as f64;
+    match throughput {
+        Some(Throughput::Elements(n)) => println!(
+            "bench {label:60} {:>12.3} ms/iter {:>14.0} elem/s",
+            per_iter * 1e3,
+            n as f64 / per_iter.max(f64::MIN_POSITIVE),
+        ),
+        Some(Throughput::Bytes(n)) => println!(
+            "bench {label:60} {:>12.3} ms/iter {:>14.0} B/s",
+            per_iter * 1e3,
+            n as f64 / per_iter.max(f64::MIN_POSITIVE),
+        ),
+        None => println!("bench {label:60} {:>12.3} ms/iter", per_iter * 1e3),
+    }
+}
+
+/// Collect benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `fn main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_api_shape_works_end_to_end() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(2);
+        group.throughput(Throughput::Elements(4));
+        group.bench_function("add", |b| b.iter(|| black_box(1 + 1)));
+        for n in [1u64, 2] {
+            group.bench_with_input(BenchmarkId::new("param", n), &n, |b, &n| {
+                b.iter(|| black_box(n * 2))
+            });
+        }
+        group.finish();
+        c.bench_function("top-level", |b| b.iter(|| black_box(3 * 3)));
+    }
+
+    #[test]
+    fn benchmark_id_formats_as_name_slash_param() {
+        assert_eq!(BenchmarkId::new("threads", 4).to_string(), "threads/4");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

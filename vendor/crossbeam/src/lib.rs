@@ -1,0 +1,17 @@
+//! Offline stand-in for the [`crossbeam`](https://crates.io/crates/crossbeam)
+//! crate. The build environment has no crates.io access, so this vendored
+//! crate implements the two pieces the workspace uses:
+//!
+//! * [`channel`] — multi-producer **multi-consumer** channels (`unbounded`,
+//!   `bounded`) with crossbeam's disconnect semantics, built on
+//!   `Mutex` + `Condvar`;
+//! * [`thread`] — scoped threads (`thread::scope`, `Scope::spawn`) as a thin
+//!   wrapper over `std::thread::scope`.
+//!
+//! Semantics match crossbeam where the workspace depends on them: cloneable
+//! receivers, `recv` returning `Err` once the channel is empty and all
+//! senders are gone, blocking `send` on a full bounded channel, and scoped
+//! spawn closures receiving the scope as an argument.
+
+pub mod channel;
+pub mod thread;

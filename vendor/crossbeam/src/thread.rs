@@ -1,0 +1,86 @@
+//! Scoped threads: crossbeam's `thread::scope` API on top of
+//! `std::thread::scope` (stable since Rust 1.63).
+//!
+//! Differences from crossbeam worth knowing: a child-thread panic propagates
+//! when its `ScopedJoinHandle` is joined, or at scope exit otherwise — so
+//! `scope` itself only returns `Err` if the closure's own body panics in
+//! crossbeam; here the std scope re-raises instead. The workspace joins every
+//! handle explicitly, which behaves identically in both implementations.
+
+use std::any::Any;
+
+/// A scope in which threads borrowing non-`'static` data can be spawned.
+#[derive(Clone, Copy)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// Handle to a scoped thread; joining yields the closure's return value.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a thread inside the scope. As in crossbeam, the closure receives
+    /// the scope so it can spawn further threads.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let scope = *self;
+        ScopedJoinHandle { inner: self.inner.spawn(move || f(&scope)) }
+    }
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Wait for the thread to finish; `Err` carries the panic payload.
+    pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+        self.inner.join()
+    }
+}
+
+/// Run `f` with a scope handle; every thread spawned in the scope is joined
+/// before `scope` returns. Returns `Ok` with the closure's value (panics from
+/// unjoined children propagate as panics, see module docs).
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_threads_borrow_stack_data() {
+        let data = [1u64, 2, 3, 4];
+        let total = scope(|s| {
+            let mut handles = Vec::new();
+            for chunk in data.chunks(2) {
+                handles.push(s.spawn(move |_| chunk.iter().sum::<u64>()));
+            }
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_the_scope_argument() {
+        let result =
+            scope(|s| s.spawn(|inner| inner.spawn(|_| 21).join().unwrap() * 2).join().unwrap())
+                .unwrap();
+        assert_eq!(result, 42);
+    }
+
+    #[test]
+    fn join_reports_child_panic() {
+        let _ = scope(|s| {
+            let handle = s.spawn(|_| panic!("child failed"));
+            assert!(handle.join().is_err());
+        });
+    }
+}

@@ -1,0 +1,38 @@
+//! `any::<T>()` for primitive types.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::StandardSample;
+use std::marker::PhantomData;
+
+/// Types with a canonical "anything goes" strategy.
+pub trait Arbitrary: Sized {
+    /// Generate an arbitrary value of the type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_standard {
+    ($($t:ty),*) => {
+        $(impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                <$t as StandardSample>::sample_standard(rng)
+            }
+        })*
+    };
+}
+impl_arbitrary_standard!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64, f32);
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A strategy generating arbitrary values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}

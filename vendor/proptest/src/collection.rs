@@ -1,0 +1,82 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// A size specification for generated collections.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    min: usize,
+    /// Exclusive upper bound.
+    max_excl: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        SizeRange { min: exact, max_excl: exact + 1 }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange { min: r.start, max_excl: r.end }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        SizeRange { min: *r.start(), max_excl: *r.end() + 1 }
+    }
+}
+
+/// Strategy producing `Vec`s whose elements come from an element strategy.
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = if self.size.min + 1 >= self.size.max_excl {
+            self.size.min
+        } else {
+            rng.gen_range(self.size.min..self.size.max_excl)
+        };
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Generate vectors of `element` with a length drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_cover_the_requested_range() {
+        let strat = vec(0u64..5, 0..4);
+        let mut rng = TestRng::from_seed(9);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!(v.len() < 4);
+            seen[v.len()] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "lengths 0..4 all reachable");
+    }
+
+    #[test]
+    fn exact_size_spec() {
+        let strat = vec(0u64..5, 3);
+        let mut rng = TestRng::from_seed(10);
+        for _ in 0..20 {
+            assert_eq!(strat.generate(&mut rng).len(), 3);
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate. The build environment has no crates.io access, so this vendored
+//! crate implements the subset of the API the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (`fn name(arg in strategy, ...) { body }`);
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`];
+//! * strategies: integer ranges, tuples of strategies,
+//!   `prop::collection::vec`, [`strategy::Just`], and `any::<T>()` for
+//!   primitive types.
+//!
+//! Cases are generated from a seed derived from the test's name, so runs are
+//! fully deterministic. There is **no shrinking**: a failing case reports the
+//! case number and message; the deterministic seed means it can be replayed
+//! by re-running the test. The case count defaults to 64 and can be raised
+//! with the `PROPTEST_CASES` environment variable, as with real proptest.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Mirrors real proptest's `prelude::prop` module shortcut
+    /// (`prop::collection::vec(...)`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Assert a condition inside a `proptest!` body; failure aborts the current
+/// case with a message instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` == `{:?}`", left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "{}: `{:?}` == `{:?}`", format!($($fmt)*), left, right
+        );
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{:?}` != `{:?}`", left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "{}: `{:?}` != `{:?}`", format!($($fmt)*), left, right
+        );
+    }};
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }` item
+/// becomes a `#[test]` function that runs `body` over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases = $crate::test_runner::case_count();
+                let mut rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+                for case in 0..cases {
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut rng);
+                    )*
+                    // The immediately-called closure gives `prop_assert!` a
+                    // `Result` frame to early-return into.
+                    #[allow(clippy::redundant_closure_call)]
+                    let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::core::result::Result::Ok(())
+                        })();
+                    if let ::core::result::Result::Err(err) = outcome {
+                        panic!(
+                            "proptest `{}` failed at case {}/{}: {}",
+                            stringify!($name), case, cases, err
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn addition_commutes(a in -1000i64..1000, b in -1000i64..1000) {
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn vec_strategy_respects_length_bounds(v in prop::collection::vec(0u64..10, 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5, "len {}", v.len());
+            for x in &v {
+                prop_assert!(*x < 10);
+            }
+        }
+
+        #[test]
+        fn tuples_compose(t in ((0u64..4), (0u64..4), (-3i64..3))) {
+            let (r, c, v) = t;
+            prop_assert!(r < 4 && c < 4);
+            prop_assert!((-3..3).contains(&v));
+        }
+
+        #[test]
+        fn any_bool_is_exhaustive_enough(_x in any::<bool>()) {
+            // Just exercising the arbitrary path.
+        }
+    }
+
+    #[test]
+    fn failing_property_panics_with_case_info() {
+        let result = std::panic::catch_unwind(|| {
+            proptest! {
+                fn always_fails(x in 0u64..10) {
+                    prop_assert!(x > 100, "x was {}", x);
+                }
+            }
+            always_fails();
+        });
+        let err = result.expect_err("property must fail");
+        let msg = err.downcast_ref::<String>().expect("string panic payload");
+        assert!(msg.contains("always_fails"), "panic message: {msg}");
+        assert!(msg.contains("case 0"), "panic message: {msg}");
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_test_name() {
+        use crate::strategy::Strategy;
+        let strat = crate::collection::vec(0u64..1000, 10..20);
+        let mut rng1 = crate::test_runner::TestRng::from_name("same");
+        let mut rng2 = crate::test_runner::TestRng::from_name("same");
+        assert_eq!(strat.generate(&mut rng1), strat.generate(&mut rng2));
+    }
+}

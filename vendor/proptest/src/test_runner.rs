@@ -1,0 +1,65 @@
+//! The deterministic case runner: per-test RNG and failure type.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::fmt;
+
+/// Default number of generated cases per property (overridable with the
+/// `PROPTEST_CASES` environment variable).
+pub const DEFAULT_CASES: usize = 64;
+
+/// Number of cases each property runs.
+pub fn case_count() -> usize {
+    std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(DEFAULT_CASES)
+}
+
+/// A failed property case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Build a failure with a message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError { message: message.into() }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// The RNG driving generation: xoshiro (via the vendored `rand`), seeded from
+/// a hash of the test name so every test has its own deterministic stream.
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Seed deterministically from a test name.
+    pub fn from_name(name: &str) -> Self {
+        // FNV-1a over the name, mixed with a fixed tag.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRng { inner: StdRng::seed_from_u64(h ^ 0x70726f70_74657374) } // "prop" "test"
+    }
+
+    /// Seed from an explicit value.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { inner: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}

@@ -1,0 +1,97 @@
+//! Slice sampling helpers (the subset of `rand::seq` the workspace uses).
+
+use crate::{Rng, RngCore};
+
+/// Extension methods on slices for random sampling.
+pub trait SliceRandom {
+    type Item;
+
+    /// Choose one element uniformly, or `None` on an empty slice.
+    fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// Choose `amount` distinct elements (fewer if the slice is shorter),
+    /// in random order, without replacement.
+    fn choose_multiple<R: RngCore>(
+        &self,
+        rng: &mut R,
+        amount: usize,
+    ) -> std::vec::IntoIter<&Self::Item>;
+
+    /// Shuffle the slice in place (Fisher–Yates).
+    fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+
+    fn choose_multiple<R: RngCore>(&self, rng: &mut R, amount: usize) -> std::vec::IntoIter<&T> {
+        let amount = amount.min(self.len());
+        // Partial Fisher–Yates over an index table: O(len) setup, O(amount) draws.
+        let mut indices: Vec<usize> = (0..self.len()).collect();
+        let mut picked = Vec::with_capacity(amount);
+        for i in 0..amount {
+            let j = rng.gen_range(i..indices.len());
+            indices.swap(i, j);
+            picked.push(&self[indices[i]]);
+        }
+        picked.into_iter()
+    }
+
+    fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SeedableRng, StdRng};
+
+    #[test]
+    fn choose_multiple_is_distinct_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let items: Vec<u64> = (0..100).collect();
+        let picked: Vec<u64> = items.choose_multiple(&mut rng, 30).copied().collect();
+        assert_eq!(picked.len(), 30);
+        let mut sorted = picked.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 30, "sampling must be without replacement");
+    }
+
+    #[test]
+    fn choose_multiple_clamps_to_slice_len() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let items = [1, 2, 3];
+        assert_eq!(items.choose_multiple(&mut rng, 10).count(), 3);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut items: Vec<u32> = (0..50).collect();
+        items.shuffle(&mut rng);
+        let mut sorted = items.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(items, sorted, "a 50-element shuffle should not be identity");
+    }
+
+    #[test]
+    fn choose_on_empty_is_none() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let items: [u8; 0] = [];
+        assert!(items.choose(&mut rng).is_none());
+    }
+}
