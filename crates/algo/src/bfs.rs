@@ -1,0 +1,90 @@
+//! Breadth-first search levels via level-synchronous masked `vxm` — the
+//! canonical GraphBLAS algorithm (LAGraph `LAGr_BreadthFirstSearch`).
+
+use graphblas::prelude::*;
+use graphblas::Index;
+
+/// Hop distance of every reachable vertex from `source` following directed
+/// edges of `adj`. The source gets level `0`; vertices the BFS never reaches
+/// have no entry in the returned vector.
+///
+/// Each round is one `vxm` over the `LOR_LAND` boolean semiring with the
+/// visited set as a complemented structural mask, so a vertex is assigned the
+/// level of the *first* frontier that touches it.
+///
+/// # Panics
+/// Panics if `source >= adj.nrows()` or if `adj` has pending updates.
+pub fn bfs_levels(adj: &SparseMatrix<bool>, source: Index) -> SparseVector<i64> {
+    let semiring = Semiring::lor_land();
+    let desc = Descriptor::new().with_mask_complement().with_mask_structure();
+
+    let mut levels = SparseVector::<i64>::new(adj.nrows());
+    levels.set_element(source, 0);
+    let mut visited = SparseVector::<bool>::new(adj.nrows());
+    visited.set_element(source, true);
+    let mut frontier = visited.clone();
+
+    let mut level = 0i64;
+    while !frontier.is_empty() {
+        level += 1;
+        let mask = VectorMask::new(&visited);
+        let next = vxm(&frontier, adj, &semiring, Some(&mask), &desc);
+        for (i, _) in next.iter() {
+            levels.set_element(i, level);
+        }
+        visited = ewise_add_vector(&visited, &next, &BinaryOp::LOr);
+        frontier = next;
+    }
+    levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> SparseMatrix<bool> {
+        // 0→1, 0→2, 1→3, 2→3, 3→4; vertex 5 isolated
+        SparseMatrix::from_triples(
+            6,
+            6,
+            &[(0, 1, true), (0, 2, true), (1, 3, true), (2, 3, true), (3, 4, true)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn levels_match_hop_distances() {
+        let levels = bfs_levels(&diamond(), 0);
+        assert_eq!(levels.extract_element(0), Some(0));
+        assert_eq!(levels.extract_element(1), Some(1));
+        assert_eq!(levels.extract_element(2), Some(1));
+        assert_eq!(levels.extract_element(3), Some(2));
+        assert_eq!(levels.extract_element(4), Some(3));
+        assert_eq!(levels.extract_element(5), None);
+    }
+
+    #[test]
+    fn bfs_from_a_sink_reaches_only_itself() {
+        let levels = bfs_levels(&diamond(), 4);
+        assert_eq!(levels.nvals(), 1);
+        assert_eq!(levels.extract_element(4), Some(0));
+    }
+
+    #[test]
+    fn shortcut_edges_produce_the_shorter_level() {
+        let adj =
+            SparseMatrix::from_triples(4, 4, &[(0, 1, true), (1, 2, true), (0, 2, true)]).unwrap();
+        let levels = bfs_levels(&adj, 0);
+        assert_eq!(levels.extract_element(2), Some(1));
+    }
+
+    #[test]
+    fn cycles_terminate() {
+        let adj =
+            SparseMatrix::from_triples(3, 3, &[(0, 1, true), (1, 2, true), (2, 0, true)]).unwrap();
+        let levels = bfs_levels(&adj, 0);
+        assert_eq!(levels.extract_element(0), Some(0));
+        assert_eq!(levels.extract_element(1), Some(1));
+        assert_eq!(levels.extract_element(2), Some(2));
+    }
+}

@@ -1,0 +1,124 @@
+//! Property tests comparing every `crates/algo` GraphBLAS algorithm against
+//! its naive pointer-chasing oracle in `baseline::algorithms`, on random RMAT
+//! (Graph500-shaped) graphs from `datagen`.
+//!
+//! BFS levels, WCC labels and triangle counts must match exactly; SSSP
+//! distances and converged PageRank scores must agree to 1e-6.
+
+use algo::PageRankConfig;
+use graphblas::prelude::*;
+use proptest::prelude::*;
+use proptest::strategy::StrategyExt;
+
+/// A random small RMAT graph: vertex count plus a deduplicated edge list.
+/// Self-loops are kept — the raw generator emits them, and both sides must
+/// agree on their semantics (a diagonal matrix entry).
+fn rmat_graph() -> impl Strategy<Value = (u64, Vec<(u64, u64)>)> {
+    ((4u32..7), (1u32..7), any::<u64>()).prop_map(|(scale, edge_factor, seed)| {
+        let el = datagen::rmat::generate(&datagen::RmatConfig {
+            scale,
+            edge_factor,
+            seed,
+            ..datagen::RmatConfig::default()
+        });
+        let mut edges = el.edges.clone();
+        edges.sort_unstable();
+        edges.dedup();
+        (el.num_vertices, edges)
+    })
+}
+
+/// Boolean adjacency matrix of a cleaned edge list.
+fn adjacency(num_vertices: u64, edges: &[(u64, u64)]) -> SparseMatrix<bool> {
+    let triples: Vec<(u64, u64, bool)> = edges.iter().map(|&(s, d)| (s, d, true)).collect();
+    SparseMatrix::from_triples(num_vertices, num_vertices, &triples).expect("in bounds")
+}
+
+/// Deterministic pseudo-random edge weight in `[1, 10]`, derived from the
+/// endpoints so both sides see identical weights without sharing state.
+fn weight(s: u64, d: u64) -> f64 {
+    1.0 + ((s.wrapping_mul(31).wrapping_add(d.wrapping_mul(17))) % 10) as f64
+}
+
+proptest! {
+    #[test]
+    fn bfs_levels_match_queue_bfs(graph in rmat_graph(), source_pick in any::<u64>()) {
+        let (n, edges) = graph;
+        let adj = adjacency(n, &edges);
+        let source = source_pick % n;
+        let algebraic = algo::bfs_levels(&adj, source);
+        let naive = baseline::algorithms::bfs_levels(n, &edges, source);
+        for v in 0..n {
+            let got = algebraic.extract_element(v).unwrap_or(-1);
+            prop_assert_eq!(got, naive[v as usize], "level mismatch at vertex {}", v);
+        }
+    }
+
+    #[test]
+    fn sssp_matches_bellman_ford(graph in rmat_graph(), source_pick in any::<u64>()) {
+        let (n, edges) = graph;
+        let source = source_pick % n;
+        let weighted: Vec<(u64, u64, f64)> =
+            edges.iter().map(|&(s, d)| (s, d, weight(s, d))).collect();
+        let triples: Vec<(u64, u64, f64)> = weighted.clone();
+        let w = SparseMatrix::from_triples(n, n, &triples).expect("in bounds");
+        let algebraic = algo::sssp(&w, source);
+        let naive = baseline::algorithms::sssp(n, &weighted, source);
+        for v in 0..n {
+            let got = algebraic.extract_element(v).unwrap_or(f64::INFINITY);
+            let want = naive[v as usize];
+            if want.is_infinite() {
+                prop_assert!(got.is_infinite(), "vertex {} should be unreachable", v);
+            } else {
+                prop_assert!((got - want).abs() < 1e-6, "distance mismatch at {}: {} vs {}", v, got, want);
+            }
+        }
+    }
+
+    #[test]
+    fn pagerank_matches_dense_power_iteration(graph in rmat_graph()) {
+        let (n, edges) = graph;
+        let adj = adjacency(n, &edges);
+        let nodes: Vec<u64> = (0..n).collect();
+        let config = PageRankConfig::default();
+        let algebraic = algo::pagerank(&adj, &nodes, &config);
+        let (naive, _) = baseline::algorithms::pagerank(
+            n,
+            &edges,
+            config.damping,
+            config.max_iterations,
+            config.tolerance,
+        );
+        prop_assert_eq!(algebraic.scores.len(), naive.len());
+        for &(v, score) in &algebraic.scores {
+            prop_assert!(
+                (score - naive[v as usize]).abs() < 1e-6,
+                "pagerank mismatch at {}: {} vs {}", v, score, naive[v as usize]
+            );
+        }
+        let total: f64 = algebraic.scores.iter().map(|(_, s)| s).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "scores must sum to 1, got {}", total);
+    }
+
+    #[test]
+    fn wcc_labels_match_union_find(graph in rmat_graph()) {
+        let (n, edges) = graph;
+        let adj = adjacency(n, &edges);
+        let nodes: Vec<u64> = (0..n).collect();
+        let algebraic = algo::wcc(&adj, &nodes);
+        let naive = baseline::algorithms::wcc(n, &edges);
+        for (v, label) in algebraic {
+            prop_assert_eq!(label, naive[v as usize], "component mismatch at vertex {}", v);
+        }
+    }
+
+    #[test]
+    fn triangle_counts_match_adjacency_intersection(graph in rmat_graph()) {
+        let (n, edges) = graph;
+        let adj = adjacency(n, &edges);
+        prop_assert_eq!(
+            algo::triangle_count(&adj),
+            baseline::algorithms::triangle_count(n, &edges)
+        );
+    }
+}

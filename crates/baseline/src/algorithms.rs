@@ -1,0 +1,238 @@
+//! Naive pointer-chasing reference implementations of the graph algorithms
+//! that `crates/algo` expresses as GraphBLAS linear algebra. These are the
+//! oracle side of the algorithm property tests: queue-based BFS, edge-list
+//! Bellman–Ford, dense power iteration, union–find, and sorted-adjacency
+//! triangle enumeration — no matrices anywhere.
+//!
+//! All functions take a plain edge list (`(src, dst)` pairs over vertices
+//! `0..num_vertices`); duplicate edges collapse to one stored edge, exactly
+//! as an adjacency matrix stores one entry per pair. Self-loops are kept as
+//! ordinary edges (a diagonal matrix entry), except by [`triangle_count`],
+//! which ignores them on both sides.
+
+use std::collections::VecDeque;
+
+/// Deduplicated out-adjacency lists (self-loops kept, like diagonal matrix
+/// entries) — the shape the matrix engine effectively stores.
+fn out_lists(num_vertices: u64, edges: &[(u64, u64)]) -> Vec<Vec<u64>> {
+    let mut adj = vec![Vec::new(); num_vertices as usize];
+    let mut clean: Vec<(u64, u64)> =
+        edges.iter().copied().filter(|&(s, d)| s < num_vertices && d < num_vertices).collect();
+    clean.sort_unstable();
+    clean.dedup();
+    for (s, d) in clean {
+        adj[s as usize].push(d);
+    }
+    adj
+}
+
+/// BFS hop distance from `source` following directed edges; `-1` marks
+/// unreachable vertices (the matrix-side result has no entry there).
+pub fn bfs_levels(num_vertices: u64, edges: &[(u64, u64)], source: u64) -> Vec<i64> {
+    let adj = out_lists(num_vertices, edges);
+    let mut levels = vec![-1i64; num_vertices as usize];
+    if source >= num_vertices {
+        return levels;
+    }
+    levels[source as usize] = 0;
+    let mut queue = VecDeque::from([source]);
+    while let Some(u) = queue.pop_front() {
+        for &v in &adj[u as usize] {
+            if levels[v as usize] < 0 {
+                levels[v as usize] = levels[u as usize] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    levels
+}
+
+/// Bellman–Ford shortest-path distances from `source` over a weighted,
+/// directed edge list; `f64::INFINITY` marks unreachable vertices. Parallel
+/// edges keep the cheapest weight, matching how a weight matrix stores one
+/// entry per vertex pair.
+pub fn sssp(num_vertices: u64, edges: &[(u64, u64, f64)], source: u64) -> Vec<f64> {
+    let mut dist = vec![f64::INFINITY; num_vertices as usize];
+    if source >= num_vertices {
+        return dist;
+    }
+    dist[source as usize] = 0.0;
+    for _ in 0..num_vertices.max(1) {
+        let mut changed = false;
+        for &(u, v, w) in edges {
+            if u >= num_vertices || v >= num_vertices {
+                continue;
+            }
+            let candidate = dist[u as usize] + w;
+            if candidate < dist[v as usize] {
+                dist[v as usize] = candidate;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    dist
+}
+
+/// Damped PageRank by dense synchronous power iteration, with dangling mass
+/// redistributed uniformly — the same iteration scheme (and the same
+/// self-loop-counts-as-an-out-edge semantics) as `algo::pagerank`, so
+/// converged scores agree to floating-point noise.
+/// Returns the per-vertex scores and the number of rounds executed.
+pub fn pagerank(
+    num_vertices: u64,
+    edges: &[(u64, u64)],
+    damping: f64,
+    max_iterations: u32,
+    tolerance: f64,
+) -> (Vec<f64>, u32) {
+    let n = num_vertices as usize;
+    if n == 0 {
+        return (Vec::new(), 0);
+    }
+    let adj = out_lists(num_vertices, edges);
+    let nf = n as f64;
+    let mut rank = vec![1.0 / nf; n];
+    let mut iterations = 0;
+    for _ in 0..max_iterations {
+        iterations += 1;
+        let mut contrib = vec![0.0f64; n];
+        let mut dangling_mass = 0.0;
+        for (u, outs) in adj.iter().enumerate() {
+            if outs.is_empty() {
+                dangling_mass += rank[u];
+                continue;
+            }
+            let share = rank[u] / outs.len() as f64;
+            for &v in outs {
+                contrib[v as usize] += share;
+            }
+        }
+        let teleport = (1.0 - damping) / nf + damping * dangling_mass / nf;
+        let mut delta = 0.0;
+        let next: Vec<f64> = contrib
+            .iter()
+            .zip(rank.iter())
+            .map(|(&c, &old)| {
+                let score = teleport + damping * c;
+                delta += (score - old).abs();
+                score
+            })
+            .collect();
+        rank = next;
+        if delta < tolerance {
+            break;
+        }
+    }
+    (rank, iterations)
+}
+
+/// Weakly connected component labels by union–find, ignoring edge direction.
+/// Each vertex is labelled with the smallest vertex id in its component —
+/// the same canonical labelling `algo::wcc`'s min-propagation converges to.
+pub fn wcc(num_vertices: u64, edges: &[(u64, u64)]) -> Vec<u64> {
+    let n = num_vertices as usize;
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    for &(u, v) in edges {
+        if u >= num_vertices || v >= num_vertices {
+            continue;
+        }
+        let (ru, rv) = (find(&mut parent, u as usize), find(&mut parent, v as usize));
+        // Union by value so the root is always the smallest id.
+        if ru < rv {
+            parent[rv] = ru;
+        } else {
+            parent[ru] = rv;
+        }
+    }
+    (0..n).map(|v| find(&mut parent, v) as u64).collect()
+}
+
+/// Undirected triangle count by sorted-adjacency intersection: for every
+/// undirected edge `(u, v)` with `u < v`, count the common neighbours `w > v`
+/// so each triangle `u < v < w` is found exactly once.
+pub fn triangle_count(num_vertices: u64, edges: &[(u64, u64)]) -> u64 {
+    let mut und: Vec<Vec<u64>> = vec![Vec::new(); num_vertices as usize];
+    let mut clean: Vec<(u64, u64)> = edges
+        .iter()
+        .copied()
+        .filter(|&(s, d)| s != d && s < num_vertices && d < num_vertices)
+        .map(|(s, d)| (s.min(d), s.max(d)))
+        .collect();
+    clean.sort_unstable();
+    clean.dedup();
+    for &(u, v) in &clean {
+        und[u as usize].push(v);
+        und[v as usize].push(u);
+    }
+    for list in &mut und {
+        list.sort_unstable();
+    }
+    let mut triangles = 0u64;
+    for &(u, v) in &clean {
+        let (mut i, mut j) = (0usize, 0usize);
+        let (nu, nv) = (&und[u as usize], &und[v as usize]);
+        while i < nu.len() && j < nv.len() {
+            match nu[i].cmp(&nv[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    if nu[i] > v {
+                        triangles += 1;
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+    }
+    triangles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bfs_levels_on_a_diamond() {
+        let levels = bfs_levels(6, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)], 0);
+        assert_eq!(levels, vec![0, 1, 1, 2, 3, -1]);
+    }
+
+    #[test]
+    fn sssp_prefers_cheaper_paths() {
+        let dist = sssp(4, &[(0, 1, 1.0), (1, 2, 1.0), (0, 2, 5.0)], 0);
+        assert_eq!(dist[2], 2.0);
+        assert!(dist[3].is_infinite());
+    }
+
+    #[test]
+    fn pagerank_hub_dominates() {
+        let (scores, iters) = pagerank(5, &[(1, 0), (2, 0), (3, 0), (4, 0)], 0.85, 100, 1e-9);
+        assert!(scores[0] > scores[1]);
+        assert!((scores.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(iters > 0);
+    }
+
+    #[test]
+    fn wcc_labels_are_component_minima() {
+        assert_eq!(wcc(6, &[(0, 1), (1, 2), (4, 3)]), vec![0, 0, 0, 3, 3, 5]);
+    }
+
+    #[test]
+    fn triangle_count_ignores_direction_and_duplicates() {
+        assert_eq!(triangle_count(3, &[(0, 1), (1, 0), (1, 2), (2, 0)]), 1);
+        let k4 = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)];
+        assert_eq!(triangle_count(4, &k4), 4);
+        assert_eq!(triangle_count(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]), 0);
+    }
+}

@@ -12,7 +12,11 @@
 //!   TigerGraph benchmark report that Fig. 1 of the paper plots for the
 //!   databases we cannot run here. They are carried as constants so the
 //!   figure harness can print the same comparison rows.
+//! * [`algorithms`] — naive reference implementations (queue BFS, edge-list
+//!   Bellman–Ford, dense power iteration, union–find, adjacency-intersection
+//!   triangle counting) used as oracles by `crates/algo`'s property tests.
 
+pub mod algorithms;
 pub mod engine;
 pub mod literature;
 

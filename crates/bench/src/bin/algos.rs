@@ -1,0 +1,169 @@
+//! Algorithm-suite benchmark: runs the five `crates/algo` algorithms over the
+//! generated Graph500 (RMAT) and Twitter-like (power-law) datasets and writes
+//! a machine-readable `BENCH_algos.json` so the performance trajectory of the
+//! analytics path has data points alongside the k-hop and throughput numbers.
+//!
+//! ```text
+//! cargo run --release -p redisgraph-bench --bin algos -- --scale 12 --out BENCH_algos.json
+//! ```
+
+use algo::PageRankConfig;
+use redisgraph_bench::report::render_table;
+use redisgraph_bench::{load_dataset, Dataset};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One timed algorithm run.
+struct Measurement {
+    dataset: &'static str,
+    vertices: u64,
+    edges: usize,
+    algorithm: &'static str,
+    wall_ms: f64,
+    /// Rounds actually executed: BFS levels swept, Bellman–Ford relaxation
+    /// rounds, label-propagation rounds, power-iteration steps; 1 for the
+    /// single-pass triangle count.
+    iterations: u32,
+    /// A result fingerprint (reached count, component count, triangle count…)
+    /// so regressions in output size are visible next to the timings.
+    result: u64,
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    let scale: u32 = arg(&argv, "--scale").unwrap_or(12);
+    let out_path: String = arg(&argv, "--out").unwrap_or_else(|| "BENCH_algos.json".to_string());
+
+    println!("Graph-algorithm suite over the paper's datasets (scale {scale})\n");
+    let mut measurements = Vec::new();
+    for dataset in [Dataset::Graph500, Dataset::Twitter] {
+        let loaded = load_dataset(dataset, scale, 42);
+        let graph = &loaded.redisgraph;
+        let adj = graph.adjacency_matrix();
+        let nodes = graph.all_node_ids();
+        let vertices = loaded.edges.num_vertices;
+        let edges = graph.edge_count();
+        let name = dataset.name();
+        println!("{name}: {vertices} vertices, {edges} edges");
+
+        // Source the traversals at the highest-out-degree vertex so the BFS
+        // and SSSP runs cover a meaningful fraction of the graph on both
+        // datasets (vertex 0 is a sink in the preferential-attachment graph).
+        let source = nodes.iter().copied().max_by_key(|&v| adj.row_degree(v)).unwrap_or(0);
+
+        let start = Instant::now();
+        let levels = algo::bfs_levels(adj, source);
+        let bfs_rounds = levels.values().iter().copied().max().unwrap_or(0) as u32;
+        measurements.push(Measurement {
+            dataset: name,
+            vertices,
+            edges,
+            algorithm: "bfs",
+            wall_ms: start.elapsed().as_secs_f64() * 1e3,
+            iterations: bfs_rounds,
+            result: levels.nvals() as u64,
+        });
+
+        let weights = graph.weight_matrix("weight", 1.0);
+        let start = Instant::now();
+        let (dist, sssp_rounds) = algo::sssp_with_iterations(&weights, source);
+        measurements.push(Measurement {
+            dataset: name,
+            vertices,
+            edges,
+            algorithm: "sssp",
+            wall_ms: start.elapsed().as_secs_f64() * 1e3,
+            iterations: sssp_rounds,
+            result: dist.nvals() as u64,
+        });
+
+        let config = PageRankConfig::default();
+        let start = Instant::now();
+        let pr = algo::pagerank(adj, &nodes, &config);
+        measurements.push(Measurement {
+            dataset: name,
+            vertices,
+            edges,
+            algorithm: "pagerank",
+            wall_ms: start.elapsed().as_secs_f64() * 1e3,
+            iterations: pr.iterations,
+            result: pr.scores.len() as u64,
+        });
+
+        let start = Instant::now();
+        let (labels, wcc_rounds) = algo::wcc_with_iterations(adj, &nodes);
+        let mut components: Vec<u64> = labels.iter().map(|&(_, c)| c).collect();
+        components.sort_unstable();
+        components.dedup();
+        measurements.push(Measurement {
+            dataset: name,
+            vertices,
+            edges,
+            algorithm: "wcc",
+            wall_ms: start.elapsed().as_secs_f64() * 1e3,
+            iterations: wcc_rounds,
+            result: components.len() as u64,
+        });
+
+        let start = Instant::now();
+        let triangles = algo::triangle_count(adj);
+        measurements.push(Measurement {
+            dataset: name,
+            vertices,
+            edges,
+            algorithm: "triangles",
+            wall_ms: start.elapsed().as_secs_f64() * 1e3,
+            iterations: 1,
+            result: triangles,
+        });
+    }
+
+    let rows: Vec<Vec<String>> = measurements
+        .iter()
+        .map(|m| {
+            vec![
+                m.dataset.to_string(),
+                m.algorithm.to_string(),
+                m.vertices.to_string(),
+                m.edges.to_string(),
+                format!("{:.3}", m.wall_ms),
+                m.iterations.to_string(),
+                m.result.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "\n{}",
+        render_table(
+            &["dataset", "algorithm", "vertices", "edges", "wall (ms)", "iterations", "result"],
+            &rows
+        )
+    );
+
+    std::fs::write(&out_path, to_json(scale, &measurements)).expect("write benchmark report");
+    println!("wrote {out_path}");
+}
+
+/// Hand-rolled JSON (no serde in the offline build): one object per run.
+fn to_json(scale: u32, measurements: &[Measurement]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"suite\": \"algos\",");
+    let _ = writeln!(out, "  \"scale\": {scale},");
+    out.push_str("  \"results\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        let comma = if i + 1 < measurements.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"dataset\": \"{}\", \"algorithm\": \"{}\", \"vertices\": {}, \
+             \"edges\": {}, \"wall_ms\": {:.6}, \"iterations\": {}, \"result\": {}}}{comma}",
+            m.dataset, m.algorithm, m.vertices, m.edges, m.wall_ms, m.iterations, m.result
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn arg<T: std::str::FromStr>(argv: &[String], name: &str) -> Option<T> {
+    argv.iter().position(|a| a == name).and_then(|i| argv.get(i + 1)).and_then(|s| s.parse().ok())
+}

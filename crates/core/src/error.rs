@@ -9,6 +9,8 @@ pub enum QueryError {
     Syntax(String),
     /// The query references an unknown variable.
     UnknownVariable(String),
+    /// The query `CALL`s a procedure that is not registered.
+    UnknownProcedure(String),
     /// The query uses a feature outside the supported subset.
     Unsupported(String),
     /// A runtime type error (e.g. adding a string to an integer).
@@ -22,6 +24,7 @@ impl fmt::Display for QueryError {
         match self {
             QueryError::Syntax(m) => write!(f, "syntax error: {m}"),
             QueryError::UnknownVariable(v) => write!(f, "unknown variable `{v}`"),
+            QueryError::UnknownProcedure(p) => write!(f, "unknown procedure `{p}`"),
             QueryError::Unsupported(m) => write!(f, "unsupported query feature: {m}"),
             QueryError::Type(m) => write!(f, "type error: {m}"),
             QueryError::Internal(m) => write!(f, "internal error: {m}"),

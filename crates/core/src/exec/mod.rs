@@ -18,5 +18,6 @@ pub mod aggregate;
 pub mod expr;
 pub mod ops;
 pub mod plan;
+pub mod procedures;
 pub mod record;
 pub mod resultset;

@@ -119,6 +119,17 @@ pub enum PlanOp {
         /// Variable name.
         var: String,
     },
+    /// Invoke a registered procedure (`CALL algo.*`) and stream its rows into
+    /// the record pipeline, once per incoming record.
+    ProcedureCall {
+        /// Canonical procedure name (validated at plan-build time).
+        name: String,
+        /// Argument expressions, evaluated per record.
+        args: Vec<Expr>,
+        /// `(procedure output column index, record slot)` pairs for the
+        /// yielded columns.
+        outputs: Vec<(usize, usize)>,
+    },
 }
 
 impl PlanOp {
@@ -154,6 +165,7 @@ impl PlanOp {
             PlanOp::Delete { .. } => "Delete".to_string(),
             PlanOp::SetProps { .. } => "Update".to_string(),
             PlanOp::Unwind { var, .. } => format!("Unwind | ({var})"),
+            PlanOp::ProcedureCall { name, .. } => format!("ProcedureCall | {name}"),
         }
     }
 }
@@ -671,6 +683,60 @@ pub fn run_set(
             }
         }
     }
+}
+
+/// True if evaluating the expression can depend on the current record
+/// (i.e. it reads a bound variable or property somewhere).
+fn reads_record(expr: &Expr) -> bool {
+    match expr {
+        Expr::Variable(_) | Expr::Property(_, _) => true,
+        Expr::Literal(_) | Expr::Parameter(_) => false,
+        Expr::Unary(_, inner) => reads_record(inner),
+        Expr::Binary(_, lhs, rhs) => reads_record(lhs) || reads_record(rhs),
+        Expr::List(items) => items.iter().any(reads_record),
+        Expr::FunctionCall { args, .. } => args.iter().any(reads_record),
+    }
+}
+
+/// Execute a `CALL` op: run the registered procedure once per incoming record
+/// (arguments are evaluated against that record) and emit one output record
+/// per produced row, with the yielded columns written into their slots.
+/// When every argument is record-independent (the common `CALL algo.x(…)`
+/// with literal arguments) the algorithm runs once and its rows are reused
+/// for every incoming record.
+pub fn run_procedure(
+    name: &str,
+    args: &[Expr],
+    outputs: &[(usize, usize)],
+    records: Vec<Record>,
+    bindings: &Bindings,
+    graph: &Graph,
+) -> Result<Vec<Record>, crate::error::QueryError> {
+    let proc = crate::exec::procedures::find(name).ok_or_else(|| {
+        crate::error::QueryError::Internal(format!("procedure `{name}` vanished after planning"))
+    })?;
+    let constant_args = !args.iter().any(reads_record);
+    let mut cached_rows: Option<Vec<Vec<Value>>> = None;
+    let mut out = Vec::new();
+    for record in &records {
+        if cached_rows.is_none() {
+            let argv: Vec<Value> = args.iter().map(|a| eval(a, record, bindings, graph)).collect();
+            cached_rows = Some((proc.run)(graph, &argv)?);
+        }
+        let rows = cached_rows.as_ref().expect("computed above");
+        for row in rows {
+            let mut r = record.clone();
+            ensure_len(&mut r, bindings);
+            for &(col, slot) in outputs {
+                r[slot] = row[col].clone();
+            }
+            out.push(r);
+        }
+        if !constant_args {
+            cached_rows = None;
+        }
+    }
+    Ok(out)
 }
 
 /// Execute an `UNWIND` op.

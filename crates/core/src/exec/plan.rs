@@ -176,6 +176,10 @@ impl ExecutionPlan {
                     PlanOp::Unwind { list, slot, .. } => {
                         records = run_unwind(list, *slot, records, bindings, access.graph());
                     }
+                    PlanOp::ProcedureCall { name, args, outputs } => {
+                        records =
+                            run_procedure(name, args, outputs, records, bindings, access.graph())?;
+                    }
                 }
             }
         }
@@ -318,10 +322,76 @@ impl Builder {
                         var: variable.clone(),
                     });
                 }
+                Clause::Call { procedure, args, yields } => {
+                    self.plan_call(procedure, args, yields)?;
+                }
             }
         }
         self.finish_segment();
         Ok(ExecutionPlan { segments: self.segments })
+    }
+
+    /// Plan a `CALL … YIELD` clause: resolve the procedure, validate arity and
+    /// the yield list, and bind the yielded columns as ordinary variables.
+    fn plan_call(
+        &mut self,
+        procedure: &str,
+        args: &[Expr],
+        yields: &[cypher::YieldItem],
+    ) -> Result<(), QueryError> {
+        let proc = crate::exec::procedures::find(procedure)
+            .ok_or_else(|| QueryError::UnknownProcedure(procedure.to_string()))?;
+        if args.len() < proc.min_args || args.len() > proc.max_args {
+            return Err(QueryError::Type(format!(
+                "procedure `{}` takes {} to {} arguments, got {}",
+                proc.name,
+                proc.min_args,
+                proc.max_args,
+                args.len()
+            )));
+        }
+        // Yielded names must be fresh bindings (openCypher forbids YIELD from
+        // shadowing an existing variable — rebinding would silently clobber
+        // the earlier values).
+        let bind_fresh = |bindings: &mut Bindings, name: &str| -> Result<usize, QueryError> {
+            if bindings.is_bound(name) {
+                return Err(QueryError::Type(format!(
+                    "variable `{name}` already declared; YIELD names must be new (use `AS` to \
+                     rename)"
+                )));
+            }
+            Ok(bindings.slot_or_create(name))
+        };
+        // An empty YIELD list yields every output column under its own name.
+        let outputs: Vec<(usize, usize)> = if yields.is_empty() {
+            proc.yields
+                .iter()
+                .enumerate()
+                .map(|(col, name)| Ok((col, bind_fresh(&mut self.bindings, name)?)))
+                .collect::<Result<_, QueryError>>()?
+        } else {
+            yields
+                .iter()
+                .map(|item| {
+                    let col =
+                        proc.yields.iter().position(|c| *c == item.column).ok_or_else(|| {
+                            QueryError::Type(format!(
+                                "procedure `{}` does not yield `{}` (yields: {})",
+                                proc.name,
+                                item.column,
+                                proc.yields.join(", ")
+                            ))
+                        })?;
+                    Ok((col, bind_fresh(&mut self.bindings, item.binding_name())?))
+                })
+                .collect::<Result<_, QueryError>>()?
+        };
+        self.ops.push(PlanOp::ProcedureCall {
+            name: proc.name.to_string(),
+            args: args.to_vec(),
+            outputs,
+        });
+        Ok(())
     }
 
     /// Plan one linear path pattern of a MATCH clause.

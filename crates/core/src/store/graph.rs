@@ -356,6 +356,25 @@ impl Graph {
         self.relation_matrices.get(rel)
     }
 
+    /// An `f64` matrix of edge weights read from property `prop` (edges
+    /// without the property, or with a non-numeric value, get `default`).
+    /// Parallel edges between the same endpoints keep the minimum weight —
+    /// the natural semantics for the min-plus shortest-path semiring the
+    /// `algo.sssp` procedure multiplies this matrix with.
+    pub fn weight_matrix(&self, prop: &str, default: f64) -> SparseMatrix<f64> {
+        let attr = self.schema.attribute_id(prop);
+        let triples: Vec<(u64, u64, f64)> = self
+            .edges
+            .iter()
+            .map(|(_, e)| {
+                let w = attr.and_then(|a| e.attributes.get(a).as_f64()).unwrap_or(default);
+                (e.src, e.dst, w)
+            })
+            .collect();
+        SparseMatrix::from_triples_dup(self.dim, self.dim, &triples, f64::min)
+            .expect("edge endpoints are in range")
+    }
+
     /// Out-neighbours (or in-neighbours, or both) of a node, optionally
     /// restricted to a set of relationship types. Returns `(neighbour, edge)`
     /// pairs by reading matrix rows.

@@ -295,3 +295,149 @@ fn execution_time_is_recorded() {
     let rs = g.query("MATCH (p:Person) RETURN count(p)").unwrap();
     assert!(rs.stats.execution_time.as_nanos() > 0);
 }
+
+// ---------------------------------------------------------------- CALL algo.*
+
+/// A two-component graph for the algorithm procedures: a 4-cycle with a chord
+/// (one triangle) plus an isolated pair.
+fn algo_graph() -> Graph {
+    let mut g = Graph::new("algos");
+    g.query(
+        "CREATE (a:Node {id: 0}), (b:Node {id: 1}), (c:Node {id: 2}), (d:Node {id: 3}), \
+                (x:Node {id: 4}), (y:Node {id: 5}), \
+                (a)-[:LINK {weight: 1.0}]->(b), \
+                (b)-[:LINK {weight: 2.0}]->(c), \
+                (c)-[:LINK {weight: 4.0}]->(a), \
+                (c)-[:LINK {weight: 1.0}]->(d), \
+                (x)-[:LINK]->(y)",
+    )
+    .unwrap();
+    g
+}
+
+#[test]
+fn call_bfs_yields_levels_composable_with_where() {
+    let mut g = algo_graph();
+    let rs = g
+        .query("CALL algo.bfs(0) YIELD node, level WHERE level > 0 RETURN node ORDER BY level")
+        .unwrap();
+    // 0 is excluded by WHERE; reachable are 1 (level 1), 2 (level 2), 3 (level 3).
+    assert_eq!(rs.rows.len(), 3);
+    assert_eq!(rs.rows[0][0], Value::Node(1));
+    assert_eq!(rs.rows[2][0], Value::Node(3));
+}
+
+#[test]
+fn call_sssp_uses_edge_weights() {
+    let mut g = algo_graph();
+    let rs = g
+        .query("CALL algo.sssp(0) YIELD node, distance RETURN node, distance ORDER BY distance")
+        .unwrap();
+    // 0 (0.0), 1 (1.0), 2 (3.0), 3 (4.0)
+    assert_eq!(rs.rows.len(), 4);
+    assert_eq!(rs.rows[3], vec![Value::Node(3), Value::Float(4.0)]);
+}
+
+#[test]
+fn call_pagerank_top_scores_through_order_by_limit() {
+    let mut g = algo_graph();
+    let rs = g
+        .query(
+            "CALL algo.pagerank() YIELD node, score \
+             RETURN node, score ORDER BY score DESC LIMIT 5",
+        )
+        .unwrap();
+    assert_eq!(rs.columns, vec!["node", "score"]);
+    assert_eq!(rs.rows.len(), 5);
+    // Scores are sorted descending and sum (over all 6 nodes) to 1.
+    let scores: Vec<f64> = rs.rows.iter().filter_map(|r| r[1].as_f64()).collect();
+    assert!(scores.windows(2).all(|w| w[0] >= w[1]));
+    let all = g.query("CALL algo.pagerank() YIELD score RETURN sum(score)").unwrap();
+    let total = all.scalar().and_then(|v| v.as_f64()).unwrap();
+    assert!((total - 1.0).abs() < 1e-6, "total = {total}");
+}
+
+#[test]
+fn call_wcc_counts_components() {
+    let mut g = algo_graph();
+    let rs =
+        g.query("CALL algo.wcc() YIELD node, component RETURN count(DISTINCT component)").unwrap();
+    assert_eq!(rs.scalar(), Some(&Value::Int(2)));
+}
+
+#[test]
+fn call_triangles_counts_the_chorded_cycle() {
+    let mut g = algo_graph();
+    let rs = g.query("CALL algo.triangles() YIELD triangles RETURN triangles").unwrap();
+    assert_eq!(rs.scalar(), Some(&Value::Int(1)));
+}
+
+#[test]
+fn call_yield_aliases_rebind_columns() {
+    let mut g = algo_graph();
+    let rs = g
+        .query("CALL algo.bfs(0) YIELD node AS n, level AS hops RETURN n, hops ORDER BY hops")
+        .unwrap();
+    assert_eq!(rs.columns, vec!["n", "hops"]);
+    assert_eq!(rs.rows[0], vec![Value::Node(0), Value::Int(0)]);
+}
+
+#[test]
+fn call_runs_on_the_readonly_path() {
+    let g = algo_graph();
+    let rs = g.query_readonly("CALL algo.pagerank() YIELD node, score RETURN count(node)").unwrap();
+    assert_eq!(rs.scalar(), Some(&Value::Int(6)));
+}
+
+#[test]
+fn unknown_procedure_is_caught_at_plan_time() {
+    let g = algo_graph();
+    let err = g.explain("CALL algo.nope() YIELD x RETURN x").unwrap_err();
+    assert!(matches!(err, redisgraph_core::QueryError::UnknownProcedure(p) if p == "algo.nope"));
+}
+
+#[test]
+fn bad_yield_column_and_arity_are_plan_errors() {
+    let g = algo_graph();
+    let err = g.explain("CALL algo.pagerank() YIELD node, rank RETURN rank").unwrap_err();
+    assert!(matches!(err, redisgraph_core::QueryError::Type(m) if m.contains("does not yield")));
+    let err = g.explain("CALL algo.wcc(1) YIELD node RETURN node").unwrap_err();
+    assert!(matches!(err, redisgraph_core::QueryError::Type(m) if m.contains("arguments")));
+}
+
+#[test]
+fn procedure_call_appears_in_explain() {
+    let g = algo_graph();
+    let plan = g.explain("CALL algo.pagerank() YIELD node, score RETURN node").unwrap();
+    assert!(plan.join("\n").contains("ProcedureCall | algo.pagerank"));
+}
+
+#[test]
+fn yield_cannot_shadow_an_existing_variable() {
+    let g = algo_graph();
+    // `level` is already bound by UNWIND; YIELD must not silently clobber it.
+    let err = g
+        .explain("UNWIND [10, 20] AS level CALL algo.bfs(0) YIELD node, level RETURN level")
+        .unwrap_err();
+    assert!(
+        matches!(err, redisgraph_core::QueryError::Type(ref m) if m.contains("already declared")),
+        "got {err:?}"
+    );
+    // Renaming with AS resolves the collision.
+    let plan = g
+        .explain("UNWIND [10, 20] AS level CALL algo.bfs(0) YIELD node, level AS hops RETURN hops")
+        .unwrap();
+    assert!(plan.join("\n").contains("ProcedureCall"));
+}
+
+#[test]
+fn fractional_node_ids_are_rejected_not_truncated() {
+    let mut g = algo_graph();
+    let err = g.query("CALL algo.bfs(1.9) YIELD node RETURN node").unwrap_err();
+    assert!(
+        matches!(err, redisgraph_core::QueryError::Type(ref m) if m.contains("integer")),
+        "got {err:?}"
+    );
+    let err = g.query("CALL algo.pagerank(0.85, 2.7) YIELD node RETURN node").unwrap_err();
+    assert!(matches!(err, redisgraph_core::QueryError::Type(ref m) if m.contains("integer")));
+}

@@ -227,6 +227,22 @@ pub struct SetItem {
     pub value: Expr,
 }
 
+/// One item of a `CALL … YIELD` list: `column [AS alias]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct YieldItem {
+    /// The procedure output column being yielded.
+    pub column: String,
+    /// Optional `AS alias`.
+    pub alias: Option<String>,
+}
+
+impl YieldItem {
+    /// The variable name this item binds in subsequent clauses.
+    pub fn binding_name(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.column)
+    }
+}
+
 /// Top-level query clauses, in source order.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Clause {
@@ -260,6 +276,16 @@ pub enum Clause {
         list: Expr,
         /// The introduced variable.
         variable: String,
+    },
+    /// `CALL proc.name(args) [YIELD col [AS alias], …]`.
+    Call {
+        /// Dotted procedure name (`algo.pagerank`), as written.
+        procedure: String,
+        /// Argument expressions.
+        args: Vec<Expr>,
+        /// Yield items; empty means "yield every output column under its
+        /// natural name".
+        yields: Vec<YieldItem>,
     },
 }
 

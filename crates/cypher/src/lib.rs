@@ -9,7 +9,9 @@
 //! * `WHERE` with comparisons, boolean connectives, and property access;
 //! * `RETURN` (with `DISTINCT`, aliases and the aggregations `count`, `sum`,
 //!   `avg`, `min`, `max`, `collect`), `ORDER BY`, `SKIP`, `LIMIT`;
-//! * `CREATE`, `DELETE`, `SET`, `UNWIND`, and a basic `WITH`.
+//! * `CREATE`, `DELETE`, `SET`, `UNWIND`, and a basic `WITH`;
+//! * `CALL proc.name(args) YIELD cols` procedure invocations (the
+//!   `CALL algo.*` graph-algorithm surface).
 //!
 //! The parser produces a plain [`ast::Query`] that `redisgraph-core` compiles
 //! into an execution plan of GraphBLAS operations.

@@ -164,6 +164,10 @@ impl Parser {
                         let variable = self.expect_ident()?;
                         clauses.push(Clause::Unwind { list, variable });
                     }
+                    "CALL" => {
+                        self.bump();
+                        clauses.push(self.parse_call()?);
+                    }
                     other => return self.error(format!("unexpected keyword `{other}`")),
                 },
                 other => return self.error(format!("unexpected {other}")),
@@ -200,6 +204,44 @@ impl Parser {
             }
         }
         Ok(items)
+    }
+
+    /// `CALL proc.name(args) [YIELD col [AS alias], …]` — the clause syntax of
+    /// RedisGraph's `CALL algo.*` procedures.
+    fn parse_call(&mut self) -> Result<Clause, ParseError> {
+        let mut procedure = self.expect_ident()?;
+        while self.peek() == &TokenKind::Dot {
+            self.bump();
+            procedure.push('.');
+            procedure.push_str(&self.expect_ident()?);
+        }
+        self.expect(&TokenKind::LParen)?;
+        let mut args = Vec::new();
+        if self.peek() != &TokenKind::RParen {
+            loop {
+                args.push(self.parse_expr()?);
+                if self.peek() == &TokenKind::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        let mut yields = Vec::new();
+        if self.eat_keyword("YIELD") {
+            loop {
+                let column = self.expect_ident()?;
+                let alias = if self.eat_keyword("AS") { Some(self.expect_ident()?) } else { None };
+                yields.push(YieldItem { column, alias });
+                if self.peek() == &TokenKind::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        Ok(Clause::Call { procedure, args, yields })
     }
 
     // ------------------------------------------------------------ patterns
@@ -768,6 +810,47 @@ mod tests {
         let Clause::Match { patterns, .. } = &q.clauses[0] else { panic!() };
         assert_eq!(patterns[0].hop_count(), 3);
         assert_eq!(patterns[0].steps[2].0.direction, Direction::Incoming);
+    }
+
+    #[test]
+    fn parses_call_with_yield() {
+        let q = parse("CALL algo.pagerank() YIELD node, score RETURN node ORDER BY score DESC")
+            .unwrap();
+        let Clause::Call { procedure, args, yields } = &q.clauses[0] else { panic!() };
+        assert_eq!(procedure, "algo.pagerank");
+        assert!(args.is_empty());
+        assert_eq!(yields.len(), 2);
+        assert_eq!(yields[0].binding_name(), "node");
+        assert!(q.is_read_only());
+    }
+
+    #[test]
+    fn parses_call_args_and_yield_aliases() {
+        let q = parse("CALL algo.bfs(5) YIELD node AS n, level RETURN n, level").unwrap();
+        let Clause::Call { procedure, args, yields } = &q.clauses[0] else { panic!() };
+        assert_eq!(procedure, "algo.bfs");
+        assert_eq!(args, &[Expr::Literal(Literal::Integer(5))]);
+        assert_eq!(yields[0].binding_name(), "n");
+        assert_eq!(yields[0].column, "node");
+        assert_eq!(yields[1].binding_name(), "level");
+    }
+
+    #[test]
+    fn parses_call_without_yield() {
+        let q = parse("CALL algo.wcc()").unwrap();
+        let Clause::Call { yields, .. } = &q.clauses[0] else { panic!() };
+        assert!(yields.is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_call_clauses() {
+        // missing argument parens
+        assert!(parse("CALL algo.pagerank YIELD node").is_err());
+        // empty / malformed YIELD list
+        assert!(parse("CALL algo.bfs(0) YIELD RETURN node").is_err());
+        assert!(parse("CALL algo.bfs(0) YIELD node AS RETURN node").is_err());
+        // missing procedure name
+        assert!(parse("CALL (0)").is_err());
     }
 
     #[test]

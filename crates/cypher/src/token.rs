@@ -119,7 +119,7 @@ pub struct Token {
 pub const KEYWORDS: &[&str] = &[
     "MATCH", "OPTIONAL", "WHERE", "RETURN", "CREATE", "DELETE", "DETACH", "SET", "UNWIND", "WITH",
     "AS", "ORDER", "BY", "ASC", "DESC", "SKIP", "LIMIT", "DISTINCT", "AND", "OR", "NOT", "XOR",
-    "TRUE", "FALSE", "NULL", "IN", "IS", "MERGE", "COUNT",
+    "TRUE", "FALSE", "NULL", "IN", "IS", "MERGE", "COUNT", "CALL", "YIELD",
 ];
 
 /// True if `word` (any case) is a reserved keyword.

@@ -72,6 +72,18 @@ const CASES: &[(&str, &str)] = &[
         "with_projection",
         "MATCH (a:Person) WITH a.age AS age RETURN age",
     ),
+    (
+        "call_pagerank_yield",
+        "CALL algo.pagerank() YIELD node, score RETURN node, score ORDER BY score DESC LIMIT 5",
+    ),
+    (
+        "call_bfs_args_and_alias",
+        "CALL algo.bfs(7) YIELD node AS n, level RETURN n, level ORDER BY level",
+    ),
+    (
+        "call_wcc_filtered",
+        "CALL algo.wcc() YIELD node, component WHERE component = 0 RETURN count(node)",
+    ),
     // Error paths: the snapshot records the ParseError display, so offset and
     // wording regressions are caught too.
     ("err_unclosed_node", "MATCH (a RETURN a"),
@@ -80,6 +92,8 @@ const CASES: &[(&str, &str)] = &[
     ("err_unknown_clause", "FROBNICATE (a) RETURN a"),
     ("err_missing_return_items", "MATCH (a) RETURN"),
     ("err_unterminated_string", "MATCH (a {name: 'Ann) RETURN a"),
+    ("err_call_empty_yield", "CALL algo.bfs(0) YIELD RETURN node"),
+    ("err_call_missing_parens", "CALL algo.pagerank YIELD node"),
 ];
 
 fn golden_dir() -> PathBuf {
@@ -145,6 +159,7 @@ fn golden_corpus_covers_the_advertised_grammar() {
     let mut seen_unwind = false;
     let mut seen_with = false;
     let mut seen_aggregate = false;
+    let mut seen_call = false;
 
     for (name, query) in CASES {
         if name.starts_with("err_") {
@@ -165,6 +180,7 @@ fn golden_corpus_covers_the_advertised_grammar() {
                 Clause::Set(_) => seen_set = true,
                 Clause::Unwind { .. } => seen_unwind = true,
                 Clause::With(_) => seen_with = true,
+                Clause::Call { .. } => seen_call = true,
                 Clause::Return(projection) => {
                     if projection.items.iter().any(|item| {
                         matches!(
@@ -189,4 +205,5 @@ fn golden_corpus_covers_the_advertised_grammar() {
     assert!(seen_unwind, "corpus must cover UNWIND");
     assert!(seen_with, "corpus must cover WITH");
     assert!(seen_aggregate, "corpus must cover aggregate functions");
+    assert!(seen_call, "corpus must cover CALL … YIELD");
 }

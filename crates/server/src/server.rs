@@ -243,6 +243,38 @@ mod tests {
     }
 
     #[test]
+    fn algo_procedures_work_over_the_wire() {
+        let server = RedisGraphServer::new(ServerConfig::default());
+        // A star: Hub is pointed at by three spokes, so PageRank must rank it
+        // first through the full RESP round-trip.
+        server.query(
+            "g",
+            "CREATE (hub:Node {name: 'Hub'}), (a:Node), (b:Node), (c:Node), \
+             (a)-[:LINK]->(hub), (b)-[:LINK]->(hub), (c)-[:LINK]->(hub)",
+        );
+        let reply = server.handle(&RespValue::command(&[
+            "GRAPH.QUERY",
+            "g",
+            "CALL algo.pagerank() YIELD node, score \
+             RETURN node, score ORDER BY score DESC LIMIT 5",
+        ]));
+        let RespValue::Array(sections) = reply else { panic!("expected array reply") };
+        let RespValue::Array(header) = &sections[0] else { panic!() };
+        assert_eq!(header[0], RespValue::BulkString("node".into()));
+        assert_eq!(header[1], RespValue::BulkString("score".into()));
+        let RespValue::Array(rows) = &sections[1] else { panic!() };
+        assert_eq!(rows.len(), 4);
+        let RespValue::Array(top) = &rows[0] else { panic!() };
+        assert_eq!(top[0], RespValue::BulkString("(node:0)".into()));
+
+        // Unknown procedures surface as RESP errors.
+        assert!(matches!(
+            server.query("g", "CALL algo.nope() YIELD x RETURN x"),
+            RespValue::Error(_)
+        ));
+    }
+
+    #[test]
     fn errors_are_resp_errors() {
         let server = RedisGraphServer::new(ServerConfig::default());
         assert!(matches!(server.query("g", "MATCH (a RETURN a"), RespValue::Error(_)));

@@ -10,6 +10,9 @@
 //!
 //! * [`graphblas`] — sparse matrices/vectors and the algebraic kernels
 //!   (`mxm`, `mxv`/`vxm`, `ewise`, `transpose`, …);
+//! * [`algo`] — LAGraph-style whole-graph algorithms (BFS, SSSP, PageRank,
+//!   WCC, triangle counting) on the same matrix substrate, surfaced in
+//!   Cypher as `CALL algo.*` procedures;
 //! * [`cypher`] — openCypher lexer/parser producing the AST;
 //! * [`core`](redisgraph_core) — the graph store (DataBlocks + label and
 //!   relation matrices) and the AST→plan→GraphBLAS executor;
@@ -18,6 +21,7 @@
 //! * [`datagen`] / [`baseline`] — benchmark datasets and the
 //!   adjacency-list comparison engine.
 
+pub use algo;
 pub use baseline;
 pub use cypher;
 pub use datagen;

@@ -177,3 +177,49 @@ fn workload_queries_parse_and_execute() {
         assert_eq!(count as u64, loaded.redisgraph.khop_count(seed, workload.k));
     }
 }
+
+/// The `CALL algo.*` procedures, the direct `algo` crate entry points, and
+/// the naive baseline oracles must agree on a generated RMAT graph — the
+/// full "analytics on the query engine's matrices" loop, end to end.
+#[test]
+fn algo_procedures_agree_with_direct_calls_and_baseline() {
+    let el = datagen::rmat::generate(&RmatConfig {
+        scale: 7,
+        edge_factor: 4,
+        seed: 23,
+        ..RmatConfig::default()
+    });
+    let mut g = Graph::new("algo-e2e");
+    g.bulk_load(el.num_vertices, &el.edges);
+
+    // Triangles: Cypher CALL == algo crate == baseline oracle.
+    let via_cypher = g
+        .query_readonly("CALL algo.triangles() YIELD triangles RETURN triangles")
+        .unwrap()
+        .scalar()
+        .and_then(|v| v.as_i64())
+        .unwrap() as u64;
+    assert_eq!(via_cypher, algo::triangle_count(g.adjacency_matrix()));
+    assert_eq!(via_cypher, baseline::algorithms::triangle_count(el.num_vertices, &el.edges));
+
+    // WCC: component count agrees with the union-find oracle.
+    let rs = g
+        .query_readonly("CALL algo.wcc() YIELD component RETURN count(DISTINCT component)")
+        .unwrap();
+    let via_cypher = rs.scalar().and_then(|v| v.as_i64()).unwrap() as usize;
+    let mut oracle = baseline::algorithms::wcc(el.num_vertices, &el.edges);
+    oracle.sort_unstable();
+    oracle.dedup();
+    assert_eq!(via_cypher, oracle.len());
+
+    // BFS levels through the record pipeline match the queue-BFS oracle.
+    let oracle_levels = baseline::algorithms::bfs_levels(el.num_vertices, &el.edges, 0);
+    let rs = g
+        .query_readonly("CALL algo.bfs(0) YIELD node, level RETURN node, level ORDER BY level")
+        .unwrap();
+    assert_eq!(rs.rows.len(), oracle_levels.iter().filter(|&&l| l >= 0).count());
+    for row in &rs.rows {
+        let Value::Node(node) = row[0] else { panic!("expected a node") };
+        assert_eq!(row[1].as_i64().unwrap(), oracle_levels[node as usize]);
+    }
+}
