@@ -32,7 +32,10 @@ fn throughput_scaling(c: &mut Criterion) {
     group.throughput(Throughput::Elements(QUERIES_PER_ITER as u64));
     for pool_size in [1usize, 2, 4] {
         // One server per pool size, reused across iterations.
-        let server = Arc::new(RedisGraphServer::new(ServerConfig { thread_count: pool_size }));
+        let server = Arc::new(RedisGraphServer::new(ServerConfig {
+            thread_count: pool_size,
+            ..ServerConfig::default()
+        }));
         server.graph("bench").write().bulk_load(loaded.edges.num_vertices, &loaded.edges.edges);
         let (tx, _dispatcher) = server.start_dispatcher();
 

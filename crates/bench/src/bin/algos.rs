@@ -39,7 +39,7 @@ fn main() {
     for dataset in [Dataset::Graph500, Dataset::Twitter] {
         let loaded = load_dataset(dataset, scale, 42);
         let graph = &loaded.redisgraph;
-        let adj = graph.adjacency_matrix();
+        let adj = graph.adjacency_matrix(); // Cow: borrows the flushed main matrix
         let nodes = graph.all_node_ids();
         let vertices = loaded.edges.num_vertices;
         let edges = graph.edge_count();
@@ -52,7 +52,7 @@ fn main() {
         let source = nodes.iter().copied().max_by_key(|&v| adj.row_degree(v)).unwrap_or(0);
 
         let start = Instant::now();
-        let levels = algo::bfs_levels(adj, source);
+        let levels = algo::bfs_levels(&adj, source);
         let bfs_rounds = levels.values().iter().copied().max().unwrap_or(0) as u32;
         measurements.push(Measurement {
             dataset: name,
@@ -79,7 +79,7 @@ fn main() {
 
         let config = PageRankConfig::default();
         let start = Instant::now();
-        let pr = algo::pagerank(adj, &nodes, &config);
+        let pr = algo::pagerank(&adj, &nodes, &config);
         measurements.push(Measurement {
             dataset: name,
             vertices,
@@ -91,7 +91,7 @@ fn main() {
         });
 
         let start = Instant::now();
-        let (labels, wcc_rounds) = algo::wcc_with_iterations(adj, &nodes);
+        let (labels, wcc_rounds) = algo::wcc_with_iterations(&adj, &nodes);
         let mut components: Vec<u64> = labels.iter().map(|&(_, c)| c).collect();
         components.sort_unstable();
         components.dedup();
@@ -106,7 +106,7 @@ fn main() {
         });
 
         let start = Instant::now();
-        let triangles = algo::triangle_count(adj);
+        let triangles = algo::triangle_count(&adj);
         measurements.push(Measurement {
             dataset: name,
             vertices,

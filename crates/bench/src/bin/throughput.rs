@@ -75,7 +75,10 @@ fn run_with_pool(
     num_vertices: u64,
     workload: &KhopWorkload,
 ) -> f64 {
-    let server = Arc::new(RedisGraphServer::new(ServerConfig { thread_count: pool_size }));
+    let server = Arc::new(RedisGraphServer::new(ServerConfig {
+        thread_count: pool_size,
+        ..ServerConfig::default()
+    }));
     // Load the graph through the server's keyspace once.
     {
         let graph = server.graph("bench");

@@ -1,0 +1,184 @@
+//! Interleaved write/read throughput benchmark for the delta-matrix write
+//! path: streams a generated edge list into the store one `add_edge` at a
+//! time, with read queries (`khop_count` + `neighbors`) interleaved every
+//! `--read-every` writes, and measures the same workload under two regimes:
+//!
+//! * **delta** — the production configuration: mutations buffer into each
+//!   matrix's delta buffers (flush threshold `--threshold`), reads cross a
+//!   `sync_matrices()` barrier exactly like the server's read path;
+//! * **eager** — the pre-delta behaviour: `sync_matrices()` after every
+//!   single mutation, i.e. a per-op CSR fold.
+//!
+//! Writes a machine-readable `BENCH_writes.json` with both measurements and
+//! the speedup, so the write-path trajectory has data points alongside the
+//! k-hop, throughput, and algos suites.
+//!
+//! ```text
+//! cargo run --release -p redisgraph-bench --bin writes -- \
+//!     --edges 100000 --read-every 1000 --out BENCH_writes.json
+//! ```
+
+use datagen::RmatConfig;
+use redisgraph_bench::report::render_table;
+use redisgraph_core::Graph;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One measured regime.
+struct Measurement {
+    mode: &'static str,
+    threshold: usize,
+    wall_ms: f64,
+    writes: usize,
+    reads: usize,
+    writes_per_sec: f64,
+    /// Sum of every interleaved read result — identical across regimes by
+    /// construction, so a divergence flags a correctness bug, not noise.
+    checksum: u64,
+}
+
+/// Stream the edge list into a graph, interleaving reads. `eager` flushes
+/// after every mutation (per-op `sync_matrices`); otherwise mutations buffer
+/// and reads flush once at the barrier, as the server does.
+fn run_workload(
+    vertices: u64,
+    edges: &[(u64, u64)],
+    read_every: usize,
+    threshold: usize,
+    eager: bool,
+) -> Measurement {
+    let mut g = Graph::new("writes");
+    g.set_flush_threshold(if eager { 1 } else { threshold });
+    let start = Instant::now();
+    for v in 0..vertices {
+        g.add_node(&["Node"], vec![("id", redisgraph_core::Value::Int(v as i64))]);
+        if eager {
+            g.sync_matrices();
+        }
+    }
+    let mut reads = 0usize;
+    let mut checksum = 0u64;
+    for (i, &(src, dst)) in edges.iter().enumerate() {
+        g.add_edge(src, dst, "LINK", vec![]).expect("endpoints exist");
+        if eager {
+            g.sync_matrices();
+        }
+        if (i + 1) % read_every == 0 {
+            // Read barrier, then the two read shapes the paper's workloads
+            // lean on: a 2-hop neighbourhood count and a row scan.
+            g.sync_matrices();
+            let probe = src % vertices;
+            checksum += g.khop_count(probe, 2);
+            checksum += g.neighbors(probe, None, redisgraph_core::TraverseDir::Both).len() as u64;
+            reads += 2;
+        }
+    }
+    g.sync_matrices();
+    checksum += g.adjacency_matrix().nvals() as u64;
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    Measurement {
+        mode: if eager { "eager" } else { "delta" },
+        threshold: g.flush_threshold(),
+        wall_ms,
+        writes: vertices as usize + edges.len(),
+        reads,
+        writes_per_sec: (vertices as usize + edges.len()) as f64 / (wall_ms / 1e3),
+        checksum,
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    let num_edges: usize = arg(&argv, "--edges").unwrap_or(100_000);
+    let read_every: usize = arg(&argv, "--read-every").unwrap_or(1_000).max(1);
+    let threshold: usize = arg(&argv, "--threshold").unwrap_or(graphblas::DEFAULT_FLUSH_THRESHOLD);
+    let out_path: String = arg(&argv, "--out").unwrap_or_else(|| "BENCH_writes.json".to_string());
+
+    // An RMAT graph sized so the requested edge count lands on 2^scale
+    // vertices with roughly 8 edges per vertex — skewed like the paper's
+    // datasets, so flushes hit rows of very different lengths.
+    let mut scale = 4u32;
+    while (1u64 << (scale + 3)) < num_edges as u64 {
+        scale += 1;
+    }
+    let el = datagen::rmat::generate(&RmatConfig {
+        scale,
+        edge_factor: (num_edges as u64 / (1u64 << scale)).max(1) as u32,
+        seed: 42,
+        ..RmatConfig::default()
+    });
+    let edges: Vec<(u64, u64)> = el.edges.iter().copied().take(num_edges).collect();
+    println!(
+        "Interleaved write/read workload: {} vertices, {} edges, reads every {} writes\n",
+        el.num_vertices,
+        edges.len(),
+        read_every
+    );
+
+    let delta = run_workload(el.num_vertices, &edges, read_every, threshold, false);
+    let eager = run_workload(el.num_vertices, &edges, read_every, threshold, true);
+    assert_eq!(
+        delta.checksum, eager.checksum,
+        "delta and eager regimes returned different read results"
+    );
+    let speedup = eager.wall_ms / delta.wall_ms;
+
+    let rows: Vec<Vec<String>> = [&delta, &eager]
+        .iter()
+        .map(|m| {
+            vec![
+                m.mode.to_string(),
+                m.threshold.to_string(),
+                format!("{:.1}", m.wall_ms),
+                m.writes.to_string(),
+                m.reads.to_string(),
+                format!("{:.0}", m.writes_per_sec),
+                m.checksum.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["mode", "threshold", "wall (ms)", "writes", "reads", "writes/s", "checksum"],
+            &rows
+        )
+    );
+    println!("\ndelta speedup over per-op sync: {speedup:.1}x");
+
+    std::fs::write(&out_path, to_json(&el, read_every, &delta, &eager, speedup))
+        .expect("write benchmark report");
+    println!("wrote {out_path}");
+}
+
+/// Hand-rolled JSON (no serde in the offline build).
+fn to_json(
+    el: &datagen::EdgeList,
+    read_every: usize,
+    delta: &Measurement,
+    eager: &Measurement,
+    speedup: f64,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"suite\": \"writes\",");
+    let _ = writeln!(out, "  \"vertices\": {},", el.num_vertices);
+    let _ = writeln!(out, "  \"read_every\": {read_every},");
+    let _ = writeln!(out, "  \"speedup\": {speedup:.3},");
+    out.push_str("  \"results\": [\n");
+    for (i, m) in [delta, eager].into_iter().enumerate() {
+        let comma = if i == 0 { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"mode\": \"{}\", \"threshold\": {}, \"wall_ms\": {:.6}, \"writes\": {}, \
+             \"reads\": {}, \"writes_per_sec\": {:.3}, \"checksum\": {}}}{comma}",
+            m.mode, m.threshold, m.wall_ms, m.writes, m.reads, m.writes_per_sec, m.checksum
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn arg<T: std::str::FromStr>(argv: &[String], name: &str) -> Option<T> {
+    argv.iter().position(|a| a == name).and_then(|i| argv.get(i + 1)).and_then(|s| s.parse().ok())
+}

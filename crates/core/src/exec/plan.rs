@@ -79,13 +79,36 @@ impl ExecutionPlan {
         self.run(GraphAccess::Read(graph))
     }
 
+    /// True when executing the plan reads whole matrices (variable-length
+    /// traversals run the algebraic `khop_reach`, procedures hand the
+    /// adjacency matrix to `algo::*`) rather than merged per-row views.
+    fn needs_matrix_views(&self) -> bool {
+        self.segments.iter().flat_map(|s| &s.ops).any(|op| match op {
+            PlanOp::Traverse { min_hops, max_hops, .. } => {
+                !(*min_hops == 1 && *max_hops == Some(1))
+            }
+            PlanOp::ProcedureCall { .. } => true,
+            _ => false,
+        })
+    }
+
     fn run(&self, mut access: GraphAccess<'_>) -> Result<ResultSet, QueryError> {
         let start = Instant::now();
+        // Read barrier for whole-matrix consumers: with exclusive access a
+        // flush is cheap and lets `khop_reach` / procedures borrow the main
+        // matrices once, instead of materialising a merged copy per record.
+        // (The server's read-only path crosses its own barrier before taking
+        // the read lock; single-hop traversals use merged row views and need
+        // no flush at all.)
+        if self.needs_matrix_views() {
+            if let GraphAccess::Write(graph) = &mut access {
+                graph.sync_matrices();
+            }
+        }
         let mut stats = QueryStats::default();
         let mut records: Vec<Record> = vec![Vec::new()];
         let mut columns: Vec<String> = Vec::new();
         let mut rows: Vec<Vec<Value>> = Vec::new();
-        let mut wrote = false;
 
         for (si, segment) in self.segments.iter().enumerate() {
             let bindings = &segment.bindings;
@@ -163,15 +186,12 @@ impl ExecutionPlan {
                             access.graph_mut()?,
                             &mut stats,
                         );
-                        wrote = true;
                     }
                     PlanOp::Delete { vars, .. } => {
                         run_delete(vars, &records, bindings, access.graph_mut()?, &mut stats);
-                        wrote = true;
                     }
                     PlanOp::SetProps { items } => {
                         run_set(items, &records, bindings, access.graph_mut()?, &mut stats);
-                        wrote = true;
                     }
                     PlanOp::Unwind { list, slot, .. } => {
                         records = run_unwind(list, *slot, records, bindings, access.graph());
@@ -183,9 +203,10 @@ impl ExecutionPlan {
                 }
             }
         }
-        if wrote {
-            access.graph_mut()?.sync_matrices();
-        }
+        // Write queries no longer resync matrices here: mutations append to
+        // each DeltaMatrix's pending buffers and readers see the merged view.
+        // Buffers fold into the main CSRs when a matrix crosses its flush
+        // threshold, or at the read barriers above.
         stats.execution_time = start.elapsed();
         Ok(ResultSet { columns, rows, stats })
     }

@@ -94,7 +94,8 @@ fn node_arg(graph: &Graph, value: &Value, procedure: &str) -> Result<NodeId, Que
 
 fn proc_bfs(graph: &Graph, args: &[Value]) -> Result<Vec<Vec<Value>>, QueryError> {
     let source = node_arg(graph, &args[0], "algo.bfs")?;
-    let levels = algo::bfs_levels(graph.adjacency_matrix(), source);
+    let adj = graph.adjacency_matrix();
+    let levels = algo::bfs_levels(&adj, source);
     Ok(levels.iter().map(|(node, level)| vec![Value::Node(node), Value::Int(level)]).collect())
 }
 
@@ -137,7 +138,8 @@ fn proc_pagerank(graph: &Graph, args: &[Value]) -> Result<Vec<Vec<Value>>, Query
         config.max_iterations = n as u32;
     }
     let nodes = graph.all_node_ids();
-    let result = algo::pagerank(graph.adjacency_matrix(), &nodes, &config);
+    let adj = graph.adjacency_matrix();
+    let result = algo::pagerank(&adj, &nodes, &config);
     Ok(result
         .scores
         .into_iter()
@@ -147,7 +149,8 @@ fn proc_pagerank(graph: &Graph, args: &[Value]) -> Result<Vec<Vec<Value>>, Query
 
 fn proc_wcc(graph: &Graph, _args: &[Value]) -> Result<Vec<Vec<Value>>, QueryError> {
     let nodes = graph.all_node_ids();
-    let labels = algo::wcc(graph.adjacency_matrix(), &nodes);
+    let adj = graph.adjacency_matrix();
+    let labels = algo::wcc(&adj, &nodes);
     Ok(labels
         .into_iter()
         .map(|(node, component)| vec![Value::Node(node), Value::Int(component as i64)])
@@ -155,7 +158,8 @@ fn proc_wcc(graph: &Graph, _args: &[Value]) -> Result<Vec<Vec<Value>>, QueryErro
 }
 
 fn proc_triangles(graph: &Graph, _args: &[Value]) -> Result<Vec<Vec<Value>>, QueryError> {
-    let count = algo::triangle_count(graph.adjacency_matrix());
+    let adj = graph.adjacency_matrix();
+    let count = algo::triangle_count(&adj);
     Ok(vec![vec![Value::Int(count as i64)]])
 }
 

@@ -32,7 +32,7 @@ pub mod value;
 pub use error::QueryError;
 pub use exec::plan::ExecutionPlan;
 pub use exec::resultset::{QueryStats, ResultSet};
-pub use store::graph::Graph;
+pub use store::graph::{Graph, TraverseDir};
 pub use value::Value;
 
 /// Node identifier: the row/column index of the node in every matrix.

@@ -13,6 +13,19 @@
 //!   DataBlock slot index *is* the matrix row/column index.
 //!
 //! All matrices share one dimension, grown in chunks as nodes are added.
+//!
+//! Every matrix is a [`DeltaMatrix`]: mutations append to per-matrix
+//! pending-insert/pending-delete buffers in O(log pending) instead of
+//! rebuilding CSR structures, and the transposed matrices are maintained
+//! incrementally (an edge insert buffers `(dst, src)` into the transpose)
+//! rather than recomputed from scratch after every write query. Readers see
+//! the merged `main ∪ Δ⁺ \ Δ⁻` view; whole-matrix consumers (`khop_reach`,
+//! the `algo.*` procedures) borrow the main matrix when nothing is pending
+//! and materialise a merged copy otherwise, so a `&Graph` read never blocks
+//! on a flush. Buffers are folded into the main matrices when a matrix's
+//! pending count crosses [`Graph::flush_threshold`] (the
+//! `DELTA_MAX_PENDING_CHANGES` knob), or explicitly at a read barrier via
+//! [`Graph::sync_matrices`].
 
 use crate::error::QueryError;
 use crate::exec::plan::ExecutionPlan;
@@ -23,6 +36,7 @@ use crate::store::schema::{LabelId, RelTypeId, Schema};
 use crate::value::Value;
 use crate::{EdgeId, NodeId};
 use graphblas::prelude::*;
+use std::borrow::Cow;
 
 /// Matrices are grown in chunks of this many rows/columns so that node
 /// insertion does not resize on every call (RedisGraph uses 16384).
@@ -48,13 +62,12 @@ pub struct Graph {
     nodes: DataBlock<NodeEntity>,
     edges: DataBlock<EdgeEntity>,
     dim: u64,
-    adjacency: SparseMatrix<bool>,
-    adjacency_t: SparseMatrix<bool>,
-    adjacency_t_dirty: bool,
-    relation_matrices: Vec<SparseMatrix<u64>>,
-    relation_matrices_t: Vec<SparseMatrix<u64>>,
-    relation_t_dirty: bool,
-    label_matrices: Vec<SparseMatrix<bool>>,
+    adjacency: DeltaMatrix<bool>,
+    adjacency_t: DeltaMatrix<bool>,
+    relation_matrices: Vec<DeltaMatrix<u64>>,
+    relation_matrices_t: Vec<DeltaMatrix<u64>>,
+    label_matrices: Vec<DeltaMatrix<bool>>,
+    flush_threshold: usize,
 }
 
 impl Graph {
@@ -67,14 +80,57 @@ impl Graph {
             nodes: DataBlock::new(),
             edges: DataBlock::new(),
             dim: GROW_CHUNK,
-            adjacency: SparseMatrix::new(GROW_CHUNK, GROW_CHUNK),
-            adjacency_t: SparseMatrix::new(GROW_CHUNK, GROW_CHUNK),
-            adjacency_t_dirty: false,
+            adjacency: DeltaMatrix::new(GROW_CHUNK, GROW_CHUNK),
+            adjacency_t: DeltaMatrix::new(GROW_CHUNK, GROW_CHUNK),
             relation_matrices: Vec::new(),
             relation_matrices_t: Vec::new(),
-            relation_t_dirty: false,
             label_matrices: Vec::new(),
+            flush_threshold: DEFAULT_FLUSH_THRESHOLD,
         }
+    }
+
+    /// The pending-count threshold at which any one matrix folds its delta
+    /// buffers into its main CSR (the `DELTA_MAX_PENDING_CHANGES` knob).
+    pub fn flush_threshold(&self) -> usize {
+        self.flush_threshold
+    }
+
+    /// Set the delta flush threshold on every matrix (existing and future).
+    /// `1` restores the eager behaviour of flushing on every mutation.
+    pub fn set_flush_threshold(&mut self, threshold: usize) {
+        self.flush_threshold = threshold.max(1);
+        self.adjacency.set_flush_threshold(self.flush_threshold);
+        self.adjacency_t.set_flush_threshold(self.flush_threshold);
+        for m in &mut self.relation_matrices {
+            m.set_flush_threshold(self.flush_threshold);
+        }
+        for m in &mut self.relation_matrices_t {
+            m.set_flush_threshold(self.flush_threshold);
+        }
+        for m in &mut self.label_matrices {
+            m.set_flush_threshold(self.flush_threshold);
+        }
+    }
+
+    /// A delta matrix sized and tuned for this graph.
+    fn new_matrix<T: Scalar>(&self) -> DeltaMatrix<T> {
+        let mut m = DeltaMatrix::new(self.dim, self.dim);
+        m.set_flush_threshold(self.flush_threshold);
+        m
+    }
+
+    /// True when any matrix has buffered changes awaiting a flush.
+    pub fn has_pending_deltas(&self) -> bool {
+        self.pending_delta_count() > 0
+    }
+
+    /// Total buffered changes across every matrix.
+    pub fn pending_delta_count(&self) -> usize {
+        self.adjacency.pending_count()
+            + self.adjacency_t.pending_count()
+            + self.relation_matrices.iter().map(DeltaMatrix::pending_count).sum::<usize>()
+            + self.relation_matrices_t.iter().map(DeltaMatrix::pending_count).sum::<usize>()
+            + self.label_matrices.iter().map(DeltaMatrix::pending_count).sum::<usize>()
     }
 
     /// The graph's key name.
@@ -149,7 +205,7 @@ impl Graph {
     pub fn label_id_or_create(&mut self, name: &str) -> LabelId {
         let id = self.schema.label_id_or_create(name);
         while self.label_matrices.len() <= id {
-            self.label_matrices.push(SparseMatrix::new(self.dim, self.dim));
+            self.label_matrices.push(self.new_matrix());
         }
         id
     }
@@ -158,8 +214,8 @@ impl Graph {
     pub fn rel_type_id_or_create(&mut self, name: &str) -> RelTypeId {
         let id = self.schema.rel_type_id_or_create(name);
         while self.relation_matrices.len() <= id {
-            self.relation_matrices.push(SparseMatrix::new(self.dim, self.dim));
-            self.relation_matrices_t.push(SparseMatrix::new(self.dim, self.dim));
+            self.relation_matrices.push(self.new_matrix());
+            self.relation_matrices_t.push(self.new_matrix());
         }
         id
     }
@@ -202,32 +258,42 @@ impl Graph {
         }
         let id = self.edges.insert(EdgeEntity { src, dst, rel_type: rel, attributes: attrs });
         self.relation_matrices[rel].set_element(src, dst, id);
+        self.relation_matrices_t[rel].set_element(dst, src, id);
         self.adjacency.set_element(src, dst, true);
-        self.adjacency_t_dirty = true;
-        self.relation_t_dirty = true;
+        self.adjacency_t.set_element(dst, src, true);
         Ok(id)
     }
 
     /// Delete an edge by id.
     pub fn delete_edge(&mut self, id: EdgeId) -> bool {
         let Some(edge) = self.edges.remove(id) else { return false };
-        // Remove the matrix entry only if no other edge of the same type
-        // connects the same endpoints.
-        let other_same_type = self
+        // Keep the matrix entry if another edge of the same type still
+        // connects the same endpoints — re-pointed at the survivor so
+        // traversals never hand out a dead edge id.
+        let surviving_same_type = self
             .edges
             .iter()
-            .any(|(_, e)| e.src == edge.src && e.dst == edge.dst && e.rel_type == edge.rel_type);
-        if !other_same_type {
-            self.relation_matrices[edge.rel_type]
-                .remove_element(edge.src, edge.dst)
-                .expect("in-bounds");
+            .find(|(_, e)| e.src == edge.src && e.dst == edge.dst && e.rel_type == edge.rel_type)
+            .map(|(eid, _)| eid);
+        match surviving_same_type {
+            Some(survivor) => {
+                self.relation_matrices[edge.rel_type].set_element(edge.src, edge.dst, survivor);
+                self.relation_matrices_t[edge.rel_type].set_element(edge.dst, edge.src, survivor);
+            }
+            None => {
+                self.relation_matrices[edge.rel_type]
+                    .remove_element(edge.src, edge.dst)
+                    .expect("in-bounds");
+                self.relation_matrices_t[edge.rel_type]
+                    .remove_element(edge.dst, edge.src)
+                    .expect("in-bounds");
+            }
         }
         let any_edge_left = self.edges.iter().any(|(_, e)| e.src == edge.src && e.dst == edge.dst);
         if !any_edge_left {
             self.adjacency.remove_element(edge.src, edge.dst).expect("in-bounds");
+            self.adjacency_t.remove_element(edge.dst, edge.src).expect("in-bounds");
         }
-        self.adjacency_t_dirty = true;
-        self.relation_t_dirty = true;
         true
     }
 
@@ -252,23 +318,21 @@ impl Graph {
         true
     }
 
-    /// Flush pending matrix updates and refresh the transposed matrices.
-    /// Called automatically at the end of every write query.
+    /// Read barrier: fold every matrix's pending buffers into its main CSR so
+    /// subsequent whole-matrix reads borrow instead of merging. Writes no
+    /// longer require this — merged views stay consistent without it — but
+    /// the server calls it before read bursts and tests use it to pin state.
     pub fn sync_matrices(&mut self) {
-        self.adjacency.wait();
+        self.adjacency.flush();
+        self.adjacency_t.flush();
         for m in &mut self.relation_matrices {
-            m.wait();
+            m.flush();
+        }
+        for m in &mut self.relation_matrices_t {
+            m.flush();
         }
         for m in &mut self.label_matrices {
-            m.wait();
-        }
-        if self.adjacency_t_dirty {
-            self.adjacency_t = transpose(&self.adjacency);
-            self.adjacency_t_dirty = false;
-        }
-        if self.relation_t_dirty {
-            self.relation_matrices_t = self.relation_matrices.iter().map(transpose).collect();
-            self.relation_t_dirty = false;
+            m.flush();
         }
     }
 
@@ -328,7 +392,7 @@ impl Graph {
     /// Ids of nodes carrying the given label (by name). Unknown label → empty.
     pub fn nodes_with_label(&self, label: &str) -> Vec<NodeId> {
         let Some(id) = self.schema.label_id(label) else { return Vec::new() };
-        self.label_matrices[id].to_triples().into_iter().map(|(r, _, _)| r).collect()
+        self.label_matrices[id].iter().map(|(r, _, _)| r).collect()
     }
 
     /// Whether the node carries the label (by name).
@@ -339,21 +403,21 @@ impl Graph {
         }
     }
 
-    /// The combined boolean adjacency matrix (flushed).
-    pub fn adjacency_matrix(&self) -> &SparseMatrix<bool> {
-        debug_assert!(self.adjacency.is_flushed(), "call sync_matrices() after writes");
-        &self.adjacency
+    /// The combined boolean adjacency matrix: a zero-cost borrow of the main
+    /// matrix when nothing is pending, a materialised merged copy otherwise
+    /// (call [`Graph::sync_matrices`] first on hot paths).
+    pub fn adjacency_matrix(&self) -> Cow<'_, SparseMatrix<bool>> {
+        self.adjacency.view()
     }
 
-    /// The transposed adjacency matrix.
-    pub fn adjacency_matrix_t(&self) -> &SparseMatrix<bool> {
-        debug_assert!(!self.adjacency_t_dirty, "call sync_matrices() after writes");
-        &self.adjacency_t
+    /// The transposed adjacency matrix (merged view).
+    pub fn adjacency_matrix_t(&self) -> Cow<'_, SparseMatrix<bool>> {
+        self.adjacency_t.view()
     }
 
-    /// The relation matrix for a relationship type id.
-    pub fn relation_matrix(&self, rel: RelTypeId) -> Option<&SparseMatrix<u64>> {
-        self.relation_matrices.get(rel)
+    /// The relation matrix for a relationship type id (merged view).
+    pub fn relation_matrix(&self, rel: RelTypeId) -> Option<Cow<'_, SparseMatrix<u64>>> {
+        self.relation_matrices.get(rel).map(DeltaMatrix::view)
     }
 
     /// An `f64` matrix of edge weights read from property `prop` (edges
@@ -392,13 +456,10 @@ impl Graph {
                 for &t in types {
                     if let Some(m) = self.relation_matrices.get(t) {
                         if forward {
-                            let (cols, vals) = m.row(node);
-                            out.extend(cols.iter().copied().zip(vals.iter().copied()));
+                            out.extend(m.row_iter(node));
                         }
                         if backward {
-                            let mt = &self.relation_matrices_t[t];
-                            let (cols, vals) = mt.row(node);
-                            out.extend(cols.iter().copied().zip(vals.iter().copied()));
+                            out.extend(self.relation_matrices_t[t].row_iter(node));
                         }
                     }
                 }
@@ -406,13 +467,10 @@ impl Graph {
             None => {
                 for (t, m) in self.relation_matrices.iter().enumerate() {
                     if forward {
-                        let (cols, vals) = m.row(node);
-                        out.extend(cols.iter().copied().zip(vals.iter().copied()));
+                        out.extend(m.row_iter(node));
                     }
                     if backward {
-                        let mt = &self.relation_matrices_t[t];
-                        let (cols, vals) = mt.row(node);
-                        out.extend(cols.iter().copied().zip(vals.iter().copied()));
+                        out.extend(self.relation_matrices_t[t].row_iter(node));
                     }
                 }
             }
@@ -432,10 +490,15 @@ impl Graph {
         max_hops: u32,
         dir: TraverseDir,
     ) -> SparseVector<bool> {
-        let matrix = match dir {
-            TraverseDir::Outgoing => &self.adjacency,
-            TraverseDir::Incoming => &self.adjacency_t,
-            TraverseDir::Both => &self.adjacency, // handled below with a second sweep
+        let adj = self.adjacency.view();
+        // The transpose is only materialised when the direction needs it.
+        let adj_t = match dir {
+            TraverseDir::Outgoing => None,
+            TraverseDir::Incoming | TraverseDir::Both => Some(self.adjacency_t.view()),
+        };
+        let matrix: &SparseMatrix<bool> = match dir {
+            TraverseDir::Outgoing | TraverseDir::Both => &adj,
+            TraverseDir::Incoming => adj_t.as_deref().expect("materialised above"),
         };
         let semiring = Semiring::lor_land();
         let desc = Descriptor::new().with_mask_complement().with_mask_structure();
@@ -453,7 +516,13 @@ impl Graph {
             let mask = VectorMask::new(&visited);
             let mut next = vxm(&frontier, matrix, &semiring, Some(&mask), &desc);
             if dir == TraverseDir::Both {
-                let back = vxm(&frontier, &self.adjacency_t, &semiring, Some(&mask), &desc);
+                let back = vxm(
+                    &frontier,
+                    adj_t.as_deref().expect("materialised above"),
+                    &semiring,
+                    Some(&mask),
+                    &desc,
+                );
                 next = ewise_add_vector(&next, &back, &BinaryOp::LOr);
             }
             // mark visited and accumulate the reached set when within range
@@ -492,8 +561,7 @@ impl Graph {
             debug_assert_eq!(id, v, "bulk_load requires an empty graph");
             label_triples.push((v, v, true));
         }
-        self.label_matrices[label] =
-            SparseMatrix::from_triples(self.dim, self.dim, &label_triples).expect("in range");
+        self.label_matrices[label] = self.delta_from_triples(&label_triples);
 
         let mut dedup: Vec<(u64, u64)> = edges
             .iter()
@@ -515,13 +583,26 @@ impl Graph {
             adj_triples.push((s, d, true));
             rel_triples.push((s, d, eid));
         }
-        self.adjacency =
-            SparseMatrix::from_triples(self.dim, self.dim, &adj_triples).expect("in range");
-        self.relation_matrices[rel] =
-            SparseMatrix::from_triples(self.dim, self.dim, &rel_triples).expect("in range");
-        self.adjacency_t_dirty = true;
-        self.relation_t_dirty = true;
-        self.sync_matrices();
+        // Bulk loads build the CSR structures directly (one construction, no
+        // per-edge buffering) and the transposes with one transpose kernel.
+        self.adjacency = self.delta_from_triples(&adj_triples);
+        self.adjacency_t = self.delta_from_matrix(transpose(self.adjacency.main()));
+        self.relation_matrices[rel] = self.delta_from_triples(&rel_triples);
+        self.relation_matrices_t[rel] =
+            self.delta_from_matrix(transpose(self.relation_matrices[rel].main()));
+    }
+
+    /// Build a flushed delta matrix from triples at this graph's dimension.
+    fn delta_from_triples<T: Scalar>(&self, triples: &[(u64, u64, T)]) -> DeltaMatrix<T> {
+        self.delta_from_matrix(
+            SparseMatrix::from_triples(self.dim, self.dim, triples).expect("in range"),
+        )
+    }
+
+    fn delta_from_matrix<T: Scalar>(&self, matrix: SparseMatrix<T>) -> DeltaMatrix<T> {
+        let mut m = DeltaMatrix::from_matrix(matrix);
+        m.set_flush_threshold(self.flush_threshold);
+        m
     }
 }
 
@@ -657,5 +738,117 @@ mod tests {
         g.bulk_load(GROW_CHUNK + 5, &[(0, GROW_CHUNK + 1)]);
         assert!(g.dim() > GROW_CHUNK);
         assert_eq!(g.khop_count(0, 1), 1);
+    }
+
+    // ------------------------------------------------- delta-path edge cases
+
+    #[test]
+    fn readd_after_delete_recycles_the_edge_id() {
+        let mut g = Graph::new("readd");
+        g.set_flush_threshold(1_000_000); // keep everything buffered
+        let a = g.add_node(&["N"], vec![]);
+        let b = g.add_node(&["N"], vec![]);
+        let e = g.add_edge(a, b, "L", vec![]).unwrap();
+        assert!(g.delete_edge(e));
+        // The DataBlock recycles the freed slot, so the new edge gets the
+        // just-deleted id back while the delete is still pending.
+        let e2 = g.add_edge(a, b, "L", vec![("w", Value::Int(1))]).unwrap();
+        assert_eq!(e2, e, "freed edge id must be recycled");
+        assert_eq!(g.neighbors(a, None, TraverseDir::Outgoing), vec![(b, e2)]);
+        assert_eq!(g.edge_property(e2, "w"), Value::Int(1));
+        g.sync_matrices();
+        assert_eq!(g.neighbors(a, None, TraverseDir::Outgoing), vec![(b, e2)]);
+        assert_eq!(g.adjacency_matrix().nvals(), 1);
+    }
+
+    #[test]
+    fn delete_node_with_pending_incident_edge_inserts() {
+        let mut g = Graph::new("pending-delete");
+        g.set_flush_threshold(1_000_000);
+        let a = g.add_node(&["N"], vec![]);
+        let b = g.add_node(&["N"], vec![]);
+        let c = g.add_node(&["N"], vec![]);
+        g.add_edge(a, b, "L", vec![]).unwrap();
+        g.add_edge(b, c, "L", vec![]).unwrap();
+        g.add_edge(c, b, "L", vec![]).unwrap();
+        assert!(g.has_pending_deltas(), "edge inserts must still be buffered");
+        // Deleting b while its incident-edge inserts are still pending must
+        // cancel them out of every matrix, including the transposes.
+        assert!(g.delete_node(b));
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.neighbors(a, None, TraverseDir::Both), vec![]);
+        assert_eq!(g.neighbors(c, None, TraverseDir::Both), vec![]);
+        assert_eq!(g.adjacency_matrix().nvals(), 0);
+        assert_eq!(g.adjacency_matrix_t().nvals(), 0);
+        g.sync_matrices();
+        assert_eq!(g.adjacency_matrix().nvals(), 0);
+        assert_eq!(g.khop_count(a, 3), 0);
+    }
+
+    #[test]
+    fn ensure_dim_growth_with_pending_buffers() {
+        let mut g = Graph::new("grow-pending");
+        g.set_flush_threshold(1_000_000);
+        // One short of the chunk boundary: the *next* node triggers growth.
+        for _ in 0..GROW_CHUNK - 1 {
+            g.add_node(&["N"], vec![]);
+        }
+        g.add_edge(0, 1, "L", vec![]).unwrap();
+        g.add_edge(1, 2, "L", vec![]).unwrap();
+        assert!(g.has_pending_deltas());
+        let dim_before = g.dim();
+        // The next node crosses the chunk boundary: every matrix grows while
+        // its pending buffers are non-empty, and nothing is lost or flushed.
+        let big = g.add_node(&["N"], vec![]);
+        assert!(g.dim() > dim_before);
+        assert!(g.has_pending_deltas(), "growth must not force a flush");
+        g.add_edge(2, big, "L", vec![]).unwrap();
+        assert_eq!(g.khop_count(0, 3), 3, "pre- and post-growth edges both traverse");
+        g.sync_matrices();
+        assert_eq!(g.khop_count(0, 3), 3);
+        assert_eq!(g.adjacency_matrix().nvals(), 3);
+    }
+
+    #[test]
+    fn parallel_edge_delete_repoints_matrix_at_survivor() {
+        let mut g = Graph::new("parallel");
+        let a = g.add_node(&["N"], vec![]);
+        let b = g.add_node(&["N"], vec![]);
+        let e1 = g.add_edge(a, b, "L", vec![]).unwrap();
+        let e2 = g.add_edge(a, b, "L", vec![]).unwrap();
+        // Deleting the edge the matrix currently points at must re-point the
+        // entry at the survivor, never hand out a dead edge id.
+        assert!(g.delete_edge(e2));
+        let nbrs = g.neighbors(a, None, TraverseDir::Outgoing);
+        assert_eq!(nbrs, vec![(b, e1)]);
+        assert!(g.edge(nbrs[0].1).is_some(), "traversal returned a dead edge id");
+        let rel = g.schema.rel_type_id("L").unwrap();
+        assert_eq!(g.relation_matrix(rel).unwrap().extract_element(a, b), Some(e1));
+        // Deleting the survivor clears the entries everywhere.
+        assert!(g.delete_edge(e1));
+        assert_eq!(g.neighbors(a, None, TraverseDir::Outgoing), vec![]);
+        assert_eq!(g.adjacency_matrix().nvals(), 0);
+        assert_eq!(g.adjacency_matrix_t().nvals(), 0);
+    }
+
+    #[test]
+    fn merged_views_serve_reads_without_a_flush() {
+        let mut g = Graph::new("merged");
+        g.set_flush_threshold(1_000_000);
+        let a = g.add_node(&["Person"], vec![]);
+        let b = g.add_node(&["Person"], vec![]);
+        let c = g.add_node(&["City"], vec![]);
+        g.add_edge(a, b, "KNOWS", vec![]).unwrap();
+        g.add_edge(b, c, "LIVES_IN", vec![]).unwrap();
+        assert!(g.has_pending_deltas());
+        // Every read surface answers from the merged view.
+        assert_eq!(g.nodes_with_label("Person"), vec![a, b]);
+        assert_eq!(g.khop_count(a, 2), 2);
+        assert_eq!(g.khop_reach(c, 1, 2, TraverseDir::Incoming).nvals(), 2);
+        assert_eq!(g.adjacency_matrix().nvals(), 2);
+        let rs = g.query_readonly("MATCH (p:Person)-[:KNOWS]->(q) RETURN count(q)").unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::Int(1)));
+        assert!(g.has_pending_deltas(), "read-only queries must not flush");
     }
 }

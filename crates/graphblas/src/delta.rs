@@ -1,0 +1,529 @@
+//! Delta matrices: RedisGraph's production answer to write amplification.
+//!
+//! A [`DeltaMatrix`] wraps a fully-flushed **main** CSR matrix together with
+//! two small pending buffers:
+//!
+//! * **delta-plus** (`DP`) — entries inserted (or overwritten) since the last
+//!   flush, keyed by coordinate;
+//! * **delta-minus** (`DM`) — coordinates of main-matrix entries deleted since
+//!   the last flush.
+//!
+//! Every read accessor presents the *merged* view `(M \ DM) ∪ DP` (with `DP`
+//! taking precedence over `M` on overlap), so readers never observe a torn
+//! state, while each write is an O(log pending) map update instead of a CSR
+//! rebuild. [`DeltaMatrix::flush`] folds both buffers into the main matrix in
+//! one rebuild; a configurable pending-count threshold triggers that flush
+//! automatically so writes stay O(1) amortized under sustained load.
+//!
+//! Invariants (checked by [`DeltaMatrix::check_invariants`]):
+//!
+//! * the main matrix is always flushed (its own pending log is empty);
+//! * `DM` only names coordinates that exist in the main matrix;
+//! * `DP` and `DM` are disjoint — a delete of a pending insert simply drops
+//!   the `DP` entry, and an insert over a pending delete drops the `DM` entry.
+
+use crate::error::{check_index, GrbError, GrbResult};
+use crate::matrix::SparseMatrix;
+use crate::types::Scalar;
+use crate::Index;
+use std::borrow::Cow;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Default number of pending changes that triggers an automatic flush
+/// (RedisGraph ships `DELTA_MAX_PENDING_CHANGES = 10000`).
+pub const DEFAULT_FLUSH_THRESHOLD: usize = 10_000;
+
+/// A sparse matrix with buffered mutations: main CSR + pending additions +
+/// pending deletions, flushed in bulk.
+#[derive(Clone, Debug)]
+pub struct DeltaMatrix<T: Scalar> {
+    main: SparseMatrix<T>,
+    delta_plus: BTreeMap<(Index, Index), T>,
+    delta_minus: BTreeSet<(Index, Index)>,
+    /// Exact number of entries in the merged view, maintained incrementally.
+    nvals: usize,
+    flush_threshold: usize,
+}
+
+impl<T: Scalar> PartialEq for DeltaMatrix<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.nrows() == other.nrows()
+            && self.ncols() == other.ncols()
+            && self.to_triples() == other.to_triples()
+    }
+}
+
+impl<T: Scalar> DeltaMatrix<T> {
+    /// Create an empty `nrows × ncols` delta matrix with the default flush
+    /// threshold.
+    pub fn new(nrows: Index, ncols: Index) -> Self {
+        Self::from_matrix(SparseMatrix::new(nrows, ncols))
+    }
+
+    /// Wrap an existing matrix (flushed first) as the main matrix. This is the
+    /// bulk-load path: construct the CSR directly from triples, then hand it
+    /// over with empty pending buffers.
+    pub fn from_matrix(mut main: SparseMatrix<T>) -> Self {
+        main.wait();
+        let nvals = main.nvals();
+        DeltaMatrix {
+            main,
+            delta_plus: BTreeMap::new(),
+            delta_minus: BTreeSet::new(),
+            nvals,
+            flush_threshold: DEFAULT_FLUSH_THRESHOLD,
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> Index {
+        self.main.nrows()
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> Index {
+        self.main.ncols()
+    }
+
+    /// Number of entries in the merged view (exact, O(1)).
+    pub fn nvals(&self) -> usize {
+        self.nvals
+    }
+
+    /// Number of buffered changes awaiting a flush.
+    pub fn pending_count(&self) -> usize {
+        self.delta_plus.len() + self.delta_minus.len()
+    }
+
+    /// True when both pending buffers are empty, i.e. the main matrix *is*
+    /// the merged view.
+    pub fn is_flushed(&self) -> bool {
+        self.delta_plus.is_empty() && self.delta_minus.is_empty()
+    }
+
+    /// The pending-count threshold that triggers an automatic flush.
+    pub fn flush_threshold(&self) -> usize {
+        self.flush_threshold
+    }
+
+    /// Set the automatic-flush threshold. `1` makes every mutation flush
+    /// immediately (the eager behaviour); large values batch more.
+    /// A threshold of `0` is treated as `1`.
+    pub fn set_flush_threshold(&mut self, threshold: usize) {
+        self.flush_threshold = threshold.max(1);
+        self.maybe_flush();
+    }
+
+    // ----------------------------------------------------------- mutation
+
+    /// Insert or overwrite a single entry. O(log pending); never rebuilds the
+    /// CSR (until the flush threshold trips).
+    ///
+    /// # Panics
+    /// Panics if the coordinate is out of bounds; see
+    /// [`DeltaMatrix::try_set_element`].
+    pub fn set_element(&mut self, row: Index, col: Index, value: T) {
+        self.try_set_element(row, col, value).expect("index out of bounds");
+    }
+
+    /// Fallible element assignment.
+    pub fn try_set_element(&mut self, row: Index, col: Index, value: T) -> GrbResult<()> {
+        check_index(row, self.nrows())?;
+        check_index(col, self.ncols())?;
+        if self.extract_element(row, col).is_none() {
+            self.nvals += 1;
+        }
+        // An insert cancels a pending delete of the same coordinate; the new
+        // value still has to shadow the (stale) main entry, so it goes to DP
+        // unconditionally.
+        self.delta_minus.remove(&(row, col));
+        self.delta_plus.insert((row, col), value);
+        self.maybe_flush();
+        Ok(())
+    }
+
+    /// Delete an entry. Deleting an absent entry is a no-op. A delete of a
+    /// pending insert just drops the buffered insert; only entries stored in
+    /// the main matrix earn a delta-minus record.
+    pub fn remove_element(&mut self, row: Index, col: Index) -> GrbResult<()> {
+        check_index(row, self.nrows())?;
+        check_index(col, self.ncols())?;
+        if self.extract_element(row, col).is_some() {
+            self.nvals -= 1;
+        }
+        self.delta_plus.remove(&(row, col));
+        if self.main.contains(row, col) {
+            self.delta_minus.insert((row, col));
+        }
+        self.maybe_flush();
+        Ok(())
+    }
+
+    /// Resize the matrix. Growing keeps the pending buffers (all buffered
+    /// coordinates stay in bounds); shrinking flushes first and lets the CSR
+    /// rebuild drop out-of-range entries.
+    pub fn resize(&mut self, nrows: Index, ncols: Index) {
+        if nrows >= self.nrows() && ncols >= self.ncols() {
+            self.main.resize(nrows, ncols);
+            return;
+        }
+        self.flush();
+        self.main.resize(nrows, ncols);
+        self.nvals = self.main.nvals();
+    }
+
+    /// Remove every entry (and every pending change), keeping the dimensions.
+    pub fn clear(&mut self) {
+        self.delta_plus.clear();
+        self.delta_minus.clear();
+        self.main.clear();
+        self.nvals = 0;
+    }
+
+    /// Fold both pending buffers into the main matrix in one CSR rebuild.
+    /// Cheap no-op when nothing is pending.
+    pub fn flush(&mut self) {
+        if self.is_flushed() {
+            return;
+        }
+        for &(r, c) in &self.delta_minus {
+            self.main.remove_element(r, c).expect("DM coordinates are in bounds");
+        }
+        for (&(r, c), &v) in &self.delta_plus {
+            self.main.set_element(r, c, v);
+        }
+        self.delta_minus.clear();
+        self.delta_plus.clear();
+        self.main.wait();
+        debug_assert_eq!(self.main.nvals(), self.nvals, "flush changed the merged entry count");
+    }
+
+    fn maybe_flush(&mut self) {
+        if self.pending_count() >= self.flush_threshold {
+            self.flush();
+        }
+    }
+
+    // ------------------------------------------------------------ readers
+
+    /// Read a single entry through the merged view.
+    pub fn extract_element(&self, row: Index, col: Index) -> Option<T> {
+        if let Some(&v) = self.delta_plus.get(&(row, col)) {
+            return Some(v);
+        }
+        if self.delta_minus.contains(&(row, col)) {
+            return None;
+        }
+        self.main.extract_element(row, col)
+    }
+
+    /// Whether the merged view stores an entry at `(row, col)`.
+    pub fn contains(&self, row: Index, col: Index) -> bool {
+        self.extract_element(row, col).is_some()
+    }
+
+    /// Iterate one row of the merged view in ascending column order: the main
+    /// row two-way-merged with this row's delta-plus range, minus the
+    /// delta-minus coordinates.
+    pub fn row_iter(&self, row: Index) -> impl Iterator<Item = (Index, T)> + '_ {
+        let (cols, vals) = self.main.row(row);
+        let mut main_iter = cols.iter().copied().zip(vals.iter().copied()).peekable();
+        let mut plus_iter = self
+            .delta_plus
+            .range((row, 0)..=(row, Index::MAX))
+            .map(|(&(_, c), &v)| (c, v))
+            .peekable();
+        std::iter::from_fn(move || loop {
+            match (main_iter.peek().copied(), plus_iter.peek().copied()) {
+                (None, None) => return None,
+                (Some((mc, mv)), None) => {
+                    main_iter.next();
+                    if !self.delta_minus.contains(&(row, mc)) {
+                        return Some((mc, mv));
+                    }
+                }
+                (None, Some(p)) => {
+                    plus_iter.next();
+                    return Some(p);
+                }
+                (Some((mc, mv)), Some((pc, pv))) => {
+                    if mc < pc {
+                        main_iter.next();
+                        if !self.delta_minus.contains(&(row, mc)) {
+                            return Some((mc, mv));
+                        }
+                    } else {
+                        if mc == pc {
+                            main_iter.next(); // shadowed by the pending insert
+                        }
+                        plus_iter.next();
+                        return Some((pc, pv));
+                    }
+                }
+            }
+        })
+    }
+
+    /// Iterate every merged entry in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (Index, Index, T)> + '_ {
+        self.to_triples().into_iter()
+    }
+
+    /// Export the merged view as `(row, col, value)` triples: a single walk
+    /// over the main CSR arrays merged with the (sorted) delta buffers, so the
+    /// cost is O(nnz + pending) with a tight per-entry loop rather than
+    /// per-row iterator machinery.
+    pub fn to_triples(&self) -> Vec<(Index, Index, T)> {
+        let mut out = Vec::with_capacity(self.nvals);
+        let row_ptr = self.main.row_ptr();
+        let cols = self.main.col_indices();
+        let vals = self.main.raw_values();
+        let mut row = 0usize;
+        let mut plus = self.delta_plus.iter().peekable();
+        for k in 0..cols.len() {
+            while row_ptr[row + 1] <= k {
+                row += 1;
+            }
+            let main_key = (row as Index, cols[k]);
+            // Emit pending inserts that sort before this main entry.
+            while let Some((&key, &v)) = plus.peek() {
+                if key < main_key {
+                    out.push((key.0, key.1, v));
+                    plus.next();
+                } else {
+                    break;
+                }
+            }
+            if let Some((&key, &v)) = plus.peek() {
+                if key == main_key {
+                    out.push((key.0, key.1, v)); // pending insert shadows main
+                    plus.next();
+                    continue;
+                }
+            }
+            if self.delta_minus.is_empty() || !self.delta_minus.contains(&main_key) {
+                out.push((main_key.0, main_key.1, vals[k]));
+            }
+        }
+        out.extend(plus.map(|(&(r, c), &v)| (r, c, v)));
+        debug_assert_eq!(out.len(), self.nvals);
+        out
+    }
+
+    /// Materialise the merged view as a standalone flushed [`SparseMatrix`].
+    pub fn export(&self) -> SparseMatrix<T> {
+        if self.is_flushed() {
+            return self.main.clone();
+        }
+        let mut merged = self.main.clone();
+        for &(r, c) in &self.delta_minus {
+            merged.remove_element(r, c).expect("in bounds");
+        }
+        for (&(r, c), &v) in &self.delta_plus {
+            merged.set_element(r, c, v);
+        }
+        merged.wait();
+        merged
+    }
+
+    /// The merged view as a [`SparseMatrix`] reference: a zero-cost borrow of
+    /// the main matrix when nothing is pending, a materialised copy otherwise.
+    /// Callers that can take `&mut self` should prefer a [`DeltaMatrix::flush`]
+    /// read barrier, which pays the merge cost once instead of per read.
+    pub fn view(&self) -> Cow<'_, SparseMatrix<T>> {
+        if self.is_flushed() {
+            Cow::Borrowed(&self.main)
+        } else {
+            Cow::Owned(self.export())
+        }
+    }
+
+    /// Direct access to the main matrix (test/diagnostic use: readers should
+    /// go through the merged view).
+    pub fn main(&self) -> &SparseMatrix<T> {
+        &self.main
+    }
+
+    /// Validate the delta-matrix invariants on top of the main CSR's own.
+    pub fn check_invariants(&self) -> GrbResult<()> {
+        self.main.check_invariants()?;
+        if !self.main.is_flushed() {
+            return Err(GrbError::InvalidValue("main matrix has its own pending log".into()));
+        }
+        for &(r, c) in &self.delta_minus {
+            if !self.main.contains(r, c) {
+                return Err(GrbError::InvalidValue(format!(
+                    "delta-minus names ({r}, {c}) which is not in the main matrix"
+                )));
+            }
+            if self.delta_plus.contains_key(&(r, c)) {
+                return Err(GrbError::InvalidValue(format!(
+                    "({r}, {c}) is in both delta-plus and delta-minus"
+                )));
+            }
+        }
+        let dp_new = self.delta_plus.keys().filter(|&&(r, c)| !self.main.contains(r, c)).count();
+        let expected = self.main.nvals() - self.delta_minus.len() + dp_new;
+        if expected != self.nvals {
+            return Err(GrbError::InvalidValue(format!(
+                "cached nvals {} != merged count {expected}",
+                self.nvals
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seeded() -> DeltaMatrix<i64> {
+        let main = SparseMatrix::from_triples(4, 4, &[(0, 1, 10), (1, 2, 20), (3, 0, 30)]).unwrap();
+        DeltaMatrix::from_matrix(main)
+    }
+
+    #[test]
+    fn merged_view_overlays_pending_changes() {
+        let mut m = seeded();
+        m.set_element(2, 2, 99); // new entry
+        m.set_element(0, 1, 11); // overwrite a main entry
+        m.remove_element(1, 2).unwrap(); // delete a main entry
+        assert_eq!(m.extract_element(2, 2), Some(99));
+        assert_eq!(m.extract_element(0, 1), Some(11));
+        assert_eq!(m.extract_element(1, 2), None);
+        assert_eq!(m.extract_element(3, 0), Some(30));
+        assert_eq!(m.nvals(), 3);
+        assert!(!m.is_flushed());
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn flush_folds_buffers_into_main() {
+        let mut m = seeded();
+        m.set_element(2, 2, 99);
+        m.remove_element(0, 1).unwrap();
+        let before = m.to_triples();
+        m.flush();
+        assert!(m.is_flushed());
+        assert_eq!(m.to_triples(), before);
+        assert_eq!(m.main().nvals(), 3);
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn delete_of_pending_insert_leaves_no_trace() {
+        let mut m = seeded();
+        m.set_element(2, 3, 7);
+        m.remove_element(2, 3).unwrap();
+        assert_eq!(m.extract_element(2, 3), None);
+        assert_eq!(m.pending_count(), 0, "insert+delete of a new entry must cancel out");
+        assert_eq!(m.nvals(), 3);
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn insert_over_pending_delete_cancels_the_delete() {
+        let mut m = seeded();
+        m.remove_element(0, 1).unwrap();
+        m.set_element(0, 1, 42);
+        assert_eq!(m.extract_element(0, 1), Some(42));
+        assert_eq!(m.nvals(), 3);
+        m.flush();
+        assert_eq!(m.extract_element(0, 1), Some(42));
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn threshold_triggers_automatic_flush() {
+        let mut m = DeltaMatrix::<bool>::new(8, 8);
+        m.set_flush_threshold(3);
+        m.set_element(0, 0, true);
+        m.set_element(1, 1, true);
+        assert_eq!(m.pending_count(), 2);
+        m.set_element(2, 2, true); // trips the threshold
+        assert!(m.is_flushed());
+        assert_eq!(m.main().nvals(), 3);
+    }
+
+    #[test]
+    fn eager_threshold_flushes_every_mutation() {
+        let mut m = DeltaMatrix::<i64>::new(4, 4);
+        m.set_flush_threshold(1);
+        m.set_element(1, 2, 5);
+        assert!(m.is_flushed());
+        m.remove_element(1, 2).unwrap();
+        assert!(m.is_flushed());
+        assert_eq!(m.nvals(), 0);
+    }
+
+    #[test]
+    fn row_iter_merges_in_column_order() {
+        let mut m = seeded();
+        m.set_element(0, 0, 1);
+        m.set_element(0, 3, 3);
+        m.set_element(0, 1, 11);
+        let row: Vec<_> = m.row_iter(0).collect();
+        assert_eq!(row, vec![(0, 1), (1, 11), (3, 3)]);
+        m.remove_element(0, 1).unwrap();
+        let row: Vec<_> = m.row_iter(0).collect();
+        assert_eq!(row, vec![(0, 1), (3, 3)]);
+    }
+
+    #[test]
+    fn view_borrows_when_flushed_and_merges_when_not() {
+        let mut m = seeded();
+        assert!(matches!(m.view(), Cow::Borrowed(_)));
+        m.set_element(2, 2, 1);
+        let view = m.view();
+        assert!(matches!(view, Cow::Owned(_)));
+        assert_eq!(view.extract_element(2, 2), Some(1));
+        assert_eq!(view.nvals(), m.nvals());
+    }
+
+    #[test]
+    fn grow_resize_keeps_pending_buffers() {
+        let mut m = seeded();
+        m.set_element(2, 2, 99);
+        m.remove_element(0, 1).unwrap();
+        m.resize(10, 10);
+        assert_eq!(m.nrows(), 10);
+        assert!(!m.is_flushed(), "growing must not force a flush");
+        assert_eq!(m.extract_element(2, 2), Some(99));
+        assert_eq!(m.extract_element(0, 1), None);
+        m.set_element(9, 9, 1);
+        m.flush();
+        m.check_invariants().unwrap();
+        assert_eq!(m.nvals(), 4);
+    }
+
+    #[test]
+    fn shrink_resize_drops_out_of_range_entries() {
+        let mut m = seeded();
+        m.set_element(3, 3, 99);
+        m.resize(2, 3);
+        assert!(m.is_flushed());
+        assert_eq!(m.to_triples(), vec![(0, 1, 10), (1, 2, 20)]);
+        assert_eq!(m.nvals(), 2);
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn out_of_bounds_is_an_error() {
+        let mut m = DeltaMatrix::<i64>::new(2, 2);
+        assert!(m.try_set_element(2, 0, 1).is_err());
+        assert!(m.remove_element(0, 2).is_err());
+    }
+
+    #[test]
+    fn equality_ignores_buffer_state() {
+        let mut a = seeded();
+        let mut b = seeded();
+        a.set_element(2, 2, 5);
+        b.set_element(2, 2, 5);
+        b.flush();
+        assert_eq!(a, b);
+        b.remove_element(2, 2).unwrap();
+        assert_ne!(a, b);
+    }
+}

@@ -35,6 +35,7 @@
 pub mod apply;
 pub mod binary_op;
 pub mod context;
+pub mod delta;
 pub mod descriptor;
 pub mod error;
 pub mod ewise;
@@ -55,6 +56,7 @@ pub mod vector;
 
 pub use binary_op::BinaryOp;
 pub use context::Context;
+pub use delta::{DeltaMatrix, DEFAULT_FLUSH_THRESHOLD};
 pub use descriptor::Descriptor;
 pub use error::{GrbError, GrbResult};
 pub use mask::{MatrixMask, VectorMask};
@@ -72,6 +74,7 @@ pub mod prelude {
     pub use crate::apply::{apply_matrix, apply_vector};
     pub use crate::binary_op::BinaryOp;
     pub use crate::context::Context;
+    pub use crate::delta::{DeltaMatrix, DEFAULT_FLUSH_THRESHOLD};
     pub use crate::descriptor::Descriptor;
     pub use crate::error::{GrbError, GrbResult};
     pub use crate::ewise::{

@@ -1,0 +1,187 @@
+//! Differential property tests for [`graphblas::DeltaMatrix`].
+//!
+//! Every test drives a delta matrix with a random interleaving of
+//! set / delete / flush operations and checks it element-for-element against
+//! eager application of the same sequence:
+//!
+//! * a dense `HashMap` reference (the simplest possible oracle);
+//! * an eagerly-flushed [`SparseMatrix`] (`wait()` after every mutation);
+//! * an eager `DeltaMatrix` with `flush_threshold = 1`.
+//!
+//! Flushes are injected at arbitrary points in the sequence, and small
+//! auto-flush thresholds force additional flushes mid-stream, so the
+//! delete-of-pending-insert / insert-over-pending-delete transitions are all
+//! exercised with every possible buffer state.
+
+use graphblas::prelude::*;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+const DIM: u64 = 10;
+
+/// One scripted operation: `kind` 0–3 = set, 4–5 = remove, 6 = explicit flush
+/// (sets are over-weighted so matrices actually fill up).
+type ScriptedOp = (u8, u64, u64, i64);
+
+fn ops() -> impl Strategy<Value = Vec<ScriptedOp>> {
+    prop::collection::vec((0u8..7, 0..DIM, 0..DIM, -50i64..50), 0..120)
+}
+
+/// Apply one scripted op to the delta matrix under test and to the oracles.
+fn apply(
+    op: ScriptedOp,
+    delta: &mut DeltaMatrix<i64>,
+    dense: &mut HashMap<(u64, u64), i64>,
+    eager: &mut SparseMatrix<i64>,
+) {
+    let (kind, r, c, v) = op;
+    match kind {
+        0..=3 => {
+            delta.set_element(r, c, v);
+            dense.insert((r, c), v);
+            eager.set_element(r, c, v);
+        }
+        4 | 5 => {
+            delta.remove_element(r, c).unwrap();
+            dense.remove(&(r, c));
+            eager.remove_element(r, c).unwrap();
+        }
+        _ => delta.flush(),
+    }
+    eager.wait();
+}
+
+/// Assert the delta matrix's merged view equals the dense reference,
+/// element-wise over the full index space.
+fn assert_matches_dense(
+    delta: &DeltaMatrix<i64>,
+    dense: &HashMap<(u64, u64), i64>,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(delta.nvals(), dense.len());
+    for r in 0..DIM {
+        for c in 0..DIM {
+            prop_assert_eq!(
+                delta.extract_element(r, c),
+                dense.get(&(r, c)).copied(),
+                "mismatch at ({}, {})",
+                r,
+                c
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn interleaved_ops_match_dense_reference(script in ops(), threshold in 1usize..40) {
+        let mut delta = DeltaMatrix::<i64>::new(DIM, DIM);
+        delta.set_flush_threshold(threshold);
+        let mut dense = HashMap::new();
+        let mut eager = SparseMatrix::<i64>::new(DIM, DIM);
+        for &op in &script {
+            apply(op, &mut delta, &mut dense, &mut eager);
+            delta.check_invariants().map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        }
+        // Merged view agrees with both oracles at the end of the script…
+        assert_matches_dense(&delta, &dense)?;
+        prop_assert_eq!(delta.to_triples(), eager.to_triples());
+        // …and still does after a final flush collapses the buffers.
+        delta.flush();
+        assert_matches_dense(&delta, &dense)?;
+        prop_assert_eq!(delta.main().to_triples(), eager.to_triples());
+    }
+
+    #[test]
+    fn flush_at_arbitrary_point_is_transparent(script in ops(), cut in 0usize..120) {
+        // Two runs of the same script: one flushes at an arbitrary mid-point,
+        // the other never flushes (huge threshold). Readers must not be able
+        // to tell them apart.
+        let mut flushed = DeltaMatrix::<i64>::new(DIM, DIM);
+        let mut buffered = DeltaMatrix::<i64>::new(DIM, DIM);
+        flushed.set_flush_threshold(usize::MAX);
+        buffered.set_flush_threshold(usize::MAX);
+        let mut dense = HashMap::new();
+        let mut eager = SparseMatrix::<i64>::new(DIM, DIM);
+        for (i, &op) in script.iter().enumerate() {
+            apply(op, &mut flushed, &mut dense, &mut eager);
+            let (kind, r, c, v) = op;
+            match kind {
+                0..=3 => buffered.set_element(r, c, v),
+                4 | 5 => buffered.remove_element(r, c).unwrap(),
+                _ => {} // explicit flush: a no-op difference by design
+            }
+            if i == cut {
+                flushed.flush();
+            }
+        }
+        assert_matches_dense(&flushed, &dense)?;
+        prop_assert_eq!(flushed.to_triples(), buffered.to_triples());
+        prop_assert_eq!(flushed.nvals(), buffered.nvals());
+    }
+
+    #[test]
+    fn delete_of_pending_insert_cases(coords in prop::collection::vec((0..DIM, 0..DIM), 1..20)) {
+        // For every coordinate: insert while absent, delete while pending,
+        // re-insert, flush, delete while stored, re-insert over the pending
+        // delete — the full transition diagram of one cell.
+        let mut delta = DeltaMatrix::<i64>::new(DIM, DIM);
+        delta.set_flush_threshold(usize::MAX);
+        let mut dense = HashMap::new();
+        for (i, &(r, c)) in coords.iter().enumerate() {
+            let v = i as i64;
+            delta.set_element(r, c, v);
+            dense.insert((r, c), v);
+            delta.remove_element(r, c).unwrap();
+            dense.remove(&(r, c));
+            delta.set_element(r, c, v + 1);
+            dense.insert((r, c), v + 1);
+            delta.check_invariants().map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        }
+        delta.flush();
+        for &(r, c) in &coords {
+            delta.remove_element(r, c).unwrap();
+            dense.remove(&(r, c));
+            delta.set_element(r, c, -1);
+            dense.insert((r, c), -1);
+        }
+        delta.check_invariants().map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        assert_matches_dense(&delta, &dense)?;
+    }
+
+    #[test]
+    fn row_iter_matches_dense_rows(script in ops()) {
+        let mut delta = DeltaMatrix::<i64>::new(DIM, DIM);
+        delta.set_flush_threshold(usize::MAX);
+        let mut dense = HashMap::new();
+        let mut eager = SparseMatrix::<i64>::new(DIM, DIM);
+        for &op in &script {
+            apply(op, &mut delta, &mut dense, &mut eager);
+        }
+        for r in 0..DIM {
+            let merged: Vec<(u64, i64)> = delta.row_iter(r).collect();
+            let mut expected: Vec<(u64, i64)> = dense
+                .iter()
+                .filter(|&(&(row, _), _)| row == r)
+                .map(|(&(_, c), &v)| (c, v))
+                .collect();
+            expected.sort_unstable();
+            prop_assert_eq!(merged, expected, "row {} diverged", r);
+        }
+    }
+
+    #[test]
+    fn export_and_view_match_merged_state(script in ops(), threshold in 1usize..60) {
+        let mut delta = DeltaMatrix::<i64>::new(DIM, DIM);
+        delta.set_flush_threshold(threshold);
+        let mut dense = HashMap::new();
+        let mut eager = SparseMatrix::<i64>::new(DIM, DIM);
+        for &op in &script {
+            apply(op, &mut delta, &mut dense, &mut eager);
+        }
+        let exported = delta.export();
+        exported.check_invariants().map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        prop_assert_eq!(&exported, &eager);
+        prop_assert_eq!(delta.view().to_triples(), eager.to_triples());
+    }
+}

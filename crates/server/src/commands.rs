@@ -29,6 +29,18 @@ pub enum Command {
     },
     /// `GRAPH.LIST`
     GraphList,
+    /// `GRAPH.CONFIG GET <parameter>`
+    GraphConfigGet {
+        /// Parameter name (`DELTA_MAX_PENDING_CHANGES`, case-insensitive).
+        parameter: String,
+    },
+    /// `GRAPH.CONFIG SET <parameter> <value>`
+    GraphConfigSet {
+        /// Parameter name.
+        parameter: String,
+        /// New value (validated by the server when applied).
+        value: String,
+    },
 }
 
 impl Command {
@@ -66,6 +78,18 @@ impl Command {
                 _ => Err("GRAPH.DELETE takes exactly 1 argument".to_string()),
             },
             "GRAPH.LIST" => Ok(Command::GraphList),
+            "GRAPH.CONFIG" => match args {
+                [action, parameter] if action.eq_ignore_ascii_case("GET") => {
+                    Ok(Command::GraphConfigGet { parameter: parameter.to_string() })
+                }
+                [action, parameter, value] if action.eq_ignore_ascii_case("SET") => {
+                    Ok(Command::GraphConfigSet {
+                        parameter: parameter.to_string(),
+                        value: value.to_string(),
+                    })
+                }
+                _ => Err("GRAPH.CONFIG takes GET <param> or SET <param> <value>".to_string()),
+            },
             other => Err(format!("unknown command `{other}`")),
         }
     }
@@ -136,6 +160,26 @@ mod tests {
             Command::parse(&RespValue::command(&["GRAPH.LIST"])).unwrap(),
             Command::GraphList
         );
+    }
+
+    #[test]
+    fn parses_graph_config_get_and_set() {
+        assert_eq!(
+            Command::parse(&RespValue::command(&[
+                "GRAPH.CONFIG",
+                "GET",
+                "DELTA_MAX_PENDING_CHANGES"
+            ]))
+            .unwrap(),
+            Command::GraphConfigGet { parameter: "DELTA_MAX_PENDING_CHANGES".into() }
+        );
+        assert_eq!(
+            Command::parse(&RespValue::command(&["graph.config", "set", "delta_max", "64"]))
+                .unwrap(),
+            Command::GraphConfigSet { parameter: "delta_max".into(), value: "64".into() }
+        );
+        assert!(Command::parse(&RespValue::command(&["GRAPH.CONFIG", "GET"])).is_err());
+        assert!(Command::parse(&RespValue::command(&["GRAPH.CONFIG", "FROB", "X", "1"])).is_err());
     }
 
     #[test]

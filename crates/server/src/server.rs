@@ -17,6 +17,7 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::RwLock;
 use redisgraph_core::Graph;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -25,11 +26,18 @@ use std::thread::JoinHandle;
 pub struct ServerConfig {
     /// Number of worker threads in the query pool (`THREAD_COUNT` module arg).
     pub thread_count: usize,
+    /// Per-matrix pending-change count at which delta buffers are folded into
+    /// the main matrices (`DELTA_MAX_PENDING_CHANGES`; runtime-tunable with
+    /// `GRAPH.CONFIG SET`).
+    pub delta_max_pending_changes: usize,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        ServerConfig { thread_count: 4 }
+        ServerConfig {
+            thread_count: 4,
+            delta_max_pending_changes: graphblas::DEFAULT_FLUSH_THRESHOLD,
+        }
     }
 }
 
@@ -46,6 +54,10 @@ pub struct RedisGraphServer {
     graphs: Arc<RwLock<HashMap<String, Arc<RwLock<Graph>>>>>,
     pool: Arc<ThreadPool>,
     config: ServerConfig,
+    /// Live value of `DELTA_MAX_PENDING_CHANGES` (`GRAPH.CONFIG SET` updates
+    /// it at runtime; new graphs pick it up on creation, existing graphs are
+    /// retuned in place).
+    delta_max_pending_changes: AtomicUsize,
 }
 
 impl RedisGraphServer {
@@ -55,12 +67,18 @@ impl RedisGraphServer {
             graphs: Arc::new(RwLock::new(HashMap::new())),
             pool: Arc::new(ThreadPool::new(config.thread_count)),
             config,
+            delta_max_pending_changes: AtomicUsize::new(config.delta_max_pending_changes.max(1)),
         }
     }
 
     /// The active configuration.
     pub fn config(&self) -> ServerConfig {
         self.config
+    }
+
+    /// The live `DELTA_MAX_PENDING_CHANGES` value.
+    pub fn delta_max_pending_changes(&self) -> usize {
+        self.delta_max_pending_changes.load(Ordering::Relaxed)
     }
 
     /// Fetch (or create) the graph stored under `name`.
@@ -71,8 +89,26 @@ impl RedisGraphServer {
         let mut graphs = self.graphs.write();
         graphs
             .entry(name.to_string())
-            .or_insert_with(|| Arc::new(RwLock::new(Graph::new(name))))
+            .or_insert_with(|| {
+                let mut g = Graph::new(name);
+                // Threshold is read under the map's write lock so a racing
+                // `GRAPH.CONFIG SET` (which retunes the map's graphs under
+                // the same lock) cannot leave this graph on a stale value.
+                g.set_flush_threshold(self.delta_max_pending_changes());
+                Arc::new(RwLock::new(g))
+            })
             .clone()
+    }
+
+    /// Read barrier: if the graph has buffered delta changes, take the write
+    /// lock once and fold them into the main matrices so the read-lock path
+    /// that follows borrows flushed CSRs instead of materialising merged
+    /// copies per reader. Racing writers may re-dirty the graph immediately —
+    /// that is fine, readers always see a consistent merged view either way.
+    fn read_barrier(graph: &Arc<RwLock<Graph>>) {
+        if graph.read().has_pending_deltas() {
+            graph.write().sync_matrices();
+        }
     }
 
     /// Names of the graphs currently stored.
@@ -112,6 +148,37 @@ impl RedisGraphServer {
                     RespValue::Error(format!("ERR graph `{graph}` does not exist"))
                 }
             }
+            Command::GraphConfigGet { parameter } => {
+                if parameter.eq_ignore_ascii_case("DELTA_MAX_PENDING_CHANGES") {
+                    RespValue::Array(vec![
+                        RespValue::BulkString("DELTA_MAX_PENDING_CHANGES".to_string()),
+                        RespValue::Integer(self.delta_max_pending_changes() as i64),
+                    ])
+                } else {
+                    RespValue::Error(format!("ERR unknown configuration parameter `{parameter}`"))
+                }
+            }
+            Command::GraphConfigSet { parameter, value } => {
+                if !parameter.eq_ignore_ascii_case("DELTA_MAX_PENDING_CHANGES") {
+                    return RespValue::Error(format!(
+                        "ERR unknown configuration parameter `{parameter}`"
+                    ));
+                }
+                let Some(threshold) = value.parse::<usize>().ok().filter(|&v| v >= 1) else {
+                    return RespValue::Error(format!(
+                        "ERR DELTA_MAX_PENDING_CHANGES must be a positive integer (1 = flush \
+                         every mutation), got `{value}`"
+                    ));
+                };
+                self.delta_max_pending_changes.store(threshold, Ordering::Relaxed);
+                // Retune every existing graph in place.
+                let graphs: Vec<Arc<RwLock<Graph>>> =
+                    self.graphs.read().values().cloned().collect();
+                for graph in graphs {
+                    graph.write().set_flush_threshold(threshold);
+                }
+                RespValue::SimpleString("OK".to_string())
+            }
             Command::GraphExplain { graph, query } => {
                 let graph = self.graph(&graph);
                 let guard = graph.read();
@@ -138,7 +205,9 @@ impl RedisGraphServer {
                     } else {
                         // Read queries share the graph under a read lock so
                         // many of them can run concurrently on different
-                        // worker threads.
+                        // worker threads; pending deltas are flushed once at
+                        // the barrier rather than merged per reader.
+                        Self::read_barrier(&graph);
                         let g = graph.read();
                         match g.query_readonly(&query) {
                             Ok(rs) => resultset_to_resp(&rs),
@@ -187,6 +256,7 @@ impl RedisGraphServer {
                                         Err(e) => RespValue::Error(format!("ERR {e}")),
                                     }
                                 } else {
+                                    Self::read_barrier(&graph);
                                     let g = graph.read();
                                     match g.query_readonly(&query) {
                                         Ok(rs) => resultset_to_resp(&rs),
@@ -213,7 +283,8 @@ mod tests {
 
     #[test]
     fn ping_and_graph_lifecycle() {
-        let server = RedisGraphServer::new(ServerConfig { thread_count: 2 });
+        let server =
+            RedisGraphServer::new(ServerConfig { thread_count: 2, ..ServerConfig::default() });
         assert_eq!(
             server.handle(&RespValue::command(&["PING"])),
             RespValue::SimpleString("PONG".into())
@@ -275,6 +346,78 @@ mod tests {
     }
 
     #[test]
+    fn graph_config_knob_tunes_delta_flushing() {
+        let server = RedisGraphServer::new(ServerConfig::default());
+        // Existing graphs are retuned in place, new graphs inherit the value.
+        server.query("g", "CREATE (:Node)");
+        let reply = server.handle(&RespValue::command(&[
+            "GRAPH.CONFIG",
+            "SET",
+            "DELTA_MAX_PENDING_CHANGES",
+            "17",
+        ]));
+        assert_eq!(reply, RespValue::SimpleString("OK".into()));
+        assert_eq!(server.graph("g").read().flush_threshold(), 17);
+        assert_eq!(server.graph("fresh").read().flush_threshold(), 17);
+
+        let reply = server.handle(&RespValue::command(&[
+            "GRAPH.CONFIG",
+            "GET",
+            "delta_max_pending_changes",
+        ]));
+        assert_eq!(
+            reply,
+            RespValue::Array(vec![
+                RespValue::BulkString("DELTA_MAX_PENDING_CHANGES".into()),
+                RespValue::Integer(17),
+            ])
+        );
+
+        // 0, junk, and unknown parameters are rejected (1 is the eager floor).
+        assert!(matches!(
+            server.handle(&RespValue::command(&[
+                "GRAPH.CONFIG",
+                "SET",
+                "DELTA_MAX_PENDING_CHANGES",
+                "0",
+            ])),
+            RespValue::Error(_)
+        ));
+        assert_eq!(server.delta_max_pending_changes(), 17, "rejected SET must not change state");
+        assert!(matches!(
+            server.handle(&RespValue::command(&[
+                "GRAPH.CONFIG",
+                "SET",
+                "DELTA_MAX_PENDING_CHANGES",
+                "lots"
+            ])),
+            RespValue::Error(_)
+        ));
+        assert!(matches!(
+            server.handle(&RespValue::command(&["GRAPH.CONFIG", "GET", "THREAD_COUNT"])),
+            RespValue::Error(_)
+        ));
+    }
+
+    #[test]
+    fn read_barrier_flushes_pending_deltas_before_read_queries() {
+        let server = RedisGraphServer::new(ServerConfig {
+            delta_max_pending_changes: 1_000_000, // never auto-flush
+            ..ServerConfig::default()
+        });
+        server.query("g", "CREATE (:A)-[:R]->(:B)");
+        {
+            let graph = server.graph("g");
+            assert!(graph.read().has_pending_deltas(), "writes should buffer, not flush");
+        }
+        // A read query passes the barrier, which folds the buffers once.
+        let reply = server.query("g", "MATCH (a)-[:R]->(b) RETURN count(b)");
+        assert!(matches!(reply, RespValue::Array(_)));
+        let graph = server.graph("g");
+        assert!(!graph.read().has_pending_deltas(), "read barrier must flush");
+    }
+
+    #[test]
     fn errors_are_resp_errors() {
         let server = RedisGraphServer::new(ServerConfig::default());
         assert!(matches!(server.query("g", "MATCH (a RETURN a"), RespValue::Error(_)));
@@ -296,7 +439,10 @@ mod tests {
 
     #[test]
     fn dispatcher_serves_concurrent_clients() {
-        let server = Arc::new(RedisGraphServer::new(ServerConfig { thread_count: 4 }));
+        let server = Arc::new(RedisGraphServer::new(ServerConfig {
+            thread_count: 4,
+            ..ServerConfig::default()
+        }));
         server.query("g", "CREATE (:Node {id: 0})-[:LINK]->(:Node {id: 1})");
         let (tx, handle) = server.start_dispatcher();
 

@@ -22,7 +22,7 @@ fn send(server: &RedisGraphServer, parts: &[&str]) -> RespValue {
 
 fn main() {
     // THREAD_COUNT 4: the module loads with a four-worker query pool.
-    let server = RedisGraphServer::new(ServerConfig { thread_count: 4 });
+    let server = RedisGraphServer::new(ServerConfig { thread_count: 4, ..ServerConfig::default() });
 
     send(&server, &["PING"]);
 

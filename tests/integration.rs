@@ -101,7 +101,10 @@ fn server_serves_benchmark_workload_concurrently() {
         seed: 3,
         ..Default::default()
     });
-    let server = Arc::new(RedisGraphServer::new(ServerConfig { thread_count: 4 }));
+    let server = Arc::new(RedisGraphServer::new(ServerConfig {
+        thread_count: 4,
+        ..ServerConfig::default()
+    }));
     server.graph("bench").write().bulk_load(el.num_vertices, &el.edges);
 
     // Expected answers straight from the core library.
@@ -142,7 +145,7 @@ fn server_serves_benchmark_workload_concurrently() {
 /// Writes and reads interleave correctly through the server's lock discipline.
 #[test]
 fn server_mixes_reads_and_writes() {
-    let server = RedisGraphServer::new(ServerConfig { thread_count: 2 });
+    let server = RedisGraphServer::new(ServerConfig { thread_count: 2, ..ServerConfig::default() });
     server.query("g", "CREATE (:Counter {n: 0})");
     for i in 1..=10 {
         let reply = server.query("g", &format!("MATCH (c:Counter) SET c.n = {i} RETURN c.n"));
@@ -199,7 +202,7 @@ fn algo_procedures_agree_with_direct_calls_and_baseline() {
         .scalar()
         .and_then(|v| v.as_i64())
         .unwrap() as u64;
-    assert_eq!(via_cypher, algo::triangle_count(g.adjacency_matrix()));
+    assert_eq!(via_cypher, algo::triangle_count(&g.adjacency_matrix()));
     assert_eq!(via_cypher, baseline::algorithms::triangle_count(el.num_vertices, &el.edges));
 
     // WCC: component count agrees with the union-find oracle.

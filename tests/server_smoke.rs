@@ -48,7 +48,10 @@ fn scalar_count(reply: &RespValue) -> i64 {
 
 #[test]
 fn concurrent_mixed_reads_and_writes_stay_consistent() {
-    let server = Arc::new(RedisGraphServer::new(ServerConfig { thread_count: 4 }));
+    let server = Arc::new(RedisGraphServer::new(ServerConfig {
+        thread_count: 4,
+        ..ServerConfig::default()
+    }));
     // Anchor node so writers can attach edges with a MATCH + CREATE.
     let seeded = server.query("smoke", "CREATE (:Hub {name: 'hub'})");
     assert!(!matches!(seeded, RespValue::Error(_)), "seed failed: {seeded}");
@@ -111,9 +114,101 @@ fn concurrent_mixed_reads_and_writes_stay_consistent() {
     dispatcher.join().expect("dispatcher thread panicked");
 }
 
+/// Delta-matrix stress: a tiny `DELTA_MAX_PENDING_CHANGES` makes writer
+/// threads trip matrix flushes constantly, and every read query crosses the
+/// server's read barrier (which itself takes the write lock to flush) while
+/// other readers and writers hammer the same graph. Asserts the same
+/// bounded-timeout no-deadlock, lost-write, and monotonic-read guarantees as
+/// the plain smoke test, plus that deletes interleaved with pending inserts
+/// never corrupt the counts.
+#[test]
+fn delta_flushes_under_concurrent_mixed_traffic() {
+    let server = Arc::new(RedisGraphServer::new(ServerConfig {
+        thread_count: 4,
+        delta_max_pending_changes: 4, // force mid-stream flushes
+    }));
+    let seeded = server.query("delta", "CREATE (:Hub {name: 'hub'})");
+    assert!(!matches!(seeded, RespValue::Error(_)), "seed failed: {seeded}");
+    // The knob round-trips over the wire.
+    let got =
+        server.handle(&RespValue::command(&["GRAPH.CONFIG", "GET", "DELTA_MAX_PENDING_CHANGES"]));
+    let RespValue::Array(kv) = got else { panic!("bad GRAPH.CONFIG GET reply") };
+    assert_eq!(kv[1], RespValue::Integer(4));
+
+    let (tx, dispatcher) = server.start_dispatcher();
+
+    let mut clients = Vec::new();
+    for w in 0..WRITERS {
+        let tx = tx.clone();
+        clients.push(std::thread::spawn(move || {
+            for i in 0..WRITES_PER_WRITER {
+                // Two nodes + one edge per write: enough churn that the
+                // 4-change threshold flushes inside the write query itself.
+                let query = format!(
+                    "MATCH (h:Hub) CREATE (:Item {{writer: {w}, seq: {i}}})-[:OF]->(h), \
+                     (:Scratch {{writer: {w}, seq: {i}}})"
+                );
+                let reply = roundtrip(&tx, "delta", &query);
+                assert!(!matches!(reply, RespValue::Error(_)), "write {w}/{i} failed: {reply}");
+                // Delete the scratch node again while other writers keep the
+                // buffers dirty (delete-with-pending-inserts under load).
+                let query = format!("MATCH (s:Scratch {{writer: {w}, seq: {i}}}) DETACH DELETE s");
+                let reply = roundtrip(&tx, "delta", &query);
+                assert!(!matches!(reply, RespValue::Error(_)), "delete {w}/{i} failed: {reply}");
+            }
+        }));
+    }
+    for r in 0..READERS {
+        let tx = tx.clone();
+        clients.push(std::thread::spawn(move || {
+            let mut last = -1i64;
+            for i in 0..READS_PER_READER {
+                // Forces the read barrier (and under it, a flush) mid-stream.
+                let reply = roundtrip(&tx, "delta", "MATCH (i:Item)-[:OF]->(:Hub) RETURN count(i)");
+                let count = scalar_count(&reply);
+                assert!(
+                    count >= last,
+                    "reader {r} read {i}: count went backwards ({last} -> {count})"
+                );
+                assert!(
+                    count <= (WRITERS * WRITES_PER_WRITER) as i64,
+                    "reader {r} read {i}: impossible count {count}"
+                );
+                last = count;
+            }
+        }));
+    }
+    for client in clients {
+        client.join().expect("client thread panicked");
+    }
+
+    let expected = (WRITERS * WRITES_PER_WRITER) as i64;
+    let final_count = scalar_count(&roundtrip(&tx, "delta", "MATCH (i:Item) RETURN count(i)"));
+    assert_eq!(final_count, expected, "lost or duplicated writes");
+    let scratch_count = scalar_count(&roundtrip(&tx, "delta", "MATCH (s:Scratch) RETURN count(s)"));
+    assert_eq!(scratch_count, 0, "scratch nodes must all be deleted");
+    let edge_count =
+        scalar_count(&roundtrip(&tx, "delta", "MATCH (:Item)-[r:OF]->(:Hub) RETURN count(r)"));
+    assert_eq!(edge_count, expected, "edge count diverged from node count");
+
+    // The store agrees with the Cypher view (+1 for the hub node).
+    {
+        let graph = server.graph("delta");
+        let guard = graph.read();
+        assert_eq!(guard.node_count() as i64, expected + 1);
+        assert_eq!(guard.edge_count() as i64, expected);
+    }
+
+    drop(tx);
+    dispatcher.join().expect("dispatcher thread panicked");
+}
+
 #[test]
 fn dispatcher_survives_malformed_queries_under_load() {
-    let server = Arc::new(RedisGraphServer::new(ServerConfig { thread_count: 2 }));
+    let server = Arc::new(RedisGraphServer::new(ServerConfig {
+        thread_count: 2,
+        ..ServerConfig::default()
+    }));
     server.query("smoke", "CREATE (:Hub)");
     let (tx, dispatcher) = server.start_dispatcher();
 

@@ -1,0 +1,287 @@
+//! Whole-store differential proptest: the delta-matrix write path must be
+//! observationally identical to eager flushing at every level of the stack.
+//!
+//! Each case runs one random workload of `add_node` / `add_edge` /
+//! `delete_edge` / `delete_node` / property writes / explicit flushes against
+//! three models simultaneously:
+//!
+//! * **delta** — a [`Graph`] with a small flush threshold, so automatic
+//!   flushes trigger at arbitrary points mid-workload;
+//! * **eager** — a [`Graph`] with threshold 1 plus an explicit
+//!   `sync_matrices()` after every mutation (the pre-delta behaviour);
+//! * **baseline** — the adjacency-list oracle from `crates/baseline`,
+//!   rebuilt from the live edge set at every checkpoint (no matrices at all).
+//!
+//! At random checkpoints (and always at the end) the harness asserts equal
+//! adjacency / transpose / relation / label matrices, equal Cypher query
+//! results on both the write and the read-only paths, equal `CALL algo.*`
+//! procedure outputs, and k-hop counts that agree with the baseline BFS.
+
+use baseline::AdjacencyListGraph;
+use proptest::prelude::*;
+use redisgraph_core::{Graph, Value};
+
+/// One scripted workload step, decoded from a generated tuple.
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    AddNode { label_sel: u64 },
+    AddEdge { src_sel: u64, dst_sel: u64, rel_sel: u64 },
+    DeleteEdge { edge_sel: u64 },
+    DeleteNode { node_sel: u64 },
+    SetProp { node_sel: u64, value: u64 },
+    Flush,
+    Checkpoint,
+}
+
+fn decode((kind, a, b, c): (u8, u64, u64, u64)) -> Step {
+    match kind {
+        // Node/edge creation is over-weighted so graphs actually grow.
+        0 | 1 => Step::AddNode { label_sel: a },
+        2..=5 => Step::AddEdge { src_sel: a, dst_sel: b, rel_sel: c },
+        6 => Step::DeleteEdge { edge_sel: a },
+        7 => Step::DeleteNode { node_sel: a },
+        8 => Step::SetProp { node_sel: a, value: b },
+        9 => Step::Flush,
+        _ => Step::Checkpoint,
+    }
+}
+
+fn steps() -> impl Strategy<Value = Vec<(u8, u64, u64, u64)>> {
+    prop::collection::vec((0u8..11, 0u64..1000, 0u64..1000, 0u64..3), 0..60)
+}
+
+const LABELS: [&str; 2] = ["A", "B"];
+const RELS: [&str; 3] = ["R0", "R1", "R2"];
+
+/// Mirror of the live entity state, used to drive both graphs identically and
+/// to rebuild the baseline oracle at checkpoints.
+#[derive(Default)]
+struct Shadow {
+    nodes: Vec<u64>,
+    edges: Vec<(u64, u64, u64)>, // (edge id, src, dst)
+}
+
+/// Apply one step to both graphs (and the shadow). Both graphs run exactly
+/// the same calls; the eager one is additionally flushed after every step.
+fn apply(step: Step, delta: &mut Graph, eager: &mut Graph, shadow: &mut Shadow) -> bool {
+    let did_mutate = match step {
+        Step::AddNode { label_sel } => {
+            let label = LABELS[(label_sel % 2) as usize];
+            let props = vec![("v", Value::Int(label_sel as i64))];
+            let id_d = delta.add_node(&[label], props.clone());
+            let id_e = eager.add_node(&[label], props);
+            assert_eq!(id_d, id_e, "node id allocation diverged");
+            shadow.nodes.push(id_d);
+            true
+        }
+        Step::AddEdge { src_sel, dst_sel, rel_sel } => {
+            if shadow.nodes.is_empty() {
+                return false;
+            }
+            let src = shadow.nodes[(src_sel as usize) % shadow.nodes.len()];
+            let dst = shadow.nodes[(dst_sel as usize) % shadow.nodes.len()];
+            let rel = RELS[(rel_sel % 3) as usize];
+            let id_d = delta.add_edge(src, dst, rel, vec![]).expect("live endpoints");
+            let id_e = eager.add_edge(src, dst, rel, vec![]).expect("live endpoints");
+            assert_eq!(id_d, id_e, "edge id allocation diverged");
+            shadow.edges.push((id_d, src, dst));
+            true
+        }
+        Step::DeleteEdge { edge_sel } => {
+            if shadow.edges.is_empty() {
+                return false;
+            }
+            let idx = (edge_sel as usize) % shadow.edges.len();
+            let (eid, _, _) = shadow.edges.swap_remove(idx);
+            assert_eq!(delta.delete_edge(eid), eager.delete_edge(eid));
+            true
+        }
+        Step::DeleteNode { node_sel } => {
+            if shadow.nodes.is_empty() {
+                return false;
+            }
+            let idx = (node_sel as usize) % shadow.nodes.len();
+            let nid = shadow.nodes.swap_remove(idx);
+            assert_eq!(delta.delete_node(nid), eager.delete_node(nid));
+            shadow.edges.retain(|&(_, s, d)| s != nid && d != nid);
+            true
+        }
+        Step::SetProp { node_sel, value } => {
+            if shadow.nodes.is_empty() {
+                return false;
+            }
+            let nid = shadow.nodes[(node_sel as usize) % shadow.nodes.len()];
+            let v = Value::Int(value as i64);
+            assert_eq!(
+                delta.set_node_property(nid, "v", v.clone()),
+                eager.set_node_property(nid, "v", v)
+            );
+            true
+        }
+        Step::Flush => {
+            delta.sync_matrices(); // flush-at-arbitrary-point
+            false
+        }
+        Step::Checkpoint => false,
+    };
+    if did_mutate {
+        eager.sync_matrices(); // the eager oracle never buffers
+    }
+    did_mutate
+}
+
+/// Queries whose results must match between the two graphs at checkpoints.
+const CHECK_QUERIES: [&str; 6] = [
+    "MATCH (n) RETURN count(n)",
+    "MATCH (a:A) RETURN count(a)",
+    "MATCH (a)-[:R0]->(b) RETURN count(b)",
+    "MATCH (a)-[r]->(b) RETURN count(r)",
+    "MATCH (a:A)-[*1..3]->(b) RETURN count(DISTINCT b)",
+    "MATCH (a)<-[:R1]-(b) RETURN count(b)",
+];
+
+/// Procedures whose row sets must match at checkpoints.
+const CHECK_PROCS: [&str; 2] = [
+    "CALL algo.wcc() YIELD node, component RETURN node, component ORDER BY node",
+    "CALL algo.triangles() YIELD triangles RETURN triangles",
+];
+
+fn checkpoint(delta: &Graph, eager: &Graph, shadow: &Shadow) -> Result<(), TestCaseError> {
+    prop_assert_eq!(delta.node_count(), eager.node_count());
+    prop_assert_eq!(delta.edge_count(), eager.edge_count());
+
+    // Matrix-level equality: merged views of every matrix, element for element.
+    prop_assert_eq!(
+        delta.adjacency_matrix().to_triples(),
+        eager.adjacency_matrix().to_triples(),
+        "adjacency diverged"
+    );
+    prop_assert_eq!(
+        delta.adjacency_matrix_t().to_triples(),
+        eager.adjacency_matrix_t().to_triples(),
+        "adjacency transpose diverged"
+    );
+    for rel in RELS {
+        if let Some(id) = delta.schema.rel_type_id(rel) {
+            let d = delta.relation_matrix(id).expect("exists").to_triples();
+            let e = eager.relation_matrix(id).expect("exists").to_triples();
+            prop_assert_eq!(d, e, "relation matrix {} diverged", rel);
+        }
+    }
+    for label in LABELS {
+        prop_assert_eq!(
+            delta.nodes_with_label(label),
+            eager.nodes_with_label(label),
+            "label {} diverged",
+            label
+        );
+    }
+
+    // Query-level equality, on the read-only path (merged views) of the delta
+    // graph versus the write path of the eager one.
+    for q in CHECK_QUERIES {
+        let d = delta.query_readonly(q).map(|rs| rs.rows);
+        let e = eager.query_readonly(q).map(|rs| rs.rows);
+        prop_assert_eq!(d.unwrap(), e.unwrap(), "query `{}` diverged", q);
+    }
+    for q in CHECK_PROCS {
+        let d = delta.query_readonly(q).map(|rs| rs.rows);
+        let e = eager.query_readonly(q).map(|rs| rs.rows);
+        prop_assert_eq!(d.unwrap(), e.unwrap(), "procedure `{}` diverged", q);
+    }
+
+    // k-hop counts agree with the pointer-chasing baseline rebuilt from the
+    // live edge set (a matrix-free oracle).
+    if !shadow.nodes.is_empty() {
+        let max_id = shadow.nodes.iter().copied().max().unwrap_or(0) + 1;
+        let mut oracle = AdjacencyListGraph::from_edge_list(max_id, &[]);
+        let mut dedup: Vec<(u64, u64)> =
+            shadow.edges.iter().map(|&(_, s, d)| (s, d)).filter(|&(s, d)| s != d).collect();
+        dedup.sort_unstable();
+        dedup.dedup();
+        for (s, d) in dedup {
+            oracle.add_edge(s, d);
+        }
+        for &src in shadow.nodes.iter().take(5) {
+            for k in [1u32, 3] {
+                prop_assert_eq!(
+                    delta.khop_count(src, k),
+                    oracle.khop_count(src, k),
+                    "khop({}, {}) diverged from the baseline",
+                    src,
+                    k
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn delta_store_is_observationally_identical_to_eager(
+        script in steps(),
+        threshold in 1usize..16,
+    ) {
+        let mut delta = Graph::new("delta");
+        delta.set_flush_threshold(threshold);
+        let mut eager = Graph::new("eager");
+        eager.set_flush_threshold(1);
+        let mut shadow = Shadow::default();
+
+        for &raw in &script {
+            let step = decode(raw);
+            apply(step, &mut delta, &mut eager, &mut shadow);
+            if matches!(step, Step::Checkpoint) {
+                checkpoint(&delta, &eager, &shadow)?;
+            }
+        }
+        // Final checkpoint with whatever is still buffered…
+        checkpoint(&delta, &eager, &shadow)?;
+        // …and again after a full flush collapses every buffer.
+        delta.sync_matrices();
+        prop_assert!(!delta.has_pending_deltas());
+        checkpoint(&delta, &eager, &shadow)?;
+    }
+
+    #[test]
+    fn delta_store_matches_eager_through_cypher_writes(
+        ops in prop::collection::vec((0u8..4, 0u64..12, 0u64..12), 0..40),
+        threshold in 1usize..12,
+    ) {
+        // The same differential harness, but every mutation arrives through
+        // the Cypher write path (CREATE / DELETE / SET) exactly as the server
+        // issues it — exercising the executor's merged-view reads mid-query.
+        let mut delta = Graph::new("delta");
+        delta.set_flush_threshold(threshold);
+        let mut eager = Graph::new("eager");
+        eager.set_flush_threshold(1);
+
+        for &(kind, a, b) in &ops {
+            let query = match kind {
+                0 => format!("CREATE (:N {{id: {a}}})"),
+                1 => format!(
+                    "MATCH (x:N {{id: {a}}}), (y:N {{id: {b}}}) CREATE (x)-[:L]->(y)"
+                ),
+                2 => format!("MATCH (x:N {{id: {a}}})-[r:L]->() DELETE r"),
+                _ => format!("MATCH (x:N {{id: {a}}}) SET x.w = {b}"),
+            };
+            let d = delta.query(&query).map(|rs| rs.rows);
+            let e = eager.query(&query).map(|rs| rs.rows);
+            eager.sync_matrices();
+            prop_assert_eq!(d.is_ok(), e.is_ok(), "query `{}` outcome diverged", &query);
+            prop_assert_eq!(d.unwrap_or_default(), e.unwrap_or_default());
+        }
+        for q in CHECK_QUERIES {
+            let d = delta.query_readonly(q).map(|rs| rs.rows);
+            let e = eager.query_readonly(q).map(|rs| rs.rows);
+            prop_assert_eq!(d.unwrap(), e.unwrap(), "query `{}` diverged", q);
+        }
+        prop_assert_eq!(delta.node_count(), eager.node_count());
+        prop_assert_eq!(delta.edge_count(), eager.edge_count());
+        prop_assert_eq!(
+            delta.adjacency_matrix().to_triples(),
+            eager.adjacency_matrix().to_triples()
+        );
+    }
+}
