@@ -11,7 +11,10 @@ pub struct Accumulator {
     seen: Vec<Value>,
     count: u64,
     sum: f64,
-    int_sum: i64,
+    /// Exact integer running sum. i128 so intermediate i64 overflow does not
+    /// lose exactness (or make the result depend on input order); the final
+    /// value only demotes to float if the *total* exceeds the i64 range.
+    int_sum: i128,
     all_ints: bool,
     min: Option<Value>,
     max: Option<Value>,
@@ -84,7 +87,14 @@ impl Accumulator {
             AggFunc::Count => {}
             AggFunc::Sum | AggFunc::Avg => {
                 if let Value::Int(i) = value {
-                    self.int_sum = self.int_sum.wrapping_add(i);
+                    // i128 accumulation absorbs intermediate i64 overflow
+                    // exactly; `finish` decides whether the total still fits.
+                    // (checked_add only trips after ~2^63 extreme values —
+                    // the f64 running sum then takes over.)
+                    match self.int_sum.checked_add(i as i128) {
+                        Some(s) => self.int_sum = s,
+                        None => self.all_ints = false,
+                    }
                 } else {
                     self.all_ints = false;
                 }
@@ -120,7 +130,12 @@ impl Accumulator {
                 if self.count == 0 {
                     Value::Int(0)
                 } else if self.all_ints {
-                    Value::Int(self.int_sum)
+                    // Exact while the total fits; an out-of-range total
+                    // promotes to float instead of silently wrapping.
+                    match i64::try_from(self.int_sum) {
+                        Ok(total) => Value::Int(total),
+                        Err(_) => Value::Float(self.int_sum as f64),
+                    }
                 } else {
                     Value::Float(self.sum)
                 }
@@ -176,6 +191,39 @@ mod tests {
             Value::Float(1.5)
         );
         assert_eq!(run(AggFunc::Sum, false, vec![]), Value::Int(0));
+    }
+
+    #[test]
+    fn sum_overflow_promotes_to_float_instead_of_wrapping() {
+        // i64::MAX + 1 used to wrap to i64::MIN via `wrapping_add`.
+        let v = run(AggFunc::Sum, false, vec![Value::Int(i64::MAX), Value::Int(1)]);
+        assert_eq!(v, Value::Float(i64::MAX as f64 + 1.0));
+        // Negative overflow too.
+        let v = run(AggFunc::Sum, false, vec![Value::Int(i64::MIN), Value::Int(-1)]);
+        assert_eq!(v, Value::Float(i64::MIN as f64 - 1.0));
+        // Exactly at the boundary there is no overflow and the sum stays Int.
+        let v = run(AggFunc::Sum, false, vec![Value::Int(i64::MAX - 1), Value::Int(1)]);
+        assert_eq!(v, Value::Int(i64::MAX));
+    }
+
+    #[test]
+    fn sum_is_exact_and_order_independent_across_intermediate_overflow() {
+        // [MAX, 1, -2] overflows i64 mid-stream but the total fits: the
+        // result must stay an exact Int, whatever the input order.
+        let values = [i64::MAX, 1, -2];
+        let expect = Value::Int(i64::MAX - 1);
+        let orders: [[i64; 3]; 3] =
+            [values, [values[2], values[0], values[1]], [values[1], values[2], values[0]]];
+        for order in orders {
+            let v = run(AggFunc::Sum, false, order.iter().map(|&i| Value::Int(i)).collect());
+            assert_eq!(v, expect, "order {order:?}");
+        }
+    }
+
+    #[test]
+    fn avg_of_overflowing_ints_stays_finite() {
+        let v = run(AggFunc::Avg, false, vec![Value::Int(i64::MAX), Value::Int(i64::MAX)]);
+        assert_eq!(v, Value::Float(i64::MAX as f64));
     }
 
     #[test]

@@ -12,7 +12,55 @@ use crate::store::graph::{Graph, TraverseDir};
 use crate::value::Value;
 use crate::{EdgeId, NodeId};
 use cypher::{Direction, Expr, PathPattern, Projection, SetItem, SortOrder};
+use graphblas::prelude::*;
+use std::borrow::Cow;
 use std::collections::{HashMap, HashSet};
+
+/// How `Conditional Traverse` / `Expand Into` operators execute.
+///
+/// The paper's central claim is that traversals *are* algebraic expressions:
+/// a batch of plan records becomes a frontier matrix `F` (record × node) and
+/// one relation step becomes `F ⊕.⊗ Aᵣ`, a masked sparse `mxm` whose rows
+/// are probed back into records. The scalar strategy is the per-record
+/// pointer-chasing fallback; both produce row-for-row identical output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraverseStrategy {
+    /// Batch once at least [`BATCH_TRAVERSE_MIN_RECORDS`] records flow
+    /// through the traversal; pointer-chase below that (building frontier
+    /// matrices for a handful of records costs more than it saves).
+    #[default]
+    Auto,
+    /// Always traverse record by record (`graph.neighbors()` row walks).
+    Scalar,
+    /// Always evaluate the traversal as a frontier `mxm`.
+    Batched,
+}
+
+/// Record-batch size at which [`TraverseStrategy::Auto`] switches from the
+/// scalar path to the frontier `mxm`.
+pub const BATCH_TRAVERSE_MIN_RECORDS: usize = 64;
+
+/// The parameters of one `Traverse` plan op, bundled so the execution
+/// strategies share a signature.
+#[derive(Debug, Clone)]
+pub struct TraverseSpec<'a> {
+    /// Slot of the already-bound source node.
+    pub src_slot: usize,
+    /// Slot receiving the destination node (already bound for expand-into).
+    pub dst_slot: usize,
+    /// Slot receiving the traversed edge (single hop, named edge only).
+    pub edge_slot: Option<usize>,
+    /// Relationship type names (empty = any type).
+    pub rel_types: &'a [String],
+    /// Pattern direction.
+    pub direction: Direction,
+    /// Minimum hop count (0 = the source itself matches).
+    pub min_hops: u32,
+    /// Maximum hop count; `None` = unbounded.
+    pub max_hops: Option<u32>,
+    /// True if the destination is already bound (expand-into / semi-join).
+    pub expand_into: bool,
+}
 
 /// One step of an execution plan.
 #[derive(Debug, Clone)]
@@ -261,48 +309,63 @@ pub fn run_filter(
         .collect()
 }
 
-/// Execute a traverse op.
-#[allow(clippy::too_many_arguments)]
+/// Execute a traverse op, dispatching on the graph's [`TraverseStrategy`].
+/// Both strategies produce row-for-row identical output (proven by the
+/// `traverse_differential` integration suite).
 pub fn run_traverse(
     records: Vec<Record>,
     bindings: &Bindings,
     graph: &Graph,
-    src_slot: usize,
-    dst_slot: usize,
-    edge_slot: Option<usize>,
-    rel_types: &[String],
-    direction: Direction,
-    min_hops: u32,
-    max_hops: Option<u32>,
-    expand_into: bool,
+    spec: &TraverseSpec<'_>,
 ) -> Vec<Record> {
-    let dir = to_traverse_dir(direction);
-    let rel_ids: Option<Vec<usize>> = if rel_types.is_empty() {
+    let rel_ids: Option<Vec<usize>> = if spec.rel_types.is_empty() {
         None
     } else {
-        Some(rel_types.iter().filter_map(|t| graph.schema.rel_type_id(t)).collect())
+        Some(spec.rel_types.iter().filter_map(|t| graph.schema.rel_type_id(t)).collect())
     };
     // If the pattern names relationship types that do not exist, nothing matches.
     if let Some(ids) = &rel_ids {
-        if ids.len() != rel_types.len() {
+        if ids.len() != spec.rel_types.len() {
             return Vec::new();
         }
     }
-    let max = max_hops.unwrap_or_else(|| graph.node_count().max(1) as u32);
-    let single_hop = min_hops == 1 && max == 1;
+    let batched = match graph.traverse_strategy() {
+        TraverseStrategy::Scalar => false,
+        TraverseStrategy::Batched => true,
+        TraverseStrategy::Auto => records.len() >= BATCH_TRAVERSE_MIN_RECORDS,
+    };
+    if batched {
+        run_traverse_batched(records, bindings, graph, spec, rel_ids.as_deref())
+    } else {
+        run_traverse_scalar(records, bindings, graph, spec, rel_ids.as_deref())
+    }
+}
+
+/// The per-record scalar strategy: pointer-chase `graph.neighbors()` row
+/// walks (single hop) or a per-source BFS (variable length).
+pub fn run_traverse_scalar(
+    records: Vec<Record>,
+    bindings: &Bindings,
+    graph: &Graph,
+    spec: &TraverseSpec<'_>,
+    rel_ids: Option<&[usize]>,
+) -> Vec<Record> {
+    let dir = to_traverse_dir(spec.direction);
+    let max = spec.max_hops.unwrap_or_else(|| graph.node_count().max(1) as u32);
+    let single_hop = spec.min_hops == 1 && max == 1;
     let mut out = Vec::new();
 
     for record in records {
-        let Some(Value::Node(src)) = record.get(src_slot).cloned() else { continue };
+        let Some(Value::Node(src)) = record.get(spec.src_slot).cloned() else { continue };
         if single_hop {
-            let neighbors = graph.neighbors(src, rel_ids.as_deref(), dir);
-            if expand_into {
-                let target = record.get(dst_slot).cloned();
+            let neighbors = graph.neighbors(src, rel_ids, dir);
+            if spec.expand_into {
+                let target = record.get(spec.dst_slot).cloned();
                 for (nbr, edge) in neighbors {
                     if target == Some(Value::Node(nbr)) {
                         let mut r = record.clone();
                         ensure_len(&mut r, bindings);
-                        if let Some(es) = edge_slot {
+                        if let Some(es) = spec.edge_slot {
                             r[es] = Value::Edge(edge);
                         }
                         out.push(r);
@@ -312,8 +375,8 @@ pub fn run_traverse(
                 for (nbr, edge) in neighbors {
                     let mut r = record.clone();
                     ensure_len(&mut r, bindings);
-                    r[dst_slot] = Value::Node(nbr);
-                    if let Some(es) = edge_slot {
+                    r[spec.dst_slot] = Value::Node(nbr);
+                    if let Some(es) = spec.edge_slot {
                         r[es] = Value::Edge(edge);
                     }
                     out.push(r);
@@ -321,12 +384,12 @@ pub fn run_traverse(
             }
         } else {
             // Variable-length traversal.
-            let reached: Vec<NodeId> = match &rel_ids {
-                None => graph.khop_reach(src, min_hops, max, dir).indices().to_vec(),
-                Some(ids) => typed_bfs(graph, src, min_hops, max, ids, dir),
+            let reached: Vec<NodeId> = match rel_ids {
+                None => graph.khop_reach(src, spec.min_hops, max, dir).indices().to_vec(),
+                Some(ids) => typed_bfs(graph, src, spec.min_hops, max, ids, dir),
             };
-            if expand_into {
-                let target = record.get(dst_slot).cloned();
+            if spec.expand_into {
+                let target = record.get(spec.dst_slot).cloned();
                 if let Some(Value::Node(t)) = target {
                     if reached.contains(&t) {
                         out.push(record.clone());
@@ -336,7 +399,7 @@ pub fn run_traverse(
                 for n in reached {
                     let mut r = record.clone();
                     ensure_len(&mut r, bindings);
-                    r[dst_slot] = Value::Node(n);
+                    r[spec.dst_slot] = Value::Node(n);
                     out.push(r);
                 }
             }
@@ -345,9 +408,321 @@ pub fn run_traverse(
     out
 }
 
+/// The batched algebraic strategy: the whole record batch becomes one
+/// frontier matrix `F` (record × node, one entry per row at the record's
+/// source), the relation step is evaluated as `F ⊕.⊗ Aᵣ` per relation matrix
+/// (`any_second` carries edge ids into the product; reverse traversal
+/// multiplies the incrementally-maintained transpose), and the product rows
+/// are probed back into `(record, dst, edge)` tuples in record-major order so
+/// the output matches the scalar path row for row. Expand-into becomes a
+/// structural mask over the bound destinations; variable-length patterns run
+/// a level-synchronous masked-`mxm` BFS on the whole batch at once. The
+/// `mxm` inherits its thread count from [`graphblas::Context`] (the
+/// `QUERY_THREADS` knob), parallelising over frontier row blocks.
+pub fn run_traverse_batched(
+    records: Vec<Record>,
+    bindings: &Bindings,
+    graph: &Graph,
+    spec: &TraverseSpec<'_>,
+    rel_ids: Option<&[usize]>,
+) -> Vec<Record> {
+    let dir = to_traverse_dir(spec.direction);
+    let max = spec.max_hops.unwrap_or_else(|| graph.node_count().max(1) as u32);
+    let single_hop = spec.min_hops == 1 && max == 1;
+    let dim = graph.dim();
+
+    // One frontier row per *distinct* source node: records sharing a source
+    // (the common case deep in a multi-hop pipeline, where thousands of
+    // records fan out of a few hub nodes) share one product row instead of
+    // recomputing it. `record_rows[i]` maps record `i` back to its row;
+    // records without a bound source produce no output.
+    let mut src_row: HashMap<NodeId, u64> = HashMap::new();
+    let mut frontier_entries: Vec<(u64, u64)> = Vec::new();
+    let mut record_rows: Vec<Option<u64>> = Vec::with_capacity(records.len());
+    for r in &records {
+        match r.get(spec.src_slot) {
+            Some(Value::Node(s)) => {
+                let row = *src_row.entry(*s).or_insert_with(|| {
+                    let row = frontier_entries.len() as u64;
+                    frontier_entries.push((row, *s));
+                    row
+                });
+                record_rows.push(Some(row));
+            }
+            _ => record_rows.push(None),
+        }
+    }
+    if frontier_entries.is_empty() {
+        return Vec::new();
+    }
+
+    let batch = BatchFrontier { entries: &frontier_entries, record_rows: &record_rows, dim };
+    if single_hop {
+        batched_single_hop(&records, bindings, graph, spec, rel_ids, dir, &batch)
+    } else {
+        batched_var_length(&records, bindings, graph, spec, rel_ids, dir, &batch, max)
+    }
+}
+
+/// The shared frontier layout of one batched traversal: distinct source
+/// coordinates plus the record → frontier-row mapping.
+struct BatchFrontier<'a> {
+    /// `(row, source node)` coordinates, one per distinct source.
+    entries: &'a [(u64, u64)],
+    /// Frontier row of each record (`None` = source not bound).
+    record_rows: &'a [Option<u64>],
+    /// Node-space dimension (frontier column count).
+    dim: u64,
+}
+
+impl BatchFrontier<'_> {
+    fn nrows(&self) -> u64 {
+        self.entries.len() as u64
+    }
+}
+
+/// Per-relation single-hop products: the forward and backward `F ⊕.⊗ Aᵣ`
+/// results, in the pattern's relation-type order.
+type HopProducts = Vec<(Option<SparseMatrix<u64>>, Option<SparseMatrix<u64>>)>;
+
+/// One-hop batched traversal: `C = F ⊕.⊗ Aᵣ` per relation matrix under the
+/// edge-id-carrying `any_second` semiring.
+#[allow(clippy::too_many_arguments)]
+fn batched_single_hop(
+    records: &[Record],
+    bindings: &Bindings,
+    graph: &Graph,
+    spec: &TraverseSpec<'_>,
+    rel_ids: Option<&[usize]>,
+    dir: TraverseDir,
+    batch: &BatchFrontier<'_>,
+) -> Vec<Record> {
+    let forward = matches!(dir, TraverseDir::Outgoing | TraverseDir::Both);
+    let backward = matches!(dir, TraverseDir::Incoming | TraverseDir::Both);
+    let rels: Vec<usize> = match rel_ids {
+        Some(ids) => ids.to_vec(),
+        None => (0..graph.relation_type_count()).collect(),
+    };
+
+    let frontier = frontier_matrix::<u64>(batch.nrows(), batch.dim, batch.entries, 1);
+    let semiring = Semiring::<u64>::any_second();
+    // Expand-into is a semi-join: mask the product with the bound
+    // destinations so only the (source row, target) entries are even
+    // computed. Records sharing a source row contribute their targets to the
+    // same mask row; emission below probes each record's own target.
+    let target_mask = if spec.expand_into {
+        let targets: Vec<(u64, u64)> = records
+            .iter()
+            .zip(batch.record_rows)
+            .filter_map(|(r, row)| match (row, r.get(spec.dst_slot)) {
+                (Some(row), Some(Value::Node(t))) if *t < batch.dim => Some((*row, *t)),
+                _ => None,
+            })
+            .collect();
+        Some(frontier_matrix::<bool>(batch.nrows(), batch.dim, &targets, true))
+    } else {
+        None
+    };
+    let desc = if target_mask.is_some() {
+        Descriptor::new().with_mask_structure()
+    } else {
+        Descriptor::new()
+    };
+    let mask = target_mask.as_ref().map(MatrixMask::new);
+
+    // One product per relation matrix (and per direction), kept separate so
+    // row probing can interleave them in the scalar path's emission order.
+    let mut products: HopProducts = Vec::with_capacity(rels.len());
+    for &rel in &rels {
+        let fwd = if forward {
+            graph
+                .relation_matrix(rel)
+                .map(|m| mxm(&frontier, m.as_ref(), &semiring, mask.as_ref(), &desc))
+        } else {
+            None
+        };
+        let bwd = if backward {
+            graph
+                .relation_matrix_t(rel)
+                .map(|m| mxm(&frontier, m.as_ref(), &semiring, mask.as_ref(), &desc))
+        } else {
+            None
+        };
+        products.push((fwd, bwd));
+    }
+
+    // Probe: record-major, then per relation forward-then-backward, columns
+    // ascending — exactly the scalar `neighbors()` emission order.
+    let mut out = Vec::new();
+    for (record, row) in records.iter().zip(batch.record_rows) {
+        let Some(row) = *row else { continue };
+        if spec.expand_into {
+            // Semi-join: only the record's own bound target counts.
+            let Some(Value::Node(t)) = record.get(spec.dst_slot) else { continue };
+            if *t >= batch.dim {
+                continue;
+            }
+            for (fwd, bwd) in &products {
+                for product in [fwd, bwd].into_iter().flatten() {
+                    if let Some(edge) = product.extract_element(row, *t) {
+                        let mut r = record.clone();
+                        ensure_len(&mut r, bindings);
+                        if let Some(es) = spec.edge_slot {
+                            r[es] = Value::Edge(edge);
+                        }
+                        out.push(r);
+                    }
+                }
+            }
+        } else {
+            for (fwd, bwd) in &products {
+                for product in [fwd, bwd].into_iter().flatten() {
+                    let (cols, vals) = probe_row(product, row);
+                    for (&dst, &edge) in cols.iter().zip(vals.iter()) {
+                        let mut r = record.clone();
+                        ensure_len(&mut r, bindings);
+                        r[spec.dst_slot] = Value::Node(dst);
+                        if let Some(es) = spec.edge_slot {
+                            r[es] = Value::Edge(edge);
+                        }
+                        out.push(r);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Variable-length batched traversal: a level-synchronous BFS of masked
+/// `mxm`s over the whole batch — the matrix generalisation of
+/// [`Graph::khop_reach`], one row per distinct source.
+#[allow(clippy::too_many_arguments)]
+fn batched_var_length(
+    records: &[Record],
+    bindings: &Bindings,
+    graph: &Graph,
+    spec: &TraverseSpec<'_>,
+    rel_ids: Option<&[usize]>,
+    dir: TraverseDir,
+    batch: &BatchFrontier<'_>,
+    max: u32,
+) -> Vec<Record> {
+    let forward = matches!(dir, TraverseDir::Outgoing | TraverseDir::Both);
+    let backward = matches!(dir, TraverseDir::Incoming | TraverseDir::Both);
+
+    // Traversal matrices in the requested direction. The boolean semiring
+    // distributes over ∨, so each hop multiplies the frontier against every
+    // matrix separately and ORs the frontier-sized products — never
+    // materialising an O(nnz) union matrix (the `Cow`s below only merge
+    // when the graph has pending deltas).
+    let adjacency: Vec<Cow<'_, SparseMatrix<bool>>> = match rel_ids {
+        None => {
+            let mut mats = Vec::new();
+            if forward {
+                mats.push(graph.adjacency_matrix());
+            }
+            if backward {
+                mats.push(graph.adjacency_matrix_t());
+            }
+            mats
+        }
+        Some(_) => Vec::new(),
+    };
+    let relations: Vec<Cow<'_, SparseMatrix<u64>>> = match rel_ids {
+        None => Vec::new(),
+        Some(ids) => {
+            let mut mats = Vec::new();
+            for &rel in ids {
+                if forward {
+                    mats.extend(graph.relation_matrix(rel));
+                }
+                if backward {
+                    mats.extend(graph.relation_matrix_t(rel));
+                }
+            }
+            mats
+        }
+    };
+
+    let bool_semiring = Semiring::lor_land();
+    let pair_semiring = Semiring::<u64>::any_pair();
+    let desc = Descriptor::new().with_mask_complement().with_mask_structure();
+    let mut frontier = frontier_matrix::<bool>(batch.nrows(), batch.dim, batch.entries, true);
+    let mut visited = frontier.clone();
+    // Hop 0 is each source node itself.
+    let mut reached = if spec.min_hops == 0 {
+        frontier.clone()
+    } else {
+        SparseMatrix::<bool>::new(batch.nrows(), batch.dim)
+    };
+
+    for hop in 1..=max {
+        if frontier.nvals() == 0 {
+            break;
+        }
+        let next = {
+            let mask = MatrixMask::new(&visited);
+            let mut acc: Option<SparseMatrix<bool>> = None;
+            let mut fold = |p: SparseMatrix<bool>| {
+                acc = Some(match acc.take() {
+                    None => p,
+                    Some(prev) => ewise_add_matrix(&prev, &p, &BinaryOp::LOr),
+                });
+            };
+            for m in &adjacency {
+                fold(mxm(&frontier, m.as_ref(), &bool_semiring, Some(&mask), &desc));
+            }
+            if !relations.is_empty() {
+                // Relation matrices hold edge ids; retype the (small)
+                // frontier to u64 and take the structure of each product
+                // rather than copying whole relation matrices to bool.
+                let triples: Vec<(u64, u64, u64)> =
+                    frontier.iter().map(|(r, c, _)| (r, c, 1)).collect();
+                let frontier_u64 = SparseMatrix::from_triples(batch.nrows(), batch.dim, &triples)
+                    .expect("frontier coordinates are in bounds");
+                for m in &relations {
+                    let p = mxm(&frontier_u64, m.as_ref(), &pair_semiring, Some(&mask), &desc);
+                    fold(structure(&p));
+                }
+            }
+            match acc {
+                Some(next) => next,
+                None => break, // no matrices selected: nothing to traverse
+            }
+        };
+        visited = ewise_add_matrix(&visited, &next, &BinaryOp::LOr);
+        if hop >= spec.min_hops {
+            reached = ewise_add_matrix(&reached, &next, &BinaryOp::LOr);
+        }
+        frontier = next;
+    }
+
+    let mut out = Vec::new();
+    for (record, row) in records.iter().zip(batch.record_rows) {
+        let Some(row) = *row else { continue };
+        if spec.expand_into {
+            if let Some(Value::Node(t)) = record.get(spec.dst_slot) {
+                if *t < batch.dim && reached.extract_element(row, *t).is_some() {
+                    out.push(record.clone());
+                }
+            }
+        } else {
+            let (cols, _) = probe_row(&reached, row);
+            for &dst in cols {
+                let mut r = record.clone();
+                ensure_len(&mut r, bindings);
+                r[spec.dst_slot] = Value::Node(dst);
+                out.push(r);
+            }
+        }
+    }
+    out
+}
+
 /// Set-based BFS restricted to a list of relationship types (used when a
-/// variable-length pattern names specific types; the untyped case uses the
-/// algebraic `khop_reach`).
+/// variable-length pattern names specific types on the scalar path; the
+/// untyped case uses the algebraic `khop_reach`).
 fn typed_bfs(
     graph: &Graph,
     src: NodeId,
@@ -360,6 +735,10 @@ fn typed_bfs(
     visited.insert(src);
     let mut frontier: Vec<NodeId> = vec![src];
     let mut reached: HashSet<NodeId> = HashSet::new();
+    // Hop 0 is the source itself (`*0..n` patterns).
+    if min_hops == 0 {
+        reached.insert(src);
+    }
     for hop in 1..=max_hops {
         if frontier.is_empty() {
             break;

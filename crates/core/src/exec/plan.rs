@@ -79,9 +79,14 @@ impl ExecutionPlan {
         self.run(GraphAccess::Read(graph))
     }
 
-    /// True when executing the plan reads whole matrices (variable-length
-    /// traversals run the algebraic `khop_reach`, procedures hand the
-    /// adjacency matrix to `algo::*`) rather than merged per-row views.
+    /// True when executing the plan reads whole matrices *per record*
+    /// (scalar variable-length traversals run the algebraic `khop_reach`,
+    /// procedures hand the adjacency matrix to `algo::*`), where flushing
+    /// once clearly beats merging per read. Single-hop traversals are
+    /// deliberately excluded: the scalar strategy reads merged row views and
+    /// the batched strategy materialises at most one merged `Cow` view per
+    /// relation matrix per batch, so forcing a flush here would reintroduce
+    /// the per-query sync cost the delta write path exists to avoid.
     fn needs_matrix_views(&self) -> bool {
         self.segments.iter().flat_map(|s| &s.ops).any(|op| match op {
             PlanOp::Traverse { min_hops, max_hops, .. } => {
@@ -135,19 +140,17 @@ impl ExecutionPlan {
                         expand_into,
                         ..
                     } => {
-                        records = run_traverse(
-                            records,
-                            bindings,
-                            access.graph(),
-                            *src_slot,
-                            *dst_slot,
-                            *edge_slot,
+                        let spec = TraverseSpec {
+                            src_slot: *src_slot,
+                            dst_slot: *dst_slot,
+                            edge_slot: *edge_slot,
                             rel_types,
-                            *direction,
-                            *min_hops,
-                            *max_hops,
-                            *expand_into,
-                        );
+                            direction: *direction,
+                            min_hops: *min_hops,
+                            max_hops: *max_hops,
+                            expand_into: *expand_into,
+                        };
+                        records = run_traverse(records, bindings, access.graph(), &spec);
                     }
                     PlanOp::Project(projection) => {
                         columns = projection.items.iter().map(|i| i.column_name()).collect();

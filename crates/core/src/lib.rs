@@ -30,6 +30,7 @@ pub mod store;
 pub mod value;
 
 pub use error::QueryError;
+pub use exec::ops::{TraverseStrategy, BATCH_TRAVERSE_MIN_RECORDS};
 pub use exec::plan::ExecutionPlan;
 pub use exec::resultset::{QueryStats, ResultSet};
 pub use store::graph::{Graph, TraverseDir};

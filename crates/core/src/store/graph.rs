@@ -28,6 +28,7 @@
 //! [`Graph::sync_matrices`].
 
 use crate::error::QueryError;
+use crate::exec::ops::TraverseStrategy;
 use crate::exec::plan::ExecutionPlan;
 use crate::exec::resultset::ResultSet;
 use crate::store::datablock::DataBlock;
@@ -68,6 +69,7 @@ pub struct Graph {
     relation_matrices_t: Vec<DeltaMatrix<u64>>,
     label_matrices: Vec<DeltaMatrix<bool>>,
     flush_threshold: usize,
+    traverse_strategy: TraverseStrategy,
 }
 
 impl Graph {
@@ -86,7 +88,21 @@ impl Graph {
             relation_matrices_t: Vec::new(),
             label_matrices: Vec::new(),
             flush_threshold: DEFAULT_FLUSH_THRESHOLD,
+            traverse_strategy: TraverseStrategy::Auto,
         }
+    }
+
+    /// How `Conditional Traverse` / `Expand Into` operators execute against
+    /// this graph (see [`TraverseStrategy`]). `Auto` batches once enough
+    /// records flow through a traversal; benchmarks and differential tests
+    /// pin `Scalar` / `Batched` explicitly.
+    pub fn traverse_strategy(&self) -> TraverseStrategy {
+        self.traverse_strategy
+    }
+
+    /// Set the traversal execution strategy.
+    pub fn set_traverse_strategy(&mut self, strategy: TraverseStrategy) {
+        self.traverse_strategy = strategy;
     }
 
     /// The pending-count threshold at which any one matrix folds its delta
@@ -415,9 +431,23 @@ impl Graph {
         self.adjacency_t.view()
     }
 
-    /// The relation matrix for a relationship type id (merged view).
+    /// The relation matrix for a relationship type id (merged view). Stored
+    /// values are edge ids, so algebraic traversals recover the traversed
+    /// edge entity straight from the product.
     pub fn relation_matrix(&self, rel: RelTypeId) -> Option<Cow<'_, SparseMatrix<u64>>> {
         self.relation_matrices.get(rel).map(DeltaMatrix::view)
+    }
+
+    /// The incrementally-maintained transpose of a relation matrix (merged
+    /// view) — reverse traversals multiply against this instead of
+    /// transposing on the fly.
+    pub fn relation_matrix_t(&self, rel: RelTypeId) -> Option<Cow<'_, SparseMatrix<u64>>> {
+        self.relation_matrices_t.get(rel).map(DeltaMatrix::view)
+    }
+
+    /// Number of relationship-type matrices currently allocated.
+    pub fn relation_type_count(&self) -> usize {
+        self.relation_matrices.len()
     }
 
     /// An `f64` matrix of edge weights read from property `prop` (edges
@@ -508,6 +538,11 @@ impl Graph {
         let mut visited = SparseVector::<bool>::new(self.dim);
         visited.set_element(source, true);
         let mut reached = SparseVector::<bool>::new(self.dim);
+        // Hop 0 is the source itself: a `*0..n` pattern matches the start
+        // node before any edge is traversed.
+        if min_hops == 0 {
+            reached.set_element(source, true);
+        }
 
         for hop in 1..=max_hops {
             if frontier.is_empty() {
@@ -687,6 +722,30 @@ mod tests {
         assert_eq!(g.khop_reach(3, 1, 3, TraverseDir::Incoming).nvals(), 3);
         // both directions from the middle
         assert!(g.khop_reach(2, 1, 1, TraverseDir::Both).nvals() >= 2);
+    }
+
+    #[test]
+    fn khop_reach_min_hops_zero_includes_the_source() {
+        // path 0→1→2; regression: the hop loop starts at 1, so hop 0 (the
+        // source itself) used to be dropped from `reached`.
+        let mut g = Graph::new("k0");
+        for _ in 0..3 {
+            g.add_node(&["Node"], vec![]);
+        }
+        g.add_edge(0, 1, "L", vec![]).unwrap();
+        g.add_edge(1, 2, "L", vec![]).unwrap();
+        g.sync_matrices();
+
+        let zero_to_two = g.khop_reach(0, 0, 2, TraverseDir::Outgoing);
+        assert_eq!(zero_to_two.indices(), &[0, 1, 2]);
+        // `*0` (zero hops exactly) is just the source.
+        let zero_only = g.khop_reach(1, 0, 0, TraverseDir::Outgoing);
+        assert_eq!(zero_only.indices(), &[1]);
+        // An isolated source still reaches itself at hop 0 …
+        let iso = g.add_node(&["Node"], vec![]);
+        assert_eq!(g.khop_reach(iso, 0, 5, TraverseDir::Both).indices(), &[iso]);
+        // … and min_hops ≥ 1 still excludes it.
+        assert_eq!(g.khop_reach(0, 1, 2, TraverseDir::Outgoing).indices(), &[1, 2]);
     }
 
     #[test]

@@ -709,6 +709,24 @@ mod tests {
     }
 
     #[test]
+    fn parses_zero_min_variable_length_paths() {
+        // `*0..n` / `*0..` / `*0` are legal openCypher: hop 0 matches the
+        // start node itself. The executor honours min_hops = 0 (regression:
+        // the reachability loop used to drop hop 0 silently).
+        let q = parse("MATCH (a)-[*0..2]->(b) RETURN b").unwrap();
+        let Clause::Match { patterns, .. } = &q.clauses[0] else { panic!() };
+        assert_eq!(patterns[0].steps[0].0.var_length, Some((0, Some(2))));
+
+        let q = parse("MATCH (a)-[:KNOWS*0..]->(b) RETURN b").unwrap();
+        let Clause::Match { patterns, .. } = &q.clauses[0] else { panic!() };
+        assert_eq!(patterns[0].steps[0].0.var_length, Some((0, None)));
+
+        let q = parse("MATCH (a)-[*0]->(b) RETURN b").unwrap();
+        let Clause::Match { patterns, .. } = &q.clauses[0] else { panic!() };
+        assert_eq!(patterns[0].steps[0].0.var_length, Some((0, Some(0))));
+    }
+
+    #[test]
     fn parses_node_property_maps() {
         let q = parse("MATCH (a:Node {id: 42, name: 'x', active: true}) RETURN a").unwrap();
         let Clause::Match { patterns, .. } = &q.clauses[0] else { panic!() };

@@ -40,6 +40,7 @@ pub mod descriptor;
 pub mod error;
 pub mod ewise;
 pub mod extract;
+pub mod frontier;
 pub mod kron;
 pub mod mask;
 pub mod matrix;
@@ -59,6 +60,7 @@ pub use context::Context;
 pub use delta::{DeltaMatrix, DEFAULT_FLUSH_THRESHOLD};
 pub use descriptor::Descriptor;
 pub use error::{GrbError, GrbResult};
+pub use frontier::{frontier_matrix, probe_row};
 pub use mask::{MatrixMask, VectorMask};
 pub use matrix::SparseMatrix;
 pub use monoid::Monoid;
@@ -81,6 +83,7 @@ pub mod prelude {
         ewise_add_matrix, ewise_add_vector, ewise_mult_matrix, ewise_mult_vector,
     };
     pub use crate::extract::{extract_col, extract_row, extract_submatrix};
+    pub use crate::frontier::{frontier_matrix, probe_row, structure};
     pub use crate::kron::kronecker;
     pub use crate::mask::{MatrixMask, VectorMask};
     pub use crate::matrix::SparseMatrix;

@@ -77,46 +77,39 @@ impl RespValue {
     /// Decode one RESP value from the front of `input`, returning the value and
     /// the number of bytes consumed. Returns `None` on incomplete or malformed
     /// input.
+    ///
+    /// The parser tracks an absolute scan offset through the whole frame
+    /// (nested values included) instead of re-slicing the buffer per element,
+    /// so decoding a pipelined buffer of `N` commands is `O(total bytes)`:
+    /// each byte is visited once, never rescanned from the front.
     pub fn decode(input: &[u8]) -> Option<(RespValue, usize)> {
-        let (line, consumed) = read_line(input)?;
-        let kind = *line.first()?;
-        let body = &line[1..];
-        match kind {
-            b'+' => Some((
-                RespValue::SimpleString(String::from_utf8_lossy(body).into_owned()),
-                consumed,
-            )),
-            b'-' => Some((RespValue::Error(String::from_utf8_lossy(body).into_owned()), consumed)),
-            b':' => {
-                let i: i64 = std::str::from_utf8(body).ok()?.parse().ok()?;
-                Some((RespValue::Integer(i), consumed))
-            }
-            b'$' => {
-                let len: i64 = std::str::from_utf8(body).ok()?.parse().ok()?;
-                if len < 0 {
-                    return Some((RespValue::Null, consumed));
+        let mut pos = 0usize;
+        let value = decode_at(input, &mut pos, 0)?;
+        Some((value, pos))
+    }
+
+    /// Decode every complete RESP value at the front of `input` (a client
+    /// pipeline), returning the values and the total number of bytes
+    /// consumed. Stops at the first frame that does not decode — either
+    /// *incomplete* (more bytes may complete it; keep `input[consumed..]`
+    /// buffered) or *malformed* (no amount of further input will fix it).
+    /// The two are not distinguished here, so a caller owning a real socket
+    /// loop must bound the retained buffer and treat hitting that bound as a
+    /// protocol error rather than waiting forever.
+    pub fn decode_pipeline(input: &[u8]) -> (Vec<RespValue>, usize) {
+        let mut values = Vec::new();
+        let mut pos = 0usize;
+        loop {
+            let mut next = pos;
+            match decode_at(input, &mut next, 0) {
+                Some(value) => {
+                    values.push(value);
+                    pos = next;
                 }
-                let len = len as usize;
-                let start = consumed;
-                if input.len() < start + len + 2 {
-                    return None;
-                }
-                let s = String::from_utf8_lossy(&input[start..start + len]).into_owned();
-                Some((RespValue::BulkString(s), start + len + 2))
+                None => break,
             }
-            b'*' => {
-                let count: i64 = std::str::from_utf8(body).ok()?.parse().ok()?;
-                let mut items = Vec::new();
-                let mut offset = consumed;
-                for _ in 0..count {
-                    let (item, used) = RespValue::decode(&input[offset..])?;
-                    items.push(item);
-                    offset += used;
-                }
-                Some((RespValue::Array(items), offset))
-            }
-            _ => None,
         }
+        (values, pos)
     }
 
     /// Convenience: build a RESP array of bulk strings (how clients send
@@ -126,9 +119,88 @@ impl RespValue {
     }
 }
 
-fn read_line(input: &[u8]) -> Option<(&[u8], usize)> {
-    let pos = input.windows(2).position(|w| w == b"\r\n")?;
-    Some((&input[..pos], pos + 2))
+/// Upper bound on a declared bulk-string payload (Redis' default
+/// `proto-max-bulk-len`): a client-supplied `$<len>` beyond this is treated
+/// as malformed rather than trusted into a buffer-length computation.
+const MAX_BULK_LEN: usize = 512 * 1024 * 1024;
+
+/// Upper bound on a declared array element count (Redis caps multibulk
+/// headers at 1M elements).
+const MAX_ARRAY_LEN: usize = 1024 * 1024;
+
+/// Maximum array nesting depth, so a hostile frame of `*1\r\n` repeated
+/// cannot exhaust the stack through recursion.
+const MAX_DEPTH: usize = 32;
+
+/// Decode one value starting at `*pos`, advancing `*pos` past it. `None`
+/// means incomplete or malformed input; `*pos` is then unspecified.
+fn decode_at(input: &[u8], pos: &mut usize, depth: usize) -> Option<RespValue> {
+    if depth > MAX_DEPTH {
+        return None;
+    }
+    let line_start = *pos;
+    let line_end = find_crlf(input, line_start)?;
+    *pos = line_end + 2;
+    let line = &input[line_start..line_end];
+    let kind = *line.first()?;
+    let body = &line[1..];
+    match kind {
+        b'+' => Some(RespValue::SimpleString(String::from_utf8_lossy(body).into_owned())),
+        b'-' => Some(RespValue::Error(String::from_utf8_lossy(body).into_owned())),
+        b':' => {
+            let i: i64 = std::str::from_utf8(body).ok()?.parse().ok()?;
+            Some(RespValue::Integer(i))
+        }
+        b'$' => {
+            let len: i64 = std::str::from_utf8(body).ok()?.parse().ok()?;
+            // `$-1\r\n` is the null bulk string.
+            if len < 0 {
+                return Some(RespValue::Null);
+            }
+            let len = usize::try_from(len).ok().filter(|&l| l <= MAX_BULK_LEN)?;
+            // Overflow-checked frame extent: `start + len + 2` on an
+            // unvalidated length must never wrap.
+            let start = *pos;
+            let payload_end = start.checked_add(len)?;
+            let frame_end = payload_end.checked_add(2)?;
+            if input.len() < frame_end {
+                return None;
+            }
+            // The declared length must be terminated by CRLF exactly.
+            if &input[payload_end..frame_end] != b"\r\n" {
+                return None;
+            }
+            let s = String::from_utf8_lossy(&input[start..payload_end]).into_owned();
+            *pos = frame_end;
+            Some(RespValue::BulkString(s))
+        }
+        b'*' => {
+            let count: i64 = std::str::from_utf8(body).ok()?.parse().ok()?;
+            // `*-1\r\n` is the null array, not an empty one.
+            if count < 0 {
+                return Some(RespValue::Null);
+            }
+            let count = usize::try_from(count).ok().filter(|&c| c <= MAX_ARRAY_LEN)?;
+            let mut items = Vec::with_capacity(count.min(64));
+            for _ in 0..count {
+                items.push(decode_at(input, pos, depth + 1)?);
+            }
+            Some(RespValue::Array(items))
+        }
+        _ => None,
+    }
+}
+
+/// Find the next `\r\n` at or after `from`, scanning forward only.
+fn find_crlf(input: &[u8], from: usize) -> Option<usize> {
+    let mut i = from;
+    while i + 1 < input.len() {
+        if input[i] == b'\r' && input[i + 1] == b'\n' {
+            return Some(i);
+        }
+        i += 1;
+    }
+    None
 }
 
 #[cfg(test)]
@@ -169,6 +241,84 @@ mod tests {
         assert!(RespValue::decode(b"$10\r\nshort\r\n").is_none());
         assert!(RespValue::decode(b"*2\r\n:1\r\n").is_none());
         assert!(RespValue::decode(b"").is_none());
+    }
+
+    #[test]
+    fn negative_array_count_is_null_not_empty_array() {
+        // Regression: `*-1\r\n` (the RESP null array) used to decode as
+        // `Array([])`, silently conflating "no reply" with "empty reply".
+        let (v, used) = RespValue::decode(b"*-1\r\n").unwrap();
+        assert_eq!(v, RespValue::Null);
+        assert_eq!(used, 5);
+        // Any negative count is null, and an explicit empty array still works.
+        assert_eq!(RespValue::decode(b"*-7\r\n").unwrap().0, RespValue::Null);
+        assert_eq!(RespValue::decode(b"*0\r\n").unwrap().0, RespValue::Array(vec![]));
+    }
+
+    #[test]
+    fn malformed_frames_are_rejected() {
+        // Unknown type byte.
+        assert!(RespValue::decode(b"?what\r\n").is_none());
+        // Non-numeric lengths / counts.
+        assert!(RespValue::decode(b"$abc\r\nxyz\r\n").is_none());
+        assert!(RespValue::decode(b"*abc\r\n").is_none());
+        assert!(RespValue::decode(b":notanint\r\n").is_none());
+        // A bulk payload must be terminated by CRLF exactly where declared.
+        assert!(RespValue::decode(b"$3\r\nabcdef\r\n").is_none());
+        assert!(RespValue::decode(b"$3\r\nabcXY").is_none());
+        // Empty line (no type byte).
+        assert!(RespValue::decode(b"\r\n").is_none());
+    }
+
+    #[test]
+    fn hostile_lengths_cannot_overflow_or_allocate() {
+        // A declared length near usize::MAX used to feed `start + len + 2`
+        // unchecked; it must be rejected, not wrapped.
+        let frame = format!("${}\r\n", u64::MAX);
+        assert!(RespValue::decode(frame.as_bytes()).is_none());
+        let frame = format!("${}\r\n", i64::MAX);
+        assert!(RespValue::decode(frame.as_bytes()).is_none());
+        // Over the bulk cap (512MB) and over the array cap (1M elements).
+        assert!(RespValue::decode(b"$536870913\r\n").is_none());
+        assert!(RespValue::decode(b"*1048577\r\n").is_none());
+        // Deep nesting is bounded rather than recursing unboundedly.
+        let bomb = b"*1\r\n".repeat(100);
+        assert!(RespValue::decode(&bomb).is_none());
+    }
+
+    #[test]
+    fn pipelined_commands_decode_in_one_linear_pass() {
+        // A large pipeline: every byte should be visited once. (With the old
+        // per-frame rescan this test still passed, just quadratically slower;
+        // the shape of the API — absolute offsets, `decode_pipeline` — is
+        // what this pins.)
+        let n = 5_000;
+        let mut buf = Vec::new();
+        for i in 0..n {
+            let cmd = RespValue::command(&["GRAPH.QUERY", "g", &format!("RETURN {i}")]);
+            buf.extend_from_slice(&cmd.encode());
+        }
+        // Leave a trailing incomplete frame in the buffer.
+        let complete_len = buf.len();
+        buf.extend_from_slice(b"*2\r\n$5\r\nhel");
+
+        let (values, consumed) = RespValue::decode_pipeline(&buf);
+        assert_eq!(values.len(), n);
+        assert_eq!(consumed, complete_len);
+        assert_eq!(values[0], RespValue::command(&["GRAPH.QUERY", "g", "RETURN 0"]));
+        let last = RespValue::command(&["GRAPH.QUERY", "g", &format!("RETURN {}", n - 1)]);
+        assert_eq!(values[n - 1], last);
+
+        // One-by-one decoding with a caller-tracked offset agrees.
+        let mut pos = 0usize;
+        let mut count = 0usize;
+        while let Some((v, used)) = RespValue::decode(&buf[pos..]) {
+            assert_eq!(v, values[count]);
+            pos += used;
+            count += 1;
+        }
+        assert_eq!(count, n);
+        assert_eq!(pos, complete_len);
     }
 
     #[test]

@@ -30,6 +30,14 @@ pub struct ServerConfig {
     /// the main matrices (`DELTA_MAX_PENDING_CHANGES`; runtime-tunable with
     /// `GRAPH.CONFIG SET`).
     pub delta_max_pending_changes: usize,
+    /// Intra-query thread count for GraphBLAS kernels (`QUERY_THREADS`
+    /// module arg, the paper's `GxB_set(GxB_NTHREADS, …)`): the batched
+    /// traversal `mxm` parallelises over frontier row blocks with this many
+    /// threads. `None` leaves the process-wide [`graphblas::Context`]
+    /// untouched (it defaults to 1 — inter-query concurrency comes from the
+    /// module threadpool, as RedisGraph ships). Runtime-tunable with
+    /// `GRAPH.CONFIG SET QUERY_THREADS`.
+    pub query_threads: Option<usize>,
 }
 
 impl Default for ServerConfig {
@@ -37,9 +45,13 @@ impl Default for ServerConfig {
         ServerConfig {
             thread_count: 4,
             delta_max_pending_changes: graphblas::DEFAULT_FLUSH_THRESHOLD,
+            query_threads: None,
         }
     }
 }
+
+/// Ceiling for `QUERY_THREADS` (a sanity cap, not a hardware probe).
+const MAX_QUERY_THREADS: usize = 1024;
 
 /// A request travelling from a client to the dispatcher thread.
 pub struct Request {
@@ -62,7 +74,19 @@ pub struct RedisGraphServer {
 
 impl RedisGraphServer {
     /// Create a server with the given module configuration.
+    ///
+    /// # Panics
+    /// Panics if `query_threads` is out of range — a bad module argument
+    /// fails the load, with the same `1..=1024` validation that
+    /// `GRAPH.CONFIG SET QUERY_THREADS` applies at runtime.
     pub fn new(config: ServerConfig) -> Self {
+        if let Some(n) = config.query_threads {
+            assert!(
+                (1..=MAX_QUERY_THREADS).contains(&n),
+                "QUERY_THREADS must be in 1..={MAX_QUERY_THREADS}, got {n}"
+            );
+            graphblas::Context::set_nthreads(n);
+        }
         RedisGraphServer {
             graphs: Arc::new(RwLock::new(HashMap::new())),
             pool: Arc::new(ThreadPool::new(config.thread_count)),
@@ -154,30 +178,50 @@ impl RedisGraphServer {
                         RespValue::BulkString("DELTA_MAX_PENDING_CHANGES".to_string()),
                         RespValue::Integer(self.delta_max_pending_changes() as i64),
                     ])
+                } else if parameter.eq_ignore_ascii_case("QUERY_THREADS") {
+                    RespValue::Array(vec![
+                        RespValue::BulkString("QUERY_THREADS".to_string()),
+                        RespValue::Integer(graphblas::Context::nthreads() as i64),
+                    ])
                 } else {
                     RespValue::Error(format!("ERR unknown configuration parameter `{parameter}`"))
                 }
             }
             Command::GraphConfigSet { parameter, value } => {
-                if !parameter.eq_ignore_ascii_case("DELTA_MAX_PENDING_CHANGES") {
-                    return RespValue::Error(format!(
-                        "ERR unknown configuration parameter `{parameter}`"
-                    ));
+                if parameter.eq_ignore_ascii_case("DELTA_MAX_PENDING_CHANGES") {
+                    let Some(threshold) = value.parse::<usize>().ok().filter(|&v| v >= 1) else {
+                        return RespValue::Error(format!(
+                            "ERR DELTA_MAX_PENDING_CHANGES must be a positive integer (1 = flush \
+                             every mutation), got `{value}`"
+                        ));
+                    };
+                    self.delta_max_pending_changes.store(threshold, Ordering::Relaxed);
+                    // Retune every existing graph in place.
+                    let graphs: Vec<Arc<RwLock<Graph>>> =
+                        self.graphs.read().values().cloned().collect();
+                    for graph in graphs {
+                        graph.write().set_flush_threshold(threshold);
+                    }
+                    RespValue::SimpleString("OK".to_string())
+                } else if parameter.eq_ignore_ascii_case("QUERY_THREADS") {
+                    // Feeds the process-wide GraphBLAS context — the paper's
+                    // `GxB_set(GxB_NTHREADS, …)` — which every traversal
+                    // descriptor inherits.
+                    let Some(threads) = value
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&v| (1..=MAX_QUERY_THREADS).contains(&v))
+                    else {
+                        return RespValue::Error(format!(
+                            "ERR QUERY_THREADS must be an integer in 1..={MAX_QUERY_THREADS} \
+                             (1 = one core per query, as the paper configures), got `{value}`"
+                        ));
+                    };
+                    graphblas::Context::set_nthreads(threads);
+                    RespValue::SimpleString("OK".to_string())
+                } else {
+                    RespValue::Error(format!("ERR unknown configuration parameter `{parameter}`"))
                 }
-                let Some(threshold) = value.parse::<usize>().ok().filter(|&v| v >= 1) else {
-                    return RespValue::Error(format!(
-                        "ERR DELTA_MAX_PENDING_CHANGES must be a positive integer (1 = flush \
-                         every mutation), got `{value}`"
-                    ));
-                };
-                self.delta_max_pending_changes.store(threshold, Ordering::Relaxed);
-                // Retune every existing graph in place.
-                let graphs: Vec<Arc<RwLock<Graph>>> =
-                    self.graphs.read().values().cloned().collect();
-                for graph in graphs {
-                    graph.write().set_flush_threshold(threshold);
-                }
-                RespValue::SimpleString("OK".to_string())
             }
             Command::GraphExplain { graph, query } => {
                 let graph = self.graph(&graph);
@@ -397,6 +441,51 @@ mod tests {
             server.handle(&RespValue::command(&["GRAPH.CONFIG", "GET", "THREAD_COUNT"])),
             RespValue::Error(_)
         ));
+    }
+
+    #[test]
+    fn query_threads_knob_feeds_the_graphblas_context() {
+        // The only test in this binary that touches the process-wide
+        // GraphBLAS context, so the assertions cannot race another test.
+        let server = RedisGraphServer::new(ServerConfig {
+            query_threads: Some(2),
+            ..ServerConfig::default()
+        });
+        assert_eq!(graphblas::Context::nthreads(), 2, "module arg must seed the context");
+
+        let reply =
+            server.handle(&RespValue::command(&["GRAPH.CONFIG", "SET", "QUERY_THREADS", "3"]));
+        assert_eq!(reply, RespValue::SimpleString("OK".into()));
+        assert_eq!(graphblas::Context::nthreads(), 3);
+        let reply = server.handle(&RespValue::command(&["GRAPH.CONFIG", "GET", "query_threads"]));
+        assert_eq!(
+            reply,
+            RespValue::Array(vec![
+                RespValue::BulkString("QUERY_THREADS".into()),
+                RespValue::Integer(3),
+            ])
+        );
+
+        // Queries still answer correctly with intra-query parallelism on.
+        server.query("g", "CREATE (:A {v: 1})-[:R]->(:A {v: 2})-[:R]->(:A {v: 3})");
+        let reply = server.query("g", "MATCH (a:A)-[:R]->(b:A) RETURN count(b)");
+        let RespValue::Array(sections) = reply else { panic!("expected array reply") };
+        let RespValue::Array(rows) = &sections[1] else { panic!() };
+        let RespValue::Array(row) = &rows[0] else { panic!() };
+        assert_eq!(row[0], RespValue::Integer(2));
+
+        // 0, junk, and out-of-range values are rejected without changing state.
+        for bad in ["0", "nope", "-4", "1000000"] {
+            assert!(matches!(
+                server.handle(&RespValue::command(&["GRAPH.CONFIG", "SET", "QUERY_THREADS", bad])),
+                RespValue::Error(_)
+            ));
+        }
+        assert_eq!(graphblas::Context::nthreads(), 3);
+
+        // Restore the library default so no other state leaks out.
+        server.handle(&RespValue::command(&["GRAPH.CONFIG", "SET", "QUERY_THREADS", "1"]));
+        assert_eq!(graphblas::Context::nthreads(), 1);
     }
 
     #[test]

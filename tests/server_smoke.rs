@@ -126,6 +126,7 @@ fn delta_flushes_under_concurrent_mixed_traffic() {
     let server = Arc::new(RedisGraphServer::new(ServerConfig {
         thread_count: 4,
         delta_max_pending_changes: 4, // force mid-stream flushes
+        ..ServerConfig::default()
     }));
     let seeded = server.query("delta", "CREATE (:Hub {name: 'hub'})");
     assert!(!matches!(seeded, RespValue::Error(_)), "seed failed: {seeded}");

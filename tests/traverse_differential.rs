@@ -1,0 +1,169 @@
+//! Differential tests for the two traversal execution strategies: the
+//! batched algebraic path (frontier `mxm`) must produce **row-for-row
+//! identical** results to the per-record scalar path on every query shape —
+//! single hops in every direction, bound edge variables, parallel edges,
+//! self-loops, `Expand Into` semi-joins, and variable-length patterns
+//! (including `*0..n` and unbounded `*`).
+//!
+//! Every case runs the same Cypher text twice against the same graph, once
+//! per pinned [`TraverseStrategy`], and compares the full result sets
+//! (columns, rows, and row order). A third run exercises the batched path
+//! over *unflushed* delta matrices (merged `Cow` views) through the
+//! read-only executor.
+//!
+//! Scope note: the store keeps one edge id per `(src, dst, type)` matrix
+//! cell, so parallel same-type edges traverse as one row on **both**
+//! strategies — these tests pin that the strategies agree, not full
+//! openCypher per-edge multiplicity (a ROADMAP follow-on: multi-edge cells).
+
+use rand::{Rng, SeedableRng, StdRng};
+use redisgraph_core::{Graph, TraverseStrategy};
+
+const RELS: [&str; 3] = ["T0", "T1", "T2"];
+const LABELS: [&str; 2] = ["A", "B"];
+
+/// Build a random multigraph: `nodes` labelled nodes, `edges` random edges
+/// over three relationship types, deliberately including self-loops and
+/// parallel edges (both same-type and cross-type).
+fn random_graph(seed: u64, nodes: u64, edges: usize) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::new("diff");
+    for _ in 0..nodes {
+        let label = LABELS[rng.gen_range(0..LABELS.len())];
+        g.add_node(&[label], vec![]);
+    }
+    for _ in 0..edges {
+        let src = rng.gen_range(0..nodes);
+        // One edge in ten is a self-loop.
+        let dst = if rng.gen_bool(0.1) { src } else { rng.gen_range(0..nodes) };
+        let rel = RELS[rng.gen_range(0..RELS.len())];
+        g.add_edge(src, dst, rel, vec![]).unwrap();
+    }
+    // Guarantee at least one parallel same-type pair and one cross-type pair
+    // regardless of what the RNG produced.
+    if nodes >= 2 {
+        g.add_edge(0, 1, "T0", vec![]).unwrap();
+        g.add_edge(0, 1, "T0", vec![]).unwrap();
+        g.add_edge(0, 1, "T1", vec![]).unwrap();
+        g.add_edge(1, 1, "T2", vec![]).unwrap(); // self-loop
+    }
+    g
+}
+
+/// Query shapes covering every traversal variant the planner emits.
+fn queries() -> Vec<&'static str> {
+    vec![
+        // Single hop: untyped / typed / multi-type, all three directions.
+        "MATCH (a)-[]->(b) RETURN id(a), id(b)",
+        "MATCH (a)-[:T0]->(b) RETURN id(a), id(b)",
+        "MATCH (a)<-[:T1]-(b) RETURN id(a), id(b)",
+        "MATCH (a)-[:T0|T2]-(b) RETURN id(a), id(b)",
+        // Bound edge variables (the edge id must come out of the product).
+        "MATCH (a)-[e:T0]->(b) RETURN id(a), id(e), id(b)",
+        "MATCH (a)-[e]->(b) RETURN id(e), type(e)",
+        "MATCH (a)<-[e]-(b) RETURN id(a), id(e), id(b)",
+        // Label-filtered endpoints around the traversal.
+        "MATCH (a:A)-[:T1]->(b:B) RETURN id(a), id(b)",
+        // Expand Into: both endpoints bound by earlier pattern parts.
+        "MATCH (a)-[:T0]->(b), (a)-[:T1]->(b) RETURN id(a), id(b)",
+        "MATCH (a)-[:T0]->(b), (a)-[e]->(b) RETURN id(a), id(e), id(b)",
+        // Multi-hop chains (each hop is its own Traverse op).
+        "MATCH (a)-[:T0]->(b)-[:T1]->(c) RETURN id(a), id(b), id(c)",
+        "MATCH (a)-[]->(b)-[]->(c)-[]->(d) RETURN id(a), id(d)",
+        // Variable-length: untyped, typed, zero-min, unbounded, incoming.
+        "MATCH (a)-[*1..2]->(b) RETURN id(a), id(b)",
+        "MATCH (a)-[:T0*1..3]->(b) RETURN id(a), id(b)",
+        "MATCH (a)-[*0..2]->(b) RETURN id(a), id(b)",
+        "MATCH (a)-[:T1*0..]->(b) RETURN id(a), id(b)",
+        "MATCH (a)<-[*1..2]-(b) RETURN id(a), id(b)",
+        "MATCH (a)-[*2..2]-(b) RETURN id(a), id(b)",
+        // Variable-length Expand Into.
+        "MATCH (a)-[:T0]->(b), (a)-[*1..3]->(b) RETURN id(a), id(b)",
+        // Aggregation on top (sorted output, exercises the whole pipeline).
+        "MATCH (a)-[:T2]->(b) RETURN id(a), count(b) ORDER BY id(a)",
+    ]
+}
+
+/// Run one query under a pinned strategy and return (columns, rows).
+fn run(g: &mut Graph, strategy: TraverseStrategy, query: &str) -> (Vec<String>, String) {
+    g.set_traverse_strategy(strategy);
+    let rs = g.query(query).expect("query executes");
+    (rs.columns.clone(), format!("{:?}", rs.rows))
+}
+
+#[test]
+fn batched_and_scalar_strategies_are_row_identical() {
+    for seed in 0..6u64 {
+        let nodes = 8 + seed * 7; // 8..43 nodes
+        let edges = (nodes as usize) * 3;
+        let mut g = random_graph(seed, nodes, edges);
+        for query in queries() {
+            let scalar = run(&mut g, TraverseStrategy::Scalar, query);
+            let batched = run(&mut g, TraverseStrategy::Batched, query);
+            assert_eq!(scalar, batched, "strategies diverged on seed {seed}: {query}");
+        }
+    }
+}
+
+#[test]
+fn batched_strategy_reads_unflushed_delta_views() {
+    // Mutations stay buffered (huge threshold, no sync): the batched path
+    // must answer from the merged Cow views exactly like the scalar path.
+    let mut g = random_graph(99, 24, 80);
+    g.set_flush_threshold(1_000_000);
+    g.add_edge(2, 3, "T0", vec![]).unwrap();
+    g.add_edge(3, 2, "T1", vec![]).unwrap();
+    assert!(g.has_pending_deltas(), "edges must still be buffered");
+
+    for query in queries() {
+        g.set_traverse_strategy(TraverseStrategy::Scalar);
+        let scalar = g.query_readonly(query).expect("scalar run");
+        g.set_traverse_strategy(TraverseStrategy::Batched);
+        let batched = g.query_readonly(query).expect("batched run");
+        assert_eq!(
+            format!("{:?}", scalar.rows),
+            format!("{:?}", batched.rows),
+            "strategies diverged on pending-delta graph: {query}"
+        );
+        assert!(g.has_pending_deltas(), "read-only queries must not flush");
+    }
+}
+
+#[test]
+fn auto_strategy_matches_scalar_on_large_batches() {
+    // A graph wide enough that the first traversal sees more records than
+    // BATCH_TRAVERSE_MIN_RECORDS, so Auto actually takes the batched path.
+    let mut g = random_graph(7, 200, 800);
+    for query in [
+        "MATCH (a)-[:T0]->(b)-[:T1]->(c) RETURN id(a), id(c)",
+        "MATCH (a)-[*1..2]->(b) RETURN count(b)",
+    ] {
+        let scalar = run(&mut g, TraverseStrategy::Scalar, query);
+        let auto = run(&mut g, TraverseStrategy::Auto, query);
+        assert_eq!(scalar, auto, "auto diverged from scalar: {query}");
+    }
+}
+
+#[test]
+fn empty_frontier_edge_cases() {
+    let mut g = Graph::new("empty");
+    // No nodes at all.
+    for strategy in [TraverseStrategy::Scalar, TraverseStrategy::Batched] {
+        g.set_traverse_strategy(strategy);
+        let rs = g.query("MATCH (a)-[:T0]->(b) RETURN id(b)").unwrap();
+        assert!(rs.rows.is_empty(), "{strategy:?}");
+    }
+    // Nodes but no edges; unknown relationship type.
+    g.add_node(&["A"], vec![]);
+    g.add_node(&["A"], vec![]);
+    for strategy in [TraverseStrategy::Scalar, TraverseStrategy::Batched] {
+        g.set_traverse_strategy(strategy);
+        let rs = g.query("MATCH (a)-[]->(b) RETURN id(b)").unwrap();
+        assert!(rs.rows.is_empty(), "{strategy:?}");
+        let rs = g.query("MATCH (a)-[:NOPE]->(b) RETURN id(b)").unwrap();
+        assert!(rs.rows.is_empty(), "{strategy:?}");
+        // Variable-length over an edgeless graph still honours hop 0.
+        let rs = g.query("MATCH (a)-[*0..3]->(b) RETURN count(b)").unwrap();
+        assert_eq!(format!("{:?}", rs.rows), "[[Int(2)]]", "{strategy:?}");
+    }
+}
