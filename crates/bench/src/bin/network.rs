@@ -1,0 +1,218 @@
+//! End-to-end network throughput benchmark: pipelined RESP traffic over a
+//! real TCP loopback socket, through the full stack — framing loop → command
+//! parse → planner → (batched-mxm) executor → delta store → RESP reply.
+//!
+//! Two workloads, the poles of the paper's serving story:
+//!
+//! * **point_read_1hop** — `MATCH (s:Node)-[:LINK]->(t) WHERE id(s) = k
+//!   RETURN count(t)`: the cheap high-QPS shape where protocol + dispatch
+//!   overhead dominates;
+//! * **chain_2hop** — `MATCH (s:Node)-[:LINK]->()-[:LINK]->(t) …`: a real
+//!   traversal per request, where worker-pool parallelism dominates.
+//!
+//! By default the bench spawns its own [`GraphServer`] on an ephemeral
+//! loopback port and preloads an RMAT graph; `--addr HOST:PORT` points it at
+//! an externally started `redisgraph-server` instead (CI's `network-e2e` job
+//! does exactly that), in which case the server must already hold the graph
+//! (`redisgraph-server --preload-scale N`).
+//!
+//! ```text
+//! cargo run --release -p redisgraph-bench --bin network -- \
+//!     --scale 12 --clients 8 --pipeline 32 --out BENCH_network.json
+//! ```
+
+use datagen::RmatConfig;
+use redisgraph_bench::report::render_table;
+use redisgraph_server::{GraphServer, RedisGraphServer, RespClient, RespValue, ServerConfig};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One measured workload.
+struct Measurement {
+    op: &'static str,
+    queries: usize,
+    wall_ms: f64,
+    qps: f64,
+    /// Sum of every returned count — a checksum proving the queries did real
+    /// work and returned consistent data (0 would flag an empty graph).
+    rows: u64,
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    let smoke = argv.iter().any(|a| a == "--smoke");
+    let scale: u32 = arg(&argv, "--scale").unwrap_or(if smoke { 8 } else { 12 });
+    let edge_factor: u32 = arg(&argv, "--edge-factor").unwrap_or(8);
+    let clients: usize = arg(&argv, "--clients").unwrap_or(if smoke { 2 } else { 8 });
+    let pipeline: usize = arg(&argv, "--pipeline").unwrap_or(if smoke { 16 } else { 32 }).max(1);
+    let point_queries: usize =
+        arg(&argv, "--point-queries").unwrap_or(if smoke { 400 } else { 8_000 });
+    let hop2_queries: usize =
+        arg(&argv, "--hop2-queries").unwrap_or(if smoke { 100 } else { 1_000 });
+    let threads: usize = arg(&argv, "--threads").unwrap_or(4);
+    let graph_name: String = arg(&argv, "--graph").unwrap_or_else(|| "bench".to_string());
+    let external: Option<String> = arg(&argv, "--addr");
+    let out_path: String = arg(&argv, "--out").unwrap_or_else(|| {
+        if smoke {
+            "BENCH_network_smoke.json".to_string()
+        } else {
+            "BENCH_network.json".to_string()
+        }
+    });
+
+    // Either point at an external server (which preloaded its own graph) or
+    // spawn one in-process on an ephemeral loopback port and preload it.
+    let (addr, mode, _own_server) = match external {
+        Some(addr) => (addr, "external", None),
+        None => {
+            let server = Arc::new(RedisGraphServer::new(ServerConfig {
+                thread_count: threads,
+                ..ServerConfig::default()
+            }));
+            let el = datagen::rmat::generate(&RmatConfig {
+                scale,
+                edge_factor,
+                seed: 42,
+                ..RmatConfig::default()
+            });
+            server.graph(&graph_name).write().bulk_load(el.num_vertices, &el.edges);
+            let net = GraphServer::bind_with("127.0.0.1:0", server).expect("bind loopback");
+            (net.local_addr().to_string(), "loopback", Some(net))
+        }
+    };
+    let vertices: u64 = 1u64 << scale;
+    println!(
+        "Network throughput over TCP ({mode} {addr}): graph `{graph_name}`, \
+         {clients} clients, pipeline depth {pipeline}\n"
+    );
+
+    let point = run_workload(&addr, &graph_name, clients, pipeline, point_queries, vertices, false);
+    let hop2 = run_workload(&addr, &graph_name, clients, pipeline, hop2_queries, vertices, true);
+
+    let rows: Vec<Vec<String>> = [&point, &hop2]
+        .iter()
+        .map(|m| {
+            vec![
+                m.op.to_string(),
+                m.queries.to_string(),
+                format!("{:.1}", m.wall_ms),
+                format!("{:.0}", m.qps),
+                m.rows.to_string(),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&["op", "queries", "wall (ms)", "queries/sec", "rows"], &rows));
+
+    std::fs::write(&out_path, to_json(mode, scale, clients, pipeline, &[&point, &hop2]))
+        .expect("write benchmark report");
+    println!("wrote {out_path}");
+}
+
+/// Drive one workload: `clients` threads, each pipelining `pipeline`
+/// commands per burst over its own TCP connection.
+fn run_workload(
+    addr: &str,
+    graph: &str,
+    clients: usize,
+    pipeline: usize,
+    queries: usize,
+    vertices: u64,
+    two_hop: bool,
+) -> Measurement {
+    let per_client = queries / clients.max(1);
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for c in 0..clients {
+        let addr = addr.to_string();
+        let graph = graph.to_string();
+        handles.push(std::thread::spawn(move || {
+            let mut client = RespClient::connect(&addr).expect("connect");
+            let mut rows = 0u64;
+            let mut sent = 0usize;
+            while sent < per_client {
+                let burst = pipeline.min(per_client - sent);
+                let commands: Vec<RespValue> = (0..burst)
+                    .map(|i| {
+                        // Deterministic per-client seed rotation; 40503 is
+                        // coprime with every power-of-two vertex count, so
+                        // seeds sweep the whole id space.
+                        let k = ((c + 1) as u64 * 40503 + ((sent + i) as u64) * 7919) % vertices;
+                        let q = if two_hop {
+                            format!(
+                                "MATCH (s:Node)-[:LINK]->()-[:LINK]->(t) WHERE id(s) = {k} \
+                                 RETURN count(t)"
+                            )
+                        } else {
+                            format!("MATCH (s:Node)-[:LINK]->(t) WHERE id(s) = {k} RETURN count(t)")
+                        };
+                        RespValue::command(&["GRAPH.QUERY", &graph, &q])
+                    })
+                    .collect();
+                let replies = client.pipeline(&commands).expect("pipelined replies");
+                for reply in replies {
+                    rows += extract_count(&reply);
+                }
+                sent += burst;
+            }
+            rows
+        }));
+    }
+    let rows: u64 = handles.into_iter().map(|h| h.join().expect("client thread")).sum();
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let queries = per_client * clients;
+    Measurement {
+        op: if two_hop { "chain_2hop" } else { "point_read_1hop" },
+        queries,
+        wall_ms,
+        qps: queries as f64 / (wall_ms / 1e3),
+        rows,
+    }
+}
+
+/// Pull the single `count(t)` integer out of a `GRAPH.QUERY` reply.
+fn extract_count(reply: &RespValue) -> u64 {
+    if let RespValue::Array(sections) = reply {
+        if let Some(RespValue::Array(rows)) = sections.get(1) {
+            if let Some(RespValue::Array(row)) = rows.first() {
+                if let Some(RespValue::Integer(n)) = row.first() {
+                    return u64::try_from(*n).unwrap_or(0);
+                }
+            }
+        }
+    }
+    panic!("query failed over the wire: {reply}");
+}
+
+/// Hand-rolled JSON (no serde in the offline build).
+fn to_json(
+    mode: &str,
+    scale: u32,
+    clients: usize,
+    pipeline: usize,
+    measurements: &[&Measurement],
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"suite\": \"network\",");
+    let _ = writeln!(out, "  \"mode\": \"{mode}\",");
+    let _ = writeln!(out, "  \"scale\": {scale},");
+    let _ = writeln!(out, "  \"clients\": {clients},");
+    let _ = writeln!(out, "  \"pipeline\": {pipeline},");
+    out.push_str("  \"results\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        let comma = if i + 1 < measurements.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"op\": \"{}\", \"queries\": {}, \"wall_ms\": {:.6}, \"qps\": {:.3}, \
+             \"rows\": {}}}{comma}",
+            m.op, m.queries, m.wall_ms, m.qps, m.rows
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn arg<T: std::str::FromStr>(argv: &[String], name: &str) -> Option<T> {
+    argv.iter().position(|a| a == name).and_then(|i| argv.get(i + 1)).and_then(|s| s.parse().ok())
+}

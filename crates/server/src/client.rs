@@ -1,0 +1,105 @@
+//! A tiny blocking RESP client — just enough of `redis-cli` to drive the
+//! TCP server from tests, benchmarks, and examples: frame commands, write
+//! them (optionally pipelined), and decode replies from a retained buffer.
+
+use crate::resp::{DecodeStop, RespValue};
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Read chunk size for reply buffering.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// A blocking RESP connection to a [`crate::GraphServer`] (or any RESP
+/// server).
+pub struct RespClient {
+    stream: TcpStream,
+    /// Unparsed reply bytes retained across reads (a TCP segment can end
+    /// mid-frame, or carry the tails of several pipelined replies).
+    buf: Vec<u8>,
+}
+
+impl RespClient {
+    /// Connect to `addr` (e.g. `"127.0.0.1:6380"`).
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<RespClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(RespClient { stream, buf: Vec::new() })
+    }
+
+    /// Wrap an already-connected stream (hostile-client tests build their
+    /// own sockets and hand them over once done misbehaving).
+    pub fn from_stream(stream: TcpStream) -> RespClient {
+        RespClient { stream, buf: Vec::new() }
+    }
+
+    /// Send one command and block for its reply.
+    pub fn command(&mut self, parts: &[&str]) -> io::Result<RespValue> {
+        self.send(&RespValue::command(parts))?;
+        self.read_reply()
+    }
+
+    /// Convenience: `GRAPH.QUERY <graph> <cypher>`.
+    pub fn query(&mut self, graph: &str, cypher: &str) -> io::Result<RespValue> {
+        self.command(&["GRAPH.QUERY", graph, cypher])
+    }
+
+    /// Write one frame without waiting for a reply (pipelining).
+    pub fn send(&mut self, frame: &RespValue) -> io::Result<()> {
+        self.stream.write_all(&frame.encode())
+    }
+
+    /// Write raw bytes (hostile tests send deliberately broken frames).
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.stream.write_all(bytes)
+    }
+
+    /// Send a whole pipeline in one write, then collect exactly one reply
+    /// per command, in order.
+    pub fn pipeline(&mut self, commands: &[RespValue]) -> io::Result<Vec<RespValue>> {
+        let mut out = Vec::new();
+        for c in commands {
+            c.encode_into(&mut out);
+        }
+        self.stream.write_all(&out)?;
+        let mut replies = Vec::with_capacity(commands.len());
+        for _ in 0..commands.len() {
+            replies.push(self.read_reply()?);
+        }
+        Ok(replies)
+    }
+
+    /// Block until one complete reply frame is decoded. `UnexpectedEof`
+    /// means the server closed the connection (e.g. after a protocol
+    /// violation); `InvalidData` means the server itself sent malformed RESP.
+    pub fn read_reply(&mut self) -> io::Result<RespValue> {
+        let mut chunk = [0u8; READ_CHUNK];
+        loop {
+            match RespValue::decode_strict(&self.buf) {
+                Ok((value, used)) => {
+                    self.buf.drain(..used);
+                    return Ok(value);
+                }
+                Err(DecodeStop::Malformed) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "server sent malformed RESP",
+                    ));
+                }
+                Err(DecodeStop::Incomplete) => {}
+            }
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ));
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+    }
+
+    /// The underlying stream (tests tweak timeouts on it).
+    pub fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+}

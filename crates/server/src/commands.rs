@@ -8,6 +8,10 @@ use redisgraph_core::{ResultSet, Value};
 pub enum Command {
     /// `PING`
     Ping,
+    /// `SHUTDOWN` — ask the network server for a graceful stop: in-flight
+    /// queries drain, every connection closes, the listener exits. Only
+    /// meaningful over TCP; the in-process façade rejects it.
+    Shutdown,
     /// `GRAPH.QUERY <graph> <cypher>`
     GraphQuery {
         /// Graph key name.
@@ -61,6 +65,7 @@ impl Command {
         };
         match name.to_ascii_uppercase().as_str() {
             "PING" => Ok(Command::Ping),
+            "SHUTDOWN" => Ok(Command::Shutdown),
             "GRAPH.QUERY" => match args {
                 [graph, query] => {
                     Ok(Command::GraphQuery { graph: graph.to_string(), query: query.to_string() })
@@ -152,6 +157,7 @@ mod tests {
     #[test]
     fn parses_other_commands_case_insensitively() {
         assert_eq!(Command::parse(&RespValue::command(&["PING"])).unwrap(), Command::Ping);
+        assert_eq!(Command::parse(&RespValue::command(&["shutdown"])).unwrap(), Command::Shutdown);
         assert_eq!(
             Command::parse(&RespValue::command(&["Graph.Delete", "g"])).unwrap(),
             Command::GraphDelete { graph: "g".into() }

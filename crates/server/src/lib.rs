@@ -13,17 +13,31 @@
 //!   clients because many pool threads can serve different queries at once,
 //!   not because one query uses many cores.
 //!
-//! The crate provides both a synchronous façade ([`server::RedisGraphServer`])
-//! used by the examples and an asynchronous dispatch path
-//! ([`server::RedisGraphServer::dispatch`]) used by the throughput benchmark
-//! (experiment E5) to measure queries/second as the pool grows.
+//! The crate provides three entry points:
+//!
+//! * a synchronous façade ([`server::RedisGraphServer`]) used by the
+//!   examples and in-process tests;
+//! * an asynchronous dispatch path ([`server::RedisGraphServer::start_dispatcher`])
+//!   used by the throughput benchmark (experiment E5) to measure
+//!   queries/second as the pool grows;
+//! * the **real network server** ([`listener::GraphServer`]): a TCP accept
+//!   loop whose per-connection framing loops ([`conn`]) consume
+//!   [`resp::RespValue::decode_pipeline_strict`] under a bounded retained
+//!   buffer and dispatch queries onto the same worker pool — the byte-level
+//!   interface RedisGraph clients actually speak, plus a small blocking
+//!   client ([`client::RespClient`]) to drive it.
 
+pub mod client;
 pub mod commands;
+mod conn;
+pub mod listener;
 pub mod pool;
 pub mod resp;
 pub mod server;
 
+pub use client::RespClient;
 pub use commands::Command;
+pub use listener::GraphServer;
 pub use pool::ThreadPool;
-pub use resp::RespValue;
+pub use resp::{DecodeStop, RespValue, StreamDecoder};
 pub use server::{RedisGraphServer, ServerConfig};

@@ -1,0 +1,224 @@
+//! The TCP front door: a [`GraphServer`] binds a listener, accepts
+//! connections up to the configured cap, and hands each socket to the
+//! framing loop in [`crate::conn`]. This is the layer that turns the
+//! in-process reproduction into what the paper actually describes — a
+//! server RedisGraph clients reach over a real socket.
+//!
+//! Shutdown protocol (triggered by [`GraphServer::shutdown`], a client's
+//! `SHUTDOWN` command, or the binary's signal handler):
+//!
+//! 1. the shutdown flag flips; the accept loop stops accepting;
+//! 2. every connection thread notices within its read-timeout tick,
+//!    finishes writing the replies of any batch it already dispatched
+//!    (in-flight queries drain — nothing is dropped mid-pipeline), and
+//!    closes its socket;
+//! 3. the accept thread joins the connection threads, the worker pool is
+//!    drained, and `shutdown` returns.
+
+use crate::conn::serve_connection;
+use crate::resp::RespValue;
+use crate::server::{RedisGraphServer, ServerConfig};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long the accept loop sleeps when no connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// How long [`GraphServer::shutdown`] waits for the worker pool to drain
+/// queries whose connections died before collecting their replies.
+const POOL_DRAIN_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A running TCP server: accept loop + per-connection framing threads in
+/// front of a [`RedisGraphServer`].
+pub struct GraphServer {
+    server: Arc<RedisGraphServer>,
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    active: Arc<AtomicUsize>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl GraphServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and start
+    /// accepting connections for a freshly created [`RedisGraphServer`].
+    pub fn bind<A: ToSocketAddrs>(addr: A, config: ServerConfig) -> io::Result<GraphServer> {
+        GraphServer::bind_with(addr, Arc::new(RedisGraphServer::new(config)))
+    }
+
+    /// Bind `addr` and serve an existing [`RedisGraphServer`] — the hook for
+    /// preloading graphs (benchmarks, the binary's `--preload-scale`) through
+    /// the in-process API before the first client connects.
+    pub fn bind_with<A: ToSocketAddrs>(
+        addr: A,
+        server: Arc<RedisGraphServer>,
+    ) -> io::Result<GraphServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        // Non-blocking accept, polled: the loop stays responsive to the
+        // shutdown flag without signals or a self-connect wakeup.
+        listener.set_nonblocking(true)?;
+
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let active = Arc::new(AtomicUsize::new(0));
+        let max_connections = server.config().max_connections.max(1);
+
+        let accept_thread = {
+            let server = server.clone();
+            let shutdown = shutdown.clone();
+            let active = active.clone();
+            std::thread::Builder::new()
+                .name("redisgraph-accept".to_string())
+                .spawn(move || accept_loop(listener, server, shutdown, active, max_connections))
+                .expect("failed to spawn accept thread")
+        };
+
+        Ok(GraphServer { server, addr, shutdown, active, accept_thread: Some(accept_thread) })
+    }
+
+    /// The bound address (with the real port when `:0` was requested).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The underlying command server (keyspace, config, pool) — used to
+    /// preload graphs or inspect state from the owning process.
+    pub fn server(&self) -> &Arc<RedisGraphServer> {
+        &self.server
+    }
+
+    /// Number of currently served connections.
+    pub fn active_connections(&self) -> usize {
+        self.active.load(Ordering::SeqCst)
+    }
+
+    /// Whether a shutdown has been requested (by [`GraphServer::shutdown`],
+    /// a client's `SHUTDOWN` command, or a signal handler flipping the flag).
+    pub fn is_shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Request a graceful stop without blocking for it (signal-handler safe
+    /// via the returned flag: clone it and store `true` from anywhere).
+    pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
+        self.shutdown.clone()
+    }
+
+    /// Gracefully stop: refuse new connections, let every connection finish
+    /// the pipeline batch it is serving (in-flight queries drain), close all
+    /// sockets, drain the worker pool, and join the accept thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    /// Block until someone requests shutdown (`SHUTDOWN` command over the
+    /// wire, or the flag from [`GraphServer::shutdown_flag`] flipped by a
+    /// signal handler), then perform the graceful stop.
+    pub fn wait(mut self) {
+        while !self.shutdown.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        // Belt and braces: queries whose connection died before reading the
+        // reply may still be executing; do not tear state down under them.
+        self.server.pool().wait_idle(POOL_DRAIN_TIMEOUT);
+    }
+}
+
+impl Drop for GraphServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Accept until shutdown; join every connection thread before returning so
+/// the drain in [`GraphServer::shutdown`] is complete when the accept thread
+/// is joined.
+fn accept_loop(
+    listener: TcpListener,
+    server: Arc<RedisGraphServer>,
+    shutdown: Arc<AtomicBool>,
+    active: Arc<AtomicUsize>,
+    max_connections: usize,
+) {
+    let mut conn_threads: Vec<JoinHandle<()>> = Vec::new();
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // Reap finished connection threads so the handle list does
+                // not grow with the total connection count.
+                conn_threads.retain(|h| !h.is_finished());
+                if active.load(Ordering::SeqCst) >= max_connections {
+                    // Over the cap: greet with an error and hang up, like
+                    // Redis' `maxclients` behaviour.
+                    refuse_connection(stream);
+                    continue;
+                }
+                /// Releases the connection slot on drop, so a panic escaping
+                /// `serve_connection` cannot permanently leak it.
+                struct SlotGuard(Arc<AtomicUsize>);
+                impl Drop for SlotGuard {
+                    fn drop(&mut self) {
+                        self.0.fetch_sub(1, Ordering::SeqCst);
+                    }
+                }
+                active.fetch_add(1, Ordering::SeqCst);
+                let slot = SlotGuard(active.clone());
+                let server = server.clone();
+                let shutdown = shutdown.clone();
+                let handle = std::thread::Builder::new()
+                    .name("redisgraph-conn".to_string())
+                    .spawn(move || {
+                        let _slot = slot;
+                        serve_connection(stream, server, shutdown);
+                    })
+                    .expect("failed to spawn connection thread");
+                conn_threads.push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+    for handle in conn_threads {
+        let _ = handle.join();
+    }
+}
+
+/// Refuse an over-cap client without destroying the refusal: dropping a
+/// socket with unread input makes the kernel send RST, which discards the
+/// error reply in flight (redis-cli writes its command immediately on
+/// connect, so that input is usually there). Half-close the write side and
+/// briefly drain what the client sent so the reply survives to be read —
+/// on a short-lived detached thread, so a burst of refusals (the cheapest
+/// possible hostile traffic) cannot stall the accept loop behind drain
+/// timeouts.
+fn refuse_connection(mut stream: std::net::TcpStream) {
+    let _ = std::thread::Builder::new().name("redisgraph-refuse".to_string()).spawn(move || {
+        let _ = stream
+            .write_all(&RespValue::Error("ERR max number of clients reached".to_string()).encode());
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+        let mut sink = [0u8; 1024];
+        // Bounded drain: a handful of reads covers any sane greeting; a
+        // hostile flood just gets its RST.
+        for _ in 0..16 {
+            match stream.read(&mut sink) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {}
+            }
+        }
+    });
+}

@@ -5,7 +5,10 @@
 //! query as one job; one worker executes it to completion on a single core.
 
 use crossbeam::channel::{unbounded, Sender};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
@@ -14,6 +17,9 @@ pub struct ThreadPool {
     sender: Option<Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
     size: usize,
+    /// Jobs submitted but not yet finished (queued + executing). Graceful
+    /// shutdown drains this to zero before tearing the listener down.
+    in_flight: Arc<AtomicUsize>,
 }
 
 impl ThreadPool {
@@ -35,7 +41,7 @@ impl ThreadPool {
                 .expect("failed to spawn worker thread");
             workers.push(handle);
         }
-        ThreadPool { sender: Some(sender), workers, size }
+        ThreadPool { sender: Some(sender), workers, size, in_flight: Arc::new(AtomicUsize::new(0)) }
     }
 
     /// Number of worker threads.
@@ -43,15 +49,48 @@ impl ThreadPool {
         self.size
     }
 
+    /// Jobs submitted but not yet completed (queued + executing).
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.load(Ordering::SeqCst)
+    }
+
+    /// Block until every submitted job has finished, or `timeout` elapses.
+    /// Returns `true` if the pool drained. New submissions during the wait
+    /// extend it — callers drain after they stop feeding the pool.
+    pub fn wait_idle(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while self.in_flight() > 0 {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        true
+    }
+
     /// Submit a job; it will run on exactly one worker thread.
     pub fn execute<F>(&self, job: F)
     where
         F: FnOnce() + Send + 'static,
     {
+        /// Decrements on drop, so a panicking job (which unwinds its worker
+        /// thread) still comes off the in-flight count instead of wedging
+        /// `wait_idle` forever.
+        struct InFlightGuard(Arc<AtomicUsize>);
+        impl Drop for InFlightGuard {
+            fn drop(&mut self) {
+                self.0.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
+        let guard = InFlightGuard(self.in_flight.clone());
         self.sender
             .as_ref()
             .expect("pool is shutting down")
-            .send(Box::new(job))
+            .send(Box::new(move || {
+                let _guard = guard;
+                job();
+            }))
             .expect("worker threads have exited");
     }
 
@@ -133,5 +172,32 @@ mod tests {
         let pool = ThreadPool::new(3);
         pool.execute(|| {});
         drop(pool); // must not hang or panic
+    }
+
+    #[test]
+    fn panicking_job_still_leaves_in_flight() {
+        // A panic unwinds its worker thread; the in-flight count must come
+        // back down anyway or every later drain waits out its full timeout.
+        let pool = ThreadPool::new(2);
+        pool.execute(|| panic!("job blew up (expected in this test)"));
+        assert!(pool.wait_idle(Duration::from_secs(5)), "panicked job leaked in_flight");
+        // The surviving worker still serves jobs.
+        assert_eq!(pool.execute_blocking(|| 7), 7);
+    }
+
+    #[test]
+    fn wait_idle_drains_and_times_out() {
+        let pool = ThreadPool::new(2);
+        let (release_tx, release_rx) = crossbeam::channel::bounded::<()>(1);
+        pool.execute(move || {
+            release_rx.recv().unwrap();
+        });
+        assert_eq!(pool.in_flight(), 1);
+        // The job is parked on the channel: the wait must time out...
+        assert!(!pool.wait_idle(Duration::from_millis(50)));
+        // ...and drain promptly once it is released.
+        release_tx.send(()).unwrap();
+        assert!(pool.wait_idle(Duration::from_secs(5)));
+        assert_eq!(pool.in_flight(), 0);
     }
 }

@@ -44,7 +44,9 @@ impl RespValue {
         out
     }
 
-    fn encode_into(&self, out: &mut Vec<u8>) {
+    /// Encode to the RESP wire format, appending to `out` (pipelined writers
+    /// batch many frames into one buffer, one syscall).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
         match self {
             RespValue::SimpleString(s) => {
                 out.extend_from_slice(b"+");
@@ -76,16 +78,24 @@ impl RespValue {
 
     /// Decode one RESP value from the front of `input`, returning the value and
     /// the number of bytes consumed. Returns `None` on incomplete or malformed
-    /// input.
+    /// input; use [`RespValue::decode_strict`] to tell the two apart.
     ///
     /// The parser tracks an absolute scan offset through the whole frame
     /// (nested values included) instead of re-slicing the buffer per element,
     /// so decoding a pipelined buffer of `N` commands is `O(total bytes)`:
     /// each byte is visited once, never rescanned from the front.
     pub fn decode(input: &[u8]) -> Option<(RespValue, usize)> {
+        RespValue::decode_strict(input).ok()
+    }
+
+    /// Decode one RESP value from the front of `input`, distinguishing a
+    /// prefix that may still complete ([`DecodeStop::Incomplete`] — keep it
+    /// buffered and read more) from one no further input can repair
+    /// ([`DecodeStop::Malformed`] — a socket loop must close the connection).
+    pub fn decode_strict(input: &[u8]) -> Result<(RespValue, usize), DecodeStop> {
         let mut pos = 0usize;
         let value = decode_at(input, &mut pos, 0)?;
-        Some((value, pos))
+        Ok((value, pos))
     }
 
     /// Decode every complete RESP value at the front of `input` (a client
@@ -94,22 +104,33 @@ impl RespValue {
     /// *incomplete* (more bytes may complete it; keep `input[consumed..]`
     /// buffered) or *malformed* (no amount of further input will fix it).
     /// The two are not distinguished here, so a caller owning a real socket
-    /// loop must bound the retained buffer and treat hitting that bound as a
-    /// protocol error rather than waiting forever.
+    /// loop should use [`RespValue::decode_pipeline_strict`] instead, bound
+    /// the retained buffer, and treat hitting that bound as a protocol error
+    /// rather than waiting forever.
     pub fn decode_pipeline(input: &[u8]) -> (Vec<RespValue>, usize) {
+        let (values, consumed, _) = RespValue::decode_pipeline_strict(input);
+        (values, consumed)
+    }
+
+    /// [`RespValue::decode_pipeline`] with the stop reason: after the decoded
+    /// frames, reports whether the undecoded tail is merely incomplete (keep
+    /// `input[consumed..]` buffered and read more) or malformed (the
+    /// connection owning this byte stream is unrecoverable — the docs of
+    /// [`RespValue::decode_strict`] require closing it). The tail of a fully
+    /// consumed buffer is the empty prefix, which is `Incomplete`.
+    pub fn decode_pipeline_strict(input: &[u8]) -> (Vec<RespValue>, usize, DecodeStop) {
         let mut values = Vec::new();
         let mut pos = 0usize;
         loop {
             let mut next = pos;
             match decode_at(input, &mut next, 0) {
-                Some(value) => {
+                Ok(value) => {
                     values.push(value);
                     pos = next;
                 }
-                None => break,
+                Err(stop) => return (values, pos, stop),
             }
         }
-        (values, pos)
     }
 
     /// Convenience: build a RESP array of bulk strings (how clients send
@@ -117,6 +138,18 @@ impl RespValue {
     pub fn command(parts: &[&str]) -> RespValue {
         RespValue::Array(parts.iter().map(|p| RespValue::BulkString(p.to_string())).collect())
     }
+}
+
+/// Why a decode stopped before producing a value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeStop {
+    /// The prefix is a proper prefix of some valid frame: more bytes may
+    /// complete it, so a socket loop should keep it buffered and read on.
+    Incomplete,
+    /// The prefix can never become a valid frame no matter what arrives
+    /// next: the byte stream is desynchronised and the connection must be
+    /// closed (resynchronising on a length-prefixed protocol is hopeless).
+    Malformed,
 }
 
 /// Upper bound on a declared bulk-string payload (Redis' default
@@ -132,62 +165,229 @@ const MAX_ARRAY_LEN: usize = 1024 * 1024;
 /// cannot exhaust the stack through recursion.
 const MAX_DEPTH: usize = 32;
 
-/// Decode one value starting at `*pos`, advancing `*pos` past it. `None`
-/// means incomplete or malformed input; `*pos` is then unspecified.
-fn decode_at(input: &[u8], pos: &mut usize, depth: usize) -> Option<RespValue> {
+/// Upper bound on a single header line (type byte to CRLF). Real headers are
+/// a type byte plus a short integer; a simple string or error line gets the
+/// same generous 64KB Redis grants inline commands. Beyond it, a stream that
+/// still has no CRLF is declared malformed rather than buffered forever.
+const MAX_LINE_LEN: usize = 64 * 1024;
+
+/// One shallow decode step: either a finished value (scalar, null, bulk) or
+/// the header of an array whose elements follow.
+enum Shallow {
+    Value(RespValue),
+    /// `*n\r\n` with `n >= 0`: the next `n` frames are the elements.
+    ArrayHeader(usize),
+}
+
+/// Decode one value starting at `*pos`, advancing `*pos` past it. On `Err`
+/// (incomplete or malformed input) `*pos` is unspecified.
+fn decode_at(input: &[u8], pos: &mut usize, depth: usize) -> Result<RespValue, DecodeStop> {
     if depth > MAX_DEPTH {
-        return None;
+        return Err(DecodeStop::Malformed);
     }
-    let line_start = *pos;
-    let line_end = find_crlf(input, line_start)?;
-    *pos = line_end + 2;
-    let line = &input[line_start..line_end];
-    let kind = *line.first()?;
-    let body = &line[1..];
-    match kind {
-        b'+' => Some(RespValue::SimpleString(String::from_utf8_lossy(body).into_owned())),
-        b'-' => Some(RespValue::Error(String::from_utf8_lossy(body).into_owned())),
-        b':' => {
-            let i: i64 = std::str::from_utf8(body).ok()?.parse().ok()?;
-            Some(RespValue::Integer(i))
-        }
-        b'$' => {
-            let len: i64 = std::str::from_utf8(body).ok()?.parse().ok()?;
-            // `$-1\r\n` is the null bulk string.
-            if len < 0 {
-                return Some(RespValue::Null);
-            }
-            let len = usize::try_from(len).ok().filter(|&l| l <= MAX_BULK_LEN)?;
-            // Overflow-checked frame extent: `start + len + 2` on an
-            // unvalidated length must never wrap.
-            let start = *pos;
-            let payload_end = start.checked_add(len)?;
-            let frame_end = payload_end.checked_add(2)?;
-            if input.len() < frame_end {
-                return None;
-            }
-            // The declared length must be terminated by CRLF exactly.
-            if &input[payload_end..frame_end] != b"\r\n" {
-                return None;
-            }
-            let s = String::from_utf8_lossy(&input[start..payload_end]).into_owned();
-            *pos = frame_end;
-            Some(RespValue::BulkString(s))
-        }
-        b'*' => {
-            let count: i64 = std::str::from_utf8(body).ok()?.parse().ok()?;
-            // `*-1\r\n` is the null array, not an empty one.
-            if count < 0 {
-                return Some(RespValue::Null);
-            }
-            let count = usize::try_from(count).ok().filter(|&c| c <= MAX_ARRAY_LEN)?;
+    match decode_shallow(input, pos)? {
+        Shallow::Value(v) => Ok(v),
+        Shallow::ArrayHeader(count) => {
             let mut items = Vec::with_capacity(count.min(64));
             for _ in 0..count {
                 items.push(decode_at(input, pos, depth + 1)?);
             }
-            Some(RespValue::Array(items))
+            Ok(RespValue::Array(items))
         }
-        _ => None,
+    }
+}
+
+/// Decode one non-recursive step starting at `*pos`, advancing `*pos` past
+/// it. On `Err` (incomplete or malformed input) `*pos` is unchanged.
+fn decode_shallow(input: &[u8], pos: &mut usize) -> Result<Shallow, DecodeStop> {
+    let line_start = *pos;
+    // The type byte alone classifies a garbage prefix before its CRLF ever
+    // arrives (an inline `GET foo` or a TLS ClientHello is rejected on byte
+    // one, not buffered until the line cap).
+    let Some(&kind) = input.get(line_start) else {
+        return Err(DecodeStop::Incomplete);
+    };
+    if !matches!(kind, b'+' | b'-' | b':' | b'$' | b'*') {
+        return Err(DecodeStop::Malformed);
+    }
+    let Some(line_end) = find_crlf(input, line_start) else {
+        // A complete line may span up to MAX_LINE_LEN bytes plus its CRLF,
+        // so only a CRLF-free run strictly longer than MAX_LINE_LEN + 1
+        // (line + `\r`) can no longer be a proper prefix of a legal frame.
+        return Err(if input.len() - line_start > MAX_LINE_LEN + 1 {
+            DecodeStop::Malformed
+        } else {
+            DecodeStop::Incomplete
+        });
+    };
+    if line_end - line_start > MAX_LINE_LEN {
+        return Err(DecodeStop::Malformed);
+    }
+    let after_line = line_end + 2;
+    let body = &input[line_start + 1..line_end];
+    // A header line is complete through its CRLF, so any parse failure from
+    // here on is final: more input cannot change what the line says.
+    match kind {
+        b'+' => {
+            *pos = after_line;
+            Ok(Shallow::Value(RespValue::SimpleString(String::from_utf8_lossy(body).into_owned())))
+        }
+        b'-' => {
+            *pos = after_line;
+            Ok(Shallow::Value(RespValue::Error(String::from_utf8_lossy(body).into_owned())))
+        }
+        b':' => {
+            let text = std::str::from_utf8(body).map_err(|_| DecodeStop::Malformed)?;
+            let i: i64 = text.parse().map_err(|_| DecodeStop::Malformed)?;
+            *pos = after_line;
+            Ok(Shallow::Value(RespValue::Integer(i)))
+        }
+        b'$' => {
+            let text = std::str::from_utf8(body).map_err(|_| DecodeStop::Malformed)?;
+            let len: i64 = text.parse().map_err(|_| DecodeStop::Malformed)?;
+            // `$-1\r\n` is the null bulk string.
+            if len < 0 {
+                *pos = after_line;
+                return Ok(Shallow::Value(RespValue::Null));
+            }
+            let len = usize::try_from(len)
+                .ok()
+                .filter(|&l| l <= MAX_BULK_LEN)
+                .ok_or(DecodeStop::Malformed)?;
+            // Overflow-checked frame extent: `start + len + 2` on an
+            // unvalidated length must never wrap.
+            let payload_end = after_line.checked_add(len).ok_or(DecodeStop::Malformed)?;
+            let frame_end = payload_end.checked_add(2).ok_or(DecodeStop::Malformed)?;
+            if input.len() < frame_end {
+                // NB a frame split inside the payload — or exactly between
+                // the two trailer bytes — is *incomplete*, never malformed:
+                // the trailer can only be judged once both bytes are here.
+                return Err(DecodeStop::Incomplete);
+            }
+            // The declared length must be terminated by CRLF exactly.
+            if &input[payload_end..frame_end] != b"\r\n" {
+                return Err(DecodeStop::Malformed);
+            }
+            let s = String::from_utf8_lossy(&input[after_line..payload_end]).into_owned();
+            *pos = frame_end;
+            Ok(Shallow::Value(RespValue::BulkString(s)))
+        }
+        b'*' => {
+            let text = std::str::from_utf8(body).map_err(|_| DecodeStop::Malformed)?;
+            let count: i64 = text.parse().map_err(|_| DecodeStop::Malformed)?;
+            // `*-1\r\n` is the null array, not an empty one.
+            if count < 0 {
+                *pos = after_line;
+                return Ok(Shallow::Value(RespValue::Null));
+            }
+            let count = usize::try_from(count)
+                .ok()
+                .filter(|&c| c <= MAX_ARRAY_LEN)
+                .ok_or(DecodeStop::Malformed)?;
+            *pos = after_line;
+            Ok(Shallow::ArrayHeader(count))
+        }
+        _ => unreachable!("kind was validated above"),
+    }
+}
+
+/// A **resumable** pipeline decoder for socket loops: where
+/// [`RespValue::decode_pipeline_strict`] restarts from byte zero of the
+/// retained buffer on every call — quadratic when a large frame arrives in
+/// many small reads — `StreamDecoder` remembers how far it got (scan
+/// offset + the stack of partially filled arrays, the same trick as Redis'
+/// incremental multibulk parser), so every buffered byte is scanned once
+/// across any number of `feed` calls.
+///
+/// Protocol: append new bytes to your retained buffer, call
+/// [`StreamDecoder::feed`] on the whole buffer, then drain the returned
+/// `consumed` bytes from its front — `feed` has already rebased its internal
+/// offsets. Bytes belonging to a partially decoded frame stay in the buffer
+/// (bounded by the caller, per the [`DecodeStop`] contract) but are not
+/// rescanned.
+#[derive(Default)]
+pub struct StreamDecoder {
+    /// Absolute offset into the caller's retained buffer: everything before
+    /// it has been folded into `stack` / emitted values.
+    pos: usize,
+    /// Enclosing arrays still waiting for elements, outermost first.
+    stack: Vec<PartialArray>,
+}
+
+/// An array header whose elements are still arriving.
+struct PartialArray {
+    remaining: usize,
+    items: Vec<RespValue>,
+}
+
+impl StreamDecoder {
+    /// A decoder with no partial state.
+    pub fn new() -> StreamDecoder {
+        StreamDecoder::default()
+    }
+
+    /// Decode every frame that completed, scanning only bytes this decoder
+    /// has not seen before. Returns the completed frames, the number of
+    /// bytes the caller must drain from the front of `input` (always a whole
+    /// number of top-level frames, so a partial frame's bytes stay retained
+    /// and the caller's buffer bound keeps meaning "bytes of the frame in
+    /// progress"), and the stop reason for the remainder
+    /// ([`DecodeStop::Malformed`] is sticky: the stream is unrecoverable and
+    /// the connection must close).
+    pub fn feed(&mut self, input: &[u8]) -> (Vec<RespValue>, usize, DecodeStop) {
+        let mut values = Vec::new();
+        // Offset just past the last *completed top-level* frame of this call.
+        let mut emit_pos = 0usize;
+        let stop = loop {
+            // Same depth budget as the recursive decoder: any frame whose
+            // depth (== the number of enclosing arrays) exceeds MAX_DEPTH is
+            // rejected before it is even scanned.
+            if self.stack.len() > MAX_DEPTH {
+                break DecodeStop::Malformed;
+            }
+            match decode_shallow(input, &mut self.pos) {
+                Ok(Shallow::ArrayHeader(count)) => {
+                    if count == 0 {
+                        if self.complete(RespValue::Array(Vec::new()), &mut values) {
+                            emit_pos = self.pos;
+                        }
+                    } else {
+                        self.stack.push(PartialArray {
+                            remaining: count,
+                            items: Vec::with_capacity(count.min(64)),
+                        });
+                    }
+                }
+                Ok(Shallow::Value(value)) => {
+                    if self.complete(value, &mut values) {
+                        emit_pos = self.pos;
+                    }
+                }
+                Err(stop) => break stop,
+            }
+        };
+        // Rebase the scan offset to the post-drain buffer.
+        self.pos -= emit_pos;
+        (values, emit_pos, stop)
+    }
+
+    /// Fold a finished value into the innermost pending array (cascading as
+    /// arrays fill up), or emit it as a completed top-level frame. Returns
+    /// `true` when a top-level frame was emitted.
+    fn complete(&mut self, mut value: RespValue, out: &mut Vec<RespValue>) -> bool {
+        loop {
+            let Some(top) = self.stack.last_mut() else {
+                out.push(value);
+                return true;
+            };
+            top.items.push(value);
+            top.remaining -= 1;
+            if top.remaining > 0 {
+                return false;
+            }
+            let finished = self.stack.pop().expect("non-empty stack");
+            value = RespValue::Array(finished.items);
+        }
     }
 }
 
@@ -319,6 +519,213 @@ mod tests {
         }
         assert_eq!(count, n);
         assert_eq!(pos, complete_len);
+    }
+
+    #[test]
+    fn every_proper_prefix_is_incomplete_never_malformed() {
+        // The connection loop's contract: while a client is mid-frame — even
+        // split exactly between the `\r` and `\n` of a bulk trailer — the
+        // strict decoder must answer `Incomplete` (keep buffering), and only
+        // the full frame decodes. A `Malformed` here would make the server
+        // drop a slow-but-honest client; a spurious `Ok` would misparse.
+        let frames: Vec<Vec<u8>> = vec![
+            RespValue::command(&["GRAPH.QUERY", "g", "MATCH (n) RETURN n"]).encode(),
+            RespValue::BulkString("payload with \r\n inside".into()).encode(),
+            RespValue::BulkString(String::new()).encode(), // `$0\r\n\r\n`
+            RespValue::Null.encode(),
+            RespValue::Integer(-12345).encode(),
+            RespValue::SimpleString("OK".into()).encode(),
+            RespValue::Array(vec![
+                RespValue::Array(vec![RespValue::BulkString("deep".into())]),
+                RespValue::Integer(7),
+            ])
+            .encode(),
+        ];
+        for frame in frames {
+            for cut in 0..frame.len() {
+                assert_eq!(
+                    RespValue::decode_strict(&frame[..cut]),
+                    Err(DecodeStop::Incomplete),
+                    "prefix of {} bytes (of {}) misclassified: {:?}",
+                    cut,
+                    frame.len(),
+                    String::from_utf8_lossy(&frame[..cut])
+                );
+            }
+            let (value, used) = RespValue::decode_strict(&frame).unwrap();
+            assert_eq!(used, frame.len());
+            assert_eq!(value.encode(), frame);
+        }
+    }
+
+    #[test]
+    fn garbage_prefix_is_malformed_on_byte_one() {
+        // An inline command / random binary never becomes RESP: the strict
+        // decoder flags it from the first byte so the socket loop can close
+        // immediately instead of buffering up to the cap.
+        assert_eq!(RespValue::decode_strict(b"G"), Err(DecodeStop::Malformed));
+        assert_eq!(RespValue::decode_strict(b"GET foo\r\n"), Err(DecodeStop::Malformed));
+        assert_eq!(RespValue::decode_strict(b"\x16\x03\x01"), Err(DecodeStop::Malformed));
+        // ... including as the element of an array that decoded fine so far.
+        assert_eq!(RespValue::decode_strict(b"*2\r\n:1\r\nxyz"), Err(DecodeStop::Malformed));
+    }
+
+    #[test]
+    fn strict_classification_of_malformed_frames() {
+        // Complete-but-invalid header lines are final (`Malformed`), not
+        // retryable (`Incomplete`).
+        for bad in [
+            &b"$abc\r\n"[..],
+            b"*abc\r\n",
+            b":notanint\r\n",
+            b"$3\r\nabcdef\r\n", // trailer where CRLF must sit is `de`
+            b"\r\n",
+            b"$536870913\r\n", // over the 512MB bulk cap
+            b"*1048577\r\n",   // over the 1M element cap
+        ] {
+            assert_eq!(RespValue::decode_strict(bad), Err(DecodeStop::Malformed));
+        }
+        let bomb = b"*1\r\n".repeat(100);
+        assert_eq!(RespValue::decode_strict(&bomb), Err(DecodeStop::Malformed));
+        // A CRLF-free header line is incomplete only up to the 64KB line cap.
+        let mut line = vec![b'+'];
+        line.resize(1024, b'a');
+        assert_eq!(RespValue::decode_strict(&line), Err(DecodeStop::Incomplete));
+        line.resize(MAX_LINE_LEN + 2, b'a');
+        assert_eq!(RespValue::decode_strict(&line), Err(DecodeStop::Malformed));
+    }
+
+    #[test]
+    fn pipeline_strict_reports_the_stop_reason() {
+        let mut buf = RespValue::command(&["PING"]).encode();
+        let clean = buf.len();
+        buf.extend_from_slice(b"*1\r\n$4\r\nPI");
+        let (values, consumed, stop) = RespValue::decode_pipeline_strict(&buf);
+        assert_eq!(values.len(), 1);
+        assert_eq!(consumed, clean);
+        assert_eq!(stop, DecodeStop::Incomplete);
+
+        let mut buf = RespValue::command(&["PING"]).encode();
+        buf.extend_from_slice(b"junk");
+        let (values, consumed, stop) = RespValue::decode_pipeline_strict(&buf);
+        assert_eq!((values.len(), consumed), (1, clean));
+        assert_eq!(stop, DecodeStop::Malformed);
+
+        // A fully drained buffer stops at the empty (incomplete) prefix.
+        let buf = RespValue::command(&["PING"]).encode();
+        let (_, consumed, stop) = RespValue::decode_pipeline_strict(&buf);
+        assert_eq!(consumed, buf.len());
+        assert_eq!(stop, DecodeStop::Incomplete);
+    }
+
+    #[test]
+    fn stream_decoder_matches_oneshot_at_every_chunking() {
+        // The resumable decoder must emit exactly what decode_pipeline_strict
+        // emits, regardless of how the byte stream is chopped up.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&RespValue::command(&["GRAPH.QUERY", "g", "RETURN 1"]).encode());
+        wire.extend_from_slice(&RespValue::Null.encode());
+        wire.extend_from_slice(
+            &RespValue::Array(vec![
+                RespValue::Array(vec![RespValue::Integer(-3), RespValue::BulkString("x".into())]),
+                RespValue::SimpleString("OK".into()),
+                RespValue::Array(vec![]),
+            ])
+            .encode(),
+        );
+        wire.extend_from_slice(&RespValue::BulkString("tail with \r\n inside".into()).encode());
+        let (expected, expected_len, _) = RespValue::decode_pipeline_strict(&wire);
+        assert_eq!(expected_len, wire.len());
+
+        for chunk_size in [1usize, 2, 3, 7, 16, wire.len()] {
+            let mut decoder = StreamDecoder::new();
+            let mut retained: Vec<u8> = Vec::new();
+            let mut got = Vec::new();
+            for chunk in wire.chunks(chunk_size) {
+                retained.extend_from_slice(chunk);
+                let (values, consumed, stop) = decoder.feed(&retained);
+                assert_ne!(stop, DecodeStop::Malformed, "chunk size {chunk_size}");
+                retained.drain(..consumed);
+                got.extend(values);
+            }
+            assert_eq!(got, expected, "chunk size {chunk_size}");
+            assert!(retained.is_empty(), "chunk size {chunk_size} left {} bytes", retained.len());
+        }
+    }
+
+    #[test]
+    fn stream_decoder_scans_each_byte_once() {
+        // The whole point of the resumable decoder: a large frame arriving
+        // in many reads is not rescanned from the start each time. 64k
+        // elements in 64-byte chunks would take ~minutes quadratically; the
+        // linear path finishes instantly. (A wall-clock bound would flake in
+        // CI, so assert the invariant structurally instead: the scan offset
+        // never moves backwards across feeds.)
+        let n = 64 * 1024;
+        let parts: Vec<String> = (0..n).map(|i| format!("e{i}")).collect();
+        let refs: Vec<&str> = parts.iter().map(|s| s.as_str()).collect();
+        let wire = RespValue::command(&refs).encode();
+        let mut decoder = StreamDecoder::new();
+        let mut retained: Vec<u8> = Vec::new();
+        let mut emitted = Vec::new();
+        let mut max_seen_pos = 0usize;
+        let mut drained = 0usize;
+        for chunk in wire.chunks(64) {
+            retained.extend_from_slice(chunk);
+            let (values, consumed, stop) = decoder.feed(&retained);
+            assert_ne!(stop, DecodeStop::Malformed);
+            // `pos` (absolute across the whole stream) must be monotone: a
+            // rescan would rewind it.
+            let absolute_pos = drained + consumed + decoder.pos;
+            assert!(absolute_pos >= max_seen_pos, "decoder rescanned earlier bytes");
+            max_seen_pos = absolute_pos;
+            drained += consumed;
+            retained.drain(..consumed);
+            emitted.extend(values);
+        }
+        assert_eq!(emitted.len(), 1);
+        let RespValue::Array(items) = &emitted[0] else { panic!() };
+        assert_eq!(items.len(), n);
+        assert_eq!(items[0], RespValue::BulkString("e0".into()));
+        assert_eq!(items[n - 1], RespValue::BulkString(format!("e{}", n - 1)));
+    }
+
+    #[test]
+    fn stream_decoder_flags_malformed_and_depth_bombs() {
+        let mut decoder = StreamDecoder::new();
+        let (_, _, stop) = decoder.feed(b"GET foo\r\n");
+        assert_eq!(stop, DecodeStop::Malformed);
+
+        let mut decoder = StreamDecoder::new();
+        let bomb = b"*1\r\n".repeat(100);
+        let (_, _, stop) = decoder.feed(&bomb);
+        assert_eq!(stop, DecodeStop::Malformed);
+
+        // A malformed element inside a well-formed array is caught mid-frame.
+        let mut decoder = StreamDecoder::new();
+        let (_, _, stop) = decoder.feed(b"*2\r\n:1\r\n?bad\r\n");
+        assert_eq!(stop, DecodeStop::Malformed);
+    }
+
+    #[test]
+    fn line_of_exactly_max_line_len_decodes_and_its_prefixes_stay_incomplete() {
+        // Boundary pinned by review: a legal maximum-length line must not be
+        // condemned while split just before its trailing `\n`.
+        let mut frame = vec![b'+'];
+        frame.resize(MAX_LINE_LEN, b'a');
+        frame.extend_from_slice(b"\r\n");
+        let (value, used) = RespValue::decode_strict(&frame).expect("legal maximal line");
+        assert_eq!(used, frame.len());
+        let RespValue::SimpleString(s) = value else { panic!() };
+        assert_eq!(s.len(), MAX_LINE_LEN - 1);
+        // Every proper prefix — including through the `\r` — is Incomplete.
+        for cut in [frame.len() - 1, frame.len() - 2, MAX_LINE_LEN] {
+            assert_eq!(RespValue::decode_strict(&frame[..cut]), Err(DecodeStop::Incomplete));
+        }
+        // One byte longer (no CRLF in range) is hopeless.
+        let mut too_long = vec![b'+'];
+        too_long.resize(MAX_LINE_LEN + 3, b'a');
+        assert_eq!(RespValue::decode_strict(&too_long), Err(DecodeStop::Malformed));
     }
 
     #[test]

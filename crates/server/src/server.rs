@@ -38,6 +38,17 @@ pub struct ServerConfig {
     /// module threadpool, as RedisGraph ships). Runtime-tunable with
     /// `GRAPH.CONFIG SET QUERY_THREADS`.
     pub query_threads: Option<usize>,
+    /// Per-connection cap on the retained query buffer (`MAX_QUERY_BUFFER`,
+    /// Redis' `client-query-buffer-limit`): a connection whose unparsed
+    /// bytes exceed this is closed with a protocol error, so a client that
+    /// declares a huge bulk and streams it slowly — or never finishes a
+    /// frame at all — cannot hold server memory hostage. Runtime-tunable
+    /// with `GRAPH.CONFIG SET MAX_QUERY_BUFFER`.
+    pub max_query_buffer: usize,
+    /// Cap on concurrently served TCP connections (Redis' `maxclients`):
+    /// connection number `max_connections + 1` is greeted with an error and
+    /// closed instead of accepted.
+    pub max_connections: usize,
 }
 
 impl Default for ServerConfig {
@@ -46,12 +57,24 @@ impl Default for ServerConfig {
             thread_count: 4,
             delta_max_pending_changes: graphblas::DEFAULT_FLUSH_THRESHOLD,
             query_threads: None,
+            max_query_buffer: DEFAULT_MAX_QUERY_BUFFER,
+            max_connections: DEFAULT_MAX_CONNECTIONS,
         }
     }
 }
 
 /// Ceiling for `QUERY_THREADS` (a sanity cap, not a hardware probe).
 const MAX_QUERY_THREADS: usize = 1024;
+
+/// Default `MAX_QUERY_BUFFER` (1GB, Redis' `client-query-buffer-limit`).
+pub const DEFAULT_MAX_QUERY_BUFFER: usize = 1 << 30;
+
+/// Floor for `MAX_QUERY_BUFFER`: below one RESP header line the server could
+/// not even parse a `PING`, so smaller settings are rejected.
+pub const MIN_QUERY_BUFFER: usize = 1024;
+
+/// Default cap on concurrent TCP connections.
+pub const DEFAULT_MAX_CONNECTIONS: usize = 128;
 
 /// A request travelling from a client to the dispatcher thread.
 pub struct Request {
@@ -70,6 +93,9 @@ pub struct RedisGraphServer {
     /// it at runtime; new graphs pick it up on creation, existing graphs are
     /// retuned in place).
     delta_max_pending_changes: AtomicUsize,
+    /// Live value of `MAX_QUERY_BUFFER`: connection loops reload it before
+    /// every bound check, so `GRAPH.CONFIG SET` applies to open connections.
+    max_query_buffer: AtomicUsize,
 }
 
 impl RedisGraphServer {
@@ -92,6 +118,7 @@ impl RedisGraphServer {
             pool: Arc::new(ThreadPool::new(config.thread_count)),
             config,
             delta_max_pending_changes: AtomicUsize::new(config.delta_max_pending_changes.max(1)),
+            max_query_buffer: AtomicUsize::new(config.max_query_buffer.max(MIN_QUERY_BUFFER)),
         }
     }
 
@@ -103,6 +130,16 @@ impl RedisGraphServer {
     /// The live `DELTA_MAX_PENDING_CHANGES` value.
     pub fn delta_max_pending_changes(&self) -> usize {
         self.delta_max_pending_changes.load(Ordering::Relaxed)
+    }
+
+    /// The live `MAX_QUERY_BUFFER` value (per-connection retained-bytes cap).
+    pub fn max_query_buffer(&self) -> usize {
+        self.max_query_buffer.load(Ordering::Relaxed)
+    }
+
+    /// The module threadpool (the network layer dispatches queries onto it).
+    pub(crate) fn pool(&self) -> &Arc<ThreadPool> {
+        &self.pool
     }
 
     /// Fetch (or create) the graph stored under `name`.
@@ -157,10 +194,46 @@ impl RedisGraphServer {
         self.handle(&RespValue::command(&["GRAPH.QUERY", graph, query]))
     }
 
+    /// Submit a `GRAPH.QUERY` to the module threadpool: one query, one worker
+    /// thread (the paper's execution model). The reply is delivered on
+    /// `reply_to` when the worker finishes — this is the single dispatch path
+    /// shared by the synchronous façade, the dispatcher thread, and the TCP
+    /// connection loops, so locking discipline lives in exactly one place.
+    pub fn submit_query(&self, graph: String, query: String, reply_to: Sender<RespValue>) {
+        let graph = self.graph(&graph);
+        self.pool.execute(move || {
+            let is_write = cypher::parse(&query).map(|ast| !ast.is_read_only()).unwrap_or(true);
+            let reply = if is_write {
+                let mut g = graph.write();
+                match g.query(&query) {
+                    Ok(rs) => resultset_to_resp(&rs),
+                    Err(e) => RespValue::Error(format!("ERR {e}")),
+                }
+            } else {
+                // Read queries share the graph under a read lock so many of
+                // them can run concurrently on different worker threads;
+                // pending deltas are flushed once at the barrier rather than
+                // merged per reader.
+                Self::read_barrier(&graph);
+                let g = graph.read();
+                match g.query_readonly(&query) {
+                    Ok(rs) => resultset_to_resp(&rs),
+                    Err(e) => RespValue::Error(format!("ERR {e}")),
+                }
+            };
+            let _ = reply_to.send(reply);
+        });
+    }
+
     /// Execute a parsed command.
     pub fn execute(&self, command: Command) -> RespValue {
         match command {
             Command::Ping => RespValue::SimpleString("PONG".to_string()),
+            // Only the network listener can wind the process down; the
+            // in-process façade has nothing to shut.
+            Command::Shutdown => {
+                RespValue::Error("ERR SHUTDOWN is only supported by the network server".to_string())
+            }
             Command::GraphList => RespValue::Array(
                 self.graph_names().into_iter().map(RespValue::BulkString).collect(),
             ),
@@ -182,6 +255,11 @@ impl RedisGraphServer {
                     RespValue::Array(vec![
                         RespValue::BulkString("QUERY_THREADS".to_string()),
                         RespValue::Integer(graphblas::Context::nthreads() as i64),
+                    ])
+                } else if parameter.eq_ignore_ascii_case("MAX_QUERY_BUFFER") {
+                    RespValue::Array(vec![
+                        RespValue::BulkString("MAX_QUERY_BUFFER".to_string()),
+                        RespValue::Integer(self.max_query_buffer() as i64),
                     ])
                 } else {
                     RespValue::Error(format!("ERR unknown configuration parameter `{parameter}`"))
@@ -219,6 +297,17 @@ impl RedisGraphServer {
                     };
                     graphblas::Context::set_nthreads(threads);
                     RespValue::SimpleString("OK".to_string())
+                } else if parameter.eq_ignore_ascii_case("MAX_QUERY_BUFFER") {
+                    let Some(bytes) =
+                        value.parse::<usize>().ok().filter(|&v| v >= MIN_QUERY_BUFFER)
+                    else {
+                        return RespValue::Error(format!(
+                            "ERR MAX_QUERY_BUFFER must be an integer >= {MIN_QUERY_BUFFER} \
+                             (bytes of unparsed input a connection may retain), got `{value}`"
+                        ));
+                    };
+                    self.max_query_buffer.store(bytes, Ordering::Relaxed);
+                    RespValue::SimpleString("OK".to_string())
                 } else {
                     RespValue::Error(format!("ERR unknown configuration parameter `{parameter}`"))
                 }
@@ -234,31 +323,10 @@ impl RedisGraphServer {
                 }
             }
             Command::GraphQuery { graph, query } => {
-                // One query = one pool thread (the paper's execution model).
-                let graph = self.graph(&graph);
-                let pool = self.pool.clone();
-                pool.execute_blocking(move || {
-                    let is_write =
-                        cypher::parse(&query).map(|ast| !ast.is_read_only()).unwrap_or(true);
-                    if is_write {
-                        let mut g = graph.write();
-                        match g.query(&query) {
-                            Ok(rs) => resultset_to_resp(&rs),
-                            Err(e) => RespValue::Error(format!("ERR {e}")),
-                        }
-                    } else {
-                        // Read queries share the graph under a read lock so
-                        // many of them can run concurrently on different
-                        // worker threads; pending deltas are flushed once at
-                        // the barrier rather than merged per reader.
-                        Self::read_barrier(&graph);
-                        let g = graph.read();
-                        match g.query_readonly(&query) {
-                            Ok(rs) => resultset_to_resp(&rs),
-                            Err(e) => RespValue::Error(format!("ERR {e}")),
-                        }
-                    }
-                })
+                let (tx, rx) = crossbeam::channel::bounded(1);
+                self.submit_query(graph, query, tx);
+                rx.recv()
+                    .unwrap_or_else(|_| RespValue::Error("ERR query worker exited".to_string()))
             }
         }
     }
@@ -287,28 +355,7 @@ impl RedisGraphServer {
                     };
                     match parsed {
                         Command::GraphQuery { graph, query } => {
-                            let graph = server.graph(&graph);
-                            let reply_to = request.reply_to;
-                            server.pool.execute(move || {
-                                let is_write = cypher::parse(&query)
-                                    .map(|ast| !ast.is_read_only())
-                                    .unwrap_or(true);
-                                let reply = if is_write {
-                                    let mut g = graph.write();
-                                    match g.query(&query) {
-                                        Ok(rs) => resultset_to_resp(&rs),
-                                        Err(e) => RespValue::Error(format!("ERR {e}")),
-                                    }
-                                } else {
-                                    Self::read_barrier(&graph);
-                                    let g = graph.read();
-                                    match g.query_readonly(&query) {
-                                        Ok(rs) => resultset_to_resp(&rs),
-                                        Err(e) => RespValue::Error(format!("ERR {e}")),
-                                    }
-                                };
-                                let _ = reply_to.send(reply);
-                            });
+                            server.submit_query(graph, query, request.reply_to);
                         }
                         other => {
                             let _ = request.reply_to.send(server.execute(other));
@@ -441,6 +488,52 @@ mod tests {
             server.handle(&RespValue::command(&["GRAPH.CONFIG", "GET", "THREAD_COUNT"])),
             RespValue::Error(_)
         ));
+    }
+
+    #[test]
+    fn max_query_buffer_knob_is_runtime_tunable() {
+        let server = RedisGraphServer::new(ServerConfig::default());
+        assert_eq!(server.max_query_buffer(), DEFAULT_MAX_QUERY_BUFFER);
+        let reply = server.handle(&RespValue::command(&[
+            "GRAPH.CONFIG",
+            "SET",
+            "MAX_QUERY_BUFFER",
+            "65536",
+        ]));
+        assert_eq!(reply, RespValue::SimpleString("OK".into()));
+        assert_eq!(server.max_query_buffer(), 65536);
+        let reply =
+            server.handle(&RespValue::command(&["GRAPH.CONFIG", "GET", "max_query_buffer"]));
+        assert_eq!(
+            reply,
+            RespValue::Array(vec![
+                RespValue::BulkString("MAX_QUERY_BUFFER".into()),
+                RespValue::Integer(65536),
+            ])
+        );
+        // Below the floor, junk, and negative values are rejected unchanged.
+        for bad in ["0", "1023", "-1", "junk"] {
+            assert!(matches!(
+                server.handle(&RespValue::command(&[
+                    "GRAPH.CONFIG",
+                    "SET",
+                    "MAX_QUERY_BUFFER",
+                    bad
+                ])),
+                RespValue::Error(_)
+            ));
+        }
+        assert_eq!(server.max_query_buffer(), 65536);
+        // The module-load floor clamps rather than panics.
+        let tiny =
+            RedisGraphServer::new(ServerConfig { max_query_buffer: 1, ..ServerConfig::default() });
+        assert_eq!(tiny.max_query_buffer(), MIN_QUERY_BUFFER);
+    }
+
+    #[test]
+    fn shutdown_is_rejected_in_process() {
+        let server = RedisGraphServer::new(ServerConfig::default());
+        assert!(matches!(server.handle(&RespValue::command(&["SHUTDOWN"])), RespValue::Error(_)));
     }
 
     #[test]

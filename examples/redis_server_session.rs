@@ -57,4 +57,36 @@ fn main() {
     send(&server, &["GRAPH.LIST"]);
     send(&server, &["GRAPH.DELETE", "motogp"]);
     send(&server, &["GRAPH.LIST"]);
+
+    // The same session over a *real* socket: bind the TCP server on an
+    // ephemeral loopback port, connect the blocking client, and let the
+    // bytes cross an actual network stack — framing loop, worker pool,
+    // pipelined replies and all.
+    println!("--- over TCP ---\n");
+    let net = redisgraph_server::GraphServer::bind("127.0.0.1:0", ServerConfig::default())
+        .expect("bind loopback");
+    println!("listening on {}\n", net.local_addr());
+    let mut client =
+        redisgraph_server::RespClient::connect(net.local_addr()).expect("connect to self");
+    for (graph, query) in [
+        ("motogp", "CREATE (:Rider {name: 'Marc Marquez'})-[:rides]->(:Team {name: 'Honda'})"),
+        ("motogp", "MATCH (r:Rider)-[:rides]->(t:Team) RETURN r.name, t.name"),
+    ] {
+        let reply = client.query(graph, query).expect("round-trip");
+        println!("> GRAPH.QUERY {graph} '{query}'");
+        println!("{reply}\n");
+    }
+    // A pipelined burst: three commands in one write, three replies in order.
+    let replies = client
+        .pipeline(&[
+            RespValue::command(&["PING"]),
+            RespValue::command(&["GRAPH.QUERY", "motogp", "MATCH (r:Rider) RETURN count(r)"]),
+            RespValue::command(&["GRAPH.CONFIG", "GET", "MAX_QUERY_BUFFER"]),
+        ])
+        .expect("pipelined round-trip");
+    for reply in &replies {
+        println!("(pipelined) {reply}");
+    }
+    net.shutdown(); // drains in-flight queries, closes every connection
+    println!("\nserver shut down cleanly");
 }

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Schema guard for the smoke-mode BENCH_*.json files CI produces.
+
+Not a performance gate: CI runners are too noisy to compare wall times. What
+this catches is a benchmark that silently stopped measuring — a required key
+gone missing after a refactor, a workload that returned zero rows against a
+preloaded graph, a NaN/zero timing from a broken clock path — so a regression
+to "the bench runs but measures nothing" fails the build instead of landing.
+
+Usage: python3 scripts/bench_check.py BENCH_writes_smoke.json [more.json ...]
+"""
+
+import json
+import math
+import sys
+
+# Per-suite required keys for every entry of "results". A file whose "suite"
+# is unknown fails loudly: new suites must register here, which is exactly
+# the forcing function that keeps this guard in sync with the bench bins.
+REQUIRED_RESULT_KEYS = {
+    "writes": {"mode", "threshold", "wall_ms", "writes", "reads", "writes_per_sec", "checksum"},
+    "traverse": {"query", "mode", "threads", "wall_ms", "rows"},
+    "network": {"op", "queries", "wall_ms", "qps", "rows"},
+    "algos": {"dataset", "algorithm", "wall_ms", "iterations", "result"},
+}
+
+# Numeric keys that must be finite and strictly positive: a zero or NaN here
+# means the op was not actually measured (or measured nothing).
+POSITIVE_KEYS = {"wall_ms", "writes_per_sec", "qps", "writes", "queries", "rows", "checksum"}
+
+
+def check_file(path):
+    problems = []
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: unreadable or invalid JSON: {e}"]
+
+    suite = doc.get("suite")
+    if suite is None:
+        return [f"{path}: missing top-level 'suite' key"]
+    required = REQUIRED_RESULT_KEYS.get(suite)
+    if required is None:
+        return [
+            f"{path}: unknown suite '{suite}' — register its schema in "
+            f"scripts/bench_check.py"
+        ]
+
+    results = doc.get("results")
+    if not isinstance(results, list) or not results:
+        return [f"{path}: 'results' must be a non-empty list"]
+
+    for i, entry in enumerate(results):
+        if not isinstance(entry, dict):
+            problems.append(f"{path}: results[{i}] is not an object")
+            continue
+        missing = required - set(entry)
+        if missing:
+            problems.append(
+                f"{path}: results[{i}] missing required keys: {sorted(missing)}"
+            )
+        for key, value in entry.items():
+            if key not in POSITIVE_KEYS:
+                continue
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                problems.append(f"{path}: results[{i}].{key} is not a number: {value!r}")
+            elif math.isnan(value) or math.isinf(value):
+                problems.append(f"{path}: results[{i}].{key} is {value} (not finite)")
+            elif value <= 0:
+                problems.append(
+                    f"{path}: results[{i}].{key} = {value} — measured op regressed "
+                    f"to zero (bench ran but measured nothing)"
+                )
+    return problems
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    all_problems = []
+    for path in argv[1:]:
+        all_problems.extend(check_file(path))
+    if all_problems:
+        for p in all_problems:
+            print(f"bench_check: FAIL: {p}", file=sys.stderr)
+        return 1
+    print(f"bench_check: OK ({len(argv) - 1} file(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,346 @@
+//! End-to-end network suite: real TCP sockets against [`GraphServer`] — the
+//! byte-level interface RedisGraph clients speak — including the hostile
+//! clients the framing loop exists to survive.
+//!
+//! What it proves:
+//!
+//! * **byte-level equivalence** — a pipelined 5 000-command workload sent
+//!   over TCP returns exactly the header+rows the in-process dispatcher
+//!   returns for the same commands, in pipeline order;
+//! * **slowloris resilience** — a client trickling one byte at a time (frames
+//!   split at every position, including exactly between a bulk trailer's
+//!   `\r` and `\n`) is served correctly, never disconnected, never misparsed;
+//! * **bounded buffering** — a declared 512MB bulk cannot grow the retained
+//!   buffer past `MAX_QUERY_BUFFER`: the connection is closed at the bound;
+//! * **protocol errors close** — a garbage (non-RESP) prefix gets a
+//!   `-ERR Protocol error` reply and a closed connection;
+//! * **connection cap** — client `max_connections + 1` is greeted with an
+//!   error and refused;
+//! * **graceful shutdown** — `SHUTDOWN` over the wire (and the in-process
+//!   handle) drains in-flight replies, then the listener stops accepting;
+//! * **pipeline execution order** — like Redis, a pipeline saves round
+//!   trips without reordering execution: a pipelined write is visible to
+//!   every later command of the same pipeline (queries, admin commands, and
+//!   `GRAPH.DELETE` included).
+
+use redisgraph_server::{GraphServer, RedisGraphServer, RespClient, RespValue, ServerConfig};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Strip the statistics section (its execution-time line differs run to
+/// run): equivalence is judged on header + rows.
+fn header_and_rows(reply: &RespValue) -> (RespValue, RespValue) {
+    match reply {
+        RespValue::Array(sections) if sections.len() == 3 => {
+            (sections[0].clone(), sections[1].clone())
+        }
+        other => (other.clone(), RespValue::Null),
+    }
+}
+
+/// The CREATE statements both servers are seeded with: a little social graph
+/// with enough fan-out that 2-hop queries return several rows.
+fn seed_statements() -> Vec<String> {
+    let mut stmts = Vec::new();
+    // A ring of 40 people with chords, so ids are deterministic: person k
+    // gets node id k.
+    let mut create = String::from("CREATE ");
+    for k in 0..40 {
+        if k > 0 {
+            create.push_str(", ");
+        }
+        create.push_str(&format!("(p{k}:Node {{id: {k}}})"));
+    }
+    stmts.push(create);
+    for k in 0..40u64 {
+        let next = (k + 1) % 40;
+        let chord = (k + 7) % 40;
+        stmts.push(format!(
+            "MATCH (a:Node {{id: {k}}}), (b:Node {{id: {next}}}) CREATE (a)-[:LINK]->(b)"
+        ));
+        stmts.push(format!(
+            "MATCH (a:Node {{id: {k}}}), (b:Node {{id: {chord}}}) CREATE (a)-[:LINK]->(b)"
+        ));
+    }
+    stmts
+}
+
+/// The read workload: a deterministic rotation over point reads, 2-hop
+/// traversals, admin commands, and deliberate errors (which must also be
+/// delivered in pipeline order).
+fn workload_commands(n: usize) -> Vec<RespValue> {
+    (0..n)
+        .map(|i| {
+            let k = (i * 13) % 40;
+            match i % 5 {
+                0 => RespValue::command(&[
+                    "GRAPH.QUERY",
+                    "g",
+                    &format!("MATCH (s:Node)-[:LINK]->(t) WHERE id(s) = {k} RETURN id(t)"),
+                ]),
+                1 => RespValue::command(&[
+                    "GRAPH.QUERY",
+                    "g",
+                    &format!(
+                        "MATCH (s:Node)-[:LINK]->()-[:LINK]->(t) WHERE id(s) = {k} \
+                         RETURN count(t)"
+                    ),
+                ]),
+                2 => RespValue::command(&[
+                    "GRAPH.QUERY",
+                    "g",
+                    &format!("MATCH (s:Node)-[*1..2]->(t) WHERE id(s) = {k} RETURN count(t)"),
+                ]),
+                3 => RespValue::command(&["PING"]),
+                _ => RespValue::command(&["GRAPH.QUERY", "g", "MATCH (a RETURN a"]),
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn pipelined_tcp_workload_matches_in_process_dispatcher_row_for_row() {
+    let net = GraphServer::bind(
+        "127.0.0.1:0",
+        ServerConfig { thread_count: 4, ..ServerConfig::default() },
+    )
+    .expect("bind ephemeral port");
+    let inproc = RedisGraphServer::new(ServerConfig { thread_count: 4, ..ServerConfig::default() });
+
+    // Seed both servers with identical writes — the TCP one through the
+    // socket, so even graph construction crosses the wire.
+    let mut client = RespClient::connect(net.local_addr()).expect("connect");
+    for stmt in seed_statements() {
+        let over_tcp = client.query("g", &stmt).expect("seed over tcp");
+        let in_process = inproc.query("g", &stmt);
+        assert!(!matches!(over_tcp, RespValue::Error(_)), "seed failed over tcp: {over_tcp}");
+        assert_eq!(header_and_rows(&over_tcp), header_and_rows(&in_process));
+    }
+
+    // One 5 000-command pipeline in a single burst: replies must come back
+    // 1:1, in order, and identical (header + rows) to the in-process path.
+    let commands = workload_commands(5_000);
+    let replies = client.pipeline(&commands).expect("pipeline");
+    assert_eq!(replies.len(), commands.len());
+    for (i, (command, over_tcp)) in commands.iter().zip(&replies).enumerate() {
+        let in_process = net.server().handle(command); // same engine, no socket
+        let reference = inproc.handle(command);
+        assert_eq!(
+            header_and_rows(over_tcp),
+            header_and_rows(&reference),
+            "command #{i} diverged between TCP and the in-process dispatcher: {command}"
+        );
+        assert_eq!(
+            header_and_rows(over_tcp),
+            header_and_rows(&in_process),
+            "command #{i} diverged between TCP and its own server's handle(): {command}"
+        );
+    }
+    net.shutdown();
+}
+
+#[test]
+fn slowloris_one_byte_at_a_time_is_served_not_disconnected() {
+    let net = GraphServer::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    net.server().query("g", "CREATE (:Node {id: 1})-[:LINK]->(:Node {id: 2})");
+
+    let mut stream = TcpStream::connect(net.local_addr()).expect("connect");
+    let frame =
+        RespValue::command(&["GRAPH.QUERY", "g", "MATCH (a:Node)-[:LINK]->(b) RETURN id(b)"])
+            .encode();
+    // Feed the frame one byte at a time: the server sees every possible
+    // split, including between the bulk trailer's `\r` and `\n`. A misparse
+    // or a premature `Malformed` classification would error or disconnect.
+    for &byte in &frame {
+        stream.write_all(&[byte]).expect("server closed mid-frame");
+        stream.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let mut client = RespClient::from_stream(stream);
+    let reply = client.read_reply().expect("reply after slow frame");
+    let expected = net.server().query("g", "MATCH (a:Node)-[:LINK]->(b) RETURN id(b)");
+    assert_eq!(header_and_rows(&reply), header_and_rows(&expected));
+
+    // The connection is still healthy: a second (fast) command round-trips.
+    let pong = client.command(&["PING"]).expect("second command");
+    assert_eq!(pong, RespValue::SimpleString("PONG".into()));
+    net.shutdown();
+}
+
+#[test]
+fn declared_512mb_bulk_is_closed_at_the_buffer_bound() {
+    // 64KB cap: far below the declared bulk, far above one read chunk.
+    let net = GraphServer::bind(
+        "127.0.0.1:0",
+        ServerConfig { max_query_buffer: 64 * 1024, ..ServerConfig::default() },
+    )
+    .expect("bind");
+    let mut stream = TcpStream::connect(net.local_addr()).expect("connect");
+    stream.set_write_timeout(Some(Duration::from_secs(2))).unwrap();
+
+    // A command array declaring a 512MB argument (just under the decoder's
+    // own cap, so only MAX_QUERY_BUFFER can stop it), then a stream of
+    // payload the server must refuse to retain.
+    stream.write_all(b"*2\r\n$4\r\nPING\r\n$536870912\r\n").expect("header");
+    let chunk = [b'a'; 1024];
+    let mut sent = 0usize;
+    let closed_early = loop {
+        match stream.write_all(&chunk) {
+            Ok(()) => {
+                sent += chunk.len();
+                // Well past the cap plus both sockets' kernel buffers: if the
+                // server were retaining without bound we would still be
+                // writing successfully at 8MB.
+                if sent > 8 * 1024 * 1024 {
+                    break false;
+                }
+            }
+            Err(_) => break true,
+        }
+    };
+    assert!(closed_early, "server kept reading a 512MB bulk past 8MB with a 64KB MAX_QUERY_BUFFER");
+    net.shutdown();
+}
+
+#[test]
+fn garbage_prefix_gets_protocol_error_and_close() {
+    let net = GraphServer::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let mut stream = TcpStream::connect(net.local_addr()).expect("connect");
+    // An inline command is not RESP: byte one is already hopeless.
+    stream.write_all(b"GET foo\r\n").expect("write");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let mut reply = Vec::new();
+    stream.read_to_end(&mut reply).expect("read until close");
+    let text = String::from_utf8_lossy(&reply);
+    assert!(
+        text.starts_with("-ERR Protocol error"),
+        "expected a protocol error before close, got {text:?}"
+    );
+    // read_to_end returning proves the server closed the connection.
+    net.shutdown();
+}
+
+#[test]
+fn connection_cap_refuses_excess_clients() {
+    let net = GraphServer::bind(
+        "127.0.0.1:0",
+        ServerConfig { max_connections: 2, ..ServerConfig::default() },
+    )
+    .expect("bind");
+    let mut a = RespClient::connect(net.local_addr()).expect("client a");
+    let mut b = RespClient::connect(net.local_addr()).expect("client b");
+    // Round-trips prove both are being served (not just queued in accept).
+    assert_eq!(a.command(&["PING"]).unwrap(), RespValue::SimpleString("PONG".into()));
+    assert_eq!(b.command(&["PING"]).unwrap(), RespValue::SimpleString("PONG".into()));
+
+    let mut c = RespClient::connect(net.local_addr()).expect("tcp connect still succeeds");
+    let refusal = c.read_reply().expect("refusal reply");
+    assert_eq!(refusal, RespValue::Error("ERR max number of clients reached".into()));
+    assert!(c.read_reply().is_err(), "connection must be closed after the refusal");
+
+    // The two admitted clients are unaffected.
+    assert_eq!(a.command(&["PING"]).unwrap(), RespValue::SimpleString("PONG".into()));
+    drop(a);
+    drop(b);
+    // A freed slot is reusable (give the server a tick to notice the close).
+    std::thread::sleep(Duration::from_millis(200));
+    let mut d = RespClient::connect(net.local_addr()).expect("client d");
+    assert_eq!(d.command(&["PING"]).unwrap(), RespValue::SimpleString("PONG".into()));
+    net.shutdown();
+}
+
+#[test]
+fn shutdown_command_drains_replies_then_stops_the_listener() {
+    let net = GraphServer::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    net.server().query("g", "CREATE (:Node {id: 1})-[:LINK]->(:Node {id: 2})");
+    let addr = net.local_addr();
+
+    let mut client = RespClient::connect(addr).expect("connect");
+    // Pipeline a query *behind* the SHUTDOWN ack: both replies must arrive
+    // (drain before close), in order.
+    let replies = client
+        .pipeline(&[
+            RespValue::command(&["GRAPH.QUERY", "g", "MATCH (n:Node) RETURN count(n)"]),
+            RespValue::command(&["SHUTDOWN"]),
+        ])
+        .expect("pipelined shutdown");
+    assert!(matches!(replies[0], RespValue::Array(_)), "query reply must drain: {}", replies[0]);
+    assert_eq!(replies[1], RespValue::SimpleString("OK".into()));
+    assert!(client.read_reply().is_err(), "server must close after SHUTDOWN");
+
+    assert!(net.is_shutdown_requested());
+    net.shutdown(); // joins accept + connection threads
+    assert!(TcpStream::connect(addr).is_err(), "listener must be gone after graceful shutdown");
+}
+
+#[test]
+fn pipelined_commands_execute_strictly_in_order() {
+    // Redis pipeline semantics: one burst, but each command sees every
+    // earlier command's effects — writes before reads, admin commands
+    // interleaved, delete last.
+    let net = GraphServer::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let mut client = RespClient::connect(net.local_addr()).expect("connect");
+    let replies = client
+        .pipeline(&[
+            RespValue::command(&["GRAPH.QUERY", "ord", "CREATE (:Node {id: 1})"]),
+            RespValue::command(&["GRAPH.QUERY", "ord", "MATCH (n:Node) RETURN count(n)"]),
+            RespValue::command(&["GRAPH.QUERY", "ord", "CREATE (:Node {id: 2})"]),
+            RespValue::command(&["GRAPH.QUERY", "ord", "MATCH (n:Node) RETURN count(n)"]),
+            RespValue::command(&["GRAPH.CONFIG", "SET", "MAX_QUERY_BUFFER", "4096"]),
+            RespValue::command(&["GRAPH.CONFIG", "GET", "MAX_QUERY_BUFFER"]),
+            RespValue::command(&["GRAPH.DELETE", "ord"]),
+            RespValue::command(&["GRAPH.LIST"]),
+        ])
+        .expect("ordered pipeline");
+    let count = |reply: &RespValue| -> i64 {
+        let RespValue::Array(sections) = reply else { panic!("not a query reply: {reply}") };
+        let RespValue::Array(rows) = &sections[1] else { panic!() };
+        let RespValue::Array(row) = &rows[0] else { panic!() };
+        let RespValue::Integer(n) = row[0] else { panic!() };
+        n
+    };
+    assert_eq!(count(&replies[1]), 1, "first CREATE must be visible to the pipelined MATCH");
+    assert_eq!(count(&replies[3]), 2, "second CREATE must be visible to the second MATCH");
+    assert_eq!(replies[4], RespValue::SimpleString("OK".into()));
+    assert_eq!(
+        replies[5],
+        RespValue::Array(vec![
+            RespValue::BulkString("MAX_QUERY_BUFFER".into()),
+            RespValue::Integer(4096),
+        ])
+    );
+    assert_eq!(replies[6], RespValue::SimpleString("OK".into()), "delete of existing graph");
+    assert_eq!(replies[7], RespValue::Array(vec![]), "graph must be gone by GRAPH.LIST time");
+    net.shutdown();
+}
+
+#[test]
+fn max_query_buffer_is_tunable_over_the_wire() {
+    let net = GraphServer::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let mut client = RespClient::connect(net.local_addr()).expect("connect");
+    assert_eq!(
+        client.command(&["GRAPH.CONFIG", "SET", "MAX_QUERY_BUFFER", "2048"]).unwrap(),
+        RespValue::SimpleString("OK".into())
+    );
+    assert_eq!(
+        client.command(&["GRAPH.CONFIG", "GET", "MAX_QUERY_BUFFER"]).unwrap(),
+        RespValue::Array(vec![
+            RespValue::BulkString("MAX_QUERY_BUFFER".into()),
+            RespValue::Integer(2048),
+        ])
+    );
+    // The live value applies to this very connection: exceed it mid-frame.
+    let mut stream = client.stream().try_clone().expect("clone stream");
+    stream.write_all(b"*2\r\n$4\r\nPING\r\n$1000000\r\n").unwrap();
+    let chunk = [b'x'; 1024];
+    let mut closed = false;
+    for _ in 0..4096 {
+        if stream.write_all(&chunk).is_err() {
+            closed = true;
+            break;
+        }
+    }
+    assert!(closed, "2KB MAX_QUERY_BUFFER did not close a 1MB frame");
+    net.shutdown();
+}
