@@ -1,0 +1,426 @@
+//! Mixed read/write benchmark: point-read QPS while a background
+//! `algo.pagerank` and a steady writer hammer the same graph — the workload
+//! that exposed the global read-barrier stall this repo removed.
+//!
+//! Two modes over the identical graph, thread mix, and queries:
+//!
+//! * **epoch_snapshot** (after) — the live server dispatch: every command
+//!   goes through `RedisGraphServer::submit_query`, so reads share the
+//!   cached per-epoch sealed snapshot and execute lock-free while pagerank
+//!   runs on the same snapshot;
+//! * **legacy_read_barrier** (before) — an in-binary re-enactment of the
+//!   pre-epoch lock discipline through the same public APIs: each read first
+//!   performs the old barrier (`has_pending_deltas()` → take the *write*
+//!   lock and `sync_matrices()`), then executes while *holding the read
+//!   lock*; pagerank does the same. With a writer continuously dirtying the
+//!   delta buffers, every read's barrier queues on the write lock behind the
+//!   in-flight pagerank's read lock — and with a write-preferring lock, all
+//!   other readers queue behind that waiting writer. Point reads stall for
+//!   the full pagerank runtime, once per landed write.
+//!
+//! The legacy discipline was written against parking_lot's write-preferring
+//! rwlock; this repo's vendored `parking_lot` stand-in wraps the std lock,
+//! which on Linux admits new readers past a parked writer. Replayed verbatim
+//! on that lock the legacy mode exhibits the *other* pathology — with
+//! analytics read-holds overlapping, the writer (and therefore every flush)
+//! starves outright, measured here at ~240 landed writes/2s against a
+//! 1ms-cadence writer even without analytics. So the legacy re-enactment
+//! routes its lock acquisitions through a small write-preferring gate
+//! ([`FairGate`]) that restores the fairness the discipline assumed; the
+//! epoch mode needs no such gate because its readers take no lock at all.
+//!
+//! The legacy mode also skips the worker-pool dispatch the real old server
+//! paid, so the measured speedup is *conservative* — the epoch mode carries
+//! the pool overhead, the legacy mode does not.
+//!
+//! Both modes run for a fixed wall-clock window and count completed point
+//! reads; the JSON report carries per-mode `{queries, wall_ms, qps, rows}`
+//! plus the top-level `speedup`.
+//!
+//! On a single-core host the stall still shows, for a scheduling reason
+//! rather than a parallelism one: a legacy reader blocked on the write lock
+//! cannot use the CPU slices the OS would happily give it, while an epoch
+//! reader is always runnable and interleaves with the pagerank burn — so the
+//! heavier the analytics holds, the wider the gap. The defaults (scale 14,
+//! pagerank×100) make each hold ~50ms so the blocked fraction dominates.
+//!
+//! ```text
+//! cargo run --release -p redisgraph-bench --bin mixed -- \
+//!     --scale 14 --readers 4 --analytics 2 --duration-ms 3000 --out BENCH_mixed.json
+//! ```
+
+use crossbeam::channel::bounded;
+use datagen::RmatConfig;
+use redisgraph_bench::report::render_table;
+use redisgraph_server::{RedisGraphServer, RespValue, ServerConfig};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// A write-preferring reader/writer gate: once a writer is waiting, new
+/// readers queue behind it. This is the admission order parking_lot (and the
+/// pthread discipline RedisGraph itself was written for) gives; the legacy
+/// mode layers it over the graph's std-backed lock so the old read barrier
+/// behaves as it did in production rather than silently starving writers.
+#[derive(Default)]
+struct FairGate {
+    state: Mutex<GateState>,
+    turnstile: Condvar,
+}
+
+#[derive(Default)]
+struct GateState {
+    readers: usize,
+    writers_waiting: usize,
+    writer_active: bool,
+}
+
+impl FairGate {
+    fn read_enter(&self) {
+        let mut s = self.state.lock().unwrap();
+        while s.writer_active || s.writers_waiting > 0 {
+            s = self.turnstile.wait(s).unwrap();
+        }
+        s.readers += 1;
+    }
+
+    fn read_exit(&self) {
+        let mut s = self.state.lock().unwrap();
+        s.readers -= 1;
+        if s.readers == 0 {
+            self.turnstile.notify_all();
+        }
+    }
+
+    fn write_enter(&self) {
+        let mut s = self.state.lock().unwrap();
+        s.writers_waiting += 1;
+        while s.writer_active || s.readers > 0 {
+            s = self.turnstile.wait(s).unwrap();
+        }
+        s.writers_waiting -= 1;
+        s.writer_active = true;
+    }
+
+    fn write_exit(&self) {
+        let mut s = self.state.lock().unwrap();
+        s.writer_active = false;
+        self.turnstile.notify_all();
+    }
+}
+
+/// One measured mode.
+struct Measurement {
+    mode: &'static str,
+    queries: usize,
+    wall_ms: f64,
+    qps: f64,
+    /// Sum of every point read's `count(t)` — proof the reads returned real
+    /// data (0 would flag an empty or unreachable graph).
+    rows: u64,
+}
+
+/// Queries of the fixed workload mix.
+struct Workload {
+    vertices: u64,
+    pagerank: String,
+}
+
+impl Workload {
+    /// The `i`-th point read of reader `c`: deterministic seed rotation
+    /// sweeping the whole id space (40503 and 7919 are coprime with every
+    /// power-of-two vertex count).
+    fn point_read(&self, c: usize, i: usize) -> String {
+        let k = ((c + 1) as u64 * 40503 + i as u64 * 7919) % self.vertices;
+        format!("MATCH (s:Node)-[:LINK]->(t) WHERE id(s) = {k} RETURN count(t)")
+    }
+
+    /// The `i`-th write: one more `LINK` edge between existing nodes, enough
+    /// to dirty the delta buffers (what forced the legacy barrier to flush).
+    fn write(&self, i: usize) -> String {
+        let a = (i as u64 * 7919 + 13) % self.vertices;
+        let b = (i as u64 * 40503 + 29) % self.vertices;
+        format!(
+            "MATCH (a:Node), (b:Node) WHERE id(a) = {a} AND id(b) = {b} CREATE (a)-[:LINK]->(b)"
+        )
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    let smoke = argv.iter().any(|a| a == "--smoke");
+    let scale: u32 = arg(&argv, "--scale").unwrap_or(if smoke { 13 } else { 14 });
+    let edge_factor: u32 = arg(&argv, "--edge-factor").unwrap_or(8);
+    let readers: usize = arg(&argv, "--readers").unwrap_or(if smoke { 2 } else { 4 }).max(1);
+    let analytics: usize = arg(&argv, "--analytics").unwrap_or(2).max(1);
+    let duration_ms: u64 = arg(&argv, "--duration-ms").unwrap_or(if smoke { 800 } else { 3_000 });
+    let pagerank_iters: u32 = arg(&argv, "--pagerank-iters").unwrap_or(100);
+    let out_path: String = arg(&argv, "--out").unwrap_or_else(|| {
+        if smoke {
+            "BENCH_mixed_smoke.json".to_string()
+        } else {
+            "BENCH_mixed.json".to_string()
+        }
+    });
+
+    let workload = Workload {
+        vertices: 1u64 << scale,
+        pagerank: format!(
+            "CALL algo.pagerank(0.85, {pagerank_iters}) YIELD node, score RETURN count(node)"
+        ),
+    };
+    let el = datagen::rmat::generate(&RmatConfig {
+        scale,
+        edge_factor,
+        seed: 42,
+        ..RmatConfig::default()
+    });
+    println!(
+        "Mixed workload (scale {scale}, {} edges): {readers} point readers vs {analytics} \
+         background pagerank({pagerank_iters} iters) threads + writer, {duration_ms}ms per mode\n",
+        el.edges.len()
+    );
+
+    // Fresh server per mode so neither inherits the other's extra edges.
+    let duration = Duration::from_millis(duration_ms);
+    let legacy = {
+        let server = new_loaded_server(readers, analytics, &el);
+        run_mode(&server, &workload, readers, analytics, duration, false)
+    };
+    let epoch = {
+        let server = new_loaded_server(readers, analytics, &el);
+        run_mode(&server, &workload, readers, analytics, duration, true)
+    };
+    let speedup = epoch.qps / legacy.qps.max(f64::MIN_POSITIVE);
+
+    let rows: Vec<Vec<String>> = [&legacy, &epoch]
+        .iter()
+        .map(|m| {
+            vec![
+                m.mode.to_string(),
+                m.queries.to_string(),
+                format!("{:.1}", m.wall_ms),
+                format!("{:.0}", m.qps),
+                m.rows.to_string(),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&["mode", "queries", "wall (ms)", "reads/sec", "rows"], &rows));
+    println!("point-read speedup (epoch_snapshot / legacy_read_barrier): {speedup:.1}x");
+
+    std::fs::write(&out_path, to_json(scale, readers, duration_ms, speedup, &[&legacy, &epoch]))
+        .expect("write benchmark report");
+    println!("wrote {out_path}");
+}
+
+/// A server whose `bench` graph holds the RMAT edge list, with enough pool
+/// workers that the background pagerank runs cannot starve the readers' jobs.
+fn new_loaded_server(
+    readers: usize,
+    analytics: usize,
+    el: &datagen::EdgeList,
+) -> Arc<RedisGraphServer> {
+    let server = Arc::new(RedisGraphServer::new(ServerConfig {
+        thread_count: readers + analytics + 2,
+        ..ServerConfig::default()
+    }));
+    server.graph("bench").write().bulk_load(el.num_vertices, &el.edges);
+    server
+}
+
+/// Run one mode: `readers` point-read threads counting completions,
+/// `analytics` background pagerank loops, one writer loop, all for
+/// `duration`. The legacy branches route every lock acquisition through the
+/// write-preferring [`FairGate`] (see the module docs for why).
+fn run_mode(
+    server: &Arc<RedisGraphServer>,
+    workload: &Workload,
+    readers: usize,
+    analytics: usize,
+    duration: Duration,
+    epoch_mode: bool,
+) -> Measurement {
+    let stop = Arc::new(AtomicBool::new(false));
+    let gate = Arc::new(FairGate::default());
+    let graph = server.graph("bench");
+    let start = Instant::now();
+
+    // The old read barrier: flush any pending deltas (escalating from the
+    // read side to the exclusive lock), leaving the gate read-held for the
+    // query that follows.
+    fn legacy_barrier_and_read_enter(
+        gate: &FairGate,
+        graph: &Arc<redisgraph_server::RwLock<redisgraph_core::Graph>>,
+    ) {
+        gate.read_enter();
+        if graph.read().has_pending_deltas() {
+            gate.read_exit();
+            gate.write_enter();
+            graph.write().sync_matrices(); // the old read barrier
+            gate.write_exit();
+            gate.read_enter();
+        }
+    }
+
+    // Background pagerank runs: the long read-holds the legacy barrier
+    // stalls behind. In epoch mode they flow through the real server
+    // dispatch and execute on the shared sealed snapshot.
+    let pagerank_threads: Vec<_> = (0..analytics)
+        .map(|_| {
+            let stop = Arc::clone(&stop);
+            let server = Arc::clone(server);
+            let gate = Arc::clone(&gate);
+            let graph = graph.clone();
+            let query = workload.pagerank.clone();
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    if epoch_mode {
+                        submit(&server, &query);
+                    } else {
+                        legacy_barrier_and_read_enter(&gate, &graph);
+                        graph.read().query_readonly(&query).expect("pagerank");
+                        gate.read_exit();
+                    }
+                }
+            })
+        })
+        .collect();
+    // Steady writer: keeps the delta buffers dirty so every legacy read
+    // must attempt the write-lock flush.
+    let writer_thread = {
+        let stop = Arc::clone(&stop);
+        let server = Arc::clone(server);
+        let gate = Arc::clone(&gate);
+        let graph = graph.clone();
+        let writes: Vec<String> = (0..4096).map(|i| workload.write(i)).collect();
+        std::thread::spawn(move || {
+            let mut i = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                let q = &writes[i % writes.len()];
+                if epoch_mode {
+                    submit(&server, q);
+                } else {
+                    gate.write_enter();
+                    graph.write().query(q).expect("write");
+                    gate.write_exit();
+                }
+                i += 1;
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        })
+    };
+
+    let reader_threads: Vec<_> = (0..readers)
+        .map(|c| {
+            let stop = Arc::clone(&stop);
+            let server = Arc::clone(server);
+            let gate = Arc::clone(&gate);
+            let graph = graph.clone();
+            let queries: Vec<String> = (0..4096).map(|i| workload.point_read(c, i)).collect();
+            std::thread::spawn(move || {
+                let (mut done, mut rows) = (0usize, 0u64);
+                while !stop.load(Ordering::Relaxed) {
+                    let q = &queries[done % queries.len()];
+                    let reply = if epoch_mode {
+                        submit(&server, q)
+                    } else {
+                        legacy_barrier_and_read_enter(&gate, &graph);
+                        // Legacy discipline: execute while holding the lock.
+                        let rs = graph.read().query_readonly(q).expect("point read");
+                        gate.read_exit();
+                        resultset_count(&rs)
+                    };
+                    rows += reply;
+                    done += 1;
+                }
+                (done, rows)
+            })
+        })
+        .collect();
+
+    std::thread::sleep(duration);
+    stop.store(true, Ordering::Relaxed);
+    let mut queries = 0usize;
+    let mut rows = 0u64;
+    for handle in reader_threads {
+        let (done, r) = handle.join().expect("reader thread");
+        queries += done;
+        rows += r;
+    }
+    for handle in pagerank_threads {
+        handle.join().expect("pagerank thread");
+    }
+    writer_thread.join().expect("writer thread");
+    // Wall includes any reads that were still stalled at the stop flag —
+    // exactly the latency being measured.
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    Measurement {
+        mode: if epoch_mode { "epoch_snapshot" } else { "legacy_read_barrier" },
+        queries,
+        wall_ms,
+        qps: queries as f64 / (wall_ms / 1e3),
+        rows,
+    }
+}
+
+/// Dispatch one query through the real server path and await its reply,
+/// returning the single integer a `RETURN count(...)` row carries.
+fn submit(server: &Arc<RedisGraphServer>, query: &str) -> u64 {
+    let (tx, rx) = bounded(1);
+    server.submit_query("bench".to_string(), query.to_string(), tx);
+    let reply = rx.recv().expect("query worker exited");
+    if let RespValue::Array(sections) = &reply {
+        if let Some(RespValue::Array(result_rows)) = sections.get(1) {
+            if let Some(RespValue::Array(row)) = result_rows.first() {
+                if let Some(RespValue::Integer(n)) = row.first() {
+                    return u64::try_from(*n).unwrap_or(0);
+                }
+            }
+        }
+        // Write queries return header/rows/stats with no count row.
+        return 0;
+    }
+    panic!("query failed: {reply}");
+}
+
+/// The same count extraction for the legacy in-process path.
+fn resultset_count(rs: &redisgraph_core::ResultSet) -> u64 {
+    match rs.rows.first().and_then(|row| row.first()) {
+        Some(redisgraph_core::Value::Int(n)) => u64::try_from(*n).unwrap_or(0),
+        _ => 0,
+    }
+}
+
+/// Hand-rolled JSON (no serde in the offline build).
+fn to_json(
+    scale: u32,
+    readers: usize,
+    duration_ms: u64,
+    speedup: f64,
+    measurements: &[&Measurement],
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"suite\": \"mixed\",");
+    let _ = writeln!(out, "  \"scale\": {scale},");
+    let _ = writeln!(out, "  \"readers\": {readers},");
+    let _ = writeln!(out, "  \"duration_ms\": {duration_ms},");
+    let _ = writeln!(out, "  \"speedup\": {speedup:.3},");
+    out.push_str("  \"results\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        let comma = if i + 1 < measurements.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"mode\": \"{}\", \"queries\": {}, \"wall_ms\": {:.6}, \"qps\": {:.3}, \
+             \"rows\": {}}}{comma}",
+            m.mode, m.queries, m.wall_ms, m.qps, m.rows
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn arg<T: std::str::FromStr>(argv: &[String], name: &str) -> Option<T> {
+    argv.iter().position(|a| a == name).and_then(|i| argv.get(i + 1)).and_then(|s| s.parse().ok())
+}

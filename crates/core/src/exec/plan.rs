@@ -87,7 +87,9 @@ impl ExecutionPlan {
     /// the batched strategy materialises at most one merged `Cow` view per
     /// relation matrix per batch, so forcing a flush here would reintroduce
     /// the per-query sync cost the delta write path exists to avoid.
-    fn needs_matrix_views(&self) -> bool {
+    /// `GraphSnapshot` consults this to decide whether a query runs on its
+    /// pinned (possibly delta-dirty) graph or on its lazily folded twin.
+    pub(crate) fn needs_matrix_views(&self) -> bool {
         self.segments.iter().flat_map(|s| &s.ops).any(|op| match op {
             PlanOp::Traverse { min_hops, max_hops, .. } => {
                 !(*min_hops == 1 && *max_hops == Some(1))
@@ -102,9 +104,10 @@ impl ExecutionPlan {
         // Read barrier for whole-matrix consumers: with exclusive access a
         // flush is cheap and lets `khop_reach` / procedures borrow the main
         // matrices once, instead of materialising a merged copy per record.
-        // (The server's read-only path crosses its own barrier before taking
-        // the read lock; single-hop traversals use merged row views and need
-        // no flush at all.)
+        // (The server's read-only path runs against a shared `GraphSnapshot`,
+        // which routes whole-matrix plans to a lazily folded private twin;
+        // single-hop traversals use merged row views and need no flush at
+        // all.)
         if self.needs_matrix_views() {
             if let GraphAccess::Write(graph) = &mut access {
                 graph.sync_matrices();

@@ -33,7 +33,7 @@ pub use error::QueryError;
 pub use exec::ops::{TraverseStrategy, BATCH_TRAVERSE_MIN_RECORDS};
 pub use exec::plan::ExecutionPlan;
 pub use exec::resultset::{QueryStats, ResultSet};
-pub use store::graph::{Graph, TraverseDir};
+pub use store::graph::{Graph, GraphSnapshot, TraverseDir};
 pub use value::Value;
 
 /// Node identifier: the row/column index of the node in every matrix.

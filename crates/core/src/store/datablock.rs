@@ -4,13 +4,21 @@
 //! can grow without reallocating or moving existing entities, and deleted
 //! slots are recycled through a free list. Entity ids are stable for the
 //! lifetime of the entity and double as matrix row/column indices.
+//!
+//! Blocks are held behind `Arc`s with copy-on-write mutation, so cloning a
+//! DataBlock is O(#blocks) pointer bumps — that is what makes a whole-graph
+//! snapshot cheap enough to take per read query. A mutation of a block whose
+//! `Arc` is shared with a snapshot first clones that one block (16K slots),
+//! never the whole store; with no snapshot pinning it, mutation is in place.
+
+use std::sync::Arc;
 
 const BLOCK_CAP: usize = 16_384;
 
 /// A blocked, free-list-recycling arena of `T`.
 #[derive(Debug, Clone)]
 pub struct DataBlock<T> {
-    blocks: Vec<Vec<Option<T>>>,
+    blocks: Vec<Arc<Vec<Option<T>>>>,
     free: Vec<u64>,
     len: usize,
     high_watermark: u64,
@@ -43,52 +51,10 @@ impl<T> DataBlock<T> {
         self.high_watermark
     }
 
-    /// Insert an entity, returning its id. Recycles the most recently freed
-    /// slot if one exists.
-    pub fn insert(&mut self, item: T) -> u64 {
-        let id = if let Some(id) = self.free.pop() {
-            id
-        } else {
-            let id = self.high_watermark;
-            self.high_watermark += 1;
-            id
-        };
-        let (b, i) = (id as usize / BLOCK_CAP, id as usize % BLOCK_CAP);
-        while self.blocks.len() <= b {
-            self.blocks.push(Vec::new());
-        }
-        let block = &mut self.blocks[b];
-        if block.len() <= i {
-            block.resize_with(i + 1, || None);
-        }
-        debug_assert!(block[i].is_none(), "slot {id} already occupied");
-        block[i] = Some(item);
-        self.len += 1;
-        id
-    }
-
     /// Get a reference to an entity by id.
     pub fn get(&self, id: u64) -> Option<&T> {
         let (b, i) = (id as usize / BLOCK_CAP, id as usize % BLOCK_CAP);
         self.blocks.get(b)?.get(i)?.as_ref()
-    }
-
-    /// Get a mutable reference to an entity by id.
-    pub fn get_mut(&mut self, id: u64) -> Option<&mut T> {
-        let (b, i) = (id as usize / BLOCK_CAP, id as usize % BLOCK_CAP);
-        self.blocks.get_mut(b)?.get_mut(i)?.as_mut()
-    }
-
-    /// Remove an entity, freeing its slot for reuse. Returns the entity.
-    pub fn remove(&mut self, id: u64) -> Option<T> {
-        let (b, i) = (id as usize / BLOCK_CAP, id as usize % BLOCK_CAP);
-        let slot = self.blocks.get_mut(b)?.get_mut(i)?;
-        let item = slot.take();
-        if item.is_some() {
-            self.free.push(id);
-            self.len -= 1;
-        }
-        item
     }
 
     /// Whether an entity with this id is live.
@@ -103,6 +69,53 @@ impl<T> DataBlock<T> {
                 slot.as_ref().map(|item| ((b * BLOCK_CAP + i) as u64, item))
             })
         })
+    }
+}
+
+impl<T: Clone> DataBlock<T> {
+    /// Insert an entity, returning its id. Recycles the most recently freed
+    /// slot if one exists.
+    pub fn insert(&mut self, item: T) -> u64 {
+        let id = if let Some(id) = self.free.pop() {
+            id
+        } else {
+            let id = self.high_watermark;
+            self.high_watermark += 1;
+            id
+        };
+        let (b, i) = (id as usize / BLOCK_CAP, id as usize % BLOCK_CAP);
+        while self.blocks.len() <= b {
+            self.blocks.push(Arc::new(Vec::new()));
+        }
+        let block = Arc::make_mut(&mut self.blocks[b]);
+        if block.len() <= i {
+            block.resize_with(i + 1, || None);
+        }
+        debug_assert!(block[i].is_none(), "slot {id} already occupied");
+        block[i] = Some(item);
+        self.len += 1;
+        id
+    }
+
+    /// Get a mutable reference to an entity by id.
+    pub fn get_mut(&mut self, id: u64) -> Option<&mut T> {
+        let (b, i) = (id as usize / BLOCK_CAP, id as usize % BLOCK_CAP);
+        // Probe through the shared reference first so a miss never pays the
+        // copy-on-write block clone.
+        self.blocks.get(b)?.get(i)?.as_ref()?;
+        Arc::make_mut(&mut self.blocks[b]).get_mut(i)?.as_mut()
+    }
+
+    /// Remove an entity, freeing its slot for reuse. Returns the entity.
+    pub fn remove(&mut self, id: u64) -> Option<T> {
+        let (b, i) = (id as usize / BLOCK_CAP, id as usize % BLOCK_CAP);
+        self.blocks.get(b)?.get(i)?.as_ref()?;
+        let item = Arc::make_mut(&mut self.blocks[b]).get_mut(i)?.take();
+        if item.is_some() {
+            self.free.push(id);
+            self.len -= 1;
+        }
+        item
     }
 }
 
@@ -166,5 +179,22 @@ mod tests {
         }
         assert_eq!(db.len(), n);
         assert_eq!(db.get((BLOCK_CAP + 5) as u64), Some(&(BLOCK_CAP + 5)));
+    }
+
+    #[test]
+    fn clone_is_a_snapshot_with_shared_blocks() {
+        let mut db = DataBlock::new();
+        for i in 0..10 {
+            db.insert(i);
+        }
+        let snap = db.clone();
+        *db.get_mut(3).unwrap() = 99;
+        db.remove(7);
+        db.insert(42);
+        assert_eq!(snap.get(3), Some(&3), "snapshot must not see later writes");
+        assert_eq!(snap.get(7), Some(&7));
+        assert_eq!(snap.len(), 10);
+        assert_eq!(db.get(3), Some(&99));
+        assert_eq!(db.get(7), Some(&42), "freed slot is recycled in the live store only");
     }
 }

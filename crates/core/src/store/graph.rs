@@ -24,8 +24,15 @@
 //! and materialise a merged copy otherwise, so a `&Graph` read never blocks
 //! on a flush. Buffers are folded into the main matrices when a matrix's
 //! pending count crosses [`Graph::flush_threshold`] (the
-//! `DELTA_MAX_PENDING_CHANGES` knob), or explicitly at a read barrier via
+//! `DELTA_MAX_PENDING_CHANGES` knob), or explicitly via
 //! [`Graph::sync_matrices`].
+//!
+//! Every flushed main CSR is an immutable, `Arc`-shared **epoch**:
+//! [`Graph::snapshot`] pins each matrix's current epoch — plus the bounded
+//! delta buffers and the `Arc`-shared entity blocks — into a
+//! [`GraphSnapshot`] that concurrent readers query without holding any lock,
+//! while writers publish new epochs copy-on-write. A pinned epoch is freed
+//! when its last snapshot drops.
 
 use crate::error::QueryError;
 use crate::exec::ops::TraverseStrategy;
@@ -70,6 +77,8 @@ pub struct Graph {
     label_matrices: Vec<DeltaMatrix<bool>>,
     flush_threshold: usize,
     traverse_strategy: TraverseStrategy,
+    /// Logical write version: bumped on every mutation, pinned by snapshots.
+    epoch: u64,
 }
 
 impl Graph {
@@ -89,7 +98,38 @@ impl Graph {
             label_matrices: Vec::new(),
             flush_threshold: DEFAULT_FLUSH_THRESHOLD,
             traverse_strategy: TraverseStrategy::Auto,
+            epoch: 0,
         }
+    }
+
+    /// The logical write version of the graph: incremented by every mutation
+    /// (not by flushes, which reorganise without changing contents). A
+    /// [`GraphSnapshot`] observes the single epoch it was taken at, forever.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Pin the current state as an immutable snapshot.
+    ///
+    /// The underlying clone is cheap and structural: each matrix's flushed
+    /// CSR is shared by `Arc` (see `DeltaMatrix::main_shared`), entity
+    /// DataBlocks share their blocks by `Arc`, and only the delta buffers —
+    /// bounded by the flush threshold — and the schema registries are
+    /// copied. Pending deltas are deliberately *not* folded: a fold rebuilds
+    /// whole CSRs (O(nnz) however few changes are buffered), which point
+    /// reads never need — they run on merged row views. Plans that do
+    /// consume whole matrices fold a private twin of the snapshot once, on
+    /// first demand (see [`GraphSnapshot`]).
+    ///
+    /// Later writes to this graph copy-on-write around the snapshot, so
+    /// reading from it never takes a lock and never observes a concurrent
+    /// writer.
+    ///
+    /// A caller holding a lock on this graph can split the two steps —
+    /// `self.clone()` under the lock, [`GraphSnapshot::seal`] outside it —
+    /// which is what the server's per-epoch snapshot cache does.
+    pub fn snapshot(&self) -> GraphSnapshot {
+        GraphSnapshot::seal(self.clone())
     }
 
     /// How `Conditional Traverse` / `Expand Into` operators execute against
@@ -174,17 +214,29 @@ impl Graph {
     /// Parse, plan and execute an openCypher query against this graph.
     pub fn query(&mut self, text: &str) -> Result<ResultSet, QueryError> {
         let ast = cypher::parse(text)?;
-        let plan = ExecutionPlan::build(&ast)?;
+        self.query_ast(&ast)
+    }
+
+    /// Plan and execute an already-parsed query. The server parses once at
+    /// dispatch (to classify read vs write and reject syntax errors without
+    /// touching any lock) and passes the AST through here.
+    pub fn query_ast(&mut self, ast: &cypher::Query) -> Result<ResultSet, QueryError> {
+        let plan = ExecutionPlan::build(ast)?;
         plan.execute(self)
     }
 
     /// Parse, plan and execute a **read-only** query through a shared
-    /// reference. Errors if the query contains write clauses. This is the path
-    /// the server uses so that many read queries can run concurrently on
-    /// different threadpool workers while holding only a read lock.
+    /// reference. Errors if the query contains write clauses. Concurrent
+    /// readers go through [`Graph::snapshot`] instead and never block.
     pub fn query_readonly(&self, text: &str) -> Result<ResultSet, QueryError> {
         let ast = cypher::parse(text)?;
-        let plan = ExecutionPlan::build(&ast)?;
+        self.query_readonly_ast(&ast)
+    }
+
+    /// Plan and execute an already-parsed read-only query (see
+    /// [`Graph::query_ast`]).
+    pub fn query_readonly_ast(&self, ast: &cypher::Query) -> Result<ResultSet, QueryError> {
+        let plan = ExecutionPlan::build(ast)?;
         plan.execute_read_only(self)
     }
 
@@ -249,6 +301,7 @@ impl Graph {
         for label in label_ids {
             self.label_matrices[label].set_element(id, id, true);
         }
+        self.epoch += 1;
         id
     }
 
@@ -277,6 +330,7 @@ impl Graph {
         self.relation_matrices_t[rel].set_element(dst, src, id);
         self.adjacency.set_element(src, dst, true);
         self.adjacency_t.set_element(dst, src, true);
+        self.epoch += 1;
         Ok(id)
     }
 
@@ -310,6 +364,7 @@ impl Graph {
             self.adjacency.remove_element(edge.src, edge.dst).expect("in-bounds");
             self.adjacency_t.remove_element(edge.dst, edge.src).expect("in-bounds");
         }
+        self.epoch += 1;
         true
     }
 
@@ -331,13 +386,16 @@ impl Graph {
         for label in node.labels {
             self.label_matrices[label].remove_element(id, id).expect("in-bounds");
         }
+        self.epoch += 1;
         true
     }
 
-    /// Read barrier: fold every matrix's pending buffers into its main CSR so
-    /// subsequent whole-matrix reads borrow instead of merging. Writes no
-    /// longer require this — merged views stay consistent without it — but
-    /// the server calls it before read bursts and tests use it to pin state.
+    /// Fold every matrix's pending buffers into its main CSR so subsequent
+    /// whole-matrix reads borrow instead of merging. Correctness never
+    /// requires this — merged views stay consistent without it — it is a
+    /// performance lever: the write path calls it before whole-matrix plans,
+    /// snapshots fold their private copies the same way, and tests use it to
+    /// pin state. Each non-trivial fold publishes a new epoch per matrix.
     pub fn sync_matrices(&mut self) {
         self.adjacency.flush();
         self.adjacency_t.flush();
@@ -382,6 +440,7 @@ impl Graph {
         match self.nodes.get_mut(id) {
             Some(n) => {
                 n.attributes.set(attr, value);
+                self.epoch += 1;
                 true
             }
             None => false,
@@ -394,6 +453,7 @@ impl Graph {
         match self.edges.get_mut(id) {
             Some(e) => {
                 e.attributes.set(attr, value);
+                self.epoch += 1;
                 true
             }
             None => false,
@@ -625,6 +685,7 @@ impl Graph {
         self.relation_matrices[rel] = self.delta_from_triples(&rel_triples);
         self.relation_matrices_t[rel] =
             self.delta_from_matrix(transpose(self.relation_matrices[rel].main()));
+        self.epoch += 1;
     }
 
     /// Build a flushed delta matrix from triples at this graph's dimension.
@@ -638,6 +699,84 @@ impl Graph {
         let mut m = DeltaMatrix::from_matrix(matrix);
         m.set_flush_threshold(self.flush_threshold);
         m
+    }
+
+    /// Pin the adjacency matrix's current epoch CSR. Diagnostic/test use:
+    /// the epoch-reclamation tests assert through `Weak` handles derived from
+    /// this that old epochs are freed, not accumulated.
+    pub fn adjacency_epoch_pin(&self) -> std::sync::Arc<SparseMatrix<bool>> {
+        self.adjacency.main_shared()
+    }
+}
+
+/// An immutable, epoch-pinned view of a [`Graph`].
+///
+/// Produced by [`Graph::snapshot`]. The server takes one per read-only query
+/// under a momentary read lock, then executes entirely lock-free: the
+/// snapshot shares the flushed epoch CSRs and entity blocks with the live
+/// graph by `Arc`, so concurrent writers copy-on-write around it and the
+/// snapshot observes exactly one [`GraphSnapshot::epoch`], forever.
+///
+/// `Deref<Target = Graph>` exposes every shared read accessor; there is no
+/// way to reach the write surface, so a snapshot cannot leak writes.
+#[derive(Debug, Clone)]
+pub struct GraphSnapshot {
+    graph: Graph,
+    /// A flushed twin of `graph`, folded once on first demand by a plan that
+    /// consumes whole matrices (variable-length traversals, procedures).
+    /// Point reads never build it: a fold rebuilds whole CSRs — O(nnz) no
+    /// matter how few deltas are pending — while merged row views serve
+    /// single-hop reads at no materialisation cost at all.
+    folded: std::sync::OnceLock<Graph>,
+}
+
+impl GraphSnapshot {
+    /// Seal an owned clone of a graph into an immutable snapshot. Sealing
+    /// itself does no work — pending deltas stay buffered, and the snapshot
+    /// serves reads from merged views. The first whole-matrix plan to run
+    /// folds a private twin (copy-on-write through `Arc::make_mut`, so
+    /// epochs shared with the live graph and with other snapshots are never
+    /// touched); every later whole-matrix plan borrows that twin for free.
+    /// Folding reorganises without mutating, so the snapshot's logical
+    /// contents and [`GraphSnapshot::epoch`] never change.
+    pub fn seal(graph: Graph) -> GraphSnapshot {
+        GraphSnapshot { graph, folded: std::sync::OnceLock::new() }
+    }
+
+    /// The logical write version this snapshot pinned.
+    pub fn epoch(&self) -> u64 {
+        self.graph.epoch
+    }
+
+    /// Parse, plan and execute a read-only query against the pinned state.
+    pub fn query_readonly(&self, text: &str) -> Result<ResultSet, QueryError> {
+        let ast = cypher::parse(text)?;
+        self.query_readonly_ast(&ast)
+    }
+
+    /// Plan and execute an already-parsed read-only query against the pinned
+    /// state. Errors if the query contains write clauses. `&self`: many
+    /// readers can share one snapshot behind an `Arc`.
+    pub fn query_readonly_ast(&self, ast: &cypher::Query) -> Result<ResultSet, QueryError> {
+        let plan = ExecutionPlan::build(ast)?;
+        let graph = if plan.needs_matrix_views() && self.graph.has_pending_deltas() {
+            self.folded.get_or_init(|| {
+                let mut twin = self.graph.clone();
+                twin.sync_matrices();
+                twin
+            })
+        } else {
+            &self.graph
+        };
+        plan.execute_read_only(graph)
+    }
+}
+
+impl std::ops::Deref for GraphSnapshot {
+    type Target = Graph;
+
+    fn deref(&self) -> &Graph {
+        &self.graph
     }
 }
 
@@ -889,6 +1028,74 @@ mod tests {
         assert_eq!(g.neighbors(a, None, TraverseDir::Outgoing), vec![]);
         assert_eq!(g.adjacency_matrix().nvals(), 0);
         assert_eq!(g.adjacency_matrix_t().nvals(), 0);
+    }
+
+    #[test]
+    fn snapshot_is_isolated_from_later_writes() {
+        let mut g = triangle();
+        g.set_flush_threshold(2); // force epoch publications mid-test
+        let epoch = g.epoch();
+        let snap = g.snapshot();
+
+        // Mutate the live graph heavily after the snapshot was pinned.
+        let d = g.add_node(&["Person"], vec![("name", Value::Str("d".into()))]);
+        g.add_edge(0, d, "KNOWS", vec![]).unwrap();
+        g.set_node_property(0, "name", Value::Str("renamed".into()));
+        g.delete_node(2);
+        g.sync_matrices();
+
+        assert!(g.epoch() > epoch);
+        assert_eq!(snap.epoch(), epoch, "a snapshot pins one epoch forever");
+        // Entity reads, matrix reads and full queries all see the old state.
+        assert_eq!(snap.node_count(), 3);
+        assert_eq!(snap.node_property(0, "name"), Value::Str("a".into()));
+        assert_eq!(snap.adjacency_matrix().nvals(), 3);
+        let rs = snap.query_readonly("MATCH (n) RETURN count(n)").unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::Int(3)));
+        // Whole-matrix plans fold the snapshot's private twin on demand,
+        // which must not have leaked into the live graph or changed the
+        // snapshot's contents.
+        let rs = snap.query_readonly("MATCH (a)-[*1..3]->(b) RETURN count(DISTINCT b)").unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::Int(2)));
+        assert_eq!(snap.node_count(), 3);
+        // Write clauses are rejected on the snapshot path.
+        assert!(snap.query_readonly("CREATE (:Nope)").is_err());
+    }
+
+    #[test]
+    fn snapshot_epochs_are_reclaimed_not_accumulated() {
+        let mut g = Graph::new("reclaim");
+        g.set_flush_threshold(4);
+        for _ in 0..8 {
+            g.add_node(&["N"], vec![]);
+        }
+        g.sync_matrices();
+
+        let pinned = g.snapshot(); // long-lived reader on the current epoch
+        let first_epoch_pin = g.adjacency_epoch_pin();
+        let weak_first = std::sync::Arc::downgrade(&first_epoch_pin);
+        drop(first_epoch_pin);
+
+        // A write-heavy loop that keeps publishing epochs (threshold 4) while
+        // short-lived snapshots come and go, as the server's read path does.
+        let mut weaks = Vec::new();
+        for i in 0..32 {
+            let s = g.snapshot();
+            g.add_edge(i % 8, (i + 1) % 8, "L", vec![]).unwrap();
+            g.add_edge((i + 2) % 8, i % 8, "L", vec![]).unwrap();
+            g.sync_matrices();
+            weaks.push(std::sync::Arc::downgrade(&g.adjacency_epoch_pin()));
+            drop(s);
+        }
+        let live = weaks.iter().filter(|w| w.upgrade().is_some()).count();
+        assert_eq!(live, 1, "only the newest adjacency epoch may stay alive");
+        // The long-pinned first epoch is still alive through `pinned`…
+        assert!(weak_first.upgrade().is_some());
+        assert_eq!(pinned.node_count(), 8);
+        assert_eq!(pinned.edge_count(), 0);
+        drop(pinned);
+        // …and reclaimed the moment the last reader drops.
+        assert!(weak_first.upgrade().is_none(), "dropping the last snapshot frees its epoch");
     }
 
     #[test]

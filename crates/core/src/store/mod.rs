@@ -8,5 +8,5 @@ pub mod schema;
 
 pub use datablock::DataBlock;
 pub use entity::{AttributeSet, EdgeEntity, NodeEntity};
-pub use graph::Graph;
+pub use graph::{Graph, GraphSnapshot};
 pub use schema::{AttributeId, LabelId, RelTypeId, Schema};

@@ -21,6 +21,19 @@
 //! * `DM` only names coordinates that exist in the main matrix;
 //! * `DP` and `DM` are disjoint — a delete of a pending insert simply drops
 //!   the `DP` entry, and an insert over a pending delete drops the `DM` entry.
+//!
+//! ## Epochs
+//!
+//! The main matrix is held behind an [`Arc`]: each flushed CSR is an immutable
+//! **epoch**. [`DeltaMatrix::main_shared`] hands out a reference-counted pin
+//! on the current epoch; every mutation of the main matrix (flush, shrink,
+//! clear) goes through [`Arc::make_mut`], so a pinned epoch is never modified
+//! in place — the writer publishes the next epoch into a fresh allocation and
+//! the old one is reclaimed when its last pin drops. When nothing pins the
+//! epoch, `make_mut` mutates in place and flushing costs exactly what it did
+//! before epochs existed. Cloning a `DeltaMatrix` is therefore cheap — an
+//! `Arc` bump plus the pending buffers, which are bounded by the flush
+//! threshold — and the clone is a consistent snapshot.
 
 use crate::error::{check_index, GrbError, GrbResult};
 use crate::matrix::SparseMatrix;
@@ -28,6 +41,7 @@ use crate::types::Scalar;
 use crate::Index;
 use std::borrow::Cow;
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// Default number of pending changes that triggers an automatic flush
 /// (RedisGraph ships `DELTA_MAX_PENDING_CHANGES = 10000`).
@@ -37,12 +51,16 @@ pub const DEFAULT_FLUSH_THRESHOLD: usize = 10_000;
 /// pending deletions, flushed in bulk.
 #[derive(Clone, Debug)]
 pub struct DeltaMatrix<T: Scalar> {
-    main: SparseMatrix<T>,
+    /// The current epoch: an immutable, shareable, fully-flushed CSR.
+    main: Arc<SparseMatrix<T>>,
     delta_plus: BTreeMap<(Index, Index), T>,
     delta_minus: BTreeSet<(Index, Index)>,
     /// Exact number of entries in the merged view, maintained incrementally.
     nvals: usize,
     flush_threshold: usize,
+    /// Publication counter: bumped whenever the main matrix's *contents*
+    /// change (flush, shrinking resize, clear).
+    epoch: u64,
 }
 
 impl<T: Scalar> PartialEq for DeltaMatrix<T> {
@@ -67,11 +85,12 @@ impl<T: Scalar> DeltaMatrix<T> {
         main.wait();
         let nvals = main.nvals();
         DeltaMatrix {
-            main,
+            main: Arc::new(main),
             delta_plus: BTreeMap::new(),
             delta_minus: BTreeSet::new(),
             nvals,
             flush_threshold: DEFAULT_FLUSH_THRESHOLD,
+            epoch: 0,
         }
     }
 
@@ -164,37 +183,47 @@ impl<T: Scalar> DeltaMatrix<T> {
     /// rebuild drop out-of-range entries.
     pub fn resize(&mut self, nrows: Index, ncols: Index) {
         if nrows >= self.nrows() && ncols >= self.ncols() {
-            self.main.resize(nrows, ncols);
+            // Growing changes no entry, so the epoch number stays; readers
+            // pinning the old allocation keep the smaller dimensions.
+            Arc::make_mut(&mut self.main).resize(nrows, ncols);
             return;
         }
         self.flush();
-        self.main.resize(nrows, ncols);
+        Arc::make_mut(&mut self.main).resize(nrows, ncols);
         self.nvals = self.main.nvals();
+        self.epoch += 1;
     }
 
     /// Remove every entry (and every pending change), keeping the dimensions.
     pub fn clear(&mut self) {
         self.delta_plus.clear();
         self.delta_minus.clear();
-        self.main.clear();
+        Arc::make_mut(&mut self.main).clear();
         self.nvals = 0;
+        self.epoch += 1;
     }
 
-    /// Fold both pending buffers into the main matrix in one CSR rebuild.
-    /// Cheap no-op when nothing is pending.
+    /// Fold both pending buffers into the main matrix in one CSR rebuild,
+    /// publishing a new epoch. Cheap no-op when nothing is pending.
+    ///
+    /// If a reader pins the current epoch (via [`DeltaMatrix::main_shared`]
+    /// or a clone of this matrix), the fold copies into a fresh allocation and
+    /// the pinned epoch stays untouched; otherwise it mutates in place.
     pub fn flush(&mut self) {
         if self.is_flushed() {
             return;
         }
+        let main = Arc::make_mut(&mut self.main);
         for &(r, c) in &self.delta_minus {
-            self.main.remove_element(r, c).expect("DM coordinates are in bounds");
+            main.remove_element(r, c).expect("DM coordinates are in bounds");
         }
         for (&(r, c), &v) in &self.delta_plus {
-            self.main.set_element(r, c, v);
+            main.set_element(r, c, v);
         }
         self.delta_minus.clear();
         self.delta_plus.clear();
-        self.main.wait();
+        main.wait();
+        self.epoch += 1;
         debug_assert_eq!(self.main.nvals(), self.nvals, "flush changed the merged entry count");
     }
 
@@ -313,9 +342,9 @@ impl<T: Scalar> DeltaMatrix<T> {
     /// Materialise the merged view as a standalone flushed [`SparseMatrix`].
     pub fn export(&self) -> SparseMatrix<T> {
         if self.is_flushed() {
-            return self.main.clone();
+            return (*self.main).clone();
         }
-        let mut merged = self.main.clone();
+        let mut merged = (*self.main).clone();
         for &(r, c) in &self.delta_minus {
             merged.remove_element(r, c).expect("in bounds");
         }
@@ -342,6 +371,23 @@ impl<T: Scalar> DeltaMatrix<T> {
     /// go through the merged view).
     pub fn main(&self) -> &SparseMatrix<T> {
         &self.main
+    }
+
+    /// The publication counter: how many times a new main matrix has been
+    /// published (flush, shrinking resize, clear) since construction.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Pin the current epoch: a shared handle on the immutable main CSR.
+    ///
+    /// While the handle is alive, flushes publish the next epoch into a fresh
+    /// allocation (copy-on-write) instead of mutating this one; the pinned
+    /// allocation is reclaimed when its last handle drops. Note the handle is
+    /// the *flushed* state only — pending buffers are not included (clone the
+    /// whole `DeltaMatrix` for a merged-view snapshot).
+    pub fn main_shared(&self) -> Arc<SparseMatrix<T>> {
+        Arc::clone(&self.main)
     }
 
     /// Validate the delta-matrix invariants on top of the main CSR's own.
@@ -513,6 +559,64 @@ mod tests {
         let mut m = DeltaMatrix::<i64>::new(2, 2);
         assert!(m.try_set_element(2, 0, 1).is_err());
         assert!(m.remove_element(0, 2).is_err());
+    }
+
+    #[test]
+    fn snapshot_pins_epoch_across_flush() {
+        let mut m = seeded();
+        let epoch0 = m.epoch();
+        let pinned = m.main_shared();
+        m.set_element(2, 2, 99);
+        m.flush();
+        assert_eq!(m.epoch(), epoch0 + 1);
+        // The pinned epoch still shows the pre-flush state…
+        assert_eq!(pinned.extract_element(2, 2), None);
+        // …while the published epoch has the write.
+        assert_eq!(m.main().extract_element(2, 2), Some(99));
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn pinned_epoch_is_reclaimed_when_last_reader_drops() {
+        let mut m = seeded();
+        let pinned = m.main_shared();
+        let weak = Arc::downgrade(&pinned);
+        m.set_element(0, 0, 1);
+        m.flush(); // publishes the next epoch; the old one lives via `pinned`
+        assert!(weak.upgrade().is_some(), "a pinned epoch must stay alive");
+        drop(pinned);
+        assert!(weak.upgrade().is_none(), "the last reader drop reclaims the epoch");
+    }
+
+    #[test]
+    fn write_heavy_loop_does_not_accumulate_epochs() {
+        let mut m = DeltaMatrix::<i64>::new(64, 64);
+        let pinned = m.main_shared(); // one long-lived reader on epoch 0
+        let mut weaks = Vec::new();
+        for i in 0..50u64 {
+            m.set_element(i % 64, (i * 7) % 64, i as i64);
+            m.flush();
+            weaks.push(Arc::downgrade(&m.main_shared()));
+        }
+        let live = weaks.iter().filter(|w| w.upgrade().is_some()).count();
+        assert_eq!(live, 1, "only the newest epoch may stay alive, not all 50");
+        drop(pinned);
+    }
+
+    #[test]
+    fn clone_is_a_consistent_snapshot() {
+        let mut m = seeded();
+        m.set_element(2, 2, 5); // leave a pending insert in the buffers
+        let snap = m.clone();
+        m.set_element(3, 3, 7);
+        m.remove_element(0, 1).unwrap();
+        m.flush();
+        // The snapshot still sees exactly the state at clone time.
+        assert_eq!(snap.extract_element(2, 2), Some(5));
+        assert_eq!(snap.extract_element(3, 3), None);
+        assert_eq!(snap.extract_element(0, 1), Some(10));
+        snap.check_invariants().unwrap();
+        m.check_invariants().unwrap();
     }
 
     #[test]

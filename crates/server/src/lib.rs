@@ -38,6 +38,9 @@ pub mod server;
 pub use client::RespClient;
 pub use commands::Command;
 pub use listener::GraphServer;
+// The lock type `RedisGraphServer::graph` hands out, so embedders can name
+// `Arc<RwLock<Graph>>` without depending on the lock crate directly.
+pub use parking_lot::RwLock;
 pub use pool::ThreadPool;
 pub use resp::{DecodeStop, RespValue, StreamDecoder};
 pub use server::{RedisGraphServer, ServerConfig};

@@ -1,6 +1,15 @@
 //! A minimal RESP (REdis Serialization Protocol) v2 encoder/decoder — enough
 //! to frame `GRAPH.*` commands and their replies the way a Redis client would
 //! see them.
+//!
+//! Besides RESP frames, the socket-facing [`StreamDecoder`] accepts Redis'
+//! *inline command* form: a bare `PING\r\n` typed into `telnet`/`netcat`,
+//! split on whitespace with Redis' quoting rules (`"\xHH"` escapes inside
+//! double quotes, `\'` inside single quotes). Inline commands are only
+//! recognised at the top level of the stream — never inside an array frame —
+//! and the one-shot [`RespValue::decode_strict`] stays strict RESP, since it
+//! also parses server *replies*, where an inline fallback would mask
+//! corruption.
 
 use std::fmt;
 
@@ -202,8 +211,11 @@ fn decode_at(input: &[u8], pos: &mut usize, depth: usize) -> Result<RespValue, D
 fn decode_shallow(input: &[u8], pos: &mut usize) -> Result<Shallow, DecodeStop> {
     let line_start = *pos;
     // The type byte alone classifies a garbage prefix before its CRLF ever
-    // arrives (an inline `GET foo` or a TLS ClientHello is rejected on byte
-    // one, not buffered until the line cap).
+    // arrives (a TLS ClientHello is rejected on byte one, not buffered until
+    // the line cap). `StreamDecoder` layers the inline-command fallback on
+    // top of this *before* calling here, and only at the top level; inside an
+    // array frame, or through the strict one-shot decoders, a non-type byte
+    // is final desynchronisation.
     let Some(&kind) = input.get(line_start) else {
         return Err(DecodeStop::Incomplete);
     };
@@ -291,6 +303,146 @@ fn decode_shallow(input: &[u8], pos: &mut usize) -> Result<Shallow, DecodeStop> 
     }
 }
 
+/// Decode one inline command starting at `*pos` (which must sit at the top
+/// level of the stream, on a byte that is not a RESP type byte), advancing
+/// `*pos` past the terminating newline. Returns `Ok(None)` for a blank line
+/// (consumed and skipped, like Redis), `Ok(Some(array-of-bulk-strings))`
+/// for a command, and the usual [`DecodeStop`] split otherwise: no newline
+/// yet is `Incomplete` up to the 64KB line cap, while an over-long line,
+/// non-UTF-8 bytes, or unbalanced quotes are `Malformed`. On `Err`, `*pos`
+/// is unchanged.
+fn decode_inline(input: &[u8], pos: &mut usize) -> Result<Option<RespValue>, DecodeStop> {
+    let start = *pos;
+    // Inline commands terminate on `\n` (Redis accepts a bare newline from
+    // interactive clients); a trailing `\r` is stripped.
+    let Some(nl) = input[start..].iter().position(|&b| b == b'\n') else {
+        return Err(if input.len() - start > MAX_LINE_LEN {
+            DecodeStop::Malformed
+        } else {
+            DecodeStop::Incomplete
+        });
+    };
+    let nl = start + nl;
+    let mut line_end = nl;
+    if line_end > start && input[line_end - 1] == b'\r' {
+        line_end -= 1;
+    }
+    if line_end - start > MAX_LINE_LEN {
+        return Err(DecodeStop::Malformed);
+    }
+    let line = std::str::from_utf8(&input[start..line_end]).map_err(|_| DecodeStop::Malformed)?;
+    let args = split_inline_args(line).ok_or(DecodeStop::Malformed)?;
+    *pos = nl + 1;
+    if args.is_empty() {
+        return Ok(None);
+    }
+    Ok(Some(RespValue::Array(args.into_iter().map(RespValue::BulkString).collect())))
+}
+
+/// Split an inline command line into arguments with Redis' `sdssplitargs`
+/// rules: whitespace separates bare words; double quotes group a word and
+/// honour `\xHH` hex escapes plus `\n` `\r` `\t` `\b` `\a`; single quotes
+/// group verbatim except `\'`; a closing quote must be followed by
+/// whitespace or end-of-line. Returns `None` on unbalanced quotes or a
+/// dangling closing quote — the line is malformed, not retryable.
+fn split_inline_args(line: &str) -> Option<Vec<String>> {
+    fn hex_val(b: u8) -> Option<u8> {
+        match b {
+            b'0'..=b'9' => Some(b - b'0'),
+            b'a'..=b'f' => Some(b - b'a' + 10),
+            b'A'..=b'F' => Some(b - b'A' + 10),
+            _ => None,
+        }
+    }
+    let bytes = line.as_bytes();
+    let mut args = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if i >= bytes.len() {
+            break;
+        }
+        // Escapes can produce arbitrary bytes, so the argument accumulates
+        // as bytes and converts lossily at the end (RespValue carries String).
+        let mut current: Vec<u8> = Vec::new();
+        let mut in_double = false;
+        let mut in_single = false;
+        loop {
+            if in_double {
+                let &b = bytes.get(i)?; // unterminated quotes: malformed
+                if b == b'\\' && i + 3 < bytes.len() && bytes[i + 1] == b'x' {
+                    if let (Some(hi), Some(lo)) = (hex_val(bytes[i + 2]), hex_val(bytes[i + 3])) {
+                        current.push(hi * 16 + lo);
+                        i += 4;
+                        continue;
+                    }
+                }
+                if b == b'\\' && i + 1 < bytes.len() {
+                    current.push(match bytes[i + 1] {
+                        b'n' => b'\n',
+                        b'r' => b'\r',
+                        b't' => b'\t',
+                        b'b' => 0x08,
+                        b'a' => 0x07,
+                        other => other,
+                    });
+                    i += 2;
+                } else if b == b'"' {
+                    // The closing quote must end the argument.
+                    if let Some(&next) = bytes.get(i + 1) {
+                        if !next.is_ascii_whitespace() {
+                            return None;
+                        }
+                    }
+                    i += 1;
+                    break;
+                } else {
+                    current.push(b);
+                    i += 1;
+                }
+            } else if in_single {
+                let &b = bytes.get(i)?;
+                if b == b'\\' && bytes.get(i + 1) == Some(&b'\'') {
+                    current.push(b'\'');
+                    i += 2;
+                } else if b == b'\'' {
+                    if let Some(&next) = bytes.get(i + 1) {
+                        if !next.is_ascii_whitespace() {
+                            return None;
+                        }
+                    }
+                    i += 1;
+                    break;
+                } else {
+                    current.push(b);
+                    i += 1;
+                }
+            } else {
+                let Some(&b) = bytes.get(i) else { break };
+                match b {
+                    b if b.is_ascii_whitespace() => break,
+                    b'"' => {
+                        in_double = true;
+                        i += 1;
+                    }
+                    b'\'' => {
+                        in_single = true;
+                        i += 1;
+                    }
+                    other => {
+                        current.push(other);
+                        i += 1;
+                    }
+                }
+            }
+        }
+        args.push(String::from_utf8_lossy(&current).into_owned());
+    }
+    Some(args)
+}
+
 /// A **resumable** pipeline decoder for socket loops: where
 /// [`RespValue::decode_pipeline_strict`] restarts from byte zero of the
 /// retained buffer on every call — quadratic when a large frame arrives in
@@ -344,6 +496,31 @@ impl StreamDecoder {
             // rejected before it is even scanned.
             if self.stack.len() > MAX_DEPTH {
                 break DecodeStop::Malformed;
+            }
+            // Redis' inline command form: at the *top level* of the stream, a
+            // byte that is not a RESP type byte starts an inline line
+            // (`PING\r\n` from netcat) rather than desynchronisation. Inside
+            // an array frame the strict rule stands — a stray byte there can
+            // never be repaired.
+            if self.stack.is_empty() {
+                if let Some(&first) = input.get(self.pos) {
+                    if !matches!(first, b'+' | b'-' | b':' | b'$' | b'*') {
+                        match decode_inline(input, &mut self.pos) {
+                            Ok(Some(command)) => {
+                                values.push(command);
+                                emit_pos = self.pos;
+                                continue;
+                            }
+                            // A blank line is consumed and skipped (Redis
+                            // ignores empty inline lines).
+                            Ok(None) => {
+                                emit_pos = self.pos;
+                                continue;
+                            }
+                            Err(stop) => break stop,
+                        }
+                    }
+                }
             }
             match decode_shallow(input, &mut self.pos) {
                 Ok(Shallow::ArrayHeader(count)) => {
@@ -692,8 +869,10 @@ mod tests {
 
     #[test]
     fn stream_decoder_flags_malformed_and_depth_bombs() {
+        // Binary garbage (a TLS ClientHello with a newline in range) is not
+        // UTF-8, so the inline fallback rejects it too.
         let mut decoder = StreamDecoder::new();
-        let (_, _, stop) = decoder.feed(b"GET foo\r\n");
+        let (_, _, stop) = decoder.feed(b"\x16\x03\x01\xff\n");
         assert_eq!(stop, DecodeStop::Malformed);
 
         let mut decoder = StreamDecoder::new();
@@ -705,6 +884,115 @@ mod tests {
         let mut decoder = StreamDecoder::new();
         let (_, _, stop) = decoder.feed(b"*2\r\n:1\r\n?bad\r\n");
         assert_eq!(stop, DecodeStop::Malformed);
+    }
+
+    #[test]
+    fn inline_commands_decode_at_top_level() {
+        // `PING` typed into netcat arrives as `PING\r\n` — no RESP framing.
+        let mut decoder = StreamDecoder::new();
+        let (values, consumed, stop) = decoder.feed(b"PING\r\n");
+        assert_eq!(values, vec![RespValue::command(&["PING"])]);
+        assert_eq!(consumed, 6);
+        assert_eq!(stop, DecodeStop::Incomplete);
+
+        // A bare `\n` terminator works too, and inline mixes freely with
+        // RESP-framed commands on the same stream.
+        let mut wire = b"GET foo\n".to_vec();
+        wire.extend_from_slice(&RespValue::command(&["PING"]).encode());
+        wire.extend_from_slice(b"GRAPH.QUERY g RETURN 1\r\n");
+        let mut decoder = StreamDecoder::new();
+        let (values, consumed, _) = decoder.feed(&wire);
+        assert_eq!(
+            values,
+            vec![
+                RespValue::command(&["GET", "foo"]),
+                RespValue::command(&["PING"]),
+                RespValue::command(&["GRAPH.QUERY", "g", "RETURN", "1"]),
+            ]
+        );
+        assert_eq!(consumed, wire.len());
+
+        // An inline line split across reads stays buffered until the newline.
+        let mut decoder = StreamDecoder::new();
+        let (values, consumed, stop) = decoder.feed(b"PI");
+        assert!(values.is_empty());
+        assert_eq!((consumed, stop), (0, DecodeStop::Incomplete));
+        let (values, consumed, _) = decoder.feed(b"PING\r\n");
+        assert_eq!(values, vec![RespValue::command(&["PING"])]);
+        assert_eq!(consumed, 6);
+    }
+
+    #[test]
+    fn inline_blank_lines_are_skipped_not_fatal() {
+        // Redis ignores empty inline lines (a newline-happy human in a
+        // terminal); they are consumed without emitting a frame.
+        let mut decoder = StreamDecoder::new();
+        let (values, consumed, stop) = decoder.feed(b"\r\n\nPING\r\n");
+        assert_eq!(values, vec![RespValue::command(&["PING"])]);
+        assert_eq!(consumed, 9);
+        assert_eq!(stop, DecodeStop::Incomplete);
+    }
+
+    #[test]
+    fn inline_quoting_follows_redis_rules() {
+        let split = split_inline_args;
+        // Double quotes group words and honour escapes.
+        assert_eq!(
+            split(r#"GRAPH.QUERY g "MATCH (n) RETURN n""#).unwrap(),
+            vec!["GRAPH.QUERY", "g", "MATCH (n) RETURN n"]
+        );
+        assert_eq!(split(r#"SET k "a\x21b""#).unwrap(), vec!["SET", "k", "a!b"]);
+        assert_eq!(split(r#"SET k "a\tb\nc""#).unwrap(), vec!["SET", "k", "a\tb\nc"]);
+        // Unknown escapes pass the escaped byte through (Redis behaviour).
+        assert_eq!(split(r#"SET k "a\qb""#).unwrap(), vec!["SET", "k", "aqb"]);
+        // Single quotes are verbatim except `\'`.
+        assert_eq!(split(r#"SET k 'it\'s \n raw'"#).unwrap(), vec!["SET", "k", r"it's \n raw"]);
+        // Empty quoted argument and repeated whitespace.
+        assert_eq!(split(r#"SET k """#).unwrap(), vec!["SET", "k", ""]);
+        assert_eq!(split("  PING\t ").unwrap(), vec!["PING"]);
+        // Unbalanced quotes / a closing quote glued to the next word: fatal.
+        assert!(split(r#"SET k "unterminated"#).is_none());
+        assert!(split(r#"SET k 'unterminated"#).is_none());
+        assert!(split(r#"SET k "x"y"#).is_none());
+        assert!(split(r#"SET k 'x'y"#).is_none());
+
+        // And through the decoder: unbalanced quotes are Malformed (close the
+        // connection), matching Redis' `unbalanced quotes in request`.
+        let mut decoder = StreamDecoder::new();
+        let (_, _, stop) = decoder.feed(b"SET k \"oops\n");
+        assert_eq!(stop, DecodeStop::Malformed);
+    }
+
+    #[test]
+    fn inline_line_cap_bounds_hostile_clients() {
+        // A newline-free flood larger than the line cap can never become a
+        // legal inline command: Malformed, not buffered forever.
+        let mut decoder = StreamDecoder::new();
+        let flood = vec![b'a'; MAX_LINE_LEN + 2];
+        let (_, _, stop) = decoder.feed(&flood);
+        assert_eq!(stop, DecodeStop::Malformed);
+        // Just under the cap it is still a prefix a newline could complete.
+        let mut decoder = StreamDecoder::new();
+        let below = vec![b'a'; MAX_LINE_LEN];
+        let (_, consumed, stop) = decoder.feed(&below);
+        assert_eq!((consumed, stop), (0, DecodeStop::Incomplete));
+        // An over-long line *with* its newline present is also rejected.
+        let mut decoder = StreamDecoder::new();
+        let mut long_line = vec![b'a'; MAX_LINE_LEN + 1];
+        long_line.extend_from_slice(b"\r\n");
+        let (_, _, stop) = decoder.feed(&long_line);
+        assert_eq!(stop, DecodeStop::Malformed);
+    }
+
+    #[test]
+    fn inline_is_not_recognised_inside_array_frames() {
+        // The fallback applies only at the top level: a stray non-type byte
+        // where an array element should start is still desynchronisation.
+        let mut decoder = StreamDecoder::new();
+        let (_, _, stop) = decoder.feed(b"*2\r\n:1\r\nGET foo\r\n");
+        assert_eq!(stop, DecodeStop::Malformed);
+        // And the one-shot strict decoder (reply parsing) stays strict RESP.
+        assert_eq!(RespValue::decode_strict(b"PING\r\n"), Err(DecodeStop::Malformed));
     }
 
     #[test]

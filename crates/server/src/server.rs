@@ -6,18 +6,21 @@
 //! * all commands funnel through the single main thread ([`RedisGraphServer::handle`]
 //!   or the dispatcher thread started by [`RedisGraphServer::start_dispatcher`]);
 //! * each `GRAPH.QUERY` is executed by **one** worker of the threadpool;
-//! * reads on the same graph proceed concurrently under a read lock, writes
-//!   take the write lock — so read throughput scales with the pool size while
-//!   any individual query stays on a single core.
+//! * queries are parsed **once**, at dispatch: a parse error answers
+//!   immediately without occupying a pool worker or touching any graph lock;
+//! * read-only queries pin an epoch snapshot ([`redisgraph_core::GraphSnapshot`])
+//!   under a momentary read lock and then execute entirely lock-free, so a
+//!   heavy procedure call or a burst of writers can never stall point reads;
+//! * write queries take the graph's write lock for exclusive access.
 
 use crate::commands::{resultset_to_resp, Command};
 use crate::pool::ThreadPool;
 use crate::resp::RespValue;
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::RwLock;
-use redisgraph_core::Graph;
+use parking_lot::{Mutex, RwLock};
+use redisgraph_core::{Graph, GraphSnapshot, QueryError};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -84,9 +87,53 @@ pub struct Request {
     pub reply_to: Sender<RespValue>,
 }
 
+/// One keyspace slot: the graph plus its delete tombstone.
+///
+/// Queries dispatched before a `GRAPH.DELETE` may still hold this entry's
+/// `Arc` when the delete lands; the flag makes the delete observable to them
+/// (a queued write aborts instead of mutating the orphan), while a later
+/// lookup of the same name creates a *fresh* entry.
+#[derive(Clone)]
+struct GraphEntry {
+    graph: Arc<RwLock<Graph>>,
+    deleted: Arc<AtomicBool>,
+    /// The sealed snapshot serving the current epoch's reads, rebuilt at the
+    /// first read after a publication; every later read of the same epoch
+    /// just clones the `Arc`. A `GRAPH.DELETE` drops the whole entry, and
+    /// the stale cache with it.
+    snapshot_cache: Arc<Mutex<Option<Arc<GraphSnapshot>>>>,
+}
+
+impl GraphEntry {
+    /// The sealed snapshot of the graph's current epoch.
+    ///
+    /// The epoch check and the clone backing a rebuild happen under the
+    /// *same* read-lock acquisition, so the cached snapshot can never be
+    /// installed for an epoch it does not represent. The cache mutex is held
+    /// across the rebuild (single-flight): concurrent first-readers of a
+    /// fresh epoch briefly queue for one structural clone instead of each
+    /// paying their own, and nobody holds the graph lock while they wait —
+    /// a writer is never blocked.
+    fn snapshot(&self) -> Arc<GraphSnapshot> {
+        let mut cache = self.snapshot_cache.lock();
+        let pending = {
+            let g = self.graph.read();
+            if let Some(cached) = cache.as_ref() {
+                if cached.epoch() == g.epoch() {
+                    return Arc::clone(cached);
+                }
+            }
+            g.clone()
+        };
+        let sealed = Arc::new(GraphSnapshot::seal(pending));
+        *cache = Some(Arc::clone(&sealed));
+        sealed
+    }
+}
+
 /// The in-process server.
 pub struct RedisGraphServer {
-    graphs: Arc<RwLock<HashMap<String, Arc<RwLock<Graph>>>>>,
+    graphs: Arc<RwLock<HashMap<String, GraphEntry>>>,
     pool: Arc<ThreadPool>,
     config: ServerConfig,
     /// Live value of `DELTA_MAX_PENDING_CHANGES` (`GRAPH.CONFIG SET` updates
@@ -144,8 +191,13 @@ impl RedisGraphServer {
 
     /// Fetch (or create) the graph stored under `name`.
     pub fn graph(&self, name: &str) -> Arc<RwLock<Graph>> {
-        if let Some(g) = self.graphs.read().get(name) {
-            return g.clone();
+        self.entry(name).graph
+    }
+
+    /// Fetch (or create) the keyspace entry stored under `name`.
+    fn entry(&self, name: &str) -> GraphEntry {
+        if let Some(e) = self.graphs.read().get(name) {
+            return e.clone();
         }
         let mut graphs = self.graphs.write();
         graphs
@@ -156,20 +208,13 @@ impl RedisGraphServer {
                 // `GRAPH.CONFIG SET` (which retunes the map's graphs under
                 // the same lock) cannot leave this graph on a stale value.
                 g.set_flush_threshold(self.delta_max_pending_changes());
-                Arc::new(RwLock::new(g))
+                GraphEntry {
+                    graph: Arc::new(RwLock::new(g)),
+                    deleted: Arc::new(AtomicBool::new(false)),
+                    snapshot_cache: Arc::new(Mutex::new(None)),
+                }
             })
             .clone()
-    }
-
-    /// Read barrier: if the graph has buffered delta changes, take the write
-    /// lock once and fold them into the main matrices so the read-lock path
-    /// that follows borrows flushed CSRs instead of materialising merged
-    /// copies per reader. Racing writers may re-dirty the graph immediately —
-    /// that is fine, readers always see a consistent merged view either way.
-    fn read_barrier(graph: &Arc<RwLock<Graph>>) {
-        if graph.read().has_pending_deltas() {
-            graph.write().sync_matrices();
-        }
     }
 
     /// Names of the graphs currently stored.
@@ -199,26 +244,45 @@ impl RedisGraphServer {
     /// `reply_to` when the worker finishes — this is the single dispatch path
     /// shared by the synchronous façade, the dispatcher thread, and the TCP
     /// connection loops, so locking discipline lives in exactly one place.
+    ///
+    /// The query is parsed exactly once, here: a parse error replies
+    /// immediately without creating the graph, occupying a worker, or
+    /// touching any lock (an unparseable query used to be classified as a
+    /// write and took the exclusive lock just to fail), and the AST rides
+    /// along to the worker so execution never re-parses the text.
     pub fn submit_query(&self, graph: String, query: String, reply_to: Sender<RespValue>) {
-        let graph = self.graph(&graph);
+        let ast = match cypher::parse(&query) {
+            Ok(ast) => ast,
+            Err(e) => {
+                let _ = reply_to.send(RespValue::Error(format!("ERR {}", QueryError::from(e))));
+                return;
+            }
+        };
+        let entry = self.entry(&graph);
         self.pool.execute(move || {
-            let is_write = cypher::parse(&query).map(|ast| !ast.is_read_only()).unwrap_or(true);
-            let reply = if is_write {
-                let mut g = graph.write();
-                match g.query(&query) {
+            let reply = if ast.is_read_only() {
+                // Pin the current epoch's sealed snapshot (cached per epoch,
+                // rebuilt outside every lock on a miss), then execute with no
+                // lock held at all: a heavy query cannot queue a flush's
+                // write-lock request in front of us, and we cannot stall a
+                // writer. The live graph's deltas stay buffered — the seal
+                // folded the snapshot's private COW copies once per epoch.
+                let snapshot = entry.snapshot();
+                match snapshot.query_readonly_ast(&ast) {
                     Ok(rs) => resultset_to_resp(&rs),
                     Err(e) => RespValue::Error(format!("ERR {e}")),
                 }
             } else {
-                // Read queries share the graph under a read lock so many of
-                // them can run concurrently on different worker threads;
-                // pending deltas are flushed once at the barrier rather than
-                // merged per reader.
-                Self::read_barrier(&graph);
-                let g = graph.read();
-                match g.query_readonly(&query) {
-                    Ok(rs) => resultset_to_resp(&rs),
-                    Err(e) => RespValue::Error(format!("ERR {e}")),
+                let mut g = entry.graph.write();
+                // A `GRAPH.DELETE` that landed after dispatch marked the
+                // entry; abort rather than mutate the orphaned graph.
+                if entry.deleted.load(Ordering::SeqCst) {
+                    RespValue::Error(format!("ERR graph `{}` was deleted", g.name()))
+                } else {
+                    match g.query_ast(&ast) {
+                        Ok(rs) => resultset_to_resp(&rs),
+                        Err(e) => RespValue::Error(format!("ERR {e}")),
+                    }
                 }
             };
             let _ = reply_to.send(reply);
@@ -238,11 +302,22 @@ impl RedisGraphServer {
                 self.graph_names().into_iter().map(RespValue::BulkString).collect(),
             ),
             Command::GraphDelete { graph } => {
-                let removed = self.graphs.write().remove(&graph).is_some();
-                if removed {
-                    RespValue::SimpleString("OK".to_string())
-                } else {
-                    RespValue::Error(format!("ERR graph `{graph}` does not exist"))
+                let removed = self.graphs.write().remove(&graph);
+                match removed {
+                    Some(entry) => {
+                        // Queries dispatched before the delete still hold
+                        // this entry's Arc. Mark it first so a not-yet-run
+                        // write aborts instead of mutating the orphan, then
+                        // briefly take the write lock: once it is granted,
+                        // every query that was executing against the old
+                        // graph has finished — so when OK goes out, the
+                        // delete is fully observable and later commands on
+                        // the name get a fresh, empty graph.
+                        entry.deleted.store(true, Ordering::SeqCst);
+                        drop(entry.graph.write());
+                        RespValue::SimpleString("OK".to_string())
+                    }
+                    None => RespValue::Error(format!("ERR graph `{graph}` does not exist")),
                 }
             }
             Command::GraphConfigGet { parameter } => {
@@ -276,7 +351,7 @@ impl RedisGraphServer {
                     self.delta_max_pending_changes.store(threshold, Ordering::Relaxed);
                     // Retune every existing graph in place.
                     let graphs: Vec<Arc<RwLock<Graph>>> =
-                        self.graphs.read().values().cloned().collect();
+                        self.graphs.read().values().map(|e| e.graph.clone()).collect();
                     for graph in graphs {
                         graph.write().set_flush_threshold(threshold);
                     }
@@ -582,7 +657,7 @@ mod tests {
     }
 
     #[test]
-    fn read_barrier_flushes_pending_deltas_before_read_queries() {
+    fn read_queries_run_on_snapshots_and_never_flush_the_live_graph() {
         let server = RedisGraphServer::new(ServerConfig {
             delta_max_pending_changes: 1_000_000, // never auto-flush
             ..ServerConfig::default()
@@ -592,11 +667,110 @@ mod tests {
             let graph = server.graph("g");
             assert!(graph.read().has_pending_deltas(), "writes should buffer, not flush");
         }
-        // A read query passes the barrier, which folds the buffers once.
+        // Reads answer from an epoch snapshot; the old read barrier would
+        // have taken the write lock here and flushed the live graph.
         let reply = server.query("g", "MATCH (a)-[:R]->(b) RETURN count(b)");
         assert!(matches!(reply, RespValue::Array(_)));
+        // Even a whole-matrix plan (procedure call) folds only its private
+        // snapshot, never the shared state.
+        let reply = server.query("g", "CALL algo.wcc() YIELD node, component RETURN count(node)");
+        assert!(matches!(reply, RespValue::Array(_)), "unexpected reply {reply}");
         let graph = server.graph("g");
-        assert!(!graph.read().has_pending_deltas(), "read barrier must flush");
+        assert!(graph.read().has_pending_deltas(), "snapshot reads must not flush the live graph");
+    }
+
+    #[test]
+    fn read_path_acquires_no_write_lock_even_for_malformed_floods() {
+        let server = RedisGraphServer::new(ServerConfig {
+            thread_count: 4,
+            delta_max_pending_changes: 1_000_000, // keep deltas pending
+            ..ServerConfig::default()
+        });
+        server.query("g", "CREATE (:A {v: 1})-[:R]->(:B {v: 2})");
+        let graph = server.graph("g");
+        assert!(graph.read().has_pending_deltas());
+
+        // Hold a read lock for the whole test. Any write-lock acquisition on
+        // the dispatch or read path — the old behaviour both for the read
+        // barrier (pending deltas!) and for parse errors, which were
+        // classified as writes — would block behind this guard forever and
+        // trip the recv timeout below.
+        let _guard = graph.read();
+
+        let (tx, rx) = unbounded();
+        for _ in 0..100 {
+            server.submit_query("g".into(), "MATCH (a RETURN a".into(), tx.clone());
+        }
+        for _ in 0..50 {
+            server.submit_query(
+                "g".into(),
+                "MATCH (a)-[:R]->(b) RETURN count(b)".into(),
+                tx.clone(),
+            );
+        }
+        let (mut errors, mut results) = (0, 0);
+        for _ in 0..150 {
+            let reply = rx
+                .recv_timeout(std::time::Duration::from_secs(30))
+                .expect("a query stalled: something on the read path wants the write lock");
+            match reply {
+                RespValue::Error(e) => {
+                    assert!(e.contains("syntax error"), "unexpected error: {e}");
+                    errors += 1;
+                }
+                RespValue::Array(_) => results += 1,
+                other => panic!("unexpected reply {other}"),
+            }
+        }
+        assert_eq!((errors, results), (100, 50));
+        drop(_guard);
+        assert!(graph.read().has_pending_deltas(), "reads must leave the buffers alone");
+    }
+
+    #[test]
+    fn delete_aborts_queued_writes_instead_of_mutating_the_orphan() {
+        let server = Arc::new(RedisGraphServer::new(ServerConfig {
+            thread_count: 1, // one worker: the queued write cannot jump ahead
+            ..ServerConfig::default()
+        }));
+        server.query("g", "CREATE (:Keep {id: 1})");
+
+        // Stall the worker by holding the graph's write lock, then queue a
+        // write query: its keyspace entry is captured at dispatch, before the
+        // delete below, exactly the in-flight case the tombstone exists for.
+        let graph = server.graph("g");
+        let guard = graph.write();
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        server.submit_query("g".into(), "CREATE (:Late)".into(), tx);
+
+        // Delete on another thread: it removes the map entry and sets the
+        // tombstone immediately, then blocks on the write lock to serialize
+        // with in-flight queries.
+        let del_server = server.clone();
+        let deleter = std::thread::spawn(move || {
+            del_server.handle(&RespValue::command(&["GRAPH.DELETE", "g"]))
+        });
+        // The map entry disappearing proves the tombstone is set (the delete
+        // marks before it blocks on the lock).
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while !server.graph_names().is_empty() {
+            assert!(std::time::Instant::now() < deadline, "GRAPH.DELETE never removed the entry");
+            std::thread::yield_now();
+        }
+        drop(guard);
+
+        assert_eq!(deleter.join().unwrap(), RespValue::SimpleString("OK".into()));
+        let reply = rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap();
+        match reply {
+            RespValue::Error(e) => assert!(e.contains("was deleted"), "unexpected error: {e}"),
+            other => panic!("queued write must abort after the delete, got {other}"),
+        }
+        // The name resolves to a fresh, empty graph — no resurrection.
+        let reply = server.query("g", "MATCH (n) RETURN count(n)");
+        let RespValue::Array(sections) = reply else { panic!("expected array reply") };
+        let RespValue::Array(rows) = &sections[1] else { panic!() };
+        let RespValue::Array(row) = &rows[0] else { panic!() };
+        assert_eq!(row[0], RespValue::Integer(0));
     }
 
     #[test]

@@ -22,6 +22,7 @@ REQUIRED_RESULT_KEYS = {
     "traverse": {"query", "mode", "threads", "wall_ms", "rows"},
     "network": {"op", "queries", "wall_ms", "qps", "rows"},
     "algos": {"dataset", "algorithm", "wall_ms", "iterations", "result"},
+    "mixed": {"mode", "queries", "wall_ms", "qps", "rows"},
 }
 
 # Numeric keys that must be finite and strictly positive: a zero or NaN here

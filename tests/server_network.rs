@@ -12,8 +12,13 @@
 //!   `\r` and `\n`) is served correctly, never disconnected, never misparsed;
 //! * **bounded buffering** — a declared 512MB bulk cannot grow the retained
 //!   buffer past `MAX_QUERY_BUFFER`: the connection is closed at the bound;
-//! * **protocol errors close** — a garbage (non-RESP) prefix gets a
-//!   `-ERR Protocol error` reply and a closed connection;
+//! * **protocol errors close** — a garbage (non-RESP, non-inline) prefix
+//!   gets a `-ERR Protocol error` reply and a closed connection;
+//! * **inline commands** — Redis' `telnet`-friendly form (`PING\r\n` with no
+//!   RESP framing, quoting per `sdssplitargs`) round-trips, mixes with
+//!   framed commands on one connection, ignores blank lines, and is bounded:
+//!   unbalanced quotes and newline-free floods past 64KB close the
+//!   connection;
 //! * **connection cap** — client `max_connections + 1` is greeted with an
 //!   error and refused;
 //! * **graceful shutdown** — `SHUTDOWN` over the wire (and the in-process
@@ -207,8 +212,8 @@ fn declared_512mb_bulk_is_closed_at_the_buffer_bound() {
 fn garbage_prefix_gets_protocol_error_and_close() {
     let net = GraphServer::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
     let mut stream = TcpStream::connect(net.local_addr()).expect("connect");
-    // An inline command is not RESP: byte one is already hopeless.
-    stream.write_all(b"GET foo\r\n").expect("write");
+    // A TLS ClientHello is neither RESP nor a UTF-8 inline line: hopeless.
+    stream.write_all(b"\x16\x03\x01\x00\xc8\x01\n").expect("write");
     stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
     let mut reply = Vec::new();
     stream.read_to_end(&mut reply).expect("read until close");
@@ -218,6 +223,109 @@ fn garbage_prefix_gets_protocol_error_and_close() {
         "expected a protocol error before close, got {text:?}"
     );
     // read_to_end returning proves the server closed the connection.
+    net.shutdown();
+}
+
+#[test]
+fn inline_commands_round_trip_and_mix_with_resp_framing() {
+    let net = GraphServer::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let mut stream = TcpStream::connect(net.local_addr()).expect("connect");
+
+    // Bare `PING\r\n`, the way telnet sends it — blank lines ignored first.
+    stream.write_all(b"\r\n\r\nPING\r\n").expect("inline ping");
+    let mut client = RespClient::from_stream(stream);
+    assert_eq!(client.read_reply().expect("pong"), RespValue::SimpleString("PONG".into()));
+
+    // A quoted inline GRAPH.QUERY: the whole Cypher statement is one
+    // argument thanks to sdssplitargs-style double quotes.
+    let mut raw = client.stream().try_clone().expect("clone stream");
+    raw.write_all(b"GRAPH.QUERY inl \"CREATE (:Node {id: 7})\"\r\n").expect("inline create");
+    let created = client.read_reply().expect("create reply");
+    assert!(!matches!(created, RespValue::Error(_)), "inline create failed: {created}");
+
+    // RESP framing still works on the very same connection, and sees the
+    // inline command's write.
+    let reply = client
+        .command(&["GRAPH.QUERY", "inl", "MATCH (n:Node) RETURN n.id"])
+        .expect("framed query");
+    let RespValue::Array(sections) = &reply else { panic!("not a query reply: {reply}") };
+    let RespValue::Array(rows) = &sections[1] else { panic!() };
+    assert_eq!(rows.len(), 1, "framed read must see the inline write");
+
+    // And back to inline again, pipelined two-in-one-burst with a framed
+    // command: replies come back in order.
+    let mut raw = client.stream().try_clone().expect("clone stream");
+    let mut burst = b"PING\r\n".to_vec();
+    burst.extend_from_slice(&RespValue::command(&["PING"]).encode());
+    raw.write_all(&burst).expect("mixed burst");
+    assert_eq!(client.read_reply().unwrap(), RespValue::SimpleString("PONG".into()));
+    assert_eq!(client.read_reply().unwrap(), RespValue::SimpleString("PONG".into()));
+    net.shutdown();
+}
+
+#[test]
+fn inline_unknown_command_errs_without_closing_the_connection() {
+    // `GET foo` is a *valid inline frame* for a command this server does not
+    // implement: the right behaviour is an `unknown command` error and a
+    // live connection — not a protocol error, not a close.
+    let net = GraphServer::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let mut stream = TcpStream::connect(net.local_addr()).expect("connect");
+    stream.write_all(b"GET foo\r\n").expect("write");
+    let mut client = RespClient::from_stream(stream);
+    let reply = client.read_reply().expect("error reply");
+    let RespValue::Error(message) = &reply else { panic!("expected an error, got {reply}") };
+    assert!(message.contains("unknown command"), "got {message:?}");
+    // The connection survives to serve the next command.
+    assert_eq!(client.command(&["PING"]).unwrap(), RespValue::SimpleString("PONG".into()));
+    net.shutdown();
+}
+
+#[test]
+fn inline_unbalanced_quotes_get_protocol_error_and_close() {
+    let net = GraphServer::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let mut stream = TcpStream::connect(net.local_addr()).expect("connect");
+    stream.write_all(b"GRAPH.QUERY g \"oops no closing quote\r\n").expect("write");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let mut reply = Vec::new();
+    stream.read_to_end(&mut reply).expect("read until close");
+    let text = String::from_utf8_lossy(&reply);
+    assert!(
+        text.starts_with("-ERR Protocol error"),
+        "unbalanced quotes must be a protocol error, got {text:?}"
+    );
+    net.shutdown();
+}
+
+#[test]
+fn inline_newline_free_flood_is_closed_at_the_line_cap() {
+    // A client pushing printable bytes with no newline can never finish an
+    // inline command; past the 64KB line cap the server must close rather
+    // than buffer forever.
+    let net = GraphServer::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let mut stream = TcpStream::connect(net.local_addr()).expect("connect");
+    stream.set_write_timeout(Some(Duration::from_secs(2))).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    // Just over the cap, in one burst the server fully drains before it
+    // condemns the line (writing far past the cap would race the server's
+    // close and turn the error reply into a TCP reset).
+    let flood = vec![b'a'; 66 * 1024];
+    let _ = stream.write_all(&flood);
+    let mut reply = Vec::new();
+    match stream.read_to_end(&mut reply) {
+        Ok(_) => {
+            let text = String::from_utf8_lossy(&reply);
+            assert!(
+                text.starts_with("-ERR Protocol error"),
+                "newline-free flood must be a protocol error, got {text:?}"
+            );
+        }
+        // A reset still proves the server closed at the bound; only a read
+        // *timeout* would mean it sat there buffering.
+        Err(e) => {
+            assert_ne!(e.kind(), std::io::ErrorKind::WouldBlock, "server kept buffering: {e}");
+            assert_ne!(e.kind(), std::io::ErrorKind::TimedOut, "server kept buffering: {e}");
+        }
+    }
     net.shutdown();
 }
 
@@ -312,6 +420,48 @@ fn pipelined_commands_execute_strictly_in_order() {
     );
     assert_eq!(replies[6], RespValue::SimpleString("OK".into()), "delete of existing graph");
     assert_eq!(replies[7], RespValue::Array(vec![]), "graph must be gone by GRAPH.LIST time");
+    net.shutdown();
+}
+
+#[test]
+fn pipelined_delete_is_observable_by_the_next_command() {
+    // GRAPH.DELETE semantics under pipelining: once the delete's OK is on
+    // the wire, no later command of any pipeline may observe the old graph.
+    // A query naming the deleted graph transparently creates a *fresh* one
+    // (Redis-style create-on-use), so the count must be zero — not the 3
+    // nodes the orphan held. Epoch snapshots make this subtle: a stale
+    // GraphEntry would happily keep serving the orphan forever.
+    let net = GraphServer::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let mut client = RespClient::connect(net.local_addr()).expect("connect");
+    let replies = client
+        .pipeline(&[
+            RespValue::command(&[
+                "GRAPH.QUERY",
+                "del",
+                "CREATE (:N {id: 1}), (:N {id: 2}), (:N {id: 3})",
+            ]),
+            RespValue::command(&["GRAPH.QUERY", "del", "MATCH (n:N) RETURN count(n)"]),
+            RespValue::command(&["GRAPH.DELETE", "del"]),
+            RespValue::command(&["GRAPH.QUERY", "del", "MATCH (n:N) RETURN count(n)"]),
+            RespValue::command(&["GRAPH.LIST"]),
+        ])
+        .expect("delete pipeline");
+    let count = |reply: &RespValue| -> i64 {
+        let RespValue::Array(sections) = reply else { panic!("not a query reply: {reply}") };
+        let RespValue::Array(rows) = &sections[1] else { panic!() };
+        let RespValue::Array(row) = &rows[0] else { panic!() };
+        let RespValue::Integer(n) = row[0] else { panic!() };
+        n
+    };
+    assert_eq!(count(&replies[1]), 3, "writes visible before the delete");
+    assert_eq!(replies[2], RespValue::SimpleString("OK".into()), "delete must succeed");
+    assert_eq!(count(&replies[3]), 0, "post-delete read must see a fresh empty graph");
+    // The fresh graph was re-created by the read, so it is listed again.
+    assert_eq!(
+        replies[4],
+        RespValue::Array(vec![RespValue::BulkString("del".into())]),
+        "create-on-use after delete"
+    );
     net.shutdown();
 }
 

@@ -14,8 +14,15 @@
 //!
 //! At random checkpoints (and always at the end) the harness asserts equal
 //! adjacency / transpose / relation / label matrices, equal Cypher query
-//! results on both the write and the read-only paths, equal `CALL algo.*`
-//! procedure outputs, and k-hop counts that agree with the baseline BFS.
+//! results on both the write and the read-only paths — including through an
+//! epoch [`GraphSnapshot`] — equal `CALL algo.*` procedure outputs, and
+//! k-hop counts that agree with the baseline BFS.
+//!
+//! Two further (non-property) tests pin the MVCC semantics the server's
+//! lock-free read path depends on: a snapshot pinned at epoch N answers
+//! identically before, while, and after a concurrent writer publishes epoch
+//! N+1; and a write-heavy flush loop reclaims superseded epochs instead of
+//! accumulating them.
 
 use baseline::AdjacencyListGraph;
 use proptest::prelude::*;
@@ -190,6 +197,16 @@ fn checkpoint(delta: &Graph, eager: &Graph, shadow: &Shadow) -> Result<(), TestC
         prop_assert_eq!(d.unwrap(), e.unwrap(), "procedure `{}` diverged", q);
     }
 
+    // The epoch-snapshot read path (what the server actually serves reads
+    // from): a snapshot taken now must answer exactly like the live graphs,
+    // delta buffers and all.
+    let snap = delta.snapshot();
+    for q in CHECK_QUERIES {
+        let s = snap.query_readonly(q).map(|rs| rs.rows);
+        let e = eager.query_readonly(q).map(|rs| rs.rows);
+        prop_assert_eq!(s.unwrap(), e.unwrap(), "snapshot query `{}` diverged", q);
+    }
+
     // k-hop counts agree with the pointer-chasing baseline rebuilt from the
     // live edge set (a matrix-free oracle).
     if !shadow.nodes.is_empty() {
@@ -215,6 +232,107 @@ fn checkpoint(delta: &Graph, eager: &Graph, shadow: &Shadow) -> Result<(), TestC
         }
     }
     Ok(())
+}
+
+#[test]
+fn pinned_snapshot_is_isolated_before_while_and_after_a_concurrent_writer() {
+    use std::sync::{Arc, Barrier, RwLock};
+
+    // The server's exact shape: the live graph behind a lock, snapshots
+    // pinned outside it. Lock-step barriers make "while the writer
+    // publishes" deterministic instead of a timing lottery.
+    let graph = Arc::new(RwLock::new(Graph::new("mvcc")));
+    {
+        let mut g = graph.write().unwrap();
+        for i in 0..20 {
+            g.query(&format!("CREATE (:A {{id: {i}}})")).unwrap();
+        }
+        for i in 0..19 {
+            g.query(&format!(
+                "MATCH (x:A {{id: {i}}}), (y:A {{id: {}}}) CREATE (x)-[:R0]->(y)",
+                i + 1
+            ))
+            .unwrap();
+        }
+        g.sync_matrices();
+    }
+    let snapshot = graph.read().unwrap().snapshot();
+    let pinned_epoch = snapshot.epoch();
+    let before: Vec<Vec<_>> =
+        CHECK_QUERIES.iter().map(|q| snapshot.query_readonly(q).unwrap().rows).collect();
+
+    let rounds = 8usize;
+    let barrier = Arc::new(Barrier::new(2));
+    let writer = {
+        let graph = Arc::clone(&graph);
+        let barrier = Arc::clone(&barrier);
+        std::thread::spawn(move || {
+            for r in 0..rounds {
+                {
+                    let mut g = graph.write().unwrap();
+                    g.query(&format!(
+                        "CREATE (:A {{id: {}}})-[:R0]->(:B {{id: {}}})",
+                        100 + r,
+                        200 + r
+                    ))
+                    .unwrap();
+                    g.query(&format!("MATCH (x:A {{id: {}}}) SET x.v = {r}", r % 20)).unwrap();
+                    g.sync_matrices(); // publish a new epoch
+                }
+                barrier.wait(); // epoch published; reader's turn
+                barrier.wait(); // reader verified; next round
+            }
+        })
+    };
+    for _ in 0..rounds {
+        barrier.wait(); // the writer just published a newer epoch
+        for (q, expect) in CHECK_QUERIES.iter().zip(&before) {
+            let rows = snapshot.query_readonly(q).unwrap().rows;
+            assert_eq!(&rows, expect, "snapshot drifted mid-write for query `{q}`");
+        }
+        assert_eq!(snapshot.epoch(), pinned_epoch, "a snapshot's epoch is pinned forever");
+        barrier.wait();
+    }
+    writer.join().unwrap();
+
+    // After the writer is gone: the snapshot still answers from epoch N,
+    // while the live graph has visibly moved on.
+    for (q, expect) in CHECK_QUERIES.iter().zip(&before) {
+        assert_eq!(
+            &snapshot.query_readonly(q).unwrap().rows,
+            expect,
+            "snapshot drifted after join"
+        );
+    }
+    let live = graph.read().unwrap();
+    assert!(live.epoch() > pinned_epoch, "the writer must have published newer epochs");
+    assert_eq!(live.node_count(), snapshot.node_count() + 2 * rounds);
+}
+
+#[test]
+fn write_heavy_flush_loop_reclaims_epochs_instead_of_accumulating() {
+    use std::sync::Arc;
+
+    let mut g = Graph::new("reclaim");
+    g.query("CREATE (:A {id: 0})").unwrap();
+    g.sync_matrices();
+    // One long-lived reader keeps its epoch alive for the whole loop…
+    let long_lived = g.snapshot();
+    let first_epoch = Arc::downgrade(&long_lived.adjacency_epoch_pin());
+
+    // …while 40 write+flush cycles each publish (and then abandon) an epoch.
+    let mut weaks = Vec::new();
+    for i in 1..=40 {
+        g.query(&format!("CREATE (:A {{id: {i}}})-[:R0]->(:B {{id: {i}}})")).unwrap();
+        g.sync_matrices();
+        weaks.push(Arc::downgrade(&g.adjacency_epoch_pin()));
+        // The pin (the only reader of this epoch) drops right here.
+    }
+    let alive = weaks.iter().filter(|w| w.upgrade().is_some()).count();
+    assert!(alive <= 1, "unreferenced epochs must be reclaimed, {alive} of 40 still alive");
+    assert!(first_epoch.upgrade().is_some(), "an epoch with a live reader must survive");
+    drop(long_lived);
+    assert!(first_epoch.upgrade().is_none(), "the last reader dropping must release its epoch");
 }
 
 proptest! {
