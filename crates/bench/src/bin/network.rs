@@ -24,9 +24,17 @@
 use datagen::RmatConfig;
 use redisgraph_bench::report::render_table;
 use redisgraph_server::{GraphServer, RedisGraphServer, RespClient, RespValue, ServerConfig};
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// The committed full-run `point_read_1hop` throughput (BENCH_network.json)
+/// from before the metrics registry existed: the reference the always-on
+/// instrumentation is measured against (the acceptance gate is ≤3%
+/// overhead). Smoke runs still *record* the comparison; only full runs on
+/// the reference machine are meaningful against it.
+const BASELINE_POINT_QPS: f64 = 41_696.0;
 
 /// One measured workload.
 struct Measurement {
@@ -87,8 +95,11 @@ fn main() {
          {clients} clients, pipeline depth {pipeline}\n"
     );
 
+    let before = fetch_info(&addr);
     let point = run_workload(&addr, &graph_name, clients, pipeline, point_queries, vertices, false);
     let hop2 = run_workload(&addr, &graph_name, clients, pipeline, hop2_queries, vertices, true);
+    let after = settle_and_fetch_info(&addr);
+    let metrics = server_metrics(&before, &after);
 
     let rows: Vec<Vec<String>> = [&point, &hop2]
         .iter()
@@ -104,9 +115,91 @@ fn main() {
         .collect();
     println!("{}", render_table(&["op", "queries", "wall (ms)", "queries/sec", "rows"], &rows));
 
-    std::fs::write(&out_path, to_json(mode, scale, clients, pipeline, &[&point, &hop2]))
-        .expect("write benchmark report");
+    // Server-side view of the same run: GRAPH.INFO deltas across the two
+    // workloads, so client-side qps can be cross-checked against what the
+    // server actually executed and shipped.
+    println!("server-side GRAPH.INFO deltas:");
+    for (key, value) in &metrics {
+        println!("  {key}: {value}");
+    }
+    let overhead_pct = (BASELINE_POINT_QPS - point.qps) / BASELINE_POINT_QPS * 100.0;
+    println!(
+        "\npoint_read_1hop vs committed pre-metrics baseline: {:.0} vs {BASELINE_POINT_QPS:.0} \
+         qps ({overhead_pct:+.2}% overhead)\n",
+        point.qps
+    );
+
+    std::fs::write(
+        &out_path,
+        to_json(mode, scale, clients, pipeline, &[&point, &hop2], &metrics, overhead_pct),
+    )
+    .expect("write benchmark report");
     println!("wrote {out_path}");
+}
+
+/// Snapshot `GRAPH.INFO` as one flat `field -> integer` map (sections are
+/// `[name, [k, v, …]]`; every value this bench consumes is an integer).
+fn fetch_info(addr: &str) -> BTreeMap<String, i64> {
+    let mut client = RespClient::connect(addr).expect("connect for GRAPH.INFO");
+    let reply = client.command(&["GRAPH.INFO"]).expect("GRAPH.INFO");
+    let RespValue::Array(sections) = reply else { panic!("GRAPH.INFO not an array: {reply}") };
+    let mut fields = BTreeMap::new();
+    for section in sections {
+        let RespValue::Array(parts) = section else { continue };
+        let Some(RespValue::Array(kvs)) = parts.get(1) else { continue };
+        for pair in kvs.chunks(2) {
+            if let (RespValue::BulkString(k), Some(RespValue::Integer(v))) = (&pair[0], pair.get(1))
+            {
+                fields.insert(k.clone(), *v);
+            }
+        }
+    }
+    fields
+}
+
+/// Fetch the post-run snapshot once the workload connections have released
+/// their slots (the server reaps them within its read-timeout tick). The
+/// polling connection itself is active while asking, so "no leak" reads as
+/// `connections_active == 1`.
+fn settle_and_fetch_info(addr: &str) -> BTreeMap<String, i64> {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let info = fetch_info(addr);
+        if info.get("connections_active") == Some(&1) || Instant::now() > deadline {
+            return info;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// The JSON `server_metrics` object: counter deltas across the run, plus the
+/// absolute gauge values a leak would show up in.
+fn server_metrics(
+    before: &BTreeMap<String, i64>,
+    after: &BTreeMap<String, i64>,
+) -> BTreeMap<String, i64> {
+    const DELTAS: &[&str] = &[
+        "queries_executed",
+        "queries_failed",
+        "queries_readonly",
+        "queries_write",
+        "snapshot_hits",
+        "snapshot_rebuilds",
+        "bytes_in",
+        "bytes_out",
+        "connections_accepted",
+    ];
+    const GAUGES: &[&str] = &["connections_active", "connections_refused", "query_p50_usec"];
+    let mut out = BTreeMap::new();
+    for key in DELTAS {
+        let b = before.get(*key).copied().unwrap_or(0);
+        let a = after.get(*key).copied().unwrap_or(0);
+        out.insert((*key).to_string(), a - b);
+    }
+    for key in GAUGES {
+        out.insert((*key).to_string(), after.get(*key).copied().unwrap_or(0));
+    }
+    out
 }
 
 /// Drive one workload: `clients` threads, each pipelining `pipeline`
@@ -191,6 +284,8 @@ fn to_json(
     clients: usize,
     pipeline: usize,
     measurements: &[&Measurement],
+    metrics: &BTreeMap<String, i64>,
+    overhead_pct: f64,
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -199,6 +294,14 @@ fn to_json(
     let _ = writeln!(out, "  \"scale\": {scale},");
     let _ = writeln!(out, "  \"clients\": {clients},");
     let _ = writeln!(out, "  \"pipeline\": {pipeline},");
+    let _ = writeln!(out, "  \"baseline_point_qps\": {BASELINE_POINT_QPS:.3},");
+    let _ = writeln!(out, "  \"point_overhead_vs_baseline_pct\": {overhead_pct:.3},");
+    out.push_str("  \"server_metrics\": {\n");
+    for (i, (key, value)) in metrics.iter().enumerate() {
+        let comma = if i + 1 < metrics.len() { "," } else { "" };
+        let _ = writeln!(out, "    \"{key}\": {value}{comma}");
+    }
+    out.push_str("  },\n");
     out.push_str("  \"results\": [\n");
     for (i, m) in measurements.iter().enumerate() {
         let comma = if i + 1 < measurements.len() { "," } else { "" };

@@ -24,7 +24,47 @@ use crate::store::graph::Graph;
 use crate::value::Value;
 use cypher::{Clause, Expr, NodePattern, PathPattern, Query};
 use std::collections::HashMap;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// What one operator did during a profiled execution (`GRAPH.PROFILE`): the
+/// operator's `describe()` line plus how many records it left in the
+/// interpreter's working set and how long its invocation took. The executor
+/// is a batch interpreter — each operator consumes the whole record vector
+/// and produces the next one — so an operator's wall time is exactly the
+/// span of its invocation; there is no child time to subtract.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpProfile {
+    /// The operator's `GRAPH.EXPLAIN` line.
+    pub description: String,
+    /// Records in the working set after the operator ran.
+    pub records_produced: usize,
+    /// Wall time of the operator's invocation.
+    pub elapsed: Duration,
+    /// Index of the plan segment the operator belongs to (segments are
+    /// separated by `WITH`; the formatter reinserts `--- segment ---`).
+    pub segment: usize,
+}
+
+/// Render profiled operators as the annotated `GRAPH.EXPLAIN` tree
+/// `GRAPH.PROFILE` returns: one line per operator, segment separators
+/// preserved.
+pub fn format_profile(profiles: &[OpProfile]) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut segment = 0;
+    for p in profiles {
+        if p.segment != segment {
+            out.push("--- segment ---".to_string());
+            segment = p.segment;
+        }
+        out.push(format!(
+            "{} | Records produced: {}, Execution time: {:.6} ms",
+            p.description,
+            p.records_produced,
+            p.elapsed.as_secs_f64() * 1e3
+        ));
+    }
+    out
+}
 
 /// One plan segment: a record layout plus the operations that run under it.
 #[derive(Debug, Clone)]
@@ -68,7 +108,15 @@ impl ExecutionPlan {
 
     /// Execute the plan against a graph, producing a result set.
     pub fn execute(&self, graph: &mut Graph) -> Result<ResultSet, QueryError> {
-        self.run(GraphAccess::Write(graph))
+        self.run(GraphAccess::Write(graph), Instant::now(), None)
+    }
+
+    /// Execute against a graph, timing the result set's statistics footer
+    /// from `started` — the single `Instant` the server captures at dispatch,
+    /// so the reported time covers parse/queue/execute without being
+    /// re-measured per layer.
+    pub fn execute_at(&self, graph: &mut Graph, started: Instant) -> Result<ResultSet, QueryError> {
+        self.run(GraphAccess::Write(graph), started, None)
     }
 
     /// Execute a plan that contains no write operations against a shared graph
@@ -76,7 +124,42 @@ impl ExecutionPlan {
     /// run concurrently on different threadpool workers under a read lock.
     /// Returns an error if the plan contains a write operation.
     pub fn execute_read_only(&self, graph: &Graph) -> Result<ResultSet, QueryError> {
-        self.run(GraphAccess::Read(graph))
+        self.run(GraphAccess::Read(graph), Instant::now(), None)
+    }
+
+    /// Read-only execution timed from a dispatch-captured `started` (see
+    /// [`ExecutionPlan::execute_at`]).
+    pub fn execute_read_only_at(
+        &self,
+        graph: &Graph,
+        started: Instant,
+    ) -> Result<ResultSet, QueryError> {
+        self.run(GraphAccess::Read(graph), started, None)
+    }
+
+    /// Execute with per-operator instrumentation (`GRAPH.PROFILE`): every
+    /// operator's records-produced count and wall time are collected
+    /// alongside the ordinary result set. Write operators mutate the graph
+    /// exactly as [`ExecutionPlan::execute`] would.
+    pub fn profile(
+        &self,
+        graph: &mut Graph,
+        started: Instant,
+    ) -> Result<(ResultSet, Vec<OpProfile>), QueryError> {
+        let mut profiles = Vec::new();
+        let rs = self.run(GraphAccess::Write(graph), started, Some(&mut profiles))?;
+        Ok((rs, profiles))
+    }
+
+    /// Read-only counterpart of [`ExecutionPlan::profile`].
+    pub fn profile_read_only(
+        &self,
+        graph: &Graph,
+        started: Instant,
+    ) -> Result<(ResultSet, Vec<OpProfile>), QueryError> {
+        let mut profiles = Vec::new();
+        let rs = self.run(GraphAccess::Read(graph), started, Some(&mut profiles))?;
+        Ok((rs, profiles))
     }
 
     /// True when executing the plan reads whole matrices *per record*
@@ -99,8 +182,12 @@ impl ExecutionPlan {
         })
     }
 
-    fn run(&self, mut access: GraphAccess<'_>) -> Result<ResultSet, QueryError> {
-        let start = Instant::now();
+    fn run(
+        &self,
+        mut access: GraphAccess<'_>,
+        started: Instant,
+        mut profiles: Option<&mut Vec<OpProfile>>,
+    ) -> Result<ResultSet, QueryError> {
         // Read barrier for whole-matrix consumers: with exclusive access a
         // flush is cheap and lets `khop_reach` / procedures borrow the main
         // matrices once, instead of materialising a merged copy per record.
@@ -121,6 +208,9 @@ impl ExecutionPlan {
         for (si, segment) in self.segments.iter().enumerate() {
             let bindings = &segment.bindings;
             for op in &segment.ops {
+                // Per-op timing only when profiling: the 40k+-qps point-read
+                // path pays nothing for the instrumentation's existence.
+                let op_started = profiles.as_ref().map(|_| Instant::now());
                 match op {
                     PlanOp::AllNodeScan { .. }
                     | PlanOp::NodeByLabelScan { .. }
@@ -207,13 +297,27 @@ impl ExecutionPlan {
                             run_procedure(name, args, outputs, records, bindings, access.graph())?;
                     }
                 }
+                if let Some(profiles) = profiles.as_deref_mut() {
+                    // Projections emit rows, every other operator leaves its
+                    // output in the record working set.
+                    let produced = match op {
+                        PlanOp::Project(_) | PlanOp::Aggregate(_) => rows.len(),
+                        _ => records.len(),
+                    };
+                    profiles.push(OpProfile {
+                        description: op.describe(),
+                        records_produced: produced,
+                        elapsed: op_started.expect("set when profiling").elapsed(),
+                        segment: si,
+                    });
+                }
             }
         }
         // Write queries no longer resync matrices here: mutations append to
         // each DeltaMatrix's pending buffers and readers see the merged view.
         // Buffers fold into the main CSRs when a matrix crosses its flush
         // threshold, or at the read barriers above.
-        stats.execution_time = start.elapsed();
+        stats.execution_time = started.elapsed();
         Ok(ResultSet { columns, rows, stats })
     }
 }

@@ -36,7 +36,7 @@
 
 use crate::error::QueryError;
 use crate::exec::ops::TraverseStrategy;
-use crate::exec::plan::ExecutionPlan;
+use crate::exec::plan::{ExecutionPlan, OpProfile};
 use crate::exec::resultset::ResultSet;
 use crate::store::datablock::DataBlock;
 use crate::store::entity::{AttributeSet, EdgeEntity, NodeEntity};
@@ -189,6 +189,16 @@ impl Graph {
             + self.label_matrices.iter().map(DeltaMatrix::pending_count).sum::<usize>()
     }
 
+    /// Total delta-buffer folds performed across every matrix over the
+    /// graph's lifetime (`GRAPH.INFO`'s `delta_flushes`).
+    pub fn delta_flush_count(&self) -> u64 {
+        self.adjacency.flush_count()
+            + self.adjacency_t.flush_count()
+            + self.relation_matrices.iter().map(DeltaMatrix::flush_count).sum::<u64>()
+            + self.relation_matrices_t.iter().map(DeltaMatrix::flush_count).sum::<u64>()
+            + self.label_matrices.iter().map(DeltaMatrix::flush_count).sum::<u64>()
+    }
+
     /// The graph's key name.
     pub fn name(&self) -> &str {
         &self.name
@@ -221,8 +231,38 @@ impl Graph {
     /// dispatch (to classify read vs write and reject syntax errors without
     /// touching any lock) and passes the AST through here.
     pub fn query_ast(&mut self, ast: &cypher::Query) -> Result<ResultSet, QueryError> {
+        self.query_ast_at(ast, std::time::Instant::now())
+    }
+
+    /// Like [`Graph::query_ast`], with the statistics footer timed from
+    /// `started` — the one `Instant` the server captures at dispatch, so the
+    /// reported time spans parse, queueing, and execution consistently.
+    pub fn query_ast_at(
+        &mut self,
+        ast: &cypher::Query,
+        started: std::time::Instant,
+    ) -> Result<ResultSet, QueryError> {
         let plan = ExecutionPlan::build(ast)?;
-        plan.execute(self)
+        plan.execute_at(self, started)
+    }
+
+    /// Execute with per-operator instrumentation (`GRAPH.PROFILE`): returns
+    /// the result set plus one [`OpProfile`] per executed operator. Write
+    /// clauses mutate the graph exactly as [`Graph::query_ast`] would.
+    pub fn profile_ast_at(
+        &mut self,
+        ast: &cypher::Query,
+        started: std::time::Instant,
+    ) -> Result<(ResultSet, Vec<OpProfile>), QueryError> {
+        let plan = ExecutionPlan::build(ast)?;
+        plan.profile(self, started)
+    }
+
+    /// Parse and profile a query (test/REPL convenience over
+    /// [`Graph::profile_ast_at`]).
+    pub fn profile(&mut self, text: &str) -> Result<(ResultSet, Vec<OpProfile>), QueryError> {
+        let ast = cypher::parse(text)?;
+        self.profile_ast_at(&ast, std::time::Instant::now())
     }
 
     /// Parse, plan and execute a **read-only** query through a shared
@@ -758,8 +798,36 @@ impl GraphSnapshot {
     /// state. Errors if the query contains write clauses. `&self`: many
     /// readers can share one snapshot behind an `Arc`.
     pub fn query_readonly_ast(&self, ast: &cypher::Query) -> Result<ResultSet, QueryError> {
+        self.query_readonly_ast_at(ast, std::time::Instant::now())
+    }
+
+    /// Like [`GraphSnapshot::query_readonly_ast`], timing the statistics
+    /// footer from a dispatch-captured `started`.
+    pub fn query_readonly_ast_at(
+        &self,
+        ast: &cypher::Query,
+        started: std::time::Instant,
+    ) -> Result<ResultSet, QueryError> {
         let plan = ExecutionPlan::build(ast)?;
-        let graph = if plan.needs_matrix_views() && self.graph.has_pending_deltas() {
+        plan.execute_read_only_at(self.backing_graph(&plan), started)
+    }
+
+    /// Profiled read-only execution against the pinned state
+    /// (`GRAPH.PROFILE` on the server's lock-free read path).
+    pub fn profile_readonly_ast_at(
+        &self,
+        ast: &cypher::Query,
+        started: std::time::Instant,
+    ) -> Result<(ResultSet, Vec<OpProfile>), QueryError> {
+        let plan = ExecutionPlan::build(ast)?;
+        plan.profile_read_only(self.backing_graph(&plan), started)
+    }
+
+    /// The graph a plan runs on: the pinned graph itself, or — for plans that
+    /// consume whole matrices while deltas are pending — the lazily folded
+    /// private twin.
+    fn backing_graph(&self, plan: &ExecutionPlan) -> &Graph {
+        if plan.needs_matrix_views() && self.graph.has_pending_deltas() {
             self.folded.get_or_init(|| {
                 let mut twin = self.graph.clone();
                 twin.sync_matrices();
@@ -767,8 +835,7 @@ impl GraphSnapshot {
             })
         } else {
             &self.graph
-        };
-        plan.execute_read_only(graph)
+        }
     }
 }
 

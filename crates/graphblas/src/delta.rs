@@ -61,6 +61,9 @@ pub struct DeltaMatrix<T: Scalar> {
     /// Publication counter: bumped whenever the main matrix's *contents*
     /// change (flush, shrinking resize, clear).
     epoch: u64,
+    /// Lifetime count of CSR rebuilds caused by folding pending buffers
+    /// (the observability counter behind `GRAPH.INFO`'s `delta_flushes`).
+    flush_count: u64,
 }
 
 impl<T: Scalar> PartialEq for DeltaMatrix<T> {
@@ -91,6 +94,7 @@ impl<T: Scalar> DeltaMatrix<T> {
             nvals,
             flush_threshold: DEFAULT_FLUSH_THRESHOLD,
             epoch: 0,
+            flush_count: 0,
         }
     }
 
@@ -118,6 +122,12 @@ impl<T: Scalar> DeltaMatrix<T> {
     /// the merged view.
     pub fn is_flushed(&self) -> bool {
         self.delta_plus.is_empty() && self.delta_minus.is_empty()
+    }
+
+    /// Number of buffer folds this matrix has performed over its lifetime
+    /// (a clone inherits its source's count and diverges from there).
+    pub fn flush_count(&self) -> u64 {
+        self.flush_count
     }
 
     /// The pending-count threshold that triggers an automatic flush.
@@ -224,6 +234,7 @@ impl<T: Scalar> DeltaMatrix<T> {
         self.delta_plus.clear();
         main.wait();
         self.epoch += 1;
+        self.flush_count += 1;
         debug_assert_eq!(self.main.nvals(), self.nvals, "flush changed the merged entry count");
     }
 

@@ -1,7 +1,7 @@
 //! The `GRAPH.*` module commands and their RESP encodings.
 
 use crate::resp::RespValue;
-use redisgraph_core::{ResultSet, Value};
+use redisgraph_core::{format_profile, OpProfile, ResultSet, Value};
 
 /// A parsed client command.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,6 +26,26 @@ pub enum Command {
         /// Cypher query text.
         query: String,
     },
+    /// `GRAPH.PROFILE <graph> <cypher>` — execute the query (writes mutate,
+    /// exactly like `GRAPH.QUERY`) and return the `GRAPH.EXPLAIN` tree with
+    /// per-operator records-produced and wall-time annotations.
+    GraphProfile {
+        /// Graph key name.
+        graph: String,
+        /// Cypher query text.
+        query: String,
+    },
+    /// `GRAPH.SLOWLOG <graph> [GET|RESET]` — read or clear the graph's
+    /// slow-query ring buffer (`GET` is the default).
+    GraphSlowlog {
+        /// Graph key name.
+        graph: String,
+        /// True for `RESET`, false for `GET`.
+        reset: bool,
+    },
+    /// `GRAPH.INFO` — the server-wide metrics registry as a sectioned
+    /// key-value reply.
+    GraphInfo,
     /// `GRAPH.DELETE <graph>`
     GraphDelete {
         /// Graph key name.
@@ -78,6 +98,26 @@ impl Command {
                 }
                 _ => Err("GRAPH.EXPLAIN takes exactly 2 arguments".to_string()),
             },
+            "GRAPH.PROFILE" => match args {
+                [graph, query] => {
+                    Ok(Command::GraphProfile { graph: graph.to_string(), query: query.to_string() })
+                }
+                _ => Err("GRAPH.PROFILE takes exactly 2 arguments".to_string()),
+            },
+            "GRAPH.SLOWLOG" => match args {
+                [graph] => Ok(Command::GraphSlowlog { graph: graph.to_string(), reset: false }),
+                [graph, action] if action.eq_ignore_ascii_case("GET") => {
+                    Ok(Command::GraphSlowlog { graph: graph.to_string(), reset: false })
+                }
+                [graph, action] if action.eq_ignore_ascii_case("RESET") => {
+                    Ok(Command::GraphSlowlog { graph: graph.to_string(), reset: true })
+                }
+                _ => Err("GRAPH.SLOWLOG takes <graph> [GET|RESET]".to_string()),
+            },
+            "GRAPH.INFO" => match args {
+                [] => Ok(Command::GraphInfo),
+                _ => Err("GRAPH.INFO takes no arguments".to_string()),
+            },
             "GRAPH.DELETE" => match args {
                 [graph] => Ok(Command::GraphDelete { graph: graph.to_string() }),
                 _ => Err("GRAPH.DELETE takes exactly 1 argument".to_string()),
@@ -98,6 +138,13 @@ impl Command {
             other => Err(format!("unknown command `{other}`")),
         }
     }
+}
+
+/// Encode profiled operators as the `GRAPH.PROFILE` reply: the
+/// `GRAPH.EXPLAIN` tree, one bulk string per operator, each annotated with
+/// its records-produced count and wall time.
+pub fn profile_to_resp(profiles: &[OpProfile]) -> RespValue {
+    RespValue::Array(format_profile(profiles).into_iter().map(RespValue::BulkString).collect())
 }
 
 /// Encode a runtime value as a RESP reply element (the same flattening the C
@@ -132,6 +179,9 @@ pub fn resultset_to_resp(rs: &ResultSet) -> RespValue {
         RespValue::BulkString(format!("Properties set: {}", rs.stats.properties_set)),
         RespValue::BulkString(format!("Nodes deleted: {}", rs.stats.nodes_deleted)),
         RespValue::BulkString(format!("Relationships deleted: {}", rs.stats.relationships_deleted)),
+        // Placeholder until the plan cache lands (ROADMAP): every query is
+        // currently parsed and planned from scratch.
+        RespValue::BulkString("Cached: false".to_string()),
         RespValue::BulkString(format!(
             "Query internal execution time: {:.6} milliseconds",
             rs.stats.execution_time.as_secs_f64() * 1e3
@@ -186,6 +236,48 @@ mod tests {
         );
         assert!(Command::parse(&RespValue::command(&["GRAPH.CONFIG", "GET"])).is_err());
         assert!(Command::parse(&RespValue::command(&["GRAPH.CONFIG", "FROB", "X", "1"])).is_err());
+    }
+
+    #[test]
+    fn parses_observability_commands() {
+        assert_eq!(
+            Command::parse(&RespValue::command(&["GRAPH.PROFILE", "g", "MATCH (n) RETURN n"]))
+                .unwrap(),
+            Command::GraphProfile { graph: "g".into(), query: "MATCH (n) RETURN n".into() }
+        );
+        assert_eq!(
+            Command::parse(&RespValue::command(&["graph.slowlog", "g"])).unwrap(),
+            Command::GraphSlowlog { graph: "g".into(), reset: false }
+        );
+        assert_eq!(
+            Command::parse(&RespValue::command(&["GRAPH.SLOWLOG", "g", "get"])).unwrap(),
+            Command::GraphSlowlog { graph: "g".into(), reset: false }
+        );
+        assert_eq!(
+            Command::parse(&RespValue::command(&["GRAPH.SLOWLOG", "g", "RESET"])).unwrap(),
+            Command::GraphSlowlog { graph: "g".into(), reset: true }
+        );
+        assert_eq!(
+            Command::parse(&RespValue::command(&["GRAPH.INFO"])).unwrap(),
+            Command::GraphInfo
+        );
+        assert!(Command::parse(&RespValue::command(&["GRAPH.PROFILE", "g"])).is_err());
+        assert!(Command::parse(&RespValue::command(&["GRAPH.SLOWLOG"])).is_err());
+        assert!(Command::parse(&RespValue::command(&["GRAPH.SLOWLOG", "g", "FROB"])).is_err());
+        assert!(Command::parse(&RespValue::command(&["GRAPH.INFO", "x"])).is_err());
+    }
+
+    #[test]
+    fn stats_footer_reports_cache_placeholder() {
+        let rs = ResultSet::empty();
+        let RespValue::Array(sections) = resultset_to_resp(&rs) else { panic!() };
+        let RespValue::Array(stats) = &sections[2] else { panic!() };
+        let lines: Vec<String> = stats.iter().map(|v| v.to_string()).collect();
+        assert!(lines.iter().any(|l| l.contains("Cached: false")), "stats were {lines:?}");
+        assert!(
+            lines.last().unwrap().contains("Query internal execution time"),
+            "stats were {lines:?}"
+        );
     }
 
     #[test]

@@ -80,6 +80,7 @@ pub(crate) fn serve_connection(
             Err(_) => return,
         };
         retained.extend_from_slice(&chunk[..n]);
+        server.metrics().bytes_in.fetch_add(n as u64, Ordering::Relaxed);
 
         let (frames, consumed, stop) = decoder.feed(&retained);
         retained.drain(..consumed);
@@ -88,12 +89,14 @@ pub(crate) fn serve_connection(
             // Execute in submission order — Redis semantics: a pipelined
             // write is visible to every later command of the same pipeline.
             // Replies accumulate into one buffer, written once per batch.
+            server.metrics().pipeline_depth.record(frames.len() as u64);
             let mut out = Vec::new();
             let mut close_after_replies = false;
             for frame in &frames {
                 let reply = execute_frame(&server, frame, &shutdown, &mut close_after_replies);
                 reply.encode_into(&mut out);
             }
+            server.metrics().bytes_out.fetch_add(out.len() as u64, Ordering::Relaxed);
             if stream.write_all(&out).is_err() {
                 return;
             }
@@ -140,7 +143,9 @@ fn execute_frame(
     match parsed {
         Command::Shutdown => {
             // Acknowledge, finish writing this pipeline's replies, then let
-            // the listener drain every connection and exit.
+            // the listener drain every connection and exit. (Counted here:
+            // this arm never reaches `RedisGraphServer::execute`.)
+            server.metrics().count_command(crate::metrics::CommandKind::Shutdown);
             shutdown.store(true, Ordering::SeqCst);
             *close_after_replies = true;
             RespValue::SimpleString("OK".to_string())

@@ -31,6 +31,7 @@ pub mod client;
 pub mod commands;
 mod conn;
 pub mod listener;
+pub mod metrics;
 pub mod pool;
 pub mod resp;
 pub mod server;
@@ -38,6 +39,7 @@ pub mod server;
 pub use client::RespClient;
 pub use commands::Command;
 pub use listener::GraphServer;
+pub use metrics::{CommandKind, Histogram, Metrics, SlowLog, SlowLogEntry};
 // The lock type `RedisGraphServer::graph` hands out, so embedders can name
 // `Arc<RwLock<Graph>>` without depending on the lock crate directly.
 pub use parking_lot::RwLock;

@@ -16,11 +16,12 @@
 //!    drained, and `shutdown` returns.
 
 use crate::conn::serve_connection;
+use crate::metrics::Metrics;
 use crate::resp::RespValue;
 use crate::server::{RedisGraphServer, ServerConfig};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -38,7 +39,6 @@ pub struct GraphServer {
     server: Arc<RedisGraphServer>,
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
-    active: Arc<AtomicUsize>,
     accept_thread: Option<JoinHandle<()>>,
 }
 
@@ -63,20 +63,18 @@ impl GraphServer {
         listener.set_nonblocking(true)?;
 
         let shutdown = Arc::new(AtomicBool::new(false));
-        let active = Arc::new(AtomicUsize::new(0));
         let max_connections = server.config().max_connections.max(1);
 
         let accept_thread = {
             let server = server.clone();
             let shutdown = shutdown.clone();
-            let active = active.clone();
             std::thread::Builder::new()
                 .name("redisgraph-accept".to_string())
-                .spawn(move || accept_loop(listener, server, shutdown, active, max_connections))
+                .spawn(move || accept_loop(listener, server, shutdown, max_connections))
                 .expect("failed to spawn accept thread")
         };
 
-        Ok(GraphServer { server, addr, shutdown, active, accept_thread: Some(accept_thread) })
+        Ok(GraphServer { server, addr, shutdown, accept_thread: Some(accept_thread) })
     }
 
     /// The bound address (with the real port when `:0` was requested).
@@ -90,9 +88,10 @@ impl GraphServer {
         &self.server
     }
 
-    /// Number of currently served connections.
+    /// Number of currently served connections (the metrics registry's
+    /// `connections_active` gauge, which also backs the `maxclients` cap).
     pub fn active_connections(&self) -> usize {
-        self.active.load(Ordering::SeqCst)
+        self.server.metrics().connections_active.load(Ordering::SeqCst) as usize
     }
 
     /// Whether a shutdown has been requested (by [`GraphServer::shutdown`],
@@ -148,9 +147,9 @@ fn accept_loop(
     listener: TcpListener,
     server: Arc<RedisGraphServer>,
     shutdown: Arc<AtomicBool>,
-    active: Arc<AtomicUsize>,
     max_connections: usize,
 ) {
+    let metrics = Arc::clone(server.metrics());
     let mut conn_threads: Vec<JoinHandle<()>> = Vec::new();
     while !shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
@@ -158,22 +157,25 @@ fn accept_loop(
                 // Reap finished connection threads so the handle list does
                 // not grow with the total connection count.
                 conn_threads.retain(|h| !h.is_finished());
-                if active.load(Ordering::SeqCst) >= max_connections {
+                if metrics.connections_active.load(Ordering::SeqCst) >= max_connections as u64 {
                     // Over the cap: greet with an error and hang up, like
                     // Redis' `maxclients` behaviour.
+                    metrics.connections_refused.fetch_add(1, Ordering::SeqCst);
                     refuse_connection(stream);
                     continue;
                 }
-                /// Releases the connection slot on drop, so a panic escaping
+                /// Releases the connection slot (the registry's
+                /// `connections_active` gauge) on drop, so a panic escaping
                 /// `serve_connection` cannot permanently leak it.
-                struct SlotGuard(Arc<AtomicUsize>);
+                struct SlotGuard(Arc<Metrics>);
                 impl Drop for SlotGuard {
                     fn drop(&mut self) {
-                        self.0.fetch_sub(1, Ordering::SeqCst);
+                        self.0.connections_active.fetch_sub(1, Ordering::SeqCst);
                     }
                 }
-                active.fetch_add(1, Ordering::SeqCst);
-                let slot = SlotGuard(active.clone());
+                metrics.connections_accepted.fetch_add(1, Ordering::SeqCst);
+                metrics.connections_active.fetch_add(1, Ordering::SeqCst);
+                let slot = SlotGuard(Arc::clone(&metrics));
                 let server = server.clone();
                 let shutdown = shutdown.clone();
                 let handle = std::thread::Builder::new()

@@ -13,16 +13,18 @@
 //!   heavy procedure call or a burst of writers can never stall point reads;
 //! * write queries take the graph's write lock for exclusive access.
 
-use crate::commands::{resultset_to_resp, Command};
+use crate::commands::{profile_to_resp, resultset_to_resp, Command};
+use crate::metrics::{CommandKind, Metrics, SlowLog, SlowLogEntry};
 use crate::pool::ThreadPool;
 use crate::resp::RespValue;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Mutex, RwLock};
 use redisgraph_core::{Graph, GraphSnapshot, QueryError};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Server configuration (the module load-time options).
 #[derive(Debug, Clone, Copy)]
@@ -52,6 +54,11 @@ pub struct ServerConfig {
     /// connection number `max_connections + 1` is greeted with an error and
     /// closed instead of accepted.
     pub max_connections: usize,
+    /// Queries whose total wall time (dispatch to reply) reaches this many
+    /// milliseconds are recorded in their graph's slow-query ring buffer
+    /// (`GRAPH.SLOWLOG`). `0` logs every query. Runtime-tunable with
+    /// `GRAPH.CONFIG SET SLOWLOG_TIME_THRESHOLD`.
+    pub slowlog_time_threshold_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -62,9 +69,15 @@ impl Default for ServerConfig {
             query_threads: None,
             max_query_buffer: DEFAULT_MAX_QUERY_BUFFER,
             max_connections: DEFAULT_MAX_CONNECTIONS,
+            slowlog_time_threshold_ms: DEFAULT_SLOWLOG_TIME_THRESHOLD_MS,
         }
     }
 }
+
+/// Default `SLOWLOG_TIME_THRESHOLD` (milliseconds; Redis' slowlog default is
+/// 10000 µs). Point reads finish far under it, so the hot path's only cost
+/// is one integer compare.
+pub const DEFAULT_SLOWLOG_TIME_THRESHOLD_MS: u64 = 10;
 
 /// Ceiling for `QUERY_THREADS` (a sanity cap, not a hardware probe).
 const MAX_QUERY_THREADS: usize = 1024;
@@ -78,6 +91,35 @@ pub const MIN_QUERY_BUFFER: usize = 1024;
 
 /// Default cap on concurrent TCP connections.
 pub const DEFAULT_MAX_CONNECTIONS: usize = 128;
+
+/// Canonical names of every `GRAPH.CONFIG` parameter, in the order
+/// `GRAPH.CONFIG GET *` reports them. The first four are runtime-settable;
+/// `THREAD_COUNT` and `MAX_CONNECTIONS` are fixed at module load.
+const CONFIG_PARAMETERS: [&str; 6] = [
+    "DELTA_MAX_PENDING_CHANGES",
+    "QUERY_THREADS",
+    "MAX_QUERY_BUFFER",
+    "SLOWLOG_TIME_THRESHOLD",
+    "THREAD_COUNT",
+    "MAX_CONNECTIONS",
+];
+
+/// The metrics-registry index of a parsed command.
+fn command_kind(command: &Command) -> CommandKind {
+    match command {
+        Command::Ping => CommandKind::Ping,
+        Command::Shutdown => CommandKind::Shutdown,
+        Command::GraphQuery { .. } => CommandKind::GraphQuery,
+        Command::GraphProfile { .. } => CommandKind::GraphProfile,
+        Command::GraphExplain { .. } => CommandKind::GraphExplain,
+        Command::GraphDelete { .. } => CommandKind::GraphDelete,
+        Command::GraphList => CommandKind::GraphList,
+        Command::GraphConfigGet { .. } => CommandKind::GraphConfigGet,
+        Command::GraphConfigSet { .. } => CommandKind::GraphConfigSet,
+        Command::GraphSlowlog { .. } => CommandKind::GraphSlowlog,
+        Command::GraphInfo => CommandKind::GraphInfo,
+    }
+}
 
 /// A request travelling from a client to the dispatcher thread.
 pub struct Request {
@@ -102,6 +144,9 @@ struct GraphEntry {
     /// just clones the `Arc`. A `GRAPH.DELETE` drops the whole entry, and
     /// the stale cache with it.
     snapshot_cache: Arc<Mutex<Option<Arc<GraphSnapshot>>>>,
+    /// The graph's slow-query ring buffer (`GRAPH.SLOWLOG`). Per graph, like
+    /// RedisGraph: a `GRAPH.DELETE` drops the log with the entry.
+    slowlog: Arc<Mutex<SlowLog>>,
 }
 
 impl GraphEntry {
@@ -114,17 +159,19 @@ impl GraphEntry {
     /// fresh epoch briefly queue for one structural clone instead of each
     /// paying their own, and nobody holds the graph lock while they wait —
     /// a writer is never blocked.
-    fn snapshot(&self) -> Arc<GraphSnapshot> {
+    fn snapshot(&self, metrics: &Metrics) -> Arc<GraphSnapshot> {
         let mut cache = self.snapshot_cache.lock();
         let pending = {
             let g = self.graph.read();
             if let Some(cached) = cache.as_ref() {
                 if cached.epoch() == g.epoch() {
+                    metrics.snapshot_hits.fetch_add(1, Ordering::Relaxed);
                     return Arc::clone(cached);
                 }
             }
             g.clone()
         };
+        metrics.snapshot_rebuilds.fetch_add(1, Ordering::Relaxed);
         let sealed = Arc::new(GraphSnapshot::seal(pending));
         *cache = Some(Arc::clone(&sealed));
         sealed
@@ -143,6 +190,12 @@ pub struct RedisGraphServer {
     /// Live value of `MAX_QUERY_BUFFER`: connection loops reload it before
     /// every bound check, so `GRAPH.CONFIG SET` applies to open connections.
     max_query_buffer: AtomicUsize,
+    /// Live value of `SLOWLOG_TIME_THRESHOLD` in milliseconds (0 = log every
+    /// query).
+    slowlog_time_threshold_ms: AtomicU64,
+    /// The server-wide metrics registry (`GRAPH.INFO`), shared with the
+    /// network layer's accept and connection loops.
+    metrics: Arc<Metrics>,
 }
 
 impl RedisGraphServer {
@@ -166,6 +219,8 @@ impl RedisGraphServer {
             config,
             delta_max_pending_changes: AtomicUsize::new(config.delta_max_pending_changes.max(1)),
             max_query_buffer: AtomicUsize::new(config.max_query_buffer.max(MIN_QUERY_BUFFER)),
+            slowlog_time_threshold_ms: AtomicU64::new(config.slowlog_time_threshold_ms),
+            metrics: Arc::new(Metrics::default()),
         }
     }
 
@@ -182,6 +237,16 @@ impl RedisGraphServer {
     /// The live `MAX_QUERY_BUFFER` value (per-connection retained-bytes cap).
     pub fn max_query_buffer(&self) -> usize {
         self.max_query_buffer.load(Ordering::Relaxed)
+    }
+
+    /// The live `SLOWLOG_TIME_THRESHOLD` value in milliseconds.
+    pub fn slowlog_time_threshold_ms(&self) -> u64 {
+        self.slowlog_time_threshold_ms.load(Ordering::Relaxed)
+    }
+
+    /// The server-wide metrics registry.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
     }
 
     /// The module threadpool (the network layer dispatches queries onto it).
@@ -212,6 +277,7 @@ impl RedisGraphServer {
                     graph: Arc::new(RwLock::new(g)),
                     deleted: Arc::new(AtomicBool::new(false)),
                     snapshot_cache: Arc::new(Mutex::new(None)),
+                    slowlog: Arc::new(Mutex::new(SlowLog::default())),
                 }
             })
             .clone()
@@ -251,14 +317,38 @@ impl RedisGraphServer {
     /// write and took the exclusive lock just to fail), and the AST rides
     /// along to the worker so execution never re-parses the text.
     pub fn submit_query(&self, graph: String, query: String, reply_to: Sender<RespValue>) {
+        self.submit(graph, query, false, reply_to);
+    }
+
+    /// Submit a `GRAPH.PROFILE`: same dispatch, locking, and mutation
+    /// semantics as [`RedisGraphServer::submit_query`], but the reply is the
+    /// per-operator profile tree instead of the result set.
+    pub fn submit_profile(&self, graph: String, query: String, reply_to: Sender<RespValue>) {
+        self.submit(graph, query, true, reply_to);
+    }
+
+    fn submit(&self, graph: String, query: String, profile: bool, reply_to: Sender<RespValue>) {
+        // The one wall-clock anchor for this query: the statistics footer,
+        // the profile totals, the latency histogram, and the slowlog all
+        // derive from it, so the layers can never disagree about a query's
+        // duration.
+        let started = Instant::now();
+        let metrics = Arc::clone(&self.metrics);
+        metrics.count_command(if profile {
+            CommandKind::GraphProfile
+        } else {
+            CommandKind::GraphQuery
+        });
         let ast = match cypher::parse(&query) {
             Ok(ast) => ast,
             Err(e) => {
+                metrics.queries_failed.fetch_add(1, Ordering::Relaxed);
                 let _ = reply_to.send(RespValue::Error(format!("ERR {}", QueryError::from(e))));
                 return;
             }
         };
         let entry = self.entry(&graph);
+        let slowlog_threshold_ms = self.slowlog_time_threshold_ms();
         self.pool.execute(move || {
             let reply = if ast.is_read_only() {
                 // Pin the current epoch's sealed snapshot (cached per epoch,
@@ -267,30 +357,63 @@ impl RedisGraphServer {
                 // write-lock request in front of us, and we cannot stall a
                 // writer. The live graph's deltas stay buffered — the seal
                 // folded the snapshot's private COW copies once per epoch.
-                let snapshot = entry.snapshot();
-                match snapshot.query_readonly_ast(&ast) {
-                    Ok(rs) => resultset_to_resp(&rs),
-                    Err(e) => RespValue::Error(format!("ERR {e}")),
+                metrics.queries_readonly.fetch_add(1, Ordering::Relaxed);
+                let snapshot = entry.snapshot(&metrics);
+                if profile {
+                    match snapshot.profile_readonly_ast_at(&ast, started) {
+                        Ok((_rs, profiles)) => profile_to_resp(&profiles),
+                        Err(e) => RespValue::Error(format!("ERR {e}")),
+                    }
+                } else {
+                    match snapshot.query_readonly_ast_at(&ast, started) {
+                        Ok(rs) => resultset_to_resp(&rs),
+                        Err(e) => RespValue::Error(format!("ERR {e}")),
+                    }
                 }
             } else {
+                metrics.queries_write.fetch_add(1, Ordering::Relaxed);
                 let mut g = entry.graph.write();
                 // A `GRAPH.DELETE` that landed after dispatch marked the
                 // entry; abort rather than mutate the orphaned graph.
                 if entry.deleted.load(Ordering::SeqCst) {
                     RespValue::Error(format!("ERR graph `{}` was deleted", g.name()))
+                } else if profile {
+                    match g.profile_ast_at(&ast, started) {
+                        Ok((_rs, profiles)) => profile_to_resp(&profiles),
+                        Err(e) => RespValue::Error(format!("ERR {e}")),
+                    }
                 } else {
-                    match g.query_ast(&ast) {
+                    match g.query_ast_at(&ast, started) {
                         Ok(rs) => resultset_to_resp(&rs),
                         Err(e) => RespValue::Error(format!("ERR {e}")),
                     }
                 }
             };
+            let elapsed = started.elapsed();
+            metrics.query_latency.record_duration(elapsed);
+            if matches!(reply, RespValue::Error(_)) {
+                metrics.queries_failed.fetch_add(1, Ordering::Relaxed);
+            } else {
+                metrics.queries_executed.fetch_add(1, Ordering::Relaxed);
+            }
+            if elapsed.as_millis() as u64 >= slowlog_threshold_ms {
+                let command = if profile { "GRAPH.PROFILE" } else { "GRAPH.QUERY" };
+                entry.slowlog.lock().record(SlowLogEntry::now(command, query, elapsed));
+            }
             let _ = reply_to.send(reply);
         });
     }
 
     /// Execute a parsed command.
     pub fn execute(&self, command: Command) -> RespValue {
+        // `GRAPH.QUERY` / `GRAPH.PROFILE` are counted at their single
+        // dispatch point (`submit`), which every route — including the arms
+        // below — funnels through; counting them here too would double-count
+        // the in-process façade.
+        match &command {
+            Command::GraphQuery { .. } | Command::GraphProfile { .. } => {}
+            other => self.metrics.count_command(command_kind(other)),
+        }
         match command {
             Command::Ping => RespValue::SimpleString("PONG".to_string()),
             // Only the network listener can wind the process down; the
@@ -321,23 +444,32 @@ impl RedisGraphServer {
                 }
             }
             Command::GraphConfigGet { parameter } => {
-                if parameter.eq_ignore_ascii_case("DELTA_MAX_PENDING_CHANGES") {
-                    RespValue::Array(vec![
-                        RespValue::BulkString("DELTA_MAX_PENDING_CHANGES".to_string()),
-                        RespValue::Integer(self.delta_max_pending_changes() as i64),
-                    ])
-                } else if parameter.eq_ignore_ascii_case("QUERY_THREADS") {
-                    RespValue::Array(vec![
-                        RespValue::BulkString("QUERY_THREADS".to_string()),
-                        RespValue::Integer(graphblas::Context::nthreads() as i64),
-                    ])
-                } else if parameter.eq_ignore_ascii_case("MAX_QUERY_BUFFER") {
-                    RespValue::Array(vec![
-                        RespValue::BulkString("MAX_QUERY_BUFFER".to_string()),
-                        RespValue::Integer(self.max_query_buffer() as i64),
-                    ])
-                } else {
-                    RespValue::Error(format!("ERR unknown configuration parameter `{parameter}`"))
+                if parameter == "*" {
+                    // RedisGraph parity: every parameter as a name/value pair.
+                    return RespValue::Array(
+                        CONFIG_PARAMETERS
+                            .iter()
+                            .map(|name| {
+                                RespValue::Array(vec![
+                                    RespValue::BulkString(name.to_string()),
+                                    RespValue::Integer(
+                                        self.config_value(name).expect("listed parameter"),
+                                    ),
+                                ])
+                            })
+                            .collect(),
+                    );
+                }
+                let canonical =
+                    CONFIG_PARAMETERS.iter().find(|name| parameter.eq_ignore_ascii_case(name));
+                match canonical {
+                    Some(name) => RespValue::Array(vec![
+                        RespValue::BulkString(name.to_string()),
+                        RespValue::Integer(self.config_value(name).expect("listed parameter")),
+                    ]),
+                    None => RespValue::Error(format!(
+                        "ERR unknown configuration parameter `{parameter}`"
+                    )),
                 }
             }
             Command::GraphConfigSet { parameter, value } => {
@@ -383,6 +515,15 @@ impl RedisGraphServer {
                     };
                     self.max_query_buffer.store(bytes, Ordering::Relaxed);
                     RespValue::SimpleString("OK".to_string())
+                } else if parameter.eq_ignore_ascii_case("SLOWLOG_TIME_THRESHOLD") {
+                    let Some(ms) = value.parse::<u64>().ok() else {
+                        return RespValue::Error(format!(
+                            "ERR SLOWLOG_TIME_THRESHOLD must be a non-negative integer \
+                             (milliseconds; 0 logs every query), got `{value}`"
+                        ));
+                    };
+                    self.slowlog_time_threshold_ms.store(ms, Ordering::Relaxed);
+                    RespValue::SimpleString("OK".to_string())
                 } else {
                     RespValue::Error(format!("ERR unknown configuration parameter `{parameter}`"))
                 }
@@ -403,7 +544,141 @@ impl RedisGraphServer {
                 rx.recv()
                     .unwrap_or_else(|_| RespValue::Error("ERR query worker exited".to_string()))
             }
+            Command::GraphProfile { graph, query } => {
+                let (tx, rx) = crossbeam::channel::bounded(1);
+                self.submit_profile(graph, query, tx);
+                rx.recv()
+                    .unwrap_or_else(|_| RespValue::Error("ERR query worker exited".to_string()))
+            }
+            Command::GraphSlowlog { graph, reset } => {
+                // Unlike queries, SLOWLOG never creates the graph: asking for
+                // the log of a graph that does not exist is an error.
+                let Some(entry) = self.graphs.read().get(&graph).cloned() else {
+                    return RespValue::Error(format!("ERR graph `{graph}` does not exist"));
+                };
+                if reset {
+                    entry.slowlog.lock().reset();
+                    RespValue::SimpleString("OK".to_string())
+                } else {
+                    RespValue::Array(
+                        entry
+                            .slowlog
+                            .lock()
+                            .entries_newest_first()
+                            .into_iter()
+                            .map(|e| {
+                                RespValue::Array(vec![
+                                    RespValue::Integer(e.unix_time as i64),
+                                    RespValue::BulkString(e.command.to_string()),
+                                    RespValue::BulkString(e.query),
+                                    RespValue::BulkString(format!("{:.3}", e.millis)),
+                                    RespValue::Integer(e.args as i64),
+                                ])
+                            })
+                            .collect(),
+                    )
+                }
+            }
+            Command::GraphInfo => self.info_resp(),
         }
+    }
+
+    /// The current value of a canonical configuration parameter name.
+    fn config_value(&self, name: &str) -> Option<i64> {
+        match name {
+            "DELTA_MAX_PENDING_CHANGES" => Some(self.delta_max_pending_changes() as i64),
+            "QUERY_THREADS" => Some(graphblas::Context::nthreads() as i64),
+            "MAX_QUERY_BUFFER" => Some(self.max_query_buffer() as i64),
+            "SLOWLOG_TIME_THRESHOLD" => Some(self.slowlog_time_threshold_ms() as i64),
+            "THREAD_COUNT" => Some(self.config.thread_count as i64),
+            "MAX_CONNECTIONS" => Some(self.config.max_connections as i64),
+            _ => None,
+        }
+    }
+
+    /// Build the `GRAPH.INFO` reply: sections of flat key/value arrays, the
+    /// RESP-consumable shape of the metrics registry plus per-store counters.
+    fn info_resp(&self) -> RespValue {
+        let m = &self.metrics;
+        let load = |a: &AtomicU64| RespValue::Integer(a.load(Ordering::Relaxed) as i64);
+        let int = |v: u64| RespValue::Integer(v as i64);
+        let section = |name: &str, pairs: Vec<(&str, RespValue)>| {
+            RespValue::Array(vec![
+                RespValue::BulkString(name.to_string()),
+                RespValue::Array(
+                    pairs
+                        .into_iter()
+                        .flat_map(|(k, v)| [RespValue::BulkString(k.to_string()), v])
+                        .collect(),
+                ),
+            ])
+        };
+
+        let queries = section(
+            "queries",
+            vec![
+                ("queries_executed", load(&m.queries_executed)),
+                ("queries_failed", load(&m.queries_failed)),
+                ("queries_readonly", load(&m.queries_readonly)),
+                ("queries_write", load(&m.queries_write)),
+                ("snapshot_hits", load(&m.snapshot_hits)),
+                ("snapshot_rebuilds", load(&m.snapshot_rebuilds)),
+                ("slowlog_time_threshold_ms", int(self.slowlog_time_threshold_ms())),
+            ],
+        );
+        let commands = section(
+            "commands",
+            CommandKind::ALL.iter().map(|k| (k.name(), int(m.command_count(*k)))).collect(),
+        );
+        // Histogram samples are nanoseconds; report microseconds (Redis'
+        // LATENCY unit) so the integers stay readable.
+        let latency = section(
+            "latency",
+            vec![
+                ("query_p50_usec", int(m.query_latency.quantile(0.50) / 1_000)),
+                ("query_p99_usec", int(m.query_latency.quantile(0.99) / 1_000)),
+                ("query_max_usec", int(m.query_latency.max() / 1_000)),
+                ("query_mean_usec", int(m.query_latency.mean() / 1_000)),
+                ("query_samples", int(m.query_latency.count())),
+            ],
+        );
+        let clients = section(
+            "clients",
+            vec![
+                ("connections_accepted", load(&m.connections_accepted)),
+                ("connections_active", load(&m.connections_active)),
+                ("connections_refused", load(&m.connections_refused)),
+                ("bytes_in", load(&m.bytes_in)),
+                ("bytes_out", load(&m.bytes_out)),
+                ("pipeline_depth_p50", int(m.pipeline_depth.quantile(0.50))),
+                ("pipeline_depth_p99", int(m.pipeline_depth.quantile(0.99))),
+                ("pipeline_depth_max", int(m.pipeline_depth.max())),
+            ],
+        );
+        // Store totals walk the keyspace under momentary read locks — the
+        // same order a read query would take them, so INFO cannot deadlock
+        // against queries.
+        let (mut nodes, mut edges, mut pending, mut flushes) = (0u64, 0u64, 0u64, 0u64);
+        let entries: Vec<GraphEntry> = self.graphs.read().values().cloned().collect();
+        let graph_count = entries.len();
+        for entry in entries {
+            let g = entry.graph.read();
+            nodes += g.node_count() as u64;
+            edges += g.edge_count() as u64;
+            pending += g.pending_delta_count() as u64;
+            flushes += g.delta_flush_count();
+        }
+        let store = section(
+            "store",
+            vec![
+                ("graphs", int(graph_count as u64)),
+                ("nodes", int(nodes)),
+                ("edges", int(edges)),
+                ("pending_deltas", int(pending)),
+                ("delta_flushes", int(flushes)),
+            ],
+        );
+        RespValue::Array(vec![queries, commands, latency, clients, store])
     }
 
     /// Start the single-threaded dispatcher loop used by the throughput
@@ -431,6 +706,9 @@ impl RedisGraphServer {
                     match parsed {
                         Command::GraphQuery { graph, query } => {
                             server.submit_query(graph, query, request.reply_to);
+                        }
+                        Command::GraphProfile { graph, query } => {
+                            server.submit_profile(graph, query, request.reply_to);
                         }
                         other => {
                             let _ = request.reply_to.send(server.execute(other));
@@ -560,9 +838,199 @@ mod tests {
             RespValue::Error(_)
         ));
         assert!(matches!(
-            server.handle(&RespValue::command(&["GRAPH.CONFIG", "GET", "THREAD_COUNT"])),
+            server.handle(&RespValue::command(&["GRAPH.CONFIG", "GET", "NO_SUCH_PARAMETER"])),
             RespValue::Error(_)
         ));
+    }
+
+    #[test]
+    fn config_get_star_lists_every_parameter() {
+        let server = RedisGraphServer::new(ServerConfig {
+            thread_count: 3,
+            max_connections: 77,
+            ..ServerConfig::default()
+        });
+        let reply = server.handle(&RespValue::command(&["GRAPH.CONFIG", "GET", "*"]));
+        let RespValue::Array(pairs) = reply else { panic!("expected array, got {reply}") };
+        assert_eq!(pairs.len(), 6);
+        let mut seen = std::collections::HashMap::new();
+        for pair in &pairs {
+            let RespValue::Array(kv) = pair else { panic!("expected [name, value] pair") };
+            let (RespValue::BulkString(name), RespValue::Integer(value)) = (&kv[0], &kv[1]) else {
+                panic!("expected name/value, got {pair}")
+            };
+            seen.insert(name.clone(), *value);
+        }
+        assert_eq!(seen["THREAD_COUNT"], 3);
+        assert_eq!(seen["MAX_CONNECTIONS"], 77);
+        assert_eq!(seen["SLOWLOG_TIME_THRESHOLD"], DEFAULT_SLOWLOG_TIME_THRESHOLD_MS as i64);
+        assert!(seen.contains_key("DELTA_MAX_PENDING_CHANGES"));
+        assert!(seen.contains_key("QUERY_THREADS"));
+        assert!(seen.contains_key("MAX_QUERY_BUFFER"));
+
+        // Read-only singles resolve too, case-insensitively.
+        let reply = server.handle(&RespValue::command(&["GRAPH.CONFIG", "GET", "thread_count"]));
+        assert_eq!(
+            reply,
+            RespValue::Array(vec![
+                RespValue::BulkString("THREAD_COUNT".into()),
+                RespValue::Integer(3),
+            ])
+        );
+    }
+
+    #[test]
+    fn slowlog_records_over_threshold_and_resets() {
+        let server = RedisGraphServer::new(ServerConfig {
+            slowlog_time_threshold_ms: 0, // log everything
+            ..ServerConfig::default()
+        });
+        // Missing graph: SLOWLOG must not create it.
+        assert!(matches!(
+            server.handle(&RespValue::command(&["GRAPH.SLOWLOG", "nope"])),
+            RespValue::Error(_)
+        ));
+        assert!(server.graph_names().is_empty());
+
+        server.query("g", "CREATE (:A)-[:R]->(:B)");
+        server.query("g", "MATCH (a)-[:R]->(b) RETURN count(b)");
+        let reply = server.handle(&RespValue::command(&["GRAPH.SLOWLOG", "g"]));
+        let RespValue::Array(entries) = reply else { panic!("expected array, got {reply}") };
+        assert_eq!(entries.len(), 2, "threshold 0 must log every query");
+        // Newest first: the MATCH is entry 0; each row is
+        // [timestamp, command, query, ms, args].
+        let RespValue::Array(row) = &entries[0] else { panic!() };
+        assert_eq!(row.len(), 5);
+        assert_eq!(row[1], RespValue::BulkString("GRAPH.QUERY".into()));
+        assert_eq!(row[2], RespValue::BulkString("MATCH (a)-[:R]->(b) RETURN count(b)".into()));
+        assert_eq!(row[4], RespValue::Integer(2));
+
+        // Raise the threshold: fast queries stop being logged.
+        server.handle(&RespValue::command(&[
+            "GRAPH.CONFIG",
+            "SET",
+            "SLOWLOG_TIME_THRESHOLD",
+            "3600000",
+        ]));
+        server.query("g", "MATCH (a)-[:R]->(b) RETURN count(b)");
+        let reply = server.handle(&RespValue::command(&["GRAPH.SLOWLOG", "g", "GET"]));
+        let RespValue::Array(entries) = reply else { panic!() };
+        assert_eq!(entries.len(), 2, "a fast query must not be logged over a huge threshold");
+
+        // RESET clears.
+        let reply = server.handle(&RespValue::command(&["GRAPH.SLOWLOG", "g", "RESET"]));
+        assert_eq!(reply, RespValue::SimpleString("OK".into()));
+        let reply = server.handle(&RespValue::command(&["GRAPH.SLOWLOG", "g"]));
+        assert_eq!(reply, RespValue::Array(vec![]));
+
+        // Junk threshold values are rejected.
+        assert!(matches!(
+            server.handle(&RespValue::command(&[
+                "GRAPH.CONFIG",
+                "SET",
+                "SLOWLOG_TIME_THRESHOLD",
+                "-3"
+            ])),
+            RespValue::Error(_)
+        ));
+    }
+
+    #[test]
+    fn profile_reports_per_operator_records_and_time() {
+        let server = RedisGraphServer::new(ServerConfig::default());
+        server.query(
+            "g",
+            "CREATE (:Person {name: 'Ann'})-[:KNOWS]->(:Person {name: 'Bob'})-[:KNOWS]->\
+             (:Person {name: 'Cy'})",
+        );
+        let reply = server.handle(&RespValue::command(&[
+            "GRAPH.PROFILE",
+            "g",
+            "MATCH (a:Person)-[:KNOWS]->(b) RETURN b.name",
+        ]));
+        let RespValue::Array(lines) = reply else { panic!("expected array, got {reply}") };
+        let lines: Vec<String> = lines.iter().map(|l| l.to_string()).collect();
+        assert!(
+            lines[0].contains("Node By Label Scan")
+                && lines[0].contains("Records produced: 3")
+                && lines[0].contains("Execution time:"),
+            "profile was {lines:#?}"
+        );
+        assert!(
+            lines
+                .iter()
+                .any(|l| l.contains("Conditional Traverse") && l.contains("Records produced: 2")),
+            "profile was {lines:#?}"
+        );
+        assert!(lines.last().unwrap().contains("Project"), "profile was {lines:#?}");
+
+        // A profiled write executes its mutations, like RedisGraph.
+        let reply = server.handle(&RespValue::command(&[
+            "GRAPH.PROFILE",
+            "g",
+            "CREATE (:Person {name: 'Dee'})",
+        ]));
+        let RespValue::Array(lines) = reply else { panic!("expected array, got {reply}") };
+        assert!(lines.iter().any(|l| l.to_string().contains("Create")));
+        let reply = server.query("g", "MATCH (p:Person) RETURN count(p)");
+        let RespValue::Array(sections) = reply else { panic!() };
+        let RespValue::Array(rows) = &sections[1] else { panic!() };
+        let RespValue::Array(row) = &rows[0] else { panic!() };
+        assert_eq!(row[0], RespValue::Integer(4), "profiled CREATE must have mutated");
+
+        // Parse errors surface as RESP errors, same as GRAPH.QUERY.
+        assert!(matches!(
+            server.handle(&RespValue::command(&["GRAPH.PROFILE", "g", "MATCH (a RETURN a"])),
+            RespValue::Error(_)
+        ));
+    }
+
+    #[test]
+    fn graph_info_sections_track_activity() {
+        let server = RedisGraphServer::new(ServerConfig::default());
+        let info = |server: &RedisGraphServer| -> std::collections::HashMap<String, i64> {
+            let RespValue::Array(sections) = server.handle(&RespValue::command(&["GRAPH.INFO"]))
+            else {
+                panic!("expected array")
+            };
+            let mut flat = std::collections::HashMap::new();
+            for s in &sections {
+                let RespValue::Array(parts) = s else { panic!() };
+                let RespValue::Array(kv) = &parts[1] else { panic!() };
+                for pair in kv.chunks(2) {
+                    let (RespValue::BulkString(k), RespValue::Integer(v)) = (&pair[0], &pair[1])
+                    else {
+                        panic!("expected string/int pair, got {pair:?}")
+                    };
+                    flat.insert(k.clone(), *v);
+                }
+            }
+            flat
+        };
+
+        let before = info(&server);
+        assert_eq!(before["queries_executed"], 0);
+        assert_eq!(before["graphs"], 0);
+
+        server.query("g", "CREATE (:A)-[:R]->(:B)");
+        server.query("g", "MATCH (a)-[:R]->(b) RETURN count(b)");
+        server.query("g", "MATCH (a RETURN"); // parse error
+        let after = info(&server);
+        assert_eq!(after["queries_executed"], 2);
+        assert_eq!(after["queries_failed"], 1);
+        assert_eq!(after["queries_write"], 1);
+        assert_eq!(after["queries_readonly"], 1);
+        assert_eq!(after["graph.query"], 3);
+        assert_eq!(after["graphs"], 1);
+        assert_eq!(after["nodes"], 2);
+        assert_eq!(after["edges"], 1);
+        assert!(after["query_samples"] == 2 && after["query_max_usec"] >= 0);
+        assert_eq!(after["snapshot_rebuilds"], 1, "first read of the epoch rebuilds");
+
+        // A second read of the same epoch hits the snapshot cache.
+        server.query("g", "MATCH (a)-[:R]->(b) RETURN count(b)");
+        let third = info(&server);
+        assert_eq!(third["snapshot_hits"], 1);
     }
 
     #[test]

@@ -29,6 +29,52 @@ REQUIRED_RESULT_KEYS = {
 # means the op was not actually measured (or measured nothing).
 POSITIVE_KEYS = {"wall_ms", "writes_per_sec", "qps", "writes", "queries", "rows", "checksum"}
 
+# The network suite also reports the server's own GRAPH.INFO deltas. These
+# keys must be present; the *_positive subset must be > 0 (a zero means the
+# registry stopped counting even though the bench drove real traffic), and
+# connections_active must be <= 1 after the run (only the polling client) —
+# anything higher is a leaked connection slot.
+NETWORK_METRIC_KEYS = {
+    "queries_executed",
+    "queries_readonly",
+    "bytes_in",
+    "bytes_out",
+    "connections_accepted",
+    "connections_active",
+    "connections_refused",
+}
+NETWORK_METRIC_POSITIVE = {
+    "queries_executed",
+    "queries_readonly",
+    "bytes_in",
+    "bytes_out",
+    "connections_accepted",
+}
+
+
+def check_network_metrics(path, doc):
+    problems = []
+    metrics = doc.get("server_metrics")
+    if not isinstance(metrics, dict):
+        return [f"{path}: network suite must report a 'server_metrics' object"]
+    missing = NETWORK_METRIC_KEYS - set(metrics)
+    if missing:
+        problems.append(f"{path}: server_metrics missing keys: {sorted(missing)}")
+    for key in NETWORK_METRIC_POSITIVE & set(metrics):
+        value = metrics[key]
+        if not isinstance(value, int) or value <= 0:
+            problems.append(
+                f"{path}: server_metrics.{key} = {value!r} — the registry "
+                f"recorded nothing for a bench that drove real traffic"
+            )
+    active = metrics.get("connections_active")
+    if isinstance(active, int) and active > 1:
+        problems.append(
+            f"{path}: server_metrics.connections_active = {active} after the "
+            f"run — connection slots leaked (only the polling client may remain)"
+        )
+    return problems
+
 
 def check_file(path):
     problems = []
@@ -48,9 +94,12 @@ def check_file(path):
             f"scripts/bench_check.py"
         ]
 
+    if suite == "network":
+        problems.extend(check_network_metrics(path, doc))
+
     results = doc.get("results")
     if not isinstance(results, list) or not results:
-        return [f"{path}: 'results' must be a non-empty list"]
+        return problems + [f"{path}: 'results' must be a non-empty list"]
 
     for i, entry in enumerate(results):
         if not isinstance(entry, dict):

@@ -58,6 +58,8 @@ FLAGS:
     --delta-threshold <N>        delta flush threshold (DELTA_MAX_PENDING_CHANGES)
     --max-query-buffer <BYTES>   per-connection unparsed-input cap (MAX_QUERY_BUFFER)
     --max-connections <N>        concurrent connection cap [default: 128]
+    --slowlog-threshold <MS>     log queries at/over this many milliseconds
+                                 (SLOWLOG_TIME_THRESHOLD, 0 = log everything)
     --preload-scale <N>          bulk-load an RMAT scale-N graph before serving
     --preload-edge-factor <N>    edges per vertex for the preload [default: 8]
     --preload-graph <NAME>       graph key for the preload [default: bench]
@@ -100,6 +102,8 @@ fn main() {
             .unwrap_or(defaults.delta_max_pending_changes),
         max_query_buffer: arg(&argv, "--max-query-buffer").unwrap_or(defaults.max_query_buffer),
         max_connections: arg(&argv, "--max-connections").unwrap_or(defaults.max_connections),
+        slowlog_time_threshold_ms: arg(&argv, "--slowlog-threshold")
+            .unwrap_or(defaults.slowlog_time_threshold_ms),
     };
 
     let server = Arc::new(RedisGraphServer::new(config));

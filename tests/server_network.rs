@@ -26,7 +26,12 @@
 //! * **pipeline execution order** — like Redis, a pipeline saves round
 //!   trips without reordering execution: a pipelined write is visible to
 //!   every later command of the same pipeline (queries, admin commands, and
-//!   `GRAPH.DELETE` included).
+//!   `GRAPH.DELETE` included);
+//! * **observability over the wire** — `GRAPH.PROFILE` returns the annotated
+//!   operator tree for pipelined queries, `GRAPH.SLOWLOG` captures queries
+//!   over the runtime-set threshold and `RESET` empties it, and the
+//!   `GRAPH.INFO` counters stay consistent across a 5 000-command pipeline
+//!   without leaking active-connection slots.
 
 use redisgraph_server::{GraphServer, RedisGraphServer, RespClient, RespValue, ServerConfig};
 use std::io::{Read, Write};
@@ -462,6 +467,214 @@ fn pipelined_delete_is_observable_by_the_next_command() {
         RespValue::Array(vec![RespValue::BulkString("del".into())]),
         "create-on-use after delete"
     );
+    net.shutdown();
+}
+
+/// Flatten a `GRAPH.INFO` reply (array of `[section-name, [k, v, ...]]`)
+/// into one `field -> value` map for assertions.
+fn info_fields(reply: &RespValue) -> std::collections::HashMap<String, RespValue> {
+    let RespValue::Array(sections) = reply else { panic!("GRAPH.INFO not an array: {reply}") };
+    let mut fields = std::collections::HashMap::new();
+    for section in sections {
+        let RespValue::Array(parts) = section else { panic!("section not an array: {section}") };
+        let RespValue::Array(kvs) = &parts[1] else { panic!("section body not an array") };
+        for pair in kvs.chunks(2) {
+            let RespValue::BulkString(key) = &pair[0] else { panic!("key not a string") };
+            fields.insert(key.clone(), pair[1].clone());
+        }
+    }
+    fields
+}
+
+fn info_int(fields: &std::collections::HashMap<String, RespValue>, key: &str) -> i64 {
+    match fields.get(key) {
+        Some(RespValue::Integer(n)) => *n,
+        other => panic!("GRAPH.INFO field {key} missing or non-integer: {other:?}"),
+    }
+}
+
+#[test]
+fn pipelined_profile_returns_annotated_operator_trees() {
+    let net = GraphServer::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let mut client = RespClient::connect(net.local_addr()).expect("connect");
+    let replies = client
+        .pipeline(&[
+            RespValue::command(&[
+                "GRAPH.QUERY",
+                "prof",
+                "CREATE (:Node {id: 1})-[:LINK]->(:Node {id: 2})-[:LINK]->(:Node {id: 3})",
+            ]),
+            RespValue::command(&[
+                "GRAPH.PROFILE",
+                "prof",
+                "MATCH (a:Node)-[:LINK]->(b) RETURN id(b)",
+            ]),
+            RespValue::command(&["GRAPH.PROFILE", "prof", "MATCH (n:Node) RETURN count(n)"]),
+        ])
+        .expect("profile pipeline");
+    assert!(matches!(replies[0], RespValue::Array(_)), "seed CREATE failed: {}", replies[0]);
+
+    // Each PROFILE reply is a flat array of annotated operator lines.
+    for reply in &replies[1..] {
+        let RespValue::Array(lines) = reply else { panic!("PROFILE not an array: {reply}") };
+        assert!(!lines.is_empty());
+        for line in lines {
+            let RespValue::BulkString(text) = line else { panic!("line not a string: {line}") };
+            assert!(
+                text.contains("Records produced: ") && text.contains("Execution time: "),
+                "unannotated profile line: {text:?}"
+            );
+        }
+    }
+    // The traversal profile names its operators with real record counts: the
+    // scan produced 3 nodes, the traversal narrowed them to 2 sources.
+    let RespValue::Array(lines) = &replies[1] else { unreachable!() };
+    let text: Vec<String> = lines
+        .iter()
+        .map(|l| match l {
+            RespValue::BulkString(s) => s.clone(),
+            other => panic!("{other}"),
+        })
+        .collect();
+    assert!(
+        text.iter().any(|l| l.contains("Label Scan") && l.contains("Records produced: 3")),
+        "missing scan line: {text:?}"
+    );
+    assert!(
+        text.iter().any(|l| l.contains("Traverse") && l.contains("Records produced: 2")),
+        "missing traverse line: {text:?}"
+    );
+    net.shutdown();
+}
+
+#[test]
+fn slowlog_captures_slow_queries_and_reset_empties_it_over_the_wire() {
+    let net = GraphServer::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let mut client = RespClient::connect(net.local_addr()).expect("connect");
+
+    // Default threshold (10ms) keeps fast queries out of the log.
+    let _ = client.query("slow", "CREATE (:Node {id: 1})").expect("seed");
+    assert_eq!(
+        client.command(&["GRAPH.SLOWLOG", "slow"]).unwrap(),
+        RespValue::Array(vec![]),
+        "a fast CREATE must not enter the slowlog at the default threshold"
+    );
+
+    // Threshold 0 logs everything that runs after it is set.
+    assert_eq!(
+        client.command(&["GRAPH.CONFIG", "SET", "SLOWLOG_TIME_THRESHOLD", "0"]).unwrap(),
+        RespValue::SimpleString("OK".into())
+    );
+    let _ = client.query("slow", "MATCH (n:Node) RETURN count(n)").expect("read");
+    let entries = client.command(&["GRAPH.SLOWLOG", "slow", "GET"]).expect("slowlog get");
+    let RespValue::Array(entries) = entries else { panic!("SLOWLOG not an array: {entries}") };
+    assert_eq!(entries.len(), 1, "exactly the post-threshold query is logged: {entries:?}");
+    let RespValue::Array(fields) = &entries[0] else { panic!("entry not an array") };
+    assert_eq!(fields.len(), 5, "timestamp, command, query, millis, arg count");
+    assert!(matches!(fields[0], RespValue::Integer(ts) if ts > 0), "unix timestamp");
+    assert_eq!(fields[1], RespValue::BulkString("GRAPH.QUERY".into()));
+    assert_eq!(fields[2], RespValue::BulkString("MATCH (n:Node) RETURN count(n)".into()));
+    assert!(matches!(&fields[3], RespValue::BulkString(ms) if ms.parse::<f64>().is_ok()));
+    assert!(matches!(fields[4], RespValue::Integer(_)));
+
+    // RESET empties the ring; the threshold is untouched, so the next query
+    // is logged again.
+    assert_eq!(
+        client.command(&["GRAPH.SLOWLOG", "slow", "RESET"]).unwrap(),
+        RespValue::SimpleString("OK".into())
+    );
+    assert_eq!(
+        client.command(&["GRAPH.SLOWLOG", "slow", "GET"]).unwrap(),
+        RespValue::Array(vec![])
+    );
+    let _ = client.query("slow", "MATCH (n:Node) RETURN id(n)").expect("read after reset");
+    let RespValue::Array(after) = client.command(&["GRAPH.SLOWLOG", "slow"]).unwrap() else {
+        panic!()
+    };
+    assert_eq!(after.len(), 1, "logging resumes after RESET");
+    net.shutdown();
+}
+
+#[test]
+fn graph_info_counters_stay_consistent_across_a_5000_command_pipeline() {
+    let net = GraphServer::bind(
+        "127.0.0.1:0",
+        ServerConfig { thread_count: 4, ..ServerConfig::default() },
+    )
+    .expect("bind");
+    let mut client = RespClient::connect(net.local_addr()).expect("connect");
+    for stmt in seed_statements() {
+        let reply = client.query("g", &stmt).expect("seed");
+        assert!(!matches!(reply, RespValue::Error(_)), "seed failed: {reply}");
+    }
+    let before = info_fields(&client.command(&["GRAPH.INFO"]).expect("info before"));
+
+    let commands = workload_commands(5_000);
+    let replies = client.pipeline(&commands).expect("pipeline");
+    assert_eq!(replies.len(), commands.len());
+    let after = info_fields(&client.command(&["GRAPH.INFO"]).expect("info after"));
+
+    // The workload rotation: of every 5 commands, 3 are valid reads, 1 is a
+    // PING, 1 is a deliberate parse error. All GRAPH.QUERYs count as
+    // dispatched commands; only the valid ones count as executed.
+    let queries = 4_000;
+    let failures = 1_000;
+    assert_eq!(
+        info_int(&after, "graph.query") - info_int(&before, "graph.query"),
+        queries,
+        "every pipelined GRAPH.QUERY is counted once"
+    );
+    assert_eq!(info_int(&after, "ping") - info_int(&before, "ping"), 1_000);
+    assert_eq!(
+        info_int(&after, "queries_executed") - info_int(&before, "queries_executed"),
+        queries - failures
+    );
+    assert_eq!(info_int(&after, "queries_failed") - info_int(&before, "queries_failed"), failures);
+    assert_eq!(
+        info_int(&after, "queries_readonly") - info_int(&before, "queries_readonly"),
+        queries - failures,
+        "the workload is pure reads"
+    );
+    assert_eq!(info_int(&after, "queries_write") - info_int(&before, "queries_write"), 0);
+
+    // The latency histogram samples every query that reached a worker —
+    // parse failures are rejected at dispatch, before the pool.
+    assert_eq!(
+        info_int(&after, "query_samples") - info_int(&before, "query_samples"),
+        queries - failures
+    );
+    assert!(info_int(&after, "query_p50_usec") <= info_int(&after, "query_p99_usec"));
+    assert!(info_int(&after, "query_p99_usec") <= info_int(&after, "query_max_usec"));
+
+    // Byte counters moved by at least the pipeline's raw sizes, and the
+    // pipeline's depth registered in the histogram.
+    let burst: usize = commands.iter().map(|c| c.encode().len()).sum();
+    assert!(
+        info_int(&after, "bytes_in") - info_int(&before, "bytes_in") >= burst as i64,
+        "bytes_in must cover the pipelined burst"
+    );
+    assert!(info_int(&after, "bytes_out") > info_int(&before, "bytes_out"));
+    // The framing loop records batch depth per socket read, so the 5 000
+    // commands land as several deep batches (each 16KB read chunk holds
+    // dozens of these ~100-byte frames) — far deeper than the seed's
+    // one-command round-trips.
+    assert!(
+        info_int(&after, "pipeline_depth_max") > 1,
+        "pipelined burst never produced a multi-frame batch"
+    );
+
+    // This one connection is the only active one — no slots leaked.
+    assert_eq!(info_int(&after, "connections_active"), 1);
+    assert_eq!(info_int(&after, "connections_accepted"), 1);
+    assert_eq!(info_int(&after, "connections_refused"), 0);
+    drop(client);
+    for _ in 0..50 {
+        if net.active_connections() == 0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert_eq!(net.active_connections(), 0, "closed connection must release its slot");
     net.shutdown();
 }
 
