@@ -1,10 +1,14 @@
 //! Traversal-strategy benchmark: the same multi-hop `MATCH` queries over an
 //! RMAT graph, executed per-record (scalar pointer chasing), batched
-//! (frontier `mxm`), and batched with intra-query parallelism
-//! (`QUERY_THREADS > 1` row-block threading inside the `mxm`).
+//! (frontier `mxm`), batched with intra-query parallelism
+//! (`QUERY_THREADS > 1` row-block threading inside the `mxm`), and fused
+//! (the algebraic optimizer collapses the hop chain into one
+//! counting-semiring matrix product and feeds path counts straight into the
+//! aggregate). The first three modes pin the optimizer *off* so they keep
+//! measuring the per-hop strategies in isolation.
 //!
-//! Row counts must agree across all three modes — the bench doubles as a
-//! coarse differential check — and the batched timings are what the paper's
+//! Row counts must agree across all modes — the bench doubles as a coarse
+//! differential check — and the batched/fused timings are what the paper's
 //! "traversals are algebraic expressions" claim buys in practice.
 //!
 //! ```text
@@ -47,10 +51,12 @@ fn run_query(
     g: &mut Graph,
     strategy: TraverseStrategy,
     threads: usize,
+    optimize: bool,
     query: &str,
     iters: usize,
 ) -> (f64, i64) {
     g.set_traverse_strategy(strategy);
+    g.set_optimizer(optimize);
     Context::set_nthreads(threads);
     let mut best_ms = f64::INFINITY;
     let mut rows = 0i64;
@@ -91,17 +97,21 @@ fn main() {
         g.edge_count()
     );
 
-    let modes: [(&str, TraverseStrategy, usize); 3] = [
-        ("scalar", TraverseStrategy::Scalar, 1),
-        ("batched", TraverseStrategy::Batched, 1),
-        ("batched+threads", TraverseStrategy::Batched, threads),
+    // The per-hop modes pin the optimizer off; "fused" lets it collapse the
+    // chain into one algebraic product (variable-length queries have no
+    // fusable fixed chain and measure the optimizer's no-op overhead).
+    let modes: [(&str, TraverseStrategy, usize, bool); 4] = [
+        ("scalar", TraverseStrategy::Scalar, 1, false),
+        ("batched", TraverseStrategy::Batched, 1, false),
+        ("batched+threads", TraverseStrategy::Batched, threads, false),
+        ("fused", TraverseStrategy::Batched, 1, true),
     ];
 
     let mut measurements: Vec<Measurement> = Vec::new();
     for (query_name, query) in QUERIES {
         let mut baseline_rows: Option<i64> = None;
-        for (mode, strategy, nthreads) in modes {
-            let (wall_ms, rows) = run_query(&mut g, strategy, nthreads, query, iters);
+        for (mode, strategy, nthreads, optimize) in modes {
+            let (wall_ms, rows) = run_query(&mut g, strategy, nthreads, optimize, query, iters);
             match baseline_rows {
                 None => baseline_rows = Some(rows),
                 Some(expect) => assert_eq!(
@@ -136,9 +146,11 @@ fn main() {
                 .wall_ms
         };
         println!(
-            "{query_name}: batched speedup {:.2}x, batched+threads speedup {:.2}x",
+            "{query_name}: batched speedup {:.2}x, batched+threads speedup {:.2}x, \
+             fused speedup {:.2}x",
             of("scalar") / of("batched"),
             of("scalar") / of("batched+threads"),
+            of("scalar") / of("fused"),
         );
     }
 

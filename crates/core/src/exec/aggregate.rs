@@ -73,7 +73,18 @@ impl Accumulator {
     /// Feed one value. `Null` values are ignored by every aggregation, per
     /// openCypher; `count(*)` is handled by feeding a non-null marker.
     pub fn update(&mut self, value: Value) {
-        if value.is_null() {
+        self.update_weighted(value, 1);
+    }
+
+    /// Feed one value `weight` times at once — the algebraic form used by
+    /// fused traversals, whose counting-semiring products deliver a path
+    /// count per destination instead of that many identical records.
+    /// `count` and `sum`/`avg` scale linearly (`count += w`, `sum += v·w`);
+    /// `min`/`max` ignore duplicates; `collect` pushes `w` copies. With
+    /// `DISTINCT` the weight collapses to a single observation, exactly as
+    /// `w` identical expanded records would.
+    pub fn update_weighted(&mut self, value: Value, weight: u64) {
+        if value.is_null() || weight == 0 {
             return;
         }
         if self.distinct {
@@ -82,7 +93,8 @@ impl Accumulator {
             }
             self.seen.push(value.clone());
         }
-        self.count += 1;
+        let weight = if self.distinct { 1 } else { weight };
+        self.count += weight;
         match self.func {
             AggFunc::Count => {}
             AggFunc::Sum | AggFunc::Avg => {
@@ -91,14 +103,17 @@ impl Accumulator {
                     // exactly; `finish` decides whether the total still fits.
                     // (checked_add only trips after ~2^63 extreme values —
                     // the f64 running sum then takes over.)
-                    match self.int_sum.checked_add(i as i128) {
+                    match (i as i128)
+                        .checked_mul(weight as i128)
+                        .and_then(|w| self.int_sum.checked_add(w))
+                    {
                         Some(s) => self.int_sum = s,
                         None => self.all_ints = false,
                     }
                 } else {
                     self.all_ints = false;
                 }
-                self.sum += value.as_f64().unwrap_or(0.0);
+                self.sum += value.as_f64().unwrap_or(0.0) * weight as f64;
             }
             AggFunc::Min => {
                 let better = match &self.min {
@@ -118,7 +133,11 @@ impl Accumulator {
                     self.max = Some(value);
                 }
             }
-            AggFunc::Collect => self.collected.push(value),
+            AggFunc::Collect => {
+                for _ in 0..weight {
+                    self.collected.push(value.clone());
+                }
+            }
         }
     }
 

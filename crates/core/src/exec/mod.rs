@@ -15,6 +15,7 @@
 //! still executes on a single thread as the paper's architecture dictates.
 
 pub mod aggregate;
+pub mod algebraic;
 pub mod expr;
 pub mod ops;
 pub mod plan;

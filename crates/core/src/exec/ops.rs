@@ -5,6 +5,7 @@
 //! filters, projections/aggregations and the write operations.
 
 use crate::exec::aggregate::{Accumulator, AggFunc};
+use crate::exec::algebraic::AlgebraicExpression;
 use crate::exec::expr::{contains_aggregate, eval};
 use crate::exec::record::{Bindings, Record};
 use crate::exec::resultset::QueryStats;
@@ -134,10 +135,34 @@ pub enum PlanOp {
         /// True if the destination is already bound (expand-into / semi-join).
         expand_into: bool,
     },
+    /// A fused fixed-length chain traversal: the whole chain evaluates as
+    /// one algebraic product under the counting semiring instead of one
+    /// `Traverse` op (and record materialisation) per hop. Built by the
+    /// optimizer pass in [`crate::exec::algebraic`].
+    FusedTraverse {
+        /// Slot of the already-bound source node (the frontier).
+        src_slot: usize,
+        /// Slot receiving the chain's final destination node.
+        dst_slot: usize,
+        /// Final destination variable name.
+        dst_var: String,
+        /// The algebraic expression (`F·A_R·A_S`) the op evaluates.
+        expr: AlgebraicExpression,
+        /// Hidden slot receiving the per-row path count when the downstream
+        /// consumer is a weight-aware aggregation; `None` = expand each
+        /// product cell into `count` records.
+        weight_slot: Option<usize>,
+    },
     /// Final projection (`RETURN`).
     Project(Projection),
     /// Final aggregation (`RETURN` containing aggregate functions).
-    Aggregate(Projection),
+    Aggregate {
+        /// The aggregating projection.
+        projection: Projection,
+        /// Slot holding a per-record path-count weight written by an
+        /// upstream [`PlanOp::FusedTraverse`] (`Null`/absent = weight 1).
+        weight_slot: Option<usize>,
+    },
     /// Intermediate projection (`WITH`); re-binds records for the next segment.
     With(Projection),
     /// Create the given patterns once per incoming record.
@@ -206,8 +231,9 @@ impl PlanOp {
                     format!("Conditional Traverse | [:{types}{hops}] -> ({dst_var})")
                 }
             }
+            PlanOp::FusedTraverse { expr, .. } => format!("Conditional Traverse | {expr}"),
             PlanOp::Project(_) => "Project".to_string(),
-            PlanOp::Aggregate(_) => "Aggregate".to_string(),
+            PlanOp::Aggregate { .. } => "Aggregate".to_string(),
             PlanOp::With(_) => "With".to_string(),
             PlanOp::Create { .. } => "Create".to_string(),
             PlanOp::Delete { .. } => "Delete".to_string(),
@@ -552,40 +578,56 @@ fn batched_single_hop(
     }
 
     // Probe: record-major, then per relation forward-then-backward, columns
-    // ascending — exactly the scalar `neighbors()` emission order.
+    // ascending — exactly the scalar `neighbors()` emission order. A product
+    // cell whose `(src, dst)` pair holds parallel same-type edges expands to
+    // one row per edge (ascending ids), matching `Graph::neighbors`.
     let mut out = Vec::new();
     for (record, row) in records.iter().zip(batch.record_rows) {
         let Some(row) = *row else { continue };
+        let Some(&Value::Node(src)) = record.get(spec.src_slot) else { continue };
+        let emit = |dst: NodeId, edge: EdgeId, rel: usize, fwd: bool, out: &mut Vec<Record>| {
+            // Transposed products traverse the edge backwards: the stored
+            // entity runs dst → src.
+            let (s, d) = if fwd { (src, dst) } else { (dst, src) };
+            let edges: &[EdgeId] = match graph.parallel_edges(rel, s, d) {
+                Some(list) => list,
+                None => std::slice::from_ref(&edge),
+            };
+            for &e in edges {
+                let mut r = record.clone();
+                ensure_len(&mut r, bindings);
+                if !spec.expand_into {
+                    r[spec.dst_slot] = Value::Node(dst);
+                }
+                if let Some(es) = spec.edge_slot {
+                    r[es] = Value::Edge(e);
+                }
+                out.push(r);
+            }
+        };
         if spec.expand_into {
             // Semi-join: only the record's own bound target counts.
-            let Some(Value::Node(t)) = record.get(spec.dst_slot) else { continue };
-            if *t >= batch.dim {
+            let Some(&Value::Node(t)) = record.get(spec.dst_slot) else { continue };
+            if t >= batch.dim {
                 continue;
             }
-            for (fwd, bwd) in &products {
-                for product in [fwd, bwd].into_iter().flatten() {
-                    if let Some(edge) = product.extract_element(row, *t) {
-                        let mut r = record.clone();
-                        ensure_len(&mut r, bindings);
-                        if let Some(es) = spec.edge_slot {
-                            r[es] = Value::Edge(edge);
+            for (&rel, (fwd, bwd)) in rels.iter().zip(&products) {
+                for (product, is_fwd) in [(fwd, true), (bwd, false)] {
+                    if let Some(product) = product {
+                        if let Some(edge) = product.extract_element(row, t) {
+                            emit(t, edge, rel, is_fwd, &mut out);
                         }
-                        out.push(r);
                     }
                 }
             }
         } else {
-            for (fwd, bwd) in &products {
-                for product in [fwd, bwd].into_iter().flatten() {
-                    let (cols, vals) = probe_row(product, row);
-                    for (&dst, &edge) in cols.iter().zip(vals.iter()) {
-                        let mut r = record.clone();
-                        ensure_len(&mut r, bindings);
-                        r[spec.dst_slot] = Value::Node(dst);
-                        if let Some(es) = spec.edge_slot {
-                            r[es] = Value::Edge(edge);
+            for (&rel, (fwd, bwd)) in rels.iter().zip(&products) {
+                for (product, is_fwd) in [(fwd, true), (bwd, false)] {
+                    if let Some(product) = product {
+                        let (cols, vals) = probe_row(product, row);
+                        for (&dst, &edge) in cols.iter().zip(vals.iter()) {
+                            emit(dst, edge, rel, is_fwd, &mut out);
                         }
-                        out.push(r);
                     }
                 }
             }
@@ -845,9 +887,12 @@ pub fn run_project(
 }
 
 /// Execute an aggregating projection: group records by the non-aggregate items
-/// and fold the aggregate items with [`Accumulator`]s.
+/// and fold the aggregate items with [`Accumulator`]s. `weight_slot` carries
+/// the path-count weight of compact records emitted by a fused traversal
+/// (`Null` or absent = weight 1, i.e. an ordinary record).
 pub fn run_aggregate(
     projection: &Projection,
+    weight_slot: Option<usize>,
     records: &[Record],
     bindings: &Bindings,
     graph: &Graph,
@@ -887,13 +932,17 @@ pub fn run_aggregate(
                 .collect();
             (key_values.clone(), accs)
         });
+        let weight = weight_slot
+            .and_then(|ws| record.get(ws))
+            .and_then(Value::as_i64)
+            .map_or(1, |w| w.max(0) as u64);
         for (acc, &item_pos) in entry.1.iter_mut().zip(agg_positions.iter()) {
             if let Expr::FunctionCall { args, .. } = &projection.items[item_pos].expr {
                 let value = match args.first() {
                     Some(arg) => eval(arg, record, bindings, graph),
                     None => Value::Bool(true), // count(*): every record counts
                 };
-                acc.update(value);
+                acc.update_weighted(value, weight);
             }
         }
     }

@@ -82,8 +82,19 @@ pub struct ExecutionPlan {
 }
 
 impl ExecutionPlan {
-    /// Compile a parsed query into an execution plan.
+    /// Compile a parsed query into an execution plan and run the algebraic
+    /// optimizer over it (chain fusion, mask pushdown — see
+    /// [`crate::exec::algebraic`]).
     pub fn build(query: &Query) -> Result<Self, QueryError> {
+        let mut plan = Self::build_unoptimized(query)?;
+        crate::exec::algebraic::fuse_plan(&mut plan.segments);
+        Ok(plan)
+    }
+
+    /// Compile without the optimizer pass: one `Traverse` op per hop, label
+    /// predicates as record filters. The differential suites compare this
+    /// plan's output against the optimized plan's row for row.
+    pub fn build_unoptimized(query: &Query) -> Result<Self, QueryError> {
         Builder::new().build(query)
     }
 
@@ -245,18 +256,35 @@ impl ExecutionPlan {
                         };
                         records = run_traverse(records, bindings, access.graph(), &spec);
                     }
+                    PlanOp::FusedTraverse { src_slot, dst_slot, expr, weight_slot, .. } => {
+                        records = crate::exec::algebraic::run_fused(
+                            &records,
+                            bindings,
+                            access.graph(),
+                            *src_slot,
+                            *dst_slot,
+                            expr,
+                            *weight_slot,
+                        );
+                    }
                     PlanOp::Project(projection) => {
                         columns = projection.items.iter().map(|i| i.column_name()).collect();
                         rows = run_project(projection, &records, bindings, access.graph());
                     }
-                    PlanOp::Aggregate(projection) => {
+                    PlanOp::Aggregate { projection, weight_slot } => {
                         columns = projection.items.iter().map(|i| i.column_name()).collect();
-                        rows = run_aggregate(projection, &records, bindings, access.graph());
+                        rows = run_aggregate(
+                            projection,
+                            *weight_slot,
+                            &records,
+                            bindings,
+                            access.graph(),
+                        );
                     }
                     PlanOp::With(projection) => {
                         let agg = projection.items.iter().any(|i| contains_aggregate(&i.expr));
                         let produced = if agg {
-                            run_aggregate(projection, &records, bindings, access.graph())
+                            run_aggregate(projection, None, &records, bindings, access.graph())
                         } else {
                             run_project(projection, &records, bindings, access.graph())
                         };
@@ -301,7 +329,7 @@ impl ExecutionPlan {
                     // Projections emit rows, every other operator leaves its
                     // output in the record working set.
                     let produced = match op {
-                        PlanOp::Project(_) | PlanOp::Aggregate(_) => rows.len(),
+                        PlanOp::Project(_) | PlanOp::Aggregate { .. } => rows.len(),
                         _ => records.len(),
                     };
                     profiles.push(OpProfile {
@@ -399,7 +427,7 @@ impl Builder {
                 Clause::Return(projection) => {
                     let agg = projection.items.iter().any(|i| contains_aggregate(&i.expr));
                     self.ops.push(if agg {
-                        PlanOp::Aggregate(projection.clone())
+                        PlanOp::Aggregate { projection: projection.clone(), weight_slot: None }
                     } else {
                         PlanOp::Project(projection.clone())
                     });

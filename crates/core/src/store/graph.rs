@@ -45,6 +45,8 @@ use crate::value::Value;
 use crate::{EdgeId, NodeId};
 use graphblas::prelude::*;
 use std::borrow::Cow;
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Matrices are grown in chunks of this many rows/columns so that node
 /// insertion does not resize on every call (RedisGraph uses 16384).
@@ -74,11 +76,47 @@ pub struct Graph {
     adjacency_t: DeltaMatrix<bool>,
     relation_matrices: Vec<DeltaMatrix<u64>>,
     relation_matrices_t: Vec<DeltaMatrix<u64>>,
+    /// Parallel same-type edges: the full, ascending edge-id list of every
+    /// `(rel, src, dst)` cell that holds **two or more** edges. The relation
+    /// matrix cell keeps the smallest id (so algebraic products always carry
+    /// a live representative); traversals expand a cell to one row per edge
+    /// through [`Graph::edges_between`]. Cells with a single edge — the
+    /// overwhelming majority — have no entry here.
+    multi_edges: HashMap<(RelTypeId, NodeId, NodeId), Vec<EdgeId>>,
     label_matrices: Vec<DeltaMatrix<bool>>,
     flush_threshold: usize,
     traverse_strategy: TraverseStrategy,
+    /// Run the algebraic optimizer (chain fusion, mask pushdown) when
+    /// building plans. On by default; the differential suites pin it off to
+    /// compare optimized against unoptimized plans.
+    optimize: bool,
     /// Logical write version: bumped on every mutation, pinned by snapshots.
     epoch: u64,
+    /// Per-instance memo of [`Graph::relation_count_matrix`] results, keyed
+    /// by `(rel, transposed)` and valid for a single epoch. Fused algebraic
+    /// plans consume whole counting matrices; rebuilding them from the view
+    /// triples on every query made selective fused queries slower than the
+    /// per-hop plans they replaced.
+    count_cache: CountMatrixCache,
+}
+
+/// Epoch-scoped counting-matrix memo behind interior mutability, so sealed
+/// read-only snapshots (`&Graph`) populate it too. `Clone` yields an *empty*
+/// cache: a clone is either a mutable twin (whose epoch will diverge) or a
+/// snapshot (which rebuilds from its own pinned matrices on first use) —
+/// sharing entries across instances would only invite cross-epoch mixups.
+#[derive(Debug, Default)]
+struct CountMatrixCache {
+    inner: std::sync::Mutex<(u64, CountMatrixMap)>,
+}
+
+/// Memoised counting matrices, keyed by `(rel, transposed)`.
+type CountMatrixMap = HashMap<(RelTypeId, bool), Arc<SparseMatrix<u64>>>;
+
+impl Clone for CountMatrixCache {
+    fn clone(&self) -> Self {
+        CountMatrixCache::default()
+    }
 }
 
 impl Graph {
@@ -95,10 +133,13 @@ impl Graph {
             adjacency_t: DeltaMatrix::new(GROW_CHUNK, GROW_CHUNK),
             relation_matrices: Vec::new(),
             relation_matrices_t: Vec::new(),
+            multi_edges: HashMap::new(),
             label_matrices: Vec::new(),
             flush_threshold: DEFAULT_FLUSH_THRESHOLD,
             traverse_strategy: TraverseStrategy::Auto,
+            optimize: true,
             epoch: 0,
+            count_cache: CountMatrixCache::default(),
         }
     }
 
@@ -143,6 +184,27 @@ impl Graph {
     /// Set the traversal execution strategy.
     pub fn set_traverse_strategy(&mut self, strategy: TraverseStrategy) {
         self.traverse_strategy = strategy;
+    }
+
+    /// Whether plans built against this graph run the algebraic optimizer
+    /// (chain fusion, mask pushdown — see [`crate::exec::algebraic`]).
+    pub fn optimizer_enabled(&self) -> bool {
+        self.optimize
+    }
+
+    /// Enable or disable the algebraic optimizer. Differential tests pin it
+    /// off to compare the fused and unfused plans of the same query.
+    pub fn set_optimizer(&mut self, on: bool) {
+        self.optimize = on;
+    }
+
+    /// Build a plan honouring this graph's optimizer setting.
+    fn build_plan(&self, ast: &cypher::Query) -> Result<ExecutionPlan, QueryError> {
+        if self.optimize {
+            ExecutionPlan::build(ast)
+        } else {
+            ExecutionPlan::build_unoptimized(ast)
+        }
     }
 
     /// The pending-count threshold at which any one matrix folds its delta
@@ -242,7 +304,7 @@ impl Graph {
         ast: &cypher::Query,
         started: std::time::Instant,
     ) -> Result<ResultSet, QueryError> {
-        let plan = ExecutionPlan::build(ast)?;
+        let plan = self.build_plan(ast)?;
         plan.execute_at(self, started)
     }
 
@@ -254,7 +316,7 @@ impl Graph {
         ast: &cypher::Query,
         started: std::time::Instant,
     ) -> Result<(ResultSet, Vec<OpProfile>), QueryError> {
-        let plan = ExecutionPlan::build(ast)?;
+        let plan = self.build_plan(ast)?;
         plan.profile(self, started)
     }
 
@@ -276,7 +338,7 @@ impl Graph {
     /// Plan and execute an already-parsed read-only query (see
     /// [`Graph::query_ast`]).
     pub fn query_readonly_ast(&self, ast: &cypher::Query) -> Result<ResultSet, QueryError> {
-        let plan = ExecutionPlan::build(ast)?;
+        let plan = self.build_plan(ast)?;
         plan.execute_read_only(self)
     }
 
@@ -284,7 +346,7 @@ impl Graph {
     /// (`GRAPH.EXPLAIN`).
     pub fn explain(&self, text: &str) -> Result<Vec<String>, QueryError> {
         let ast = cypher::parse(text)?;
-        let plan = ExecutionPlan::build(&ast)?;
+        let plan = self.build_plan(&ast)?;
         Ok(plan.describe())
     }
 
@@ -366,8 +428,28 @@ impl Graph {
             attrs.set(attr, value);
         }
         let id = self.edges.insert(EdgeEntity { src, dst, rel_type: rel, attributes: attrs });
-        self.relation_matrices[rel].set_element(src, dst, id);
-        self.relation_matrices_t[rel].set_element(dst, src, id);
+        match self.relation_matrices[rel].extract_element(src, dst) {
+            // First edge of this type between the endpoints: the matrix cell
+            // carries it directly.
+            None => {
+                self.relation_matrices[rel].set_element(src, dst, id);
+                self.relation_matrices_t[rel].set_element(dst, src, id);
+            }
+            // Parallel same-type edge: the cell's full edge list moves to the
+            // multi-edge side table (ascending ids) and the matrix keeps the
+            // smallest id as the representative.
+            Some(existing) => {
+                let list =
+                    self.multi_edges.entry((rel, src, dst)).or_insert_with(|| vec![existing]);
+                let pos = list.binary_search(&id).unwrap_err();
+                list.insert(pos, id);
+                let smallest = list[0];
+                if smallest != existing {
+                    self.relation_matrices[rel].set_element(src, dst, smallest);
+                    self.relation_matrices_t[rel].set_element(dst, src, smallest);
+                }
+            }
+        }
         self.adjacency.set_element(src, dst, true);
         self.adjacency_t.set_element(dst, src, true);
         self.epoch += 1;
@@ -377,18 +459,27 @@ impl Graph {
     /// Delete an edge by id.
     pub fn delete_edge(&mut self, id: EdgeId) -> bool {
         let Some(edge) = self.edges.remove(id) else { return false };
-        // Keep the matrix entry if another edge of the same type still
-        // connects the same endpoints — re-pointed at the survivor so
-        // traversals never hand out a dead edge id.
-        let surviving_same_type = self
-            .edges
-            .iter()
-            .find(|(_, e)| e.src == edge.src && e.dst == edge.dst && e.rel_type == edge.rel_type)
-            .map(|(eid, _)| eid);
-        match surviving_same_type {
-            Some(survivor) => {
-                self.relation_matrices[edge.rel_type].set_element(edge.src, edge.dst, survivor);
-                self.relation_matrices_t[edge.rel_type].set_element(edge.dst, edge.src, survivor);
+        let key = (edge.rel_type, edge.src, edge.dst);
+        match self.multi_edges.get_mut(&key) {
+            // Parallel same-type edges survive: drop the id from the cell's
+            // edge list, keep the matrix cell pointed at the smallest
+            // survivor, and dissolve the side-table entry once a single edge
+            // remains.
+            Some(list) => {
+                if let Ok(pos) = list.binary_search(&id) {
+                    list.remove(pos);
+                }
+                let smallest = list[0];
+                if list.len() == 1 {
+                    self.multi_edges.remove(&key);
+                }
+                if self.relation_matrices[edge.rel_type].extract_element(edge.src, edge.dst)
+                    != Some(smallest)
+                {
+                    self.relation_matrices[edge.rel_type].set_element(edge.src, edge.dst, smallest);
+                    self.relation_matrices_t[edge.rel_type]
+                        .set_element(edge.dst, edge.src, smallest);
+                }
             }
             None => {
                 self.relation_matrices[edge.rel_type]
@@ -399,7 +490,10 @@ impl Graph {
                     .expect("in-bounds");
             }
         }
-        let any_edge_left = self.edges.iter().any(|(_, e)| e.src == edge.src && e.dst == edge.dst);
+        // The combined adjacency drops the cell only when no type still
+        // connects the endpoints (point reads on the per-type matrices, not
+        // an O(edges) entity scan).
+        let any_edge_left = self.relation_matrices.iter().any(|m| m.contains(edge.src, edge.dst));
         if !any_edge_left {
             self.adjacency.remove_element(edge.src, edge.dst).expect("in-bounds");
             self.adjacency_t.remove_element(edge.dst, edge.src).expect("in-bounds");
@@ -550,6 +644,57 @@ impl Graph {
         self.relation_matrices.len()
     }
 
+    /// The **counting** relation matrix for a relationship type: cell
+    /// `(i, j)` holds the number of parallel type-`rel` edges from `i` to `j`
+    /// (`transposed` gives the reverse orientation). This is the operand the
+    /// fused algebraic expressions multiply under the `plus_times` counting
+    /// semiring, so multigraph row multiplicities survive fusion exactly.
+    /// O(nnz) to build from the merged view plus the multi-edge side table.
+    pub fn relation_count_matrix(
+        &self,
+        rel: RelTypeId,
+        transposed: bool,
+    ) -> Option<SparseMatrix<u64>> {
+        let m = if transposed {
+            self.relation_matrices_t.get(rel)
+        } else {
+            self.relation_matrices.get(rel)
+        }?;
+        let view = m.view();
+        let triples: Vec<(u64, u64, u64)> = view
+            .iter()
+            .map(|(i, j, _)| {
+                let (src, dst) = if transposed { (j, i) } else { (i, j) };
+                (i, j, self.edge_multiplicity(rel, src, dst))
+            })
+            .collect();
+        Some(SparseMatrix::from_triples(view.nrows(), view.ncols(), &triples).expect("in range"))
+    }
+
+    /// [`Graph::relation_count_matrix`], memoised for the current epoch.
+    /// The O(nnz) rebuild happens at most once per `(rel, transposed)` per
+    /// write version; any mutation invalidates the whole memo. This is what
+    /// keeps *selective* fused queries (a one-row frontier against a large
+    /// graph) from paying a full matrix rebuild per query.
+    pub fn relation_count_matrix_cached(
+        &self,
+        rel: RelTypeId,
+        transposed: bool,
+    ) -> Option<Arc<SparseMatrix<u64>>> {
+        let mut cache = self.count_cache.inner.lock().expect("count cache lock");
+        let (cached_epoch, matrices) = &mut *cache;
+        if *cached_epoch != self.epoch {
+            matrices.clear();
+            *cached_epoch = self.epoch;
+        }
+        if let Some(m) = matrices.get(&(rel, transposed)) {
+            return Some(Arc::clone(m));
+        }
+        let m = Arc::new(self.relation_count_matrix(rel, transposed)?);
+        matrices.insert((rel, transposed), Arc::clone(&m));
+        Some(m)
+    }
+
     /// An `f64` matrix of edge weights read from property `prop` (edges
     /// without the property, or with a non-numeric value, get `default`).
     /// Parallel edges between the same endpoints keep the minimum weight —
@@ -569,9 +714,44 @@ impl Graph {
             .expect("edge endpoints are in range")
     }
 
+    /// Every edge of type `rel` between `src` and `dst`, in ascending edge-id
+    /// order: the multi-edge side table's full list when the cell holds
+    /// parallel edges, otherwise the single id in the matrix cell.
+    pub fn edges_between(&self, rel: RelTypeId, src: NodeId, dst: NodeId) -> Cow<'_, [EdgeId]> {
+        match self.multi_edges.get(&(rel, src, dst)) {
+            Some(list) => Cow::Borrowed(list.as_slice()),
+            None => match self.relation_matrices.get(rel).and_then(|m| m.extract_element(src, dst))
+            {
+                Some(id) => Cow::Owned(vec![id]),
+                None => Cow::Owned(Vec::new()),
+            },
+        }
+    }
+
+    /// The ascending edge-id list of a cell holding **parallel** same-type
+    /// edges, `None` for the common single-edge (or empty) cell. The batched
+    /// traversal's probe loop uses this to expand a product cell to one row
+    /// per edge without allocating for the single-edge case.
+    pub fn parallel_edges(&self, rel: RelTypeId, src: NodeId, dst: NodeId) -> Option<&[EdgeId]> {
+        self.multi_edges.get(&(rel, src, dst)).map(|v| v.as_slice())
+    }
+
+    /// How many parallel edges of type `rel` the `(src, dst)` cell holds
+    /// (`1` for the common single-edge cell, `0` when no such edge exists).
+    pub fn edge_multiplicity(&self, rel: RelTypeId, src: NodeId, dst: NodeId) -> u64 {
+        match self.multi_edges.get(&(rel, src, dst)) {
+            Some(list) => list.len() as u64,
+            None => {
+                u64::from(self.relation_matrices.get(rel).is_some_and(|m| m.contains(src, dst)))
+            }
+        }
+    }
+
     /// Out-neighbours (or in-neighbours, or both) of a node, optionally
     /// restricted to a set of relationship types. Returns `(neighbour, edge)`
-    /// pairs by reading matrix rows.
+    /// pairs by reading matrix rows; a cell holding parallel same-type edges
+    /// expands to one pair per edge (ascending edge ids), which is what gives
+    /// `MATCH (a)-[r:R]->(b)` one row per edge binding.
     pub fn neighbors(
         &self,
         node: NodeId,
@@ -581,26 +761,43 @@ impl Graph {
         let mut out = Vec::new();
         let forward = matches!(dir, TraverseDir::Outgoing | TraverseDir::Both);
         let backward = matches!(dir, TraverseDir::Incoming | TraverseDir::Both);
+        let mut extend = |t: RelTypeId, fwd: bool| {
+            let row = if fwd {
+                self.relation_matrices[t].row_iter(node)
+            } else {
+                self.relation_matrices_t[t].row_iter(node)
+            };
+            for (nbr, edge) in row {
+                // Transposed rows traverse the edge backwards: the stored
+                // entity runs nbr → node.
+                let (s, d) = if fwd { (node, nbr) } else { (nbr, node) };
+                match self.parallel_edges(t, s, d) {
+                    Some(list) => out.extend(list.iter().map(|&e| (nbr, e))),
+                    None => out.push((nbr, edge)),
+                }
+            }
+        };
         match rel_types {
             Some(types) => {
                 for &t in types {
-                    if let Some(m) = self.relation_matrices.get(t) {
-                        if forward {
-                            out.extend(m.row_iter(node));
-                        }
-                        if backward {
-                            out.extend(self.relation_matrices_t[t].row_iter(node));
-                        }
+                    if t >= self.relation_matrices.len() {
+                        continue;
+                    }
+                    if forward {
+                        extend(t, true);
+                    }
+                    if backward {
+                        extend(t, false);
                     }
                 }
             }
             None => {
-                for (t, m) in self.relation_matrices.iter().enumerate() {
+                for t in 0..self.relation_matrices.len() {
                     if forward {
-                        out.extend(m.row_iter(node));
+                        extend(t, true);
                     }
                     if backward {
-                        out.extend(self.relation_matrices_t[t].row_iter(node));
+                        extend(t, false);
                     }
                 }
             }
@@ -808,7 +1005,7 @@ impl GraphSnapshot {
         ast: &cypher::Query,
         started: std::time::Instant,
     ) -> Result<ResultSet, QueryError> {
-        let plan = ExecutionPlan::build(ast)?;
+        let plan = self.build_plan(ast)?;
         plan.execute_read_only_at(self.backing_graph(&plan), started)
     }
 
@@ -819,7 +1016,7 @@ impl GraphSnapshot {
         ast: &cypher::Query,
         started: std::time::Instant,
     ) -> Result<(ResultSet, Vec<OpProfile>), QueryError> {
-        let plan = ExecutionPlan::build(ast)?;
+        let plan = self.build_plan(ast)?;
         plan.profile_read_only(self.backing_graph(&plan), started)
     }
 

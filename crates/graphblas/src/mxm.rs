@@ -19,6 +19,22 @@ use crate::Index;
 /// with a local `row_ptr` starting at 0.
 type CsrFragment<T> = (Vec<usize>, Vec<Index>, Vec<T>);
 
+/// Minimum estimated multiply–add operations each worker thread must have
+/// before the row-block split spawns scoped threads at all. Spawning an OS
+/// thread costs tens of microseconds; a frontier-sized product (a few
+/// thousand flops) finishes serially in less than that, so parallelising it
+/// only adds overhead — on BENCH_traverse the un-thresholded split made
+/// `threads=4` *slower* than `threads=1`. The requested thread count is
+/// clamped so every spawned worker clears this floor.
+pub const MXM_MIN_WORK_PER_THREAD: usize = 16_384;
+
+/// Estimated flops of `A ⊕.⊗ B`: for every stored entry `(i,k)` of `A` the
+/// inner loop touches `nnz(B(k,:))` pairs. Exact (not a bound) for the
+/// Gustavson traversal below, and O(nnz(A)) to compute.
+fn mxm_flops<T: Scalar, U: Scalar>(a: &SparseMatrix<T>, b: &SparseMatrix<U>) -> usize {
+    a.col_indices().iter().map(|&k| b.row_degree(k)).sum()
+}
+
 /// `C = A ⊕.⊗ B` with an optional mask on the output.
 ///
 /// Dimensions: `A` is `m×k`, `B` is `k×n`, the result is `m×n`. The descriptor
@@ -58,7 +74,20 @@ pub fn mxm<T: Scalar + OpApply>(
     assert_eq!(a.ncols(), b.nrows(), "mxm dimension mismatch: a.ncols != b.nrows");
     let m = a.nrows();
     let n = b.ncols();
-    let nthreads = desc.effective_nthreads().min(m.max(1) as usize);
+    // Thread budget: never hand a worker less than MXM_MIN_WORK_PER_THREAD
+    // estimated flops, and never spawn more workers than the machine has
+    // hardware threads — the kernel is CPU-bound, so oversubscribing cores
+    // only adds scheduling overhead (on a 1-core host `threads=4` measured
+    // *slower* than `threads=1` before this clamp). Small frontier products
+    // collapse to the serial path (no scope, no spawns); large products still
+    // fan out to the granted width.
+    let requested =
+        desc.effective_nthreads().min(m.max(1) as usize).min(crate::Context::hardware_threads());
+    let nthreads = if requested > 1 {
+        requested.min((mxm_flops(a, b) / MXM_MIN_WORK_PER_THREAD).max(1))
+    } else {
+        requested
+    };
 
     if nthreads <= 1 {
         let (row_ptr, col_idx, values) = mxm_rows(a, b, semiring, mask, desc, 0..m as usize);
@@ -278,6 +307,19 @@ mod tests {
             mxm(&a, &a, &Semiring::plus_times(), None, &Descriptor::new().with_nthreads(4));
         assert_eq!(serial, parallel);
         assert_eq!(serial.nvals(), parallel.nvals());
+    }
+
+    #[test]
+    fn flops_estimate_counts_inner_loop_pairs() {
+        // A has entries in columns {1, 2}; B's row 1 has 2 entries, row 2 has 1.
+        let a = SparseMatrix::from_triples(2, 3, &[(0, 1, 1i64), (1, 2, 1)]).unwrap();
+        let b = SparseMatrix::from_triples(3, 3, &[(1, 0, 1i64), (1, 2, 1), (2, 1, 1)]).unwrap();
+        assert_eq!(mxm_flops(&a, &b), 3);
+        // A frontier-sized product stays under one thread's work quantum, so
+        // a 4-thread request must not fan out (the thread-budget regression:
+        // spawning workers for a few thousand flops made threads=4 slower
+        // than serial on BENCH_traverse).
+        assert!(mxm_flops(&a, &b) / MXM_MIN_WORK_PER_THREAD == 0);
     }
 
     #[test]

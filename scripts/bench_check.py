@@ -76,6 +76,53 @@ def check_network_metrics(path, doc):
     return problems
 
 
+# Perf-regression tolerance for the traverse suite's mode comparisons. CI
+# wall times are noisy, so the gate only fires on multiples no amount of
+# jitter explains: the fused plan falling behind the per-hop batched plan it
+# replaces, or row-block threading making the same product slower.
+TRAVERSE_SLOWDOWN_TOLERANCE = 1.5
+
+
+def check_traverse(path, doc):
+    problems = []
+    by_query = {}
+    for entry in doc.get("results") or []:
+        if isinstance(entry, dict) and "query" in entry and "mode" in entry:
+            by_query.setdefault(entry["query"], {})[entry["mode"]] = entry
+
+    for query, modes in by_query.items():
+        # Row identity: every mode of a query answers the same count. This is
+        # the cheap end of the fused-vs-unfused differential suite — a fused
+        # 3hop_chain that multiplies wrong shows up right here.
+        rows = {mode: entry.get("rows") for mode, entry in modes.items()}
+        if len(set(rows.values())) > 1:
+            problems.append(f"{path}: '{query}' row counts diverge across modes: {rows}")
+
+        missing = {"scalar", "batched", "batched+threads", "fused"} - set(modes)
+        if missing:
+            problems.append(f"{path}: '{query}' missing modes: {sorted(missing)}")
+            continue
+
+        batched = modes["batched"].get("wall_ms")
+        threaded = modes["batched+threads"].get("wall_ms")
+        fused = modes["fused"].get("wall_ms")
+        if not all(isinstance(v, (int, float)) and v > 0 for v in (batched, threaded, fused)):
+            continue  # the generic positive-keys check reports these
+        if fused > batched * TRAVERSE_SLOWDOWN_TOLERANCE:
+            problems.append(
+                f"{path}: '{query}' fused plan slower than unfused "
+                f"({fused:.2f}ms vs {batched:.2f}ms batched) — the algebraic "
+                f"optimizer regressed"
+            )
+        if threaded > batched * TRAVERSE_SLOWDOWN_TOLERANCE:
+            problems.append(
+                f"{path}: '{query}' batched+threads slower than batched "
+                f"({threaded:.2f}ms vs {batched:.2f}ms) — the mxm thread "
+                f"budget regressed"
+            )
+    return problems
+
+
 def check_file(path):
     problems = []
     try:
@@ -96,6 +143,8 @@ def check_file(path):
 
     if suite == "network":
         problems.extend(check_network_metrics(path, doc))
+    if suite == "traverse":
+        problems.extend(check_traverse(path, doc))
 
     results = doc.get("results")
     if not isinstance(results, list) or not results:

@@ -11,10 +11,12 @@
 //! over *unflushed* delta matrices (merged `Cow` views) through the
 //! read-only executor.
 //!
-//! Scope note: the store keeps one edge id per `(src, dst, type)` matrix
-//! cell, so parallel same-type edges traverse as one row on **both**
-//! strategies — these tests pin that the strategies agree, not full
-//! openCypher per-edge multiplicity (a ROADMAP follow-on: multi-edge cells).
+//! Parallel same-type edges are fully expanded: the matrix cell keeps one
+//! representative edge id and the store's multi-edge side table holds the
+//! rest, so `MATCH (a)-[r:R]->(b)` returns one row **per edge** on both
+//! strategies. [`single_hop_yields_one_row_per_parallel_edge`] pins that
+//! multiplicity against a hand-rolled edge-list oracle (the `baseline` crate
+//! dedups parallel edges, so it cannot serve as the oracle here).
 
 use rand::{Rng, SeedableRng, StdRng};
 use redisgraph_core::{Graph, TraverseStrategy};
@@ -28,6 +30,10 @@ const LABELS: [&str; 2] = ["A", "B"];
 fn random_graph(seed: u64, nodes: u64, edges: usize) -> Graph {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut g = Graph::new("diff");
+    // This suite compares the scalar and batched traversal *strategies*; keep
+    // the algebraic optimizer out of the picture so both sides execute the
+    // same per-hop plan (fused plans are covered by optimizer_differential).
+    g.set_optimizer(false);
     for _ in 0..nodes {
         let label = LABELS[rng.gen_range(0..LABELS.len())];
         g.add_node(&[label], vec![]);
@@ -102,6 +108,89 @@ fn batched_and_scalar_strategies_are_row_identical() {
             let batched = run(&mut g, TraverseStrategy::Batched, query);
             assert_eq!(scalar, batched, "strategies diverged on seed {seed}: {query}");
         }
+    }
+}
+
+#[test]
+fn single_hop_yields_one_row_per_parallel_edge() {
+    // Hand-rolled oracle: record every edge as it is inserted. The `baseline`
+    // crate sorts-and-dedups its edge list, so it would under-count here.
+    let mut g = Graph::new("multi");
+    for _ in 0..4 {
+        g.add_node(&["A"], vec![]);
+    }
+    let mut oracle: Vec<(u64, u64, u64, &str)> = Vec::new(); // (src, edge, dst, rel)
+    for &(src, dst, rel) in &[
+        (0, 1, "T0"),
+        (0, 1, "T0"), // parallel same-type
+        (0, 1, "T0"), // triple
+        (0, 1, "T1"), // cross-type parallel
+        (1, 2, "T0"),
+        (2, 2, "T0"), // self-loop
+        (2, 2, "T0"), // parallel self-loop
+        (3, 0, "T1"),
+    ] {
+        let e = g.add_edge(src, dst, rel, vec![]).unwrap();
+        oracle.push((src, e, dst, rel));
+    }
+
+    let expect = |oracle: &[(u64, u64, u64, &str)], rel: Option<&str>| {
+        let mut rows: Vec<(u64, u64, u64)> = oracle
+            .iter()
+            .filter(|(_, _, _, r)| rel.is_none_or(|want| *r == want))
+            .map(|&(s, e, d, _)| (s, e, d))
+            .collect();
+        rows.sort_unstable();
+        rows
+    };
+    let observed = |g: &mut Graph, strategy: TraverseStrategy, query: &str| {
+        g.set_traverse_strategy(strategy);
+        let rs = g.query(query).expect("query executes");
+        let mut rows: Vec<(u64, u64, u64)> = rs
+            .rows
+            .iter()
+            .map(|row| {
+                let ints: Vec<u64> = row
+                    .iter()
+                    .map(|v| {
+                        format!("{v:?}")
+                            .trim_start_matches("Int(")
+                            .trim_end_matches(')')
+                            .parse()
+                            .unwrap()
+                    })
+                    .collect();
+                (ints[0], ints[1], ints[2])
+            })
+            .collect();
+        rows.sort_unstable();
+        rows
+    };
+
+    for strategy in [TraverseStrategy::Scalar, TraverseStrategy::Batched] {
+        // Typed: three T0 edges between (0,1) → three rows with distinct ids.
+        let got = observed(&mut g, strategy, "MATCH (a)-[e:T0]->(b) RETURN id(a), id(e), id(b)");
+        assert_eq!(got, expect(&oracle, Some("T0")), "{strategy:?} typed");
+        // Untyped: every edge, exactly once.
+        let got = observed(&mut g, strategy, "MATCH (a)-[e]->(b) RETURN id(a), id(e), id(b)");
+        assert_eq!(got, expect(&oracle, None), "{strategy:?} untyped");
+        // No edge variable bound: multiplicity still one row per edge.
+        g.set_traverse_strategy(strategy);
+        let rs = g.query("MATCH (a)-[:T0]->(b) RETURN id(a), id(b)").unwrap();
+        assert_eq!(rs.rows.len(), expect(&oracle, Some("T0")).len(), "{strategy:?} unbound");
+        // Incoming direction expands the same parallel cells.
+        let rs = g.query("MATCH (b)<-[e:T0]-(a) RETURN id(e)").unwrap();
+        assert_eq!(rs.rows.len(), expect(&oracle, Some("T0")).len(), "{strategy:?} incoming");
+    }
+
+    // Deleting one parallel edge drops exactly its row; the survivors keep
+    // traversing through the re-pointed representative cell.
+    let victim = oracle[1].1;
+    assert!(g.delete_edge(victim));
+    oracle.retain(|&(_, e, _, _)| e != victim);
+    for strategy in [TraverseStrategy::Scalar, TraverseStrategy::Batched] {
+        let got = observed(&mut g, strategy, "MATCH (a)-[e:T0]->(b) RETURN id(a), id(e), id(b)");
+        assert_eq!(got, expect(&oracle, Some("T0")), "{strategy:?} after delete");
     }
 }
 
