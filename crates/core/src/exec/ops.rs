@@ -61,6 +61,10 @@ pub struct TraverseSpec<'a> {
     pub max_hops: Option<u32>,
     /// True if the destination is already bound (expand-into / semi-join).
     pub expand_into: bool,
+    /// Intra-query GraphBLAS thread budget, snapshotted from the process
+    /// context when the plan was built (`ExecutionPlan::thread_budget`) so a
+    /// runtime `QUERY_THREADS` change never retunes a query in flight.
+    pub nthreads: usize,
 }
 
 /// One step of an execution plan.
@@ -411,7 +415,10 @@ pub fn run_traverse_scalar(
         } else {
             // Variable-length traversal.
             let reached: Vec<NodeId> = match rel_ids {
-                None => graph.khop_reach(src, spec.min_hops, max, dir).indices().to_vec(),
+                None => graph
+                    .khop_reach_with(src, spec.min_hops, max, dir, spec.nthreads)
+                    .indices()
+                    .to_vec(),
                 Some(ids) => typed_bfs(graph, src, spec.min_hops, max, ids, dir),
             };
             if spec.expand_into {
@@ -550,9 +557,9 @@ fn batched_single_hop(
         None
     };
     let desc = if target_mask.is_some() {
-        Descriptor::new().with_mask_structure()
+        Descriptor::new().with_mask_structure().with_nthreads(spec.nthreads)
     } else {
-        Descriptor::new()
+        Descriptor::new().with_nthreads(spec.nthreads)
     };
     let mask = target_mask.as_ref().map(MatrixMask::new);
 
@@ -689,7 +696,8 @@ fn batched_var_length(
 
     let bool_semiring = Semiring::lor_land();
     let pair_semiring = Semiring::<u64>::any_pair();
-    let desc = Descriptor::new().with_mask_complement().with_mask_structure();
+    let desc =
+        Descriptor::new().with_mask_complement().with_mask_structure().with_nthreads(spec.nthreads);
     let mut frontier = frontier_matrix::<bool>(batch.nrows(), batch.dim, batch.entries, true);
     let mut visited = frontier.clone();
     // Hop 0 is each source node itself.

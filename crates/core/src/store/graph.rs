@@ -107,7 +107,7 @@ pub struct Graph {
 /// sharing entries across instances would only invite cross-epoch mixups.
 #[derive(Debug, Default)]
 struct CountMatrixCache {
-    inner: std::sync::Mutex<(u64, CountMatrixMap)>,
+    inner: parking_lot::Mutex<(u64, CountMatrixMap)>,
 }
 
 /// Memoised counting matrices, keyed by `(rel, transposed)`.
@@ -681,7 +681,7 @@ impl Graph {
         rel: RelTypeId,
         transposed: bool,
     ) -> Option<Arc<SparseMatrix<u64>>> {
-        let mut cache = self.count_cache.inner.lock().expect("count cache lock");
+        let mut cache = self.count_cache.inner.lock();
         let (cached_epoch, matrices) = &mut *cache;
         if *cached_epoch != self.epoch {
             matrices.clear();
@@ -817,6 +817,21 @@ impl Graph {
         max_hops: u32,
         dir: TraverseDir,
     ) -> SparseVector<bool> {
+        self.khop_reach_with(source, min_hops, max_hops, dir, Context::nthreads())
+    }
+
+    /// [`Graph::khop_reach`] with an explicit kernel thread budget. The plan
+    /// executor passes the budget snapshotted at dispatch
+    /// (`ExecutionPlan::thread_budget`) so a runtime `QUERY_THREADS` change
+    /// cannot retune a BFS already in flight.
+    pub fn khop_reach_with(
+        &self,
+        source: NodeId,
+        min_hops: u32,
+        max_hops: u32,
+        dir: TraverseDir,
+        nthreads: usize,
+    ) -> SparseVector<bool> {
         let adj = self.adjacency.view();
         // The transpose is only materialised when the direction needs it.
         let adj_t = match dir {
@@ -828,7 +843,8 @@ impl Graph {
             TraverseDir::Incoming => adj_t.as_deref().expect("materialised above"),
         };
         let semiring = Semiring::lor_land();
-        let desc = Descriptor::new().with_mask_complement().with_mask_structure();
+        let desc =
+            Descriptor::new().with_mask_complement().with_mask_structure().with_nthreads(nthreads);
 
         let mut frontier = SparseVector::<bool>::new(self.dim);
         frontier.set_element(source, true);

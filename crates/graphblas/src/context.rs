@@ -6,7 +6,9 @@
 //! the same knob: a process-wide default plus per-call overrides through
 //! [`crate::Descriptor::nthreads`].
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+// The crossbeam shim resolves to std atomics in normal builds and to the
+// model checker's instrumented atomics under `--features model`.
+use crossbeam::atomic::{AtomicUsize, Ordering};
 
 static GLOBAL_NTHREADS: AtomicUsize = AtomicUsize::new(1);
 

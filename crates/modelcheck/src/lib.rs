@@ -1,0 +1,445 @@
+//! # modelcheck — deterministic concurrency model checking
+//!
+//! A loom/shuttle-style checker, built in-tree because the build is
+//! offline. Test code hands [`check`] (or [`explore`]) a closure; the
+//! checker runs it many times under a controlled scheduler that serializes
+//! all threads and decides, at every instrumented operation, which thread
+//! runs next:
+//!
+//! - an exhaustive **bounded-preemption DFS** over scheduling decisions,
+//!   backtracking through the decision tree until exhausted or capped, and
+//! - **PCT** (probabilistic concurrency testing) iterations with seeded
+//!   random priorities, which reach deep interleavings DFS's budget cannot.
+//!
+//! Production code participates by using the vendored `parking_lot` /
+//! `crossbeam` shims (built with their `model` feature in model-check
+//! builds): their locks, channels, atomics and thread spawns route through
+//! [`sync`] and [`thread`] here, so the *real* types — not models of them —
+//! run under the scheduler. Outside an execution every wrapper delegates to
+//! std, so enabling the feature does not change ordinary tests.
+//!
+//! Failures print a schedule string; setting `MC_REPLAY=<that string>` and
+//! re-running the same test replays the failing interleaving exactly (the
+//! scheduler is deterministic given the decision sequence).
+
+mod exec;
+pub mod sync;
+pub mod thread;
+
+pub use exec::in_execution;
+
+use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
+
+use exec::{Decision, RunConfig, RunOutcome, SplitMix, Strategy};
+
+/// Exploration budget and semantics knobs for one [`check`] call.
+pub struct Config {
+    /// Cap on DFS schedules (the DFS stops early if the tree is exhausted).
+    pub max_schedules: usize,
+    /// Additional PCT (randomized) iterations after the DFS phase.
+    pub pct_iterations: usize,
+    /// Per-run step bound; exceeding it fails the run as a livelock.
+    pub max_steps: usize,
+    /// DFS preemption budget (None = unbounded, full interleaving tree).
+    pub preemption_bound: Option<usize>,
+    /// Number of PCT priority-change points per iteration.
+    pub pct_depth: usize,
+    /// Base seed for the PCT phase; every iteration derives from it.
+    pub seed: u64,
+    /// Permit model threads to panic without failing the execution (for
+    /// suites that test panic-safety of the code under check).
+    pub allow_thread_panics: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            max_schedules: 1200,
+            pct_iterations: 600,
+            max_steps: 20_000,
+            preemption_bound: Some(2),
+            pct_depth: 3,
+            seed: 0x5EED_CA11,
+            allow_thread_panics: false,
+        }
+    }
+}
+
+/// A schedule that violated a property, with everything needed to replay it.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    pub message: String,
+    /// Deterministic replay string (`c:3.0.1...`): the branch taken at each
+    /// branchable scheduling decision.
+    pub schedule: String,
+    /// Which phase found it (for the log; replay does not need it).
+    pub phase: &'static str,
+}
+
+/// Outcome of a [`check`] call.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Total executions run.
+    pub explored: usize,
+    /// Distinct decision sequences among them (DFS schedules are distinct
+    /// by construction; PCT iterations can repeat).
+    pub distinct: usize,
+    pub failure: Option<Failure>,
+}
+
+fn schedule_string(decisions: &[Decision]) -> String {
+    let parts: Vec<String> = decisions.iter().map(|d| d.chosen.to_string()).collect();
+    format!("c:{}", parts.join("."))
+}
+
+fn parse_schedule(s: &str) -> Option<Vec<u32>> {
+    let body = s.strip_prefix("c:")?;
+    if body.is_empty() {
+        return Some(Vec::new());
+    }
+    body.split('.').map(|p| p.parse().ok()).collect()
+}
+
+fn seq_hash(decisions: &[Decision]) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    for d in decisions {
+        d.chosen.hash(&mut h);
+    }
+    h.finish()
+}
+
+fn run_cfg(cfg: &Config) -> RunConfig {
+    RunConfig {
+        max_steps: cfg.max_steps,
+        preemption_bound: cfg.preemption_bound,
+        allow_thread_panics: cfg.allow_thread_panics,
+    }
+}
+
+fn failure_from(outcome: &RunOutcome, phase: &'static str) -> Option<Failure> {
+    outcome.failure.as_ref().map(|message| Failure {
+        message: message.clone(),
+        schedule: schedule_string(&outcome.decisions),
+        phase,
+    })
+}
+
+/// Explore schedules of `f` under the configured budgets. Returns a report;
+/// never panics on property violations (use [`explore`] for assert-style
+/// use in tests).
+pub fn check<F: Fn()>(cfg: &Config, f: F) -> Report {
+    // Replay mode: a single deterministic run of the recorded schedule.
+    if let Ok(replay) = std::env::var("MC_REPLAY") {
+        let prefix = parse_schedule(&replay)
+            .unwrap_or_else(|| panic!("malformed MC_REPLAY string: {replay:?}"));
+        let outcome = exec::run_once(Strategy::Replay { prefix, pos: 0 }, run_cfg(cfg), &f);
+        return Report { explored: 1, distinct: 1, failure: failure_from(&outcome, "replay") };
+    }
+
+    let mut distinct = HashSet::new();
+    let mut explored = 0;
+
+    // Phase 1: bounded-preemption DFS. Each run replays a prefix of
+    // decisions and defaults to "keep running the current thread" past it;
+    // the next prefix flips the deepest decision with an untaken branch.
+    let mut prefix: Vec<u32> = Vec::new();
+    let mut dfs_done = false;
+    while explored < cfg.max_schedules {
+        let outcome =
+            exec::run_once(Strategy::Replay { prefix: prefix.clone(), pos: 0 }, run_cfg(cfg), &f);
+        explored += 1;
+        distinct.insert(seq_hash(&outcome.decisions));
+        if outcome.failure.is_some() {
+            return Report {
+                explored,
+                distinct: distinct.len(),
+                failure: failure_from(&outcome, "dfs"),
+            };
+        }
+        match next_prefix(&outcome.decisions) {
+            Some(next) => prefix = next,
+            None => {
+                dfs_done = true;
+                break;
+            }
+        }
+    }
+    let _ = dfs_done;
+
+    // Phase 2: PCT. Seeded random priorities with priority-change points
+    // placed uniformly over the (adaptively estimated) run length.
+    let mut step_estimate = 256usize;
+    for i in 0..cfg.pct_iterations {
+        let iter_seed = cfg.seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let mut rng = SplitMix(iter_seed);
+        let change_points: Vec<usize> =
+            (0..cfg.pct_depth).map(|_| 1 + (rng.next() as usize) % step_estimate.max(2)).collect();
+        let outcome = exec::run_once(
+            Strategy::Pct { rng, priorities: Vec::new(), change_points, next_low: 1 << 16 },
+            run_cfg(cfg),
+            &f,
+        );
+        explored += 1;
+        step_estimate = (step_estimate + outcome.steps).max(2) / 2;
+        distinct.insert(seq_hash(&outcome.decisions));
+        if outcome.failure.is_some() {
+            return Report {
+                explored,
+                distinct: distinct.len(),
+                failure: failure_from(&outcome, "pct"),
+            };
+        }
+    }
+
+    Report { explored, distinct: distinct.len(), failure: None }
+}
+
+/// Deepest decision with an untaken branch decides the next DFS prefix.
+fn next_prefix(decisions: &[Decision]) -> Option<Vec<u32>> {
+    for i in (0..decisions.len()).rev() {
+        if decisions[i].chosen + 1 < decisions[i].n_options {
+            let mut next: Vec<u32> = decisions[..i].iter().map(|d| d.chosen).collect();
+            next.push(decisions[i].chosen + 1);
+            return Some(next);
+        }
+    }
+    None
+}
+
+/// Assert-style wrapper for test suites: explores, prints a summary line,
+/// and panics with replay instructions if any schedule violated a property.
+pub fn explore<F: Fn()>(name: &str, cfg: &Config, f: F) -> Report {
+    let report = check(cfg, f);
+    match &report.failure {
+        None => {
+            println!(
+                "modelcheck[{name}]: ok — {} schedules explored, {} distinct",
+                report.explored, report.distinct
+            );
+            report
+        }
+        Some(fail) => {
+            panic!(
+                "modelcheck[{name}] FAILED ({} phase) after {} schedules:\n  {}\n  \
+                 schedule: {}\n  replay: re-run this test with MC_REPLAY={} \
+                 (single deterministic execution)",
+                fail.phase, report.explored, fail.message, fail.schedule, fail.schedule
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    fn small() -> Config {
+        Config { max_schedules: 300, pct_iterations: 100, ..Config::default() }
+    }
+
+    #[test]
+    fn finds_check_then_act_race() {
+        // Classic TOCTOU over-admission: two threads check a shim-atomic
+        // counter against a cap and then increment. Some interleaving must
+        // admit both past cap=1 — the checker has to find it.
+        let report = check(&small(), || {
+            let gauge = Arc::new(sync::atomic::AtomicUsize::new(0));
+            let admitted = Arc::new(AtomicUsize::new(0));
+            let hs: Vec<_> = (0..2)
+                .map(|_| {
+                    let gauge = gauge.clone();
+                    let admitted = admitted.clone();
+                    thread::spawn(move || {
+                        if gauge.load(sync::atomic::Ordering::SeqCst) < 1 {
+                            gauge.fetch_add(1, sync::atomic::Ordering::SeqCst);
+                            admitted.fetch_add(1, Ordering::SeqCst);
+                        }
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join().unwrap();
+            }
+            assert!(admitted.load(Ordering::SeqCst) <= 1, "over-admission past the cap");
+        });
+        let failure = report.failure.expect("checker must find the TOCTOU race");
+        assert!(failure.message.contains("over-admission"), "{}", failure.message);
+    }
+
+    #[test]
+    fn race_free_cas_admission_passes() {
+        // The fixed protocol: compare_exchange admission. No schedule can
+        // over-admit.
+        let report = check(&small(), || {
+            let gauge = Arc::new(sync::atomic::AtomicUsize::new(0));
+            let admitted = Arc::new(AtomicUsize::new(0));
+            let hs: Vec<_> = (0..2)
+                .map(|_| {
+                    let gauge = gauge.clone();
+                    let admitted = admitted.clone();
+                    thread::spawn(move || {
+                        let mut cur = gauge.load(sync::atomic::Ordering::SeqCst);
+                        loop {
+                            if cur >= 1 {
+                                return;
+                            }
+                            match gauge.compare_exchange(
+                                cur,
+                                cur + 1,
+                                sync::atomic::Ordering::SeqCst,
+                                sync::atomic::Ordering::SeqCst,
+                            ) {
+                                Ok(_) => {
+                                    admitted.fetch_add(1, Ordering::SeqCst);
+                                    return;
+                                }
+                                Err(actual) => cur = actual,
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join().unwrap();
+            }
+            assert!(admitted.load(Ordering::SeqCst) <= 1);
+        });
+        assert!(report.failure.is_none(), "{:?}", report.failure);
+        assert!(report.distinct > 1, "expected multiple distinct schedules");
+    }
+
+    #[test]
+    fn detects_deadlock() {
+        let report = check(&small(), || {
+            let a = Arc::new(sync::Mutex::new(0));
+            let b = Arc::new(sync::Mutex::new(0));
+            let (a2, b2) = (a.clone(), b.clone());
+            let h = thread::spawn(move || {
+                let _ga = a2.lock().unwrap();
+                let _gb = b2.lock().unwrap();
+            });
+            let _gb = b.lock().unwrap();
+            let _ga = a.lock().unwrap();
+            drop(_ga);
+            drop(_gb);
+            let _ = h.join();
+        });
+        let failure = report.failure.expect("checker must find the lock-order deadlock");
+        assert!(failure.message.contains("deadlock"), "{}", failure.message);
+    }
+
+    #[test]
+    fn mutex_counter_is_consistent() {
+        let report = check(&small(), || {
+            let m = Arc::new(sync::Mutex::new(0u32));
+            let hs: Vec<_> = (0..2)
+                .map(|_| {
+                    let m = m.clone();
+                    thread::spawn(move || {
+                        let mut g = m.lock().unwrap();
+                        let v = *g;
+                        *g = v + 1;
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join().unwrap();
+            }
+            assert_eq!(*m.lock().unwrap(), 2, "mutex failed to serialize increments");
+        });
+        assert!(report.failure.is_none(), "{:?}", report.failure);
+    }
+
+    #[test]
+    fn condvar_wakeups_are_not_lost() {
+        // One-slot handoff: consumer waits on a condvar for a flag the
+        // producer sets under the mutex. If the model's wait/notify could
+        // lose a wakeup this deadlocks.
+        let report = check(&small(), || {
+            let pair = Arc::new((sync::Mutex::new(false), sync::Condvar::new()));
+            let p2 = pair.clone();
+            let h = thread::spawn(move || {
+                let (m, cv) = &*p2;
+                let mut g = m.lock().unwrap();
+                *g = true;
+                drop(g);
+                cv.notify_one();
+            });
+            let (m, cv) = &*pair;
+            let mut g = m.lock().unwrap();
+            while !*g {
+                g = cv.wait(g).unwrap();
+            }
+            drop(g);
+            h.join().unwrap();
+        });
+        assert!(report.failure.is_none(), "{:?}", report.failure);
+    }
+
+    #[test]
+    fn failing_schedule_replays_deterministically() {
+        let body = || {
+            let gauge = Arc::new(sync::atomic::AtomicUsize::new(0));
+            let g2 = gauge.clone();
+            let h = thread::spawn(move || {
+                let seen = g2.load(sync::atomic::Ordering::SeqCst);
+                g2.store(seen + 1, sync::atomic::Ordering::SeqCst);
+            });
+            let seen = gauge.load(sync::atomic::Ordering::SeqCst);
+            gauge.store(seen + 1, sync::atomic::Ordering::SeqCst);
+            h.join().unwrap();
+            assert_eq!(gauge.load(sync::atomic::Ordering::SeqCst), 2, "lost update");
+        };
+        let report = check(&small(), body);
+        let failure = report.failure.expect("checker must find the lost update");
+
+        // Replay the printed schedule directly (without the env var, which
+        // would leak across parallel tests): the same decisions must
+        // reproduce the same failure.
+        let prefix = parse_schedule(&failure.schedule).expect("valid schedule string");
+        for _ in 0..3 {
+            let outcome = exec::run_once(
+                Strategy::Replay { prefix: prefix.clone(), pos: 0 },
+                run_cfg(&small()),
+                &body,
+            );
+            let replayed = outcome.failure.expect("replay must reproduce the failure");
+            assert!(replayed.contains("lost update"), "{replayed}");
+            assert_eq!(schedule_string(&outcome.decisions), failure.schedule);
+        }
+    }
+
+    #[test]
+    fn yield_spins_terminate() {
+        // A spin loop waiting on another thread's store must terminate in
+        // every schedule thanks to yield fairness.
+        let report = check(&small(), || {
+            let flag = Arc::new(sync::atomic::AtomicBool::new(false));
+            let f2 = flag.clone();
+            let h = thread::spawn(move || {
+                f2.store(true, sync::atomic::Ordering::SeqCst);
+            });
+            while !flag.load(sync::atomic::Ordering::SeqCst) {
+                thread::yield_now();
+            }
+            h.join().unwrap();
+        });
+        assert!(report.failure.is_none(), "{:?}", report.failure);
+    }
+
+    #[test]
+    fn outside_execution_primitives_delegate_to_std() {
+        // No execution running: the wrappers behave as plain std types.
+        assert!(!in_execution());
+        let m = sync::Mutex::new(1);
+        *m.lock().unwrap() += 1;
+        assert_eq!(*m.lock().unwrap(), 2);
+        let rw = sync::RwLock::new(3);
+        assert_eq!(*rw.read().unwrap(), 3);
+        let h = thread::spawn(|| 40 + 2);
+        assert_eq!(h.join().unwrap(), 42);
+    }
+}

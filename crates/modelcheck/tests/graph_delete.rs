@@ -1,0 +1,68 @@
+//! `GRAPH.DELETE` racing an in-flight snapshot read.
+//!
+//! A delete marks the keyspace entry, removes it from the map, and briefly
+//! takes the write lock so every dispatched query has finished before OK
+//! goes out. A read racing the delete runs against the pre-delete epoch
+//! snapshot (one row) or a fresh graph recreated under the name (zero
+//! rows) — it must never error, tear, or deadlock the worker pool.
+
+use std::sync::Arc;
+
+use modelcheck::{explore, thread, Config};
+use redisgraph_server::{RedisGraphServer, RespValue, ServerConfig};
+
+fn cfg() -> Config {
+    // Each run boots a real server (worker pool, dispatch, locks), so the
+    // per-schedule step count is high; the budget is trimmed to keep the
+    // suite inside the CI wall-clock window.
+    Config { max_schedules: 1500, pct_iterations: 300, preemption_bound: None, ..Config::default() }
+}
+
+/// Rows in a `GRAPH.QUERY` reply (`[header, rows, stats]`).
+fn row_count(reply: &RespValue) -> usize {
+    match reply {
+        RespValue::Array(sections) if sections.len() == 3 => match &sections[1] {
+            RespValue::Array(rows) => rows.len(),
+            other => panic!("malformed rows section: {other:?}"),
+        },
+        other => panic!("malformed query reply: {other:?}"),
+    }
+}
+
+#[test]
+fn delete_racing_a_read_never_tears_or_errors() {
+    let report = explore("graph_delete/read_race", &cfg(), || {
+        let server = Arc::new(RedisGraphServer::new(ServerConfig {
+            thread_count: 2,
+            ..ServerConfig::default()
+        }));
+        let created = server.query("g", "CREATE (:N {v: 1})");
+        assert!(!matches!(created, RespValue::Error(_)), "setup failed: {created:?}");
+
+        let reader = {
+            let server = Arc::clone(&server);
+            thread::spawn(move || {
+                let reply = server.query("g", "MATCH (n:N) RETURN n.v");
+                // Before the delete: the pinned snapshot serves the row.
+                // After it: the name resolves to a fresh, empty graph.
+                // Anything else means the delete tore an in-flight read.
+                let rows = row_count(&reply);
+                assert!(rows <= 1, "read observed {rows} rows from a 1-node graph");
+            })
+        };
+
+        let deleted = server.handle(&RespValue::command(&["GRAPH.DELETE", "g"]));
+        assert_eq!(
+            deleted,
+            RespValue::SimpleString("OK".to_string()),
+            "delete must succeed exactly once"
+        );
+
+        reader.join().unwrap();
+        // The name now denotes a fresh graph in every schedule.
+        let after = server.query("g", "MATCH (n:N) RETURN n.v");
+        assert_eq!(row_count(&after), 0, "delete left data behind");
+        drop(server); // pool Drop joins the workers under the scheduler
+    });
+    assert!(report.distinct >= 1200, "only {} distinct schedules explored", report.distinct);
+}

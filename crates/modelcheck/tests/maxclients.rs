@@ -1,0 +1,82 @@
+//! `maxclients` slot accounting (`Metrics::try_acquire_connection`).
+//!
+//! `connections_active` is the single source of truth for the connection
+//! cap: admission must be one atomic decision (a CAS loop), because a
+//! load-then-add lets two racing acceptors both pass the check and
+//! over-admit. The seeded mutant `--cfg xmut_relaxed_admission` swaps the
+//! CAS for exactly that check-then-act and must make this suite fail.
+
+use std::sync::Arc;
+
+use modelcheck::sync::atomic::{AtomicUsize, Ordering};
+use modelcheck::{explore, thread, Config};
+use redisgraph_server::Metrics;
+
+fn cfg() -> Config {
+    Config { max_schedules: 2000, pct_iterations: 400, preemption_bound: None, ..Config::default() }
+}
+
+#[test]
+fn admission_never_exceeds_the_cap() {
+    const CAP: u64 = 2;
+    let report = explore("maxclients/no_over_admission", &cfg(), || {
+        let metrics = Arc::new(Metrics::default());
+        let admitted = Arc::new(AtomicUsize::new(0));
+        let acceptors: Vec<_> = (0..3)
+            .map(|_| {
+                let metrics = Arc::clone(&metrics);
+                let admitted = Arc::clone(&admitted);
+                thread::spawn(move || {
+                    if metrics.try_acquire_connection(CAP) {
+                        admitted.fetch_add(1, Ordering::SeqCst);
+                        // At every instant the gauge must respect the cap —
+                        // this is the check the racy admission breaks.
+                        let active = metrics.connections_active.load(Ordering::SeqCst);
+                        assert!(active <= CAP, "over-admission: {active} active past cap {CAP}");
+                    }
+                })
+            })
+            .collect();
+        for h in acceptors {
+            h.join().unwrap();
+        }
+        let admitted = admitted.load(Ordering::SeqCst) as u64;
+        let active = metrics.connections_active.load(Ordering::SeqCst);
+        assert!(admitted <= CAP, "admitted {admitted} connections past cap {CAP}");
+        assert_eq!(active, admitted, "gauge drifted from successful admissions");
+    });
+    assert!(report.distinct >= 800, "only {} distinct schedules explored", report.distinct);
+}
+
+#[test]
+fn released_slots_are_reusable_and_never_double_counted() {
+    let report = explore("maxclients/release_cycle", &cfg(), || {
+        let metrics = Arc::new(Metrics::default());
+        // Three connections cycle through a cap of one: each either claims
+        // the slot and returns it, or is refused. The gauge must end at zero
+        // and never exceed the cap in between.
+        let conns: Vec<_> = (0..3)
+            .map(|_| {
+                let metrics = Arc::clone(&metrics);
+                thread::spawn(move || {
+                    if metrics.try_acquire_connection(1) {
+                        assert!(
+                            metrics.connections_active.load(Ordering::SeqCst) <= 1,
+                            "cap of one exceeded while a slot was held"
+                        );
+                        metrics.release_connection();
+                    }
+                })
+            })
+            .collect();
+        for h in conns {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            metrics.connections_active.load(Ordering::SeqCst),
+            0,
+            "slot leaked or double-released"
+        );
+    });
+    assert!(report.distinct >= 700, "only {} distinct schedules explored", report.distinct);
+}

@@ -25,10 +25,10 @@
 use crate::commands::Command;
 use crate::resp::{DecodeStop, RespValue, StreamDecoder};
 use crate::server::RedisGraphServer;
+use crossbeam::atomic::{AtomicBool, Ordering};
 use crossbeam::channel::bounded;
 use std::io::{ErrorKind, Read, Write};
 use std::net::TcpStream;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 

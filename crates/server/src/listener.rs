@@ -19,11 +19,11 @@ use crate::conn::serve_connection;
 use crate::metrics::Metrics;
 use crate::resp::RespValue;
 use crate::server::{RedisGraphServer, ServerConfig};
+use crossbeam::atomic::{AtomicBool, Ordering};
+use crossbeam::thread::JoinHandle;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// How long the accept loop sleeps when no connection is pending.
@@ -68,10 +68,11 @@ impl GraphServer {
         let accept_thread = {
             let server = server.clone();
             let shutdown = shutdown.clone();
-            std::thread::Builder::new()
+            // Spawn failure (thread exhaustion) surfaces as the bind error it
+            // is, instead of taking the process down.
+            crossbeam::thread::Builder::new()
                 .name("redisgraph-accept".to_string())
-                .spawn(move || accept_loop(listener, server, shutdown, max_connections))
-                .expect("failed to spawn accept thread")
+                .spawn(move || accept_loop(listener, server, shutdown, max_connections))?
         };
 
         Ok(GraphServer { server, addr, shutdown, accept_thread: Some(accept_thread) })
@@ -118,7 +119,7 @@ impl GraphServer {
     /// signal handler), then perform the graceful stop.
     pub fn wait(mut self) {
         while !self.shutdown.load(Ordering::SeqCst) {
-            std::thread::sleep(Duration::from_millis(50));
+            crossbeam::thread::sleep(Duration::from_millis(50));
         }
         self.stop_and_join();
     }
@@ -157,7 +158,10 @@ fn accept_loop(
                 // Reap finished connection threads so the handle list does
                 // not grow with the total connection count.
                 conn_threads.retain(|h| !h.is_finished());
-                if metrics.connections_active.load(Ordering::SeqCst) >= max_connections as u64 {
+                // Claim a slot atomically (compare-exchange in the metrics
+                // registry): a load-then-add here would let two admissions
+                // race past the cap.
+                if !metrics.try_acquire_connection(max_connections as u64) {
                     // Over the cap: greet with an error and hang up, like
                     // Redis' `maxclients` behaviour.
                     metrics.connections_refused.fetch_add(1, Ordering::SeqCst);
@@ -170,25 +174,28 @@ fn accept_loop(
                 struct SlotGuard(Arc<Metrics>);
                 impl Drop for SlotGuard {
                     fn drop(&mut self) {
-                        self.0.connections_active.fetch_sub(1, Ordering::SeqCst);
+                        self.0.release_connection();
                     }
                 }
                 metrics.connections_accepted.fetch_add(1, Ordering::SeqCst);
-                metrics.connections_active.fetch_add(1, Ordering::SeqCst);
                 let slot = SlotGuard(Arc::clone(&metrics));
                 let server = server.clone();
                 let shutdown = shutdown.clone();
-                let handle = std::thread::Builder::new()
+                // On spawn failure (thread exhaustion) the unspawned closure
+                // is dropped, which drops the slot guard (slot released) and
+                // the stream (client sees a plain close). Keep accepting.
+                if let Ok(handle) = crossbeam::thread::Builder::new()
                     .name("redisgraph-conn".to_string())
                     .spawn(move || {
                         let _slot = slot;
                         serve_connection(stream, server, shutdown);
                     })
-                    .expect("failed to spawn connection thread");
-                conn_threads.push(handle);
+                {
+                    conn_threads.push(handle);
+                }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                std::thread::sleep(ACCEPT_POLL);
+                crossbeam::thread::sleep(ACCEPT_POLL);
             }
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
             Err(_) => break,
@@ -208,19 +215,21 @@ fn accept_loop(
 /// possible hostile traffic) cannot stall the accept loop behind drain
 /// timeouts.
 fn refuse_connection(mut stream: std::net::TcpStream) {
-    let _ = std::thread::Builder::new().name("redisgraph-refuse".to_string()).spawn(move || {
-        let _ = stream
-            .write_all(&RespValue::Error("ERR max number of clients reached".to_string()).encode());
-        let _ = stream.shutdown(std::net::Shutdown::Write);
-        let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
-        let mut sink = [0u8; 1024];
-        // Bounded drain: a handful of reads covers any sane greeting; a
-        // hostile flood just gets its RST.
-        for _ in 0..16 {
-            match stream.read(&mut sink) {
-                Ok(0) | Err(_) => break,
-                Ok(_) => {}
+    let _ =
+        crossbeam::thread::Builder::new().name("redisgraph-refuse".to_string()).spawn(move || {
+            let _ = stream.write_all(
+                &RespValue::Error("ERR max number of clients reached".to_string()).encode(),
+            );
+            let _ = stream.shutdown(std::net::Shutdown::Write);
+            let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+            let mut sink = [0u8; 1024];
+            // Bounded drain: a handful of reads covers any sane greeting; a
+            // hostile flood just gets its RST.
+            for _ in 0..16 {
+                match stream.read(&mut sink) {
+                    Ok(0) | Err(_) => break,
+                    Ok(_) => {}
+                }
             }
-        }
-    });
+        });
 }

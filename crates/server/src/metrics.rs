@@ -8,8 +8,11 @@
 //! point-read path costs nanoseconds, not a mutex.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, SystemTime};
+
+// Routed through the crossbeam shim (std atomics in normal builds) so the
+// admission accounting below runs under the deterministic model checker.
+use crossbeam::atomic::{AtomicU64, Ordering};
 
 /// Number of histogram buckets: bucket `i` counts samples whose value has
 /// bit width `i` (so bucket 0 holds exactly the value 0, bucket 64 holds
@@ -201,6 +204,53 @@ impl Metrics {
     /// Invocations of `kind` so far.
     pub fn command_count(&self, kind: CommandKind) -> u64 {
         self.commands[kind as usize].load(Ordering::Relaxed)
+    }
+
+    /// Claim one connection slot against the `MAX_CONNECTIONS` cap.
+    ///
+    /// `connections_active` is the single source of truth for maxclients, so
+    /// admission must be a single atomic decision: a compare-exchange loop
+    /// with `AcqRel` success ordering (the acquire pairs with the release of
+    /// a slot in [`Metrics::release_connection`]; a load-then-add would let
+    /// two racing acceptors both pass the check and over-admit — the
+    /// modelcheck `maxclients` suite pins this). Returns `false` with the
+    /// gauge untouched when the cap is reached.
+    pub fn try_acquire_connection(&self, max: u64) -> bool {
+        // `xmut_relaxed_admission` is a seeded mutant for the model-checker
+        // CI smoke test: the check-then-act version must make the
+        // `maxclients` suite fail.
+        #[cfg(xmut_relaxed_admission)]
+        {
+            if self.connections_active.load(Ordering::Relaxed) >= max {
+                return false;
+            }
+            self.connections_active.fetch_add(1, Ordering::Relaxed);
+            true
+        }
+        #[cfg(not(xmut_relaxed_admission))]
+        {
+            let mut current = self.connections_active.load(Ordering::Acquire);
+            loop {
+                if current >= max {
+                    return false;
+                }
+                match self.connections_active.compare_exchange(
+                    current,
+                    current + 1,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => return true,
+                    Err(actual) => current = actual,
+                }
+            }
+        }
+    }
+
+    /// Return a connection slot claimed by [`Metrics::try_acquire_connection`].
+    /// `AcqRel` so the release pairs with the next successful acquisition.
+    pub fn release_connection(&self) {
+        self.connections_active.fetch_sub(1, Ordering::AcqRel);
     }
 }
 

@@ -4,10 +4,10 @@
 //! at the module's loading time", §II). The main Redis thread pushes each
 //! query as one job; one worker executes it to completion on a single core.
 
+use crossbeam::atomic::{AtomicUsize, Ordering};
 use crossbeam::channel::{unbounded, Sender};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use crossbeam::thread::JoinHandle;
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -30,7 +30,7 @@ impl ThreadPool {
         let mut workers = Vec::with_capacity(size);
         for i in 0..size {
             let rx = receiver.clone();
-            let handle = std::thread::Builder::new()
+            let handle = crossbeam::thread::Builder::new()
                 .name(format!("redisgraph-worker-{i}"))
                 .spawn(move || {
                     // Workers exit when the channel disconnects (pool dropped).
@@ -63,7 +63,7 @@ impl ThreadPool {
             if Instant::now() >= deadline {
                 return false;
             }
-            std::thread::sleep(Duration::from_millis(1));
+            crossbeam::thread::sleep(Duration::from_millis(1));
         }
         true
     }

@@ -17,13 +17,13 @@ use crate::commands::{profile_to_resp, resultset_to_resp, Command};
 use crate::metrics::{CommandKind, Metrics, SlowLog, SlowLogEntry};
 use crate::pool::ThreadPool;
 use crate::resp::RespValue;
+use crossbeam::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::thread::JoinHandle;
 use parking_lot::{Mutex, RwLock};
 use redisgraph_core::{Graph, GraphSnapshot, QueryError};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::Instant;
 
 /// Server configuration (the module load-time options).
@@ -689,7 +689,7 @@ impl RedisGraphServer {
     pub fn start_dispatcher(self: &Arc<Self>) -> (Sender<Request>, JoinHandle<()>) {
         let (tx, rx): (Sender<Request>, Receiver<Request>) = unbounded();
         let server = self.clone();
-        let handle = std::thread::Builder::new()
+        let handle = crossbeam::thread::Builder::new()
             .name("redis-main-thread".to_string())
             .spawn(move || {
                 while let Ok(request) = rx.recv() {

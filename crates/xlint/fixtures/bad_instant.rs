@@ -1,0 +1,12 @@
+//! Fixture: the `Instant::now()` call must be flagged by `instant-now`.
+
+use std::time::Instant;
+
+fn bad() -> Instant {
+    Instant::now() // BAD
+}
+
+fn decoy() {
+    // Instant::now() in a comment is fine.
+    let _ = "Instant::now() in a string is fine";
+}

@@ -1,0 +1,9 @@
+//! Fixture: the `static mut` must be flagged by `static-mut`.
+
+static mut COUNTER: u32 = 0; // BAD
+
+static OK: u32 = 0;
+
+fn decoy() {
+    let _ = "static mut in a string is fine";
+}

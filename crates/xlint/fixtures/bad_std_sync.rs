@@ -1,0 +1,22 @@
+//! Fixture: every line marked BAD must be flagged by the `std-sync` rule.
+
+use std::sync::Mutex; // BAD
+use std::sync::{Arc, RwLock}; // BAD (RwLock; Arc is allowed)
+use std::sync::atomic::AtomicUsize; // BAD
+use std::sync::mpsc; // BAD
+
+fn decoys() {
+    // std::sync::Mutex in a comment is fine.
+    let _ = "std::sync::Mutex in a string is fine";
+    let _ = Arc::new(0u32);
+}
+
+#[cfg(test)]
+mod tests {
+    // Test modules may use std primitives freely.
+    use std::sync::Mutex;
+
+    fn exempt() {
+        let _ = Mutex::new(0);
+    }
+}

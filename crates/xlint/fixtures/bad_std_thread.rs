@@ -1,0 +1,13 @@
+//! Fixture: every line marked BAD must be flagged by the `std-thread` rule.
+
+fn bad() {
+    std::thread::spawn(|| {}); // BAD
+    std::thread::sleep(std::time::Duration::from_millis(1)); // BAD
+    std::thread::yield_now(); // BAD
+}
+
+fn allowed() {
+    // Introspection-only items are allowed everywhere.
+    let _ = std::thread::available_parallelism();
+    let _ = std::thread::current();
+}

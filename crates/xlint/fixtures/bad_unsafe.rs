@@ -1,0 +1,11 @@
+//! Fixture: the undocumented `unsafe` block must be flagged by
+//! `safety-comment`; the documented one must not.
+
+fn bad(p: *const u32) -> u32 {
+    unsafe { *p } // BAD: no SAFETY comment
+}
+
+fn good(p: *const u32) -> u32 {
+    // SAFETY: the caller guarantees `p` is valid and aligned.
+    unsafe { *p }
+}

@@ -1,0 +1,14 @@
+//! Fixture: listed under `[no-unwrap]` by the test, so both calls marked
+//! BAD must be flagged.
+
+fn bad(x: Option<u32>, y: Result<u32, ()>) -> u32 {
+    let a = x.unwrap(); // BAD
+    let b = y.expect("boom"); // BAD
+    a + b
+}
+
+fn decoys(t: (Option<u32>,)) -> u32 {
+    // .unwrap() in a comment is fine; so is a method merely named like it.
+    let _ = "call .unwrap() here";
+    t.0.unwrap_or(0)
+}

@@ -1,0 +1,37 @@
+//! Fixture: must produce ZERO violations even when listed under
+//! `[no-unwrap]` — every trap here lives in a string, comment, char
+//! literal, lifetime, or `#[cfg(test)]` item.
+
+use std::sync::Arc;
+
+/* block comment decoy: std::sync::Mutex, unsafe { }, static mut */
+
+fn tricky<'unsafe_looking_lifetime>(s: &'unsafe_looking_lifetime str) -> (char, usize) {
+    let quote = '"';
+    let raw = r#"std::thread::spawn(|| x.unwrap()); Instant::now(); static mut"#;
+    let escaped = "nested \" quote then std::sync::RwLock";
+    let shared = Arc::new(s.len());
+    (quote, raw.len() + escaped.len() + *shared)
+}
+
+fn numbers(t: (f64,)) -> f64 {
+    // Float literals and tuple indexing must not confuse the lexer.
+    t.0 + 1.5e3 + 0x1f as f64
+}
+
+// SAFETY: reads a valid, caller-provided pointer.
+fn documented(p: *const u32) -> u32 {
+    unsafe { *p }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Mutex;
+    use std::time::Instant;
+
+    fn exempt() {
+        let _ = Mutex::new(Instant::now());
+        std::thread::yield_now();
+        let _ = Some(1).unwrap();
+    }
+}

@@ -1,0 +1,48 @@
+//! `cargo run -p xlint` — lint the workspace against `xlint.toml`.
+//!
+//! Walks every `.rs` file from the repository root (located via this
+//! crate's manifest dir so the binary works from any cwd inside the repo),
+//! prints one `path:line: [rule] message` per violation, and exits
+//! non-zero if anything was flagged. CI runs this as a blocking gate.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let root = root.canonicalize().unwrap_or(root);
+
+    let config_path = root.join("xlint.toml");
+    let text = match std::fs::read_to_string(&config_path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("xlint: cannot read {}: {err}", config_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let cfg = match xlint::parse_config(&text) {
+        Ok(cfg) => cfg,
+        Err(err) => {
+            eprintln!("xlint: {err}");
+            return ExitCode::from(2);
+        }
+    };
+
+    match xlint::lint_tree(&root, &cfg) {
+        Ok(violations) if violations.is_empty() => {
+            println!("xlint: workspace clean");
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                println!("{v}");
+            }
+            println!("xlint: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(err) => {
+            eprintln!("xlint: walk failed: {err}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -11,9 +11,9 @@
 //! `--port 0` picks an ephemeral port; pair it with `--addr-file` so scripts
 //! (CI's `network-e2e` job) can discover the bound address.
 
+use crossbeam::atomic::{AtomicBool, Ordering};
 use datagen::RmatConfig;
 use redisgraph_server::{GraphServer, RedisGraphServer, ServerConfig};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};
 
 /// The server's own shutdown flag, published before handlers are installed.
@@ -38,6 +38,9 @@ fn install_signal_handlers() {
     }
     const SIGINT: i32 = 2;
     const SIGTERM: i32 = 15;
+    // SAFETY: `signal(2)` is async-signal-safe to install from the main
+    // thread before any listener exists, and `on_signal` performs only an
+    // atomic store, which is legal in a signal handler.
     unsafe {
         signal(SIGINT, on_signal);
         signal(SIGTERM, on_signal);

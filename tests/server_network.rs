@@ -679,6 +679,101 @@ fn graph_info_counters_stay_consistent_across_a_5000_command_pipeline() {
 }
 
 #[test]
+fn graph_delete_racing_an_in_flight_read_never_tears_over_tcp() {
+    // The socket-level twin of the modelcheck `graph_delete` suite: one
+    // connection fires a traversal while another deletes the graph out from
+    // under it. The read must complete against the pre-delete epoch
+    // snapshot (full result) or a fresh create-on-use graph (empty result)
+    // — never an error, a torn partial count, or a hung connection.
+    let net = GraphServer::bind(
+        "127.0.0.1:0",
+        ServerConfig { thread_count: 4, ..ServerConfig::default() },
+    )
+    .expect("bind");
+    let addr = net.local_addr();
+
+    let seed = |client: &mut RespClient, name: &str| {
+        let mut create = String::from("CREATE ");
+        for k in 0..12 {
+            if k > 0 {
+                create.push_str(", ");
+            }
+            create.push_str(&format!("(p{k}:Node {{id: {k}}})"));
+        }
+        let reply = client.query(name, &create).expect("seed create");
+        assert!(!matches!(reply, RespValue::Error(_)), "seed failed: {reply}");
+        for k in 0..12u64 {
+            let next = (k + 1) % 12;
+            let reply = client
+                .query(
+                    name,
+                    &format!(
+                        "MATCH (a:Node {{id: {k}}}), (b:Node {{id: {next}}}) CREATE (a)-[:LINK]->(b)"
+                    ),
+                )
+                .expect("seed edge");
+            assert!(!matches!(reply, RespValue::Error(_)), "seed failed: {reply}");
+        }
+    };
+    const RACE_READ: &str = "MATCH (s:Node)-[*1..4]->(t) RETURN count(t)";
+    let count = |reply: &RespValue| -> i64 {
+        let RespValue::Array(sections) = reply else { panic!("not a query reply: {reply}") };
+        let RespValue::Array(rows) = &sections[1] else { panic!("no rows section: {reply}") };
+        let RespValue::Array(row) = &rows[0] else { panic!("empty rows: {reply}") };
+        let RespValue::Integer(n) = row[0] else { panic!("non-integer count: {reply}") };
+        n
+    };
+
+    // Measure the full-graph answer once, on an undisturbed control graph.
+    let mut control = RespClient::connect(addr).expect("control connect");
+    seed(&mut control, "control");
+    let full = count(&control.query("control", RACE_READ).expect("control read"));
+    assert!(full > 0, "control traversal returned nothing — the race would be vacuous");
+
+    for round in 0..20 {
+        let name = format!("race{round}");
+        let mut writer = RespClient::connect(addr).expect("writer connect");
+        seed(&mut writer, &name);
+
+        // Reader pre-connects so the race is query-vs-delete, not
+        // connect-vs-delete; the barrier lines up the fire moment.
+        let mut reader_client = RespClient::connect(addr).expect("reader connect");
+        let barrier = std::sync::Arc::new(std::sync::Barrier::new(2));
+        let reader = {
+            let name = name.clone();
+            let barrier = std::sync::Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                reader_client.query(&name, RACE_READ).expect("racing read reply")
+            })
+        };
+        barrier.wait();
+        let deleted = writer.command(&["GRAPH.DELETE", &name]).expect("delete reply");
+        assert_eq!(
+            deleted,
+            RespValue::SimpleString("OK".into()),
+            "round {round}: delete must succeed exactly once"
+        );
+
+        let reply = reader.join().expect("reader thread");
+        assert!(
+            !matches!(reply, RespValue::Error(_)),
+            "round {round}: racing read errored: {reply}"
+        );
+        let seen = count(&reply);
+        assert!(
+            seen == full || seen == 0,
+            "round {round}: racing read observed a torn result: {seen} (full = {full})"
+        );
+
+        // Whatever the race's outcome, the name now denotes a fresh graph.
+        let after = writer.query(&name, "MATCH (n) RETURN count(n)").expect("post-race read");
+        assert_eq!(count(&after), 0, "round {round}: delete left data behind");
+    }
+    net.shutdown();
+}
+
+#[test]
 fn max_query_buffer_is_tunable_over_the_wire() {
     let net = GraphServer::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
     let mut client = RespClient::connect(net.local_addr()).expect("connect");

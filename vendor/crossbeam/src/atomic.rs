@@ -1,0 +1,14 @@
+//! Atomics, routed through this shim so production code stays
+//! model-checkable: with the `model` feature these are the `modelcheck`
+//! instrumented atomics (each access a scheduling point, delegating to std
+//! outside an execution); without it they are exactly the std types.
+//!
+//! Production crates use these instead of `std::sync::atomic` directly —
+//! enforced by the `no-std-sync` xlint rule.
+
+#[cfg(feature = "model")]
+pub use modelcheck::sync::atomic::{
+    AtomicBool, AtomicI64, AtomicU32, AtomicU64, AtomicUsize, Ordering,
+};
+#[cfg(not(feature = "model"))]
+pub use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU32, AtomicU64, AtomicUsize, Ordering};

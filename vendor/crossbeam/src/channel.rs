@@ -1,9 +1,19 @@
 //! MPMC channels with crossbeam-compatible disconnect semantics.
+//!
+//! Under the `model` feature the `Mutex`/`Condvar` backing the channel are
+//! the modelcheck instrumented types: this exact protocol (including its
+//! wait/notify pairing) runs under the deterministic scheduler, which is
+//! how the lost-wakeup suite exercises the production channel.
 
 use std::collections::VecDeque;
 use std::fmt;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+#[cfg(feature = "model")]
+use modelcheck::sync::{Condvar, Mutex, MutexGuard};
+#[cfg(not(feature = "model"))]
+use std::sync::{Condvar, Mutex, MutexGuard};
 
 struct Inner<T> {
     queue: VecDeque<T>,
@@ -98,7 +108,7 @@ fn with_capacity<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
     (Sender { shared: shared.clone() }, Receiver { shared })
 }
 
-fn lock<T>(shared: &Shared<T>) -> std::sync::MutexGuard<'_, Inner<T>> {
+fn lock<T>(shared: &Shared<T>) -> MutexGuard<'_, Inner<T>> {
     // A panicking sender/receiver must not wedge the channel.
     shared.inner.lock().unwrap_or_else(|e| e.into_inner())
 }

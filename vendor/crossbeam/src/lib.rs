@@ -1,17 +1,25 @@
 //! Offline stand-in for the [`crossbeam`](https://crates.io/crates/crossbeam)
 //! crate. The build environment has no crates.io access, so this vendored
-//! crate implements the two pieces the workspace uses:
+//! crate implements the pieces the workspace uses:
 //!
 //! * [`channel`] — multi-producer **multi-consumer** channels (`unbounded`,
 //!   `bounded`) with crossbeam's disconnect semantics, built on
 //!   `Mutex` + `Condvar`;
-//! * [`thread`] — scoped threads (`thread::scope`, `Scope::spawn`) as a thin
-//!   wrapper over `std::thread::scope`.
+//! * [`thread`] — scoped threads (`thread::scope`, `Scope::spawn`) plus the
+//!   thread-management surface the workspace routes through this shim
+//!   (`spawn`, `Builder`, `sleep`, `yield_now`);
+//! * [`atomic`] — the atomic integer/bool types the workspace uses.
 //!
 //! Semantics match crossbeam where the workspace depends on them: cloneable
 //! receivers, `recv` returning `Err` once the channel is empty and all
 //! senders are gone, blocking `send` on a full bounded channel, and scoped
 //! spawn closures receiving the scope as an argument.
+//!
+//! With the `model` feature every module is rebuilt over the `modelcheck`
+//! scheduler backend, so the production channel/pool/thread code runs under
+//! deterministic model checking; outside a model execution the instrumented
+//! types delegate to std, making the feature inert in ordinary builds.
 
+pub mod atomic;
 pub mod channel;
 pub mod thread;

@@ -1,25 +1,42 @@
 //! Scoped threads: crossbeam's `thread::scope` API on top of
-//! `std::thread::scope` (stable since Rust 1.63).
+//! `std::thread::scope` (stable since Rust 1.63), plus the plain
+//! thread-management surface the workspace routes through this shim so all
+//! thread creation stays model-checkable: [`Builder`], [`JoinHandle`],
+//! [`spawn`], [`sleep`], [`yield_now`].
 //!
 //! Differences from crossbeam worth knowing: a child-thread panic propagates
 //! when its `ScopedJoinHandle` is joined, or at scope exit otherwise — so
 //! `scope` itself only returns `Err` if the closure's own body panics in
 //! crossbeam; here the std scope re-raises instead. The workspace joins every
 //! handle explicitly, which behaves identically in both implementations.
+//!
+//! With the `model` feature everything routes through `modelcheck::thread`:
+//! spawned threads register with the deterministic scheduler (delegating to
+//! std outside a model execution). The model `Scope` is `Clone` but not
+//! `Copy` (it carries a scheduler handle); workspace code only uses
+//! `&Scope`, which both variants support.
 
 use std::any::Any;
 
+#[cfg(feature = "model")]
+pub use modelcheck::thread::{sleep, spawn, yield_now, Builder, JoinHandle};
+#[cfg(not(feature = "model"))]
+pub use std::thread::{sleep, spawn, yield_now, Builder, JoinHandle};
+
 /// A scope in which threads borrowing non-`'static` data can be spawned.
+#[cfg(not(feature = "model"))]
 #[derive(Clone, Copy)]
 pub struct Scope<'scope, 'env: 'scope> {
     inner: &'scope std::thread::Scope<'scope, 'env>,
 }
 
 /// Handle to a scoped thread; joining yields the closure's return value.
+#[cfg(not(feature = "model"))]
 pub struct ScopedJoinHandle<'scope, T> {
     inner: std::thread::ScopedJoinHandle<'scope, T>,
 }
 
+#[cfg(not(feature = "model"))]
 impl<'scope, 'env> Scope<'scope, 'env> {
     /// Spawn a thread inside the scope. As in crossbeam, the closure receives
     /// the scope so it can spawn further threads.
@@ -33,7 +50,8 @@ impl<'scope, 'env> Scope<'scope, 'env> {
     }
 }
 
-impl<'scope, T> ScopedJoinHandle<'scope, T> {
+#[cfg(not(feature = "model"))]
+impl<T> ScopedJoinHandle<'_, T> {
     /// Wait for the thread to finish; `Err` carries the panic payload.
     pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
         self.inner.join()
@@ -43,11 +61,58 @@ impl<'scope, T> ScopedJoinHandle<'scope, T> {
 /// Run `f` with a scope handle; every thread spawned in the scope is joined
 /// before `scope` returns. Returns `Ok` with the closure's value (panics from
 /// unjoined children propagate as panics, see module docs).
+#[cfg(not(feature = "model"))]
 pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
 where
     F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
 {
     Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+/// A scope in which threads borrowing non-`'static` data can be spawned
+/// (model variant: children register with the scheduler).
+#[cfg(feature = "model")]
+#[derive(Clone)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: modelcheck::thread::Scope<'scope, 'env>,
+}
+
+/// Handle to a scoped thread; joining yields the closure's return value.
+#[cfg(feature = "model")]
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: modelcheck::thread::ScopedJoinHandle<'scope, T>,
+}
+
+#[cfg(feature = "model")]
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a thread inside the scope. As in crossbeam, the closure receives
+    /// the scope so it can spawn further threads.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let scope = self.clone();
+        ScopedJoinHandle { inner: self.inner.spawn(move || f(&scope)) }
+    }
+}
+
+#[cfg(feature = "model")]
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Wait for the thread to finish; `Err` carries the panic payload.
+    pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+        self.inner.join()
+    }
+}
+
+/// Run `f` with a scope handle; every thread spawned in the scope is joined
+/// before `scope` returns (under the scheduler's control in model runs).
+#[cfg(feature = "model")]
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(modelcheck::thread::scope(|s| f(&Scope { inner: s.clone() })))
 }
 
 #[cfg(test)]
@@ -82,5 +147,14 @@ mod tests {
             let handle = s.spawn(|_| panic!("child failed"));
             assert!(handle.join().is_err());
         });
+    }
+
+    #[test]
+    fn plain_spawn_and_builder_roundtrip() {
+        let h = spawn(|| 2 + 2);
+        assert_eq!(h.join().unwrap(), 4);
+        let h =
+            Builder::new().name("shim-test".to_string()).spawn(|| 8).expect("spawn via builder");
+        assert_eq!(h.join().unwrap(), 8);
     }
 }

@@ -11,12 +11,36 @@
 //! readers keeps the shared lock permanently held and the writer never runs
 //! (std's `RwLock` makes no fairness promise, and on some platforms admits
 //! readers past a parked writer indefinitely).
+//!
+//! With the `model` feature the whole crate is rebuilt over the
+//! `modelcheck` scheduler backend: the embedded locks, the gate atomic, and
+//! the spin yield all become instrumented scheduling points, so this exact
+//! production code runs under deterministic model checking. Outside a model
+//! execution the instrumented types delegate to std, so enabling the
+//! feature (e.g. through test feature unification) changes nothing at
+//! runtime.
 
 use std::fmt;
+use std::sync::TryLockError;
+
+#[cfg(feature = "model")]
+use modelcheck::sync;
+#[cfg(feature = "model")]
+use modelcheck::sync::atomic::{AtomicUsize, Ordering};
+#[cfg(not(feature = "model"))]
+use std::sync;
+#[cfg(not(feature = "model"))]
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{self, TryLockError};
 
 pub use sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+
+#[cfg_attr(xmut_no_writer_gate, allow(dead_code))]
+fn spin_yield() {
+    #[cfg(feature = "model")]
+    modelcheck::thread::yield_now();
+    #[cfg(not(feature = "model"))]
+    std::thread::yield_now();
+}
 
 /// A mutual-exclusion lock that never poisons.
 #[derive(Default)]
@@ -97,8 +121,12 @@ impl<T: ?Sized> RwLock<T> {
     /// recursive `read()` while a writer waits would deadlock — the same
     /// caveat the real parking_lot documents.)
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        // `xmut_no_writer_gate` is a seeded mutant for the model-checker CI
+        // smoke test: compiling the gate away must make the fairness suite
+        // fail, proving the checker detects the writer-starvation bug.
+        #[cfg(not(xmut_no_writer_gate))]
         while self.writers_waiting.load(Ordering::Acquire) > 0 {
-            std::thread::yield_now();
+            spin_yield();
         }
         self.inner.read().unwrap_or_else(|e| e.into_inner())
     }
@@ -112,6 +140,13 @@ impl<T: ?Sized> RwLock<T> {
         let guard = self.inner.write();
         self.writers_waiting.fetch_sub(1, Ordering::AcqRel);
         guard.unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Number of writers currently parked in [`RwLock::write`]. Exposed for
+    /// the model-check fairness suite, which needs to observe that a writer
+    /// has reached the parked state before asserting readers hold off.
+    pub fn queued_writers(&self) -> usize {
+        self.writers_waiting.load(Ordering::Acquire)
     }
 
     /// Try to acquire a read lock without blocking.
