@@ -10,6 +10,13 @@
 //! * **chain_2hop** — `MATCH (s:Node)-[:LINK]->()-[:LINK]->(t) …`: a real
 //!   traversal per request, where worker-pool parallelism dominates.
 //!
+//! A third workload, **param_point**, sends the point-read as a parameterized
+//! query (`CYPHER k=… WHERE id(s) = $k`) so every request shares one
+//! normalized cache key. It runs twice — plan cache on (default) and off
+//! (`GRAPH.CONFIG SET PLAN_CACHE_SIZE 0`) — and `scripts/bench_check.py`
+//! fails the build if the cached run is meaningfully slower than the
+//! uncached one.
+//!
 //! By default the bench spawns its own [`GraphServer`] on an ephemeral
 //! loopback port and preloads an RMAT graph; `--addr HOST:PORT` points it at
 //! an externally started `redisgraph-server` instead (CI's `network-e2e` job
@@ -23,7 +30,9 @@
 
 use datagen::RmatConfig;
 use redisgraph_bench::report::render_table;
-use redisgraph_server::{GraphServer, RedisGraphServer, RespClient, RespValue, ServerConfig};
+use redisgraph_server::{
+    GraphServer, RedisGraphServer, RespClient, RespValue, ServerConfig, DEFAULT_PLAN_CACHE_SIZE,
+};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -96,12 +105,39 @@ fn main() {
     );
 
     let before = fetch_info(&addr);
-    let point = run_workload(&addr, &graph_name, clients, pipeline, point_queries, vertices, false);
-    let hop2 = run_workload(&addr, &graph_name, clients, pipeline, hop2_queries, vertices, true);
+    let point =
+        run_workload(&addr, &graph_name, clients, pipeline, point_queries, vertices, Shape::Point);
+    let hop2 =
+        run_workload(&addr, &graph_name, clients, pipeline, hop2_queries, vertices, Shape::TwoHop);
+
+    // The parameterized point-read, cache on (the server default) then cache
+    // off, with the default restored afterwards so an external server is
+    // left the way the bench found it.
+    let param_cached = run_workload(
+        &addr,
+        &graph_name,
+        clients,
+        pipeline,
+        point_queries,
+        vertices,
+        Shape::ParamPointCached,
+    );
+    config_set(&addr, "PLAN_CACHE_SIZE", "0");
+    let param_uncached = run_workload(
+        &addr,
+        &graph_name,
+        clients,
+        pipeline,
+        point_queries,
+        vertices,
+        Shape::ParamPointUncached,
+    );
+    config_set(&addr, "PLAN_CACHE_SIZE", &DEFAULT_PLAN_CACHE_SIZE.to_string());
+
     let after = settle_and_fetch_info(&addr);
     let metrics = server_metrics(&before, &after);
 
-    let rows: Vec<Vec<String>> = [&point, &hop2]
+    let rows: Vec<Vec<String>> = [&point, &hop2, &param_cached, &param_uncached]
         .iter()
         .map(|m| {
             vec![
@@ -125,16 +161,43 @@ fn main() {
     let overhead_pct = (BASELINE_POINT_QPS - point.qps) / BASELINE_POINT_QPS * 100.0;
     println!(
         "\npoint_read_1hop vs committed pre-metrics baseline: {:.0} vs {BASELINE_POINT_QPS:.0} \
-         qps ({overhead_pct:+.2}% overhead)\n",
+         qps ({overhead_pct:+.2}% overhead)",
         point.qps
+    );
+    println!(
+        "param_point plan cache on vs off: {:.0} vs {:.0} qps ({:+.2}% from caching)\n",
+        param_cached.qps,
+        param_uncached.qps,
+        (param_cached.qps - param_uncached.qps) / param_uncached.qps * 100.0
     );
 
     std::fs::write(
         &out_path,
-        to_json(mode, scale, clients, pipeline, &[&point, &hop2], &metrics, overhead_pct),
+        to_json(
+            mode,
+            scale,
+            clients,
+            pipeline,
+            &[&point, &hop2, &param_cached, &param_uncached],
+            &metrics,
+            overhead_pct,
+        ),
     )
     .expect("write benchmark report");
     println!("wrote {out_path}");
+}
+
+/// `GRAPH.CONFIG SET` against the server under test; a refusal is fatal —
+/// the cache-on/cache-off comparison would silently measure the same thing
+/// twice.
+fn config_set(addr: &str, parameter: &str, value: &str) {
+    let mut client = RespClient::connect(addr).expect("connect for GRAPH.CONFIG");
+    let reply =
+        client.command(&["GRAPH.CONFIG", "SET", parameter, value]).expect("GRAPH.CONFIG SET reply");
+    assert!(
+        matches!(reply, RespValue::SimpleString(ref s) if s == "OK"),
+        "GRAPH.CONFIG SET {parameter} {value} refused: {reply}"
+    );
 }
 
 /// Snapshot `GRAPH.INFO` as one flat `field -> integer` map (sections are
@@ -185,6 +248,9 @@ fn server_metrics(
         "queries_write",
         "snapshot_hits",
         "snapshot_rebuilds",
+        "plan_cache_hits",
+        "plan_cache_misses",
+        "plan_cache_evictions",
         "bytes_in",
         "bytes_out",
         "connections_accepted",
@@ -202,6 +268,45 @@ fn server_metrics(
     out
 }
 
+/// Which query text each request carries.
+#[derive(Clone, Copy)]
+enum Shape {
+    /// Literal 1-hop point read — a distinct text (and cache key) per seed.
+    Point,
+    /// Literal 2-hop traversal.
+    TwoHop,
+    /// Parameterized point read: one shared cache key, per-request binding.
+    /// The two variants only differ in the server's `PLAN_CACHE_SIZE` at run
+    /// time (set by the caller) and in the reported op name.
+    ParamPointCached,
+    ParamPointUncached,
+}
+
+impl Shape {
+    fn op(self) -> &'static str {
+        match self {
+            Shape::Point => "point_read_1hop",
+            Shape::TwoHop => "chain_2hop",
+            Shape::ParamPointCached => "param_point_cached",
+            Shape::ParamPointUncached => "param_point_uncached",
+        }
+    }
+
+    fn query(self, k: u64) -> String {
+        match self {
+            Shape::Point => {
+                format!("MATCH (s:Node)-[:LINK]->(t) WHERE id(s) = {k} RETURN count(t)")
+            }
+            Shape::TwoHop => {
+                format!("MATCH (s:Node)-[:LINK]->()-[:LINK]->(t) WHERE id(s) = {k} RETURN count(t)")
+            }
+            Shape::ParamPointCached | Shape::ParamPointUncached => {
+                format!("CYPHER k={k} MATCH (s:Node)-[:LINK]->(t) WHERE id(s) = $k RETURN count(t)")
+            }
+        }
+    }
+}
+
 /// Drive one workload: `clients` threads, each pipelining `pipeline`
 /// commands per burst over its own TCP connection.
 fn run_workload(
@@ -211,7 +316,7 @@ fn run_workload(
     pipeline: usize,
     queries: usize,
     vertices: u64,
-    two_hop: bool,
+    shape: Shape,
 ) -> Measurement {
     let per_client = queries / clients.max(1);
     let start = Instant::now();
@@ -231,15 +336,7 @@ fn run_workload(
                         // coprime with every power-of-two vertex count, so
                         // seeds sweep the whole id space.
                         let k = ((c + 1) as u64 * 40503 + ((sent + i) as u64) * 7919) % vertices;
-                        let q = if two_hop {
-                            format!(
-                                "MATCH (s:Node)-[:LINK]->()-[:LINK]->(t) WHERE id(s) = {k} \
-                                 RETURN count(t)"
-                            )
-                        } else {
-                            format!("MATCH (s:Node)-[:LINK]->(t) WHERE id(s) = {k} RETURN count(t)")
-                        };
-                        RespValue::command(&["GRAPH.QUERY", &graph, &q])
+                        RespValue::command(&["GRAPH.QUERY", &graph, &shape.query(k)])
                     })
                     .collect();
                 let replies = client.pipeline(&commands).expect("pipelined replies");
@@ -254,13 +351,7 @@ fn run_workload(
     let rows: u64 = handles.into_iter().map(|h| h.join().expect("client thread")).sum();
     let wall_ms = start.elapsed().as_secs_f64() * 1e3;
     let queries = per_client * clients;
-    Measurement {
-        op: if two_hop { "chain_2hop" } else { "point_read_1hop" },
-        queries,
-        wall_ms,
-        qps: queries as f64 / (wall_ms / 1e3),
-        rows,
-    }
+    Measurement { op: shape.op(), queries, wall_ms, qps: queries as f64 / (wall_ms / 1e3), rows }
 }
 
 /// Pull the single `count(t)` integer out of a `GRAPH.QUERY` reply.

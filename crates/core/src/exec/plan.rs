@@ -26,6 +26,12 @@ use cypher::{Clause, Expr, NodePattern, PathPattern, Query};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
+/// Query parameters (`CYPHER name=value …`): name → constant expression.
+/// Values are the literal / list-of-literal expressions the server parses
+/// from the `CYPHER` header; [`ExecutionPlan::bind`] substitutes them for
+/// `$name` references at plan-bind time — never by splicing query text.
+pub type Params = HashMap<String, Expr>;
+
 /// What one operator did during a profiled execution (`GRAPH.PROFILE`): the
 /// operator's `describe()` line plus how many records it left in the
 /// interpreter's working set and how long its invocation took. The executor
@@ -128,6 +134,74 @@ impl ExecutionPlan {
     /// `QUERY_THREADS` value at build time).
     pub fn thread_budget(&self) -> usize {
         self.thread_budget
+    }
+
+    /// True if any expression in the plan references a `$parameter`. Plans
+    /// without parameter references execute a cached skeleton directly;
+    /// plans with them go through [`ExecutionPlan::bind`] first.
+    pub fn has_params(&self) -> bool {
+        let mut found = false;
+        self.visit_exprs(&mut |expr| found |= expr_has_param(expr));
+        found
+    }
+
+    /// Clone the plan with every `$name` reference replaced by its value
+    /// from `params` — substitution happens on the plan's expressions, so a
+    /// cached skeleton is never re-parsed or re-planned per execution, and
+    /// parameter values can never be misread as query text. Errors if the
+    /// plan references a parameter `params` does not supply.
+    pub fn bind(&self, params: &Params) -> Result<ExecutionPlan, QueryError> {
+        let mut plan = self.clone();
+        let mut missing: Option<String> = None;
+        plan.visit_exprs_mut(&mut |expr| substitute_params(expr, params, &mut missing));
+        match missing {
+            Some(name) => Err(QueryError::Type(format!("missing query parameter `${name}`"))),
+            None => Ok(plan),
+        }
+    }
+
+    /// Visit every expression embedded in the plan's operators.
+    fn visit_exprs(&self, f: &mut impl FnMut(&Expr)) {
+        for segment in &self.segments {
+            for op in &segment.ops {
+                match op {
+                    PlanOp::NodeByIdSeek { id_expr, .. } => f(id_expr),
+                    PlanOp::Filter { expr } => f(expr),
+                    PlanOp::Unwind { list, .. } => f(list),
+                    PlanOp::ProcedureCall { args, .. } => args.iter().for_each(&mut *f),
+                    PlanOp::Project(p)
+                    | PlanOp::With(p)
+                    | PlanOp::Aggregate { projection: p, .. } => {
+                        p.items.iter().for_each(|i| f(&i.expr));
+                        p.order_by.iter().for_each(|(e, _)| f(e));
+                    }
+                    PlanOp::SetProps { items } => items.iter().for_each(|i| f(&i.value)),
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// Mutable counterpart of [`ExecutionPlan::visit_exprs`].
+    fn visit_exprs_mut(&mut self, f: &mut impl FnMut(&mut Expr)) {
+        for segment in &mut self.segments {
+            for op in &mut segment.ops {
+                match op {
+                    PlanOp::NodeByIdSeek { id_expr, .. } => f(id_expr),
+                    PlanOp::Filter { expr } => f(expr),
+                    PlanOp::Unwind { list, .. } => f(list),
+                    PlanOp::ProcedureCall { args, .. } => args.iter_mut().for_each(&mut *f),
+                    PlanOp::Project(p)
+                    | PlanOp::With(p)
+                    | PlanOp::Aggregate { projection: p, .. } => {
+                        p.items.iter_mut().for_each(|i| f(&mut i.expr));
+                        p.order_by.iter_mut().for_each(|(e, _)| f(e));
+                    }
+                    PlanOp::SetProps { items } => items.iter_mut().for_each(|i| f(&mut i.value)),
+                    _ => {}
+                }
+            }
+        }
     }
 
     /// Execute the plan against a graph, producing a result set.
@@ -710,6 +784,43 @@ fn collect_id_seeks_expr(expr: &Expr, seeks: &mut HashMap<String, Expr>) {
     }
 }
 
+/// True if `expr` contains a `$parameter` reference anywhere.
+fn expr_has_param(expr: &Expr) -> bool {
+    match expr {
+        Expr::Parameter(_) => true,
+        Expr::Unary(_, inner) => expr_has_param(inner),
+        Expr::Binary(_, lhs, rhs) => expr_has_param(lhs) || expr_has_param(rhs),
+        Expr::FunctionCall { args, .. } => args.iter().any(expr_has_param),
+        Expr::List(items) => items.iter().any(expr_has_param),
+        Expr::Literal(_) | Expr::Variable(_) | Expr::Property(_, _) => false,
+    }
+}
+
+/// Replace every `$name` in `expr` with its value from `params`, recording
+/// the first missing name in `missing`.
+fn substitute_params(expr: &mut Expr, params: &Params, missing: &mut Option<String>) {
+    match expr {
+        Expr::Parameter(name) => match params.get(name.as_str()) {
+            Some(value) => *expr = value.clone(),
+            None => {
+                if missing.is_none() {
+                    *missing = Some(name.clone());
+                }
+            }
+        },
+        Expr::Unary(_, inner) => substitute_params(inner, params, missing),
+        Expr::Binary(_, lhs, rhs) => {
+            substitute_params(lhs, params, missing);
+            substitute_params(rhs, params, missing);
+        }
+        Expr::FunctionCall { args, .. } => {
+            args.iter_mut().for_each(|a| substitute_params(a, params, missing))
+        }
+        Expr::List(items) => items.iter_mut().for_each(|i| substitute_params(i, params, missing)),
+        Expr::Literal(_) | Expr::Variable(_) | Expr::Property(_, _) => {}
+    }
+}
+
 fn match_id_eq(call: &Expr, value: &Expr) -> Option<(String, Expr)> {
     if let Expr::FunctionCall { name, args, .. } = call {
         if name == "id" && args.len() == 1 {
@@ -791,6 +902,55 @@ mod tests {
         let fresh = plan("MATCH (s)-[*1..2]->(t) RETURN count(t)");
         assert_eq!(fresh.thread_budget(), 7, "later dispatches pick up the new value");
         graphblas::Context::set_nthreads(1);
+    }
+
+    #[test]
+    fn bind_substitutes_parameters_at_plan_level() {
+        let p = plan("MATCH (s)-[:L]->(t) WHERE id(s) = $src AND t.name = $name RETURN t");
+        assert!(p.has_params());
+        let params: Params = [
+            ("src".to_string(), Expr::Literal(cypher::Literal::Integer(3))),
+            ("name".to_string(), Expr::Literal(cypher::Literal::Str("x".into()))),
+        ]
+        .into_iter()
+        .collect();
+        let bound = p.bind(&params).unwrap();
+        assert!(!bound.has_params(), "all $refs must be substituted");
+        // The skeleton itself is untouched: it can be re-bound with other values.
+        assert!(p.has_params());
+    }
+
+    #[test]
+    fn bind_errors_on_missing_parameter() {
+        let p = plan("MATCH (s) WHERE id(s) = $src RETURN s");
+        let err = p.bind(&Params::new()).unwrap_err();
+        assert!(matches!(&err, QueryError::Type(m) if m.contains("$src")), "{err}");
+    }
+
+    #[test]
+    fn params_reach_every_expression_position() {
+        // UNWIND list, projection item, ORDER BY key, and SET value.
+        let p = plan("UNWIND $xs AS x RETURN x + $inc AS y ORDER BY $inc");
+        assert!(p.has_params());
+        let params: Params = [
+            (
+                "xs".to_string(),
+                Expr::List(vec![
+                    Expr::Literal(cypher::Literal::Integer(1)),
+                    Expr::Literal(cypher::Literal::Integer(2)),
+                ]),
+            ),
+            ("inc".to_string(), Expr::Literal(cypher::Literal::Integer(10))),
+        ]
+        .into_iter()
+        .collect();
+        assert!(!p.bind(&params).unwrap().has_params());
+
+        let p = plan("MATCH (a) SET a.v = $v");
+        assert!(p.has_params());
+        let params: Params =
+            [("v".to_string(), Expr::Literal(cypher::Literal::Integer(1)))].into_iter().collect();
+        assert!(!p.bind(&params).unwrap().has_params());
     }
 
     #[test]

@@ -21,6 +21,10 @@ pub struct QueryStats {
     pub labels_added: usize,
     /// Wall-clock execution time.
     pub execution_time: Duration,
+    /// Whether the execution reused a cached plan skeleton instead of
+    /// parsing and planning the query text from scratch. Set by the server's
+    /// plan cache; always `false` for plans built directly by [`crate::Graph`].
+    pub cached: bool,
 }
 
 /// The result of executing a query.

@@ -198,8 +198,10 @@ impl Graph {
         self.optimize = on;
     }
 
-    /// Build a plan honouring this graph's optimizer setting.
-    fn build_plan(&self, ast: &cypher::Query) -> Result<ExecutionPlan, QueryError> {
+    /// Build a plan honouring this graph's optimizer setting. Public so the
+    /// server can build cacheable plan skeletons once and execute them many
+    /// times (binding parameters per execution).
+    pub fn build_plan(&self, ast: &cypher::Query) -> Result<ExecutionPlan, QueryError> {
         if self.optimize {
             ExecutionPlan::build(ast)
         } else {
@@ -1034,6 +1036,27 @@ impl GraphSnapshot {
     ) -> Result<(ResultSet, Vec<OpProfile>), QueryError> {
         let plan = self.build_plan(ast)?;
         plan.profile_read_only(self.backing_graph(&plan), started)
+    }
+
+    /// Execute an already-built **read-only** plan against the pinned state,
+    /// timing the statistics footer from a dispatch-captured `started`. The
+    /// server's plan cache goes through here: the skeleton is planned once,
+    /// then bound and executed per request without re-parse/re-plan.
+    pub fn execute_plan_at(
+        &self,
+        plan: &ExecutionPlan,
+        started: std::time::Instant,
+    ) -> Result<ResultSet, QueryError> {
+        plan.execute_read_only_at(self.backing_graph(plan), started)
+    }
+
+    /// Profiled counterpart of [`GraphSnapshot::execute_plan_at`].
+    pub fn profile_plan_at(
+        &self,
+        plan: &ExecutionPlan,
+        started: std::time::Instant,
+    ) -> Result<(ResultSet, Vec<OpProfile>), QueryError> {
+        plan.profile_read_only(self.backing_graph(plan), started)
     }
 
     /// The graph a plan runs on: the pinned graph itself, or — for plans that

@@ -1,0 +1,122 @@
+//! Structured parse diagnostics with source spans.
+//!
+//! Both the lexer and the parser recover past the first problem and report
+//! *every* diagnostic they find, each carrying a stable machine-readable
+//! code and a `(line, col, len)` span resolved against the query text —
+//! the Spark-trace / rowan-recovery idiom instead of first-error bailout.
+
+use std::fmt;
+
+/// One problem found while lexing or parsing, with a precise source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Stable machine-readable code (`"E_EXPECTED_EXPR"`, …).
+    pub code: &'static str,
+    /// `(line, col, len)`: 1-based line and column of the first byte of the
+    /// offending range, and its length in bytes (0 at end of input).
+    pub span: (u32, u32, u32),
+    /// Human-readable description of the problem.
+    pub message: String,
+    /// Extra context: hints about what would have been valid here.
+    pub notes: Vec<String>,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (line, col, _) = self.span;
+        write!(f, "{line}:{col}: {} ({})", self.message, self.code)?;
+        for note in &self.notes {
+            write!(f, " — note: {note}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A diagnostic before span resolution: a raw byte range into the source.
+/// The lexer and parser produce these; [`resolve`] turns them into public
+/// [`Diagnostic`]s once the source text is in hand.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct RawDiagnostic {
+    pub(crate) code: &'static str,
+    pub(crate) offset: usize,
+    pub(crate) len: usize,
+    pub(crate) message: String,
+    pub(crate) notes: Vec<String>,
+}
+
+impl RawDiagnostic {
+    pub(crate) fn new(code: &'static str, offset: usize, len: usize, message: String) -> Self {
+        RawDiagnostic { code, offset, len, message, notes: Vec::new() }
+    }
+
+    pub(crate) fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.notes.push(note.into());
+        self
+    }
+}
+
+/// 1-based `(line, col)` of the given byte offset in `src`. Columns count
+/// bytes from the last newline, which matches how editors address ASCII
+/// query text; an offset past the end addresses the end of input.
+pub fn line_col(src: &str, offset: usize) -> (u32, u32) {
+    let offset = offset.min(src.len());
+    let before = &src.as_bytes()[..offset];
+    let line = before.iter().filter(|&&b| b == b'\n').count() as u32 + 1;
+    let col = before.iter().rev().take_while(|&&b| b != b'\n').count() as u32 + 1;
+    (line, col)
+}
+
+/// Resolve raw byte-offset diagnostics into public spanned ones, ordered by
+/// source position.
+pub(crate) fn resolve(src: &str, mut raw: Vec<RawDiagnostic>) -> Vec<Diagnostic> {
+    raw.sort_by_key(|d| d.offset);
+    raw.into_iter()
+        .map(|d| {
+            let (line, col) = line_col(src, d.offset);
+            Diagnostic {
+                code: d.code,
+                span: (line, col, d.len as u32),
+                message: d.message,
+                notes: d.notes,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_col_is_one_based_and_newline_aware() {
+        assert_eq!(line_col("abc", 0), (1, 1));
+        assert_eq!(line_col("abc", 2), (1, 3));
+        assert_eq!(line_col("ab\ncd", 3), (2, 1));
+        assert_eq!(line_col("ab\ncd", 4), (2, 2));
+        // past-the-end clamps to end of input
+        assert_eq!(line_col("ab", 99), (1, 3));
+    }
+
+    #[test]
+    fn diagnostics_render_span_code_and_notes() {
+        let d = Diagnostic {
+            code: "E_TEST",
+            span: (2, 7, 3),
+            message: "something broke".into(),
+            notes: vec!["try harder".into()],
+        };
+        assert_eq!(d.to_string(), "2:7: something broke (E_TEST) — note: try harder");
+    }
+
+    #[test]
+    fn resolution_orders_by_offset() {
+        let raw = vec![
+            RawDiagnostic::new("E_B", 5, 1, "second".into()),
+            RawDiagnostic::new("E_A", 1, 1, "first".into()),
+        ];
+        let out = resolve("MATCH x\n", raw);
+        assert_eq!(out[0].message, "first");
+        assert_eq!(out[1].message, "second");
+        assert_eq!(out[0].span, (1, 2, 1));
+    }
+}

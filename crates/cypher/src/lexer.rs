@@ -1,8 +1,16 @@
 //! The Cypher lexer: turns query text into a token stream.
+//!
+//! The lexer is error-recovering: a malformed construct (unterminated
+//! string, stray character, …) is reported as a diagnostic and lexing
+//! continues, so one bad token never hides the rest of the query's
+//! problems. [`Lexer::tokenize`] keeps the strict first-error contract for
+//! callers that only need a yes/no answer.
 
+use crate::diagnostics::{resolve, Diagnostic, RawDiagnostic};
 use crate::token::{is_keyword, Token, TokenKind};
 
-/// Errors produced while lexing.
+/// Errors produced while lexing (first-error view; see
+/// [`Lexer::tokenize_recovering`] for the full diagnostic list).
 #[derive(Debug, Clone, PartialEq)]
 pub struct LexError {
     /// Description of the problem.
@@ -31,19 +39,36 @@ impl<'a> Lexer<'a> {
         Lexer { src: src.as_bytes(), pos: 0 }
     }
 
-    /// Lex the entire input into a vector of tokens terminated by `Eof`.
+    /// Lex the entire input into a vector of tokens terminated by `Eof`,
+    /// failing on the first malformed construct.
     pub fn tokenize(src: &'a str) -> Result<Vec<Token>, LexError> {
+        let (tokens, diags) = Self::tokenize_raw(src);
+        match diags.into_iter().next() {
+            None => Ok(tokens),
+            Some(d) => Err(LexError { message: d.message, offset: d.offset }),
+        }
+    }
+
+    /// Lex the entire input, recovering past malformed constructs: always
+    /// returns the full token stream plus every diagnostic found.
+    pub fn tokenize_recovering(src: &'a str) -> (Vec<Token>, Vec<Diagnostic>) {
+        let (tokens, diags) = Self::tokenize_raw(src);
+        (tokens, resolve(src, diags))
+    }
+
+    pub(crate) fn tokenize_raw(src: &'a str) -> (Vec<Token>, Vec<RawDiagnostic>) {
         let mut lexer = Lexer::new(src);
         let mut tokens = Vec::new();
+        let mut diags = Vec::new();
         loop {
-            let tok = lexer.next_token()?;
+            let Some(tok) = lexer.next_token_recovering(&mut diags) else { continue };
             let done = tok.kind == TokenKind::Eof;
             tokens.push(tok);
             if done {
                 break;
             }
         }
-        Ok(tokens)
+        (tokens, diags)
     }
 
     fn peek(&self) -> Option<u8> {
@@ -62,7 +87,7 @@ impl<'a> Lexer<'a> {
         c
     }
 
-    fn skip_whitespace_and_comments(&mut self) -> Result<(), LexError> {
+    fn skip_whitespace_and_comments(&mut self, diags: &mut Vec<RawDiagnostic>) {
         loop {
             match self.peek() {
                 Some(c) if c.is_ascii_whitespace() => {
@@ -89,25 +114,49 @@ impl<'a> Lexer<'a> {
                             }
                             (Some(_), _) => self.pos += 1,
                             (None, _) => {
-                                return Err(LexError {
-                                    message: "unterminated block comment".into(),
-                                    offset: start,
-                                })
+                                diags.push(
+                                    RawDiagnostic::new(
+                                        "E_UNTERMINATED_COMMENT",
+                                        start,
+                                        self.pos - start,
+                                        "unterminated block comment".into(),
+                                    )
+                                    .with_note("block comments close with `*/`"),
+                                );
+                                break;
                             }
                         }
                     }
                 }
-                _ => return Ok(()),
+                _ => return,
             }
         }
     }
 
-    /// Produce the next token.
+    /// Produce the next token, failing on the first malformed construct.
     pub fn next_token(&mut self) -> Result<Token, LexError> {
-        self.skip_whitespace_and_comments()?;
+        let mut diags = Vec::new();
+        loop {
+            let tok = self.next_token_recovering(&mut diags);
+            if let Some(d) = diags.into_iter().next() {
+                return Err(LexError { message: d.message, offset: d.offset });
+            }
+            if let Some(tok) = tok {
+                return Ok(tok);
+            }
+            diags = Vec::new();
+        }
+    }
+
+    /// Produce the next token, recording problems in `diags`. Returns `None`
+    /// when the malformed input produced no token at all (the caller should
+    /// simply ask again); a partially-lexed token (e.g. an unterminated
+    /// string) is returned so the parser can keep going.
+    fn next_token_recovering(&mut self, diags: &mut Vec<RawDiagnostic>) -> Option<Token> {
+        self.skip_whitespace_and_comments(diags);
         let offset = self.pos;
         let Some(c) = self.peek() else {
-            return Ok(Token { kind: TokenKind::Eof, offset });
+            return Some(Token { kind: TokenKind::Eof, offset, len: 0 });
         };
 
         let kind = match c {
@@ -207,11 +256,20 @@ impl<'a> Lexer<'a> {
                 self.bump();
                 let name = self.lex_bare_word();
                 if name.is_empty() {
-                    return Err(LexError { message: "empty parameter name".into(), offset });
+                    diags.push(
+                        RawDiagnostic::new(
+                            "E_EMPTY_PARAMETER",
+                            offset,
+                            1,
+                            "empty parameter name".into(),
+                        )
+                        .with_note("parameters are written `$name`"),
+                    );
+                    return None;
                 }
                 TokenKind::Parameter(name)
             }
-            b'\'' | b'"' => self.lex_string(c, offset)?,
+            b'\'' | b'"' => self.lex_string(c, offset, diags),
             b'`' => {
                 // back-quoted identifier
                 self.bump();
@@ -222,17 +280,20 @@ impl<'a> Lexer<'a> {
                     }
                     self.pos += 1;
                 }
-                if self.peek() != Some(b'`') {
-                    return Err(LexError {
-                        message: "unterminated quoted identifier".into(),
-                        offset,
-                    });
-                }
                 let name = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
-                self.bump();
+                if self.peek() == Some(b'`') {
+                    self.bump();
+                } else {
+                    diags.push(RawDiagnostic::new(
+                        "E_UNTERMINATED_IDENT",
+                        offset,
+                        self.pos - offset,
+                        "unterminated quoted identifier".into(),
+                    ));
+                }
                 TokenKind::Ident(name)
             }
-            c if c.is_ascii_digit() => self.lex_number(offset)?,
+            c if c.is_ascii_digit() => self.lex_number(offset, diags),
             c if c.is_ascii_alphabetic() || c == b'_' => {
                 let word = self.lex_bare_word();
                 if is_keyword(&word) {
@@ -242,13 +303,17 @@ impl<'a> Lexer<'a> {
                 }
             }
             other => {
-                return Err(LexError {
-                    message: format!("unexpected character `{}`", other as char),
+                self.bump();
+                diags.push(RawDiagnostic::new(
+                    "E_UNEXPECTED_CHAR",
                     offset,
-                })
+                    1,
+                    format!("unexpected character `{}`", other as char),
+                ));
+                return None;
             }
         };
-        Ok(Token { kind, offset })
+        Some(Token { kind, offset, len: self.pos - offset })
     }
 
     fn lex_bare_word(&mut self) -> String {
@@ -263,7 +328,7 @@ impl<'a> Lexer<'a> {
         String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
     }
 
-    fn lex_number(&mut self, offset: usize) -> Result<TokenKind, LexError> {
+    fn lex_number(&mut self, offset: usize, diags: &mut Vec<RawDiagnostic>) -> TokenKind {
         let start = self.pos;
         while self.peek().map(|c| c.is_ascii_digit()).unwrap_or(false) {
             self.pos += 1;
@@ -280,17 +345,34 @@ impl<'a> Lexer<'a> {
         }
         let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
         if is_float {
-            text.parse::<f64>()
-                .map(TokenKind::Float)
-                .map_err(|e| LexError { message: format!("bad float literal: {e}"), offset })
+            text.parse::<f64>().map(TokenKind::Float).unwrap_or_else(|e| {
+                diags.push(RawDiagnostic::new(
+                    "E_BAD_NUMBER",
+                    offset,
+                    self.pos - offset,
+                    format!("bad float literal: {e}"),
+                ));
+                TokenKind::Float(0.0)
+            })
         } else {
-            text.parse::<i64>()
-                .map(TokenKind::Integer)
-                .map_err(|e| LexError { message: format!("bad integer literal: {e}"), offset })
+            text.parse::<i64>().map(TokenKind::Integer).unwrap_or_else(|e| {
+                diags.push(RawDiagnostic::new(
+                    "E_BAD_NUMBER",
+                    offset,
+                    self.pos - offset,
+                    format!("bad integer literal: {e}"),
+                ));
+                TokenKind::Integer(0)
+            })
         }
     }
 
-    fn lex_string(&mut self, quote: u8, offset: usize) -> Result<TokenKind, LexError> {
+    fn lex_string(
+        &mut self,
+        quote: u8,
+        offset: usize,
+        diags: &mut Vec<RawDiagnostic>,
+    ) -> TokenKind {
         self.bump(); // opening quote
         let mut out = String::new();
         loop {
@@ -302,13 +384,29 @@ impl<'a> Lexer<'a> {
                     Some(b'\\') => out.push('\\'),
                     Some(c) if c == quote => out.push(c as char),
                     Some(c) => out.push(c as char),
-                    None => return Err(LexError { message: "unterminated string".into(), offset }),
+                    None => {
+                        diags.push(self.unterminated_string(offset));
+                        break;
+                    }
                 },
                 Some(c) => out.push(c as char),
-                None => return Err(LexError { message: "unterminated string".into(), offset }),
+                None => {
+                    diags.push(self.unterminated_string(offset));
+                    break;
+                }
             }
         }
-        Ok(TokenKind::Str(out))
+        TokenKind::Str(out)
+    }
+
+    fn unterminated_string(&self, offset: usize) -> RawDiagnostic {
+        RawDiagnostic::new(
+            "E_UNTERMINATED_STRING",
+            offset,
+            self.pos - offset,
+            "unterminated string".into(),
+        )
+        .with_note("strings are quoted with `'` or `\"`")
     }
 }
 
@@ -414,10 +512,39 @@ mod tests {
     }
 
     #[test]
+    fn tokens_carry_spans() {
+        let toks = Lexer::tokenize("MATCH $id").unwrap();
+        assert_eq!((toks[0].offset, toks[0].len), (0, 5));
+        assert_eq!((toks[1].offset, toks[1].len), (6, 3));
+        assert_eq!(toks[2].len, 0); // Eof
+    }
+
+    #[test]
     fn errors_carry_offsets() {
         let err = Lexer::tokenize("MATCH ^").unwrap_err();
         assert_eq!(err.offset, 6);
         assert!(Lexer::tokenize("'oops").is_err());
         assert!(Lexer::tokenize("/* nope").is_err());
+    }
+
+    #[test]
+    fn recovery_reports_every_problem_and_keeps_lexing() {
+        let (tokens, diags) = Lexer::tokenize_recovering("MATCH ^ (a) ~ RETURN a");
+        assert_eq!(diags.len(), 2);
+        assert_eq!(diags[0].code, "E_UNEXPECTED_CHAR");
+        assert_eq!(diags[0].span, (1, 7, 1));
+        assert_eq!(diags[1].span, (1, 13, 1));
+        // The good tokens around the junk all survive.
+        let kinds: Vec<_> = tokens.into_iter().map(|t| t.kind).collect();
+        assert!(kinds.contains(&TokenKind::Keyword("RETURN".into())));
+        assert_eq!(kinds.len(), 7); // MATCH ( a ) RETURN a Eof
+    }
+
+    #[test]
+    fn unterminated_string_still_yields_its_partial_token() {
+        let (tokens, diags) = Lexer::tokenize_recovering("RETURN 'oops");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "E_UNTERMINATED_STRING");
+        assert_eq!(tokens[1].kind, TokenKind::Str("oops".into()));
     }
 }

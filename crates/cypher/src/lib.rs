@@ -24,11 +24,13 @@
 //! ```
 
 pub mod ast;
+pub mod diagnostics;
 pub mod lexer;
 pub mod parser;
 pub mod token;
 
 pub use ast::*;
+pub use diagnostics::{line_col, Diagnostic};
 pub use lexer::Lexer;
-pub use parser::{parse, ParseError};
+pub use parser::{parse, parse_recovering, ParseError};
 pub use token::{Token, TokenKind};

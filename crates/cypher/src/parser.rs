@@ -1,32 +1,72 @@
 //! Recursive-descent parser producing [`crate::ast::Query`] values.
+//!
+//! The parser recovers at clause boundaries: when a clause fails to parse
+//! it records a spanned [`Diagnostic`], skips ahead to the next
+//! clause-starting keyword, and keeps going, so a single malformed clause
+//! reports every problem in the query instead of just the first.
 
 use crate::ast::*;
+use crate::diagnostics::{resolve, Diagnostic, RawDiagnostic};
 use crate::lexer::Lexer;
 use crate::token::{Token, TokenKind};
 
-/// Errors produced while parsing.
+/// Errors produced while parsing: every diagnostic found in the query, in
+/// source order, each with a `(line, col, len)` span.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParseError {
-    /// Description of the problem.
-    pub message: String,
-    /// Byte offset in the query text.
-    pub offset: usize,
+    /// All problems found, ordered by source position (never empty).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl ParseError {
+    /// The first (primary) diagnostic.
+    pub fn primary(&self) -> &Diagnostic {
+        &self.diagnostics[0]
+    }
 }
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "parse error at offset {}: {}", self.offset, self.message)
+        if self.diagnostics.len() == 1 {
+            write!(f, "parse error at {}", self.diagnostics[0])
+        } else {
+            write!(f, "{} parse errors:", self.diagnostics.len())?;
+            for (i, d) in self.diagnostics.iter().enumerate() {
+                let sep = if i == 0 { " " } else { "; " };
+                write!(f, "{sep}{d}")?;
+            }
+            Ok(())
+        }
     }
 }
 
 impl std::error::Error for ParseError {}
 
-/// Parse a Cypher query string into an AST.
+/// Parse a Cypher query string into an AST. Fails with *every* diagnostic
+/// the recovering parser found, not just the first.
 pub fn parse(src: &str) -> Result<Query, ParseError> {
-    let tokens =
-        Lexer::tokenize(src).map_err(|e| ParseError { message: e.message, offset: e.offset })?;
-    Parser { tokens, pos: 0 }.parse_query()
+    let (query, diagnostics) = parse_recovering(src);
+    match query {
+        Some(q) if diagnostics.is_empty() => Ok(q),
+        _ => Err(ParseError { diagnostics }),
+    }
 }
+
+/// Parse with error recovery: returns whatever clauses could be salvaged
+/// (for tooling that wants a partial AST) plus every diagnostic found. The
+/// query is only trustworthy for execution when `diagnostics` is empty.
+pub fn parse_recovering(src: &str) -> (Option<Query>, Vec<Diagnostic>) {
+    let (tokens, mut raw) = Lexer::tokenize_raw(src);
+    let query = Parser { tokens, pos: 0 }.parse_query(&mut raw);
+    (query, resolve(src, raw))
+}
+
+/// Keywords that can begin a top-level clause — the parser's recovery
+/// synchronization points.
+const CLAUSE_STARTERS: &[&str] = &[
+    "MATCH", "OPTIONAL", "WHERE", "RETURN", "WITH", "CREATE", "MERGE", "DELETE", "DETACH", "SET",
+    "UNWIND", "CALL",
+];
 
 struct Parser {
     tokens: Vec<Token>,
@@ -42,6 +82,10 @@ impl Parser {
         self.tokens[self.pos].offset
     }
 
+    fn peek_len(&self) -> usize {
+        self.tokens[self.pos].len
+    }
+
     fn bump(&mut self) -> TokenKind {
         let kind = self.tokens[self.pos].kind.clone();
         if self.pos + 1 < self.tokens.len() {
@@ -50,16 +94,16 @@ impl Parser {
         kind
     }
 
-    fn error<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
-        Err(ParseError { message: message.into(), offset: self.peek_offset() })
+    fn diag<T>(&self, code: &'static str, message: impl Into<String>) -> Result<T, RawDiagnostic> {
+        Err(RawDiagnostic::new(code, self.peek_offset(), self.peek_len(), message.into()))
     }
 
-    fn expect(&mut self, kind: &TokenKind) -> Result<(), ParseError> {
+    fn expect(&mut self, kind: &TokenKind) -> Result<(), RawDiagnostic> {
         if self.peek() == kind {
             self.bump();
             Ok(())
         } else {
-            self.error(format!("expected {kind}, found {}", self.peek()))
+            self.diag("E_EXPECTED_TOKEN", format!("expected {kind}, found {}", self.peek()))
         }
     }
 
@@ -76,15 +120,18 @@ impl Parser {
         }
     }
 
-    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), RawDiagnostic> {
         if self.eat_keyword(kw) {
             Ok(())
         } else {
-            self.error(format!("expected keyword `{kw}`, found {}", self.peek()))
+            self.diag(
+                "E_EXPECTED_KEYWORD",
+                format!("expected keyword `{kw}`, found {}", self.peek()),
+            )
         }
     }
 
-    fn expect_ident(&mut self) -> Result<String, ParseError> {
+    fn expect_ident(&mut self) -> Result<String, RawDiagnostic> {
         match self.peek().clone() {
             TokenKind::Ident(name) => {
                 self.bump();
@@ -96,90 +143,129 @@ impl Parser {
                 self.bump();
                 Ok(k.to_ascii_lowercase())
             }
-            other => self.error(format!("expected an identifier, found {other}")),
+            other => {
+                self.diag("E_EXPECTED_IDENT", format!("expected an identifier, found {other}"))
+            }
         }
     }
 
     // ------------------------------------------------------------- queries
 
-    fn parse_query(&mut self) -> Result<Query, ParseError> {
+    /// Skip ahead to the next clause-starting keyword (or end of input) so
+    /// parsing can resume after a malformed clause.
+    fn synchronize(&mut self) {
+        loop {
+            match self.peek() {
+                TokenKind::Eof => return,
+                TokenKind::Keyword(k) if CLAUSE_STARTERS.contains(&k.as_str()) => return,
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    fn parse_query(&mut self, diags: &mut Vec<RawDiagnostic>) -> Option<Query> {
         let mut clauses = Vec::new();
         loop {
-            match self.peek().clone() {
+            let result = match self.peek().clone() {
                 TokenKind::Eof => break,
                 TokenKind::Keyword(kw) => match kw.as_str() {
                     "MATCH" => {
                         self.bump();
-                        clauses.push(Clause::Match {
-                            optional: false,
-                            patterns: self.parse_pattern_list()?,
-                        });
+                        self.parse_pattern_list()
+                            .map(|patterns| Clause::Match { optional: false, patterns })
                     }
                     "OPTIONAL" => {
                         self.bump();
-                        self.expect_keyword("MATCH")?;
-                        clauses.push(Clause::Match {
-                            optional: true,
-                            patterns: self.parse_pattern_list()?,
-                        });
+                        self.expect_keyword("MATCH").and_then(|()| {
+                            self.parse_pattern_list()
+                                .map(|patterns| Clause::Match { optional: true, patterns })
+                        })
                     }
                     "WHERE" => {
                         self.bump();
-                        clauses.push(Clause::Where(self.parse_expr()?));
+                        self.parse_expr().map(Clause::Where)
                     }
                     "RETURN" => {
                         self.bump();
-                        clauses.push(Clause::Return(self.parse_projection()?));
+                        self.parse_projection().map(Clause::Return)
                     }
                     "WITH" => {
                         self.bump();
-                        clauses.push(Clause::With(self.parse_projection()?));
+                        self.parse_projection().map(Clause::With)
                     }
                     "CREATE" => {
                         self.bump();
-                        clauses.push(Clause::Create(self.parse_pattern_list()?));
+                        self.parse_pattern_list().map(Clause::Create)
                     }
                     "MERGE" => {
                         // Treated as CREATE-if-absent by the engine; the parse shape is identical.
                         self.bump();
-                        clauses.push(Clause::Create(self.parse_pattern_list()?));
+                        self.parse_pattern_list().map(Clause::Create)
                     }
                     "DELETE" => {
                         self.bump();
-                        clauses.push(self.parse_delete(false)?);
+                        self.parse_delete(false)
                     }
                     "DETACH" => {
                         self.bump();
-                        self.expect_keyword("DELETE")?;
-                        clauses.push(self.parse_delete(true)?);
+                        self.expect_keyword("DELETE").and_then(|()| self.parse_delete(true))
                     }
                     "SET" => {
                         self.bump();
-                        clauses.push(Clause::Set(self.parse_set_items()?));
+                        self.parse_set_items().map(Clause::Set)
                     }
                     "UNWIND" => {
                         self.bump();
-                        let list = self.parse_expr()?;
-                        self.expect_keyword("AS")?;
-                        let variable = self.expect_ident()?;
-                        clauses.push(Clause::Unwind { list, variable });
+                        self.parse_expr().and_then(|list| {
+                            self.expect_keyword("AS")?;
+                            let variable = self.expect_ident()?;
+                            Ok(Clause::Unwind { list, variable })
+                        })
                     }
                     "CALL" => {
                         self.bump();
-                        clauses.push(self.parse_call()?);
+                        self.parse_call()
                     }
-                    other => return self.error(format!("unexpected keyword `{other}`")),
+                    other => {
+                        self.bump();
+                        Err(RawDiagnostic::new(
+                            "E_UNKNOWN_CLAUSE",
+                            self.tokens[self.pos.saturating_sub(1)].offset,
+                            other.len(),
+                            format!("unexpected keyword `{other}`"),
+                        )
+                        .with_note(format!("a clause starts with {}", CLAUSE_STARTERS.join(", "))))
+                    }
                 },
-                other => return self.error(format!("unexpected {other}")),
+                other => {
+                    let err = self
+                        .diag::<()>("E_UNKNOWN_CLAUSE", format!("unexpected {other}"))
+                        .unwrap_err()
+                        .with_note(format!("a clause starts with {}", CLAUSE_STARTERS.join(", ")));
+                    self.bump();
+                    Err(err)
+                }
+            };
+            match result {
+                Ok(clause) => clauses.push(clause),
+                Err(diag) => {
+                    diags.push(diag);
+                    self.synchronize();
+                }
             }
         }
         if clauses.is_empty() {
-            return self.error("empty query");
+            if diags.is_empty() {
+                diags.push(RawDiagnostic::new("E_EMPTY_QUERY", 0, 0, "empty query".into()));
+            }
+            return None;
         }
-        Ok(Query { clauses })
+        Some(Query { clauses })
     }
 
-    fn parse_delete(&mut self, detach: bool) -> Result<Clause, ParseError> {
+    fn parse_delete(&mut self, detach: bool) -> Result<Clause, RawDiagnostic> {
         let mut variables = vec![self.expect_ident()?];
         while self.peek() == &TokenKind::Comma {
             self.bump();
@@ -188,7 +274,7 @@ impl Parser {
         Ok(Clause::Delete { detach, variables })
     }
 
-    fn parse_set_items(&mut self) -> Result<Vec<SetItem>, ParseError> {
+    fn parse_set_items(&mut self) -> Result<Vec<SetItem>, RawDiagnostic> {
         let mut items = Vec::new();
         loop {
             let variable = self.expect_ident()?;
@@ -208,7 +294,7 @@ impl Parser {
 
     /// `CALL proc.name(args) [YIELD col [AS alias], …]` — the clause syntax of
     /// RedisGraph's `CALL algo.*` procedures.
-    fn parse_call(&mut self) -> Result<Clause, ParseError> {
+    fn parse_call(&mut self) -> Result<Clause, RawDiagnostic> {
         let mut procedure = self.expect_ident()?;
         while self.peek() == &TokenKind::Dot {
             self.bump();
@@ -246,7 +332,7 @@ impl Parser {
 
     // ------------------------------------------------------------ patterns
 
-    fn parse_pattern_list(&mut self) -> Result<Vec<PathPattern>, ParseError> {
+    fn parse_pattern_list(&mut self) -> Result<Vec<PathPattern>, RawDiagnostic> {
         let mut patterns = vec![self.parse_path_pattern()?];
         while self.peek() == &TokenKind::Comma {
             self.bump();
@@ -255,7 +341,7 @@ impl Parser {
         Ok(patterns)
     }
 
-    fn parse_path_pattern(&mut self) -> Result<PathPattern, ParseError> {
+    fn parse_path_pattern(&mut self) -> Result<PathPattern, RawDiagnostic> {
         let start = self.parse_node_pattern()?;
         let mut steps = Vec::new();
         while matches!(self.peek(), TokenKind::Dash | TokenKind::Lt) {
@@ -266,7 +352,7 @@ impl Parser {
         Ok(PathPattern { start, steps })
     }
 
-    fn parse_node_pattern(&mut self) -> Result<NodePattern, ParseError> {
+    fn parse_node_pattern(&mut self) -> Result<NodePattern, RawDiagnostic> {
         self.expect(&TokenKind::LParen)?;
         let mut node = NodePattern::default();
         if let TokenKind::Ident(name) = self.peek().clone() {
@@ -284,7 +370,7 @@ impl Parser {
         Ok(node)
     }
 
-    fn parse_relationship_pattern(&mut self) -> Result<RelationshipPattern, ParseError> {
+    fn parse_relationship_pattern(&mut self) -> Result<RelationshipPattern, RawDiagnostic> {
         // leading `<-` or `-`
         let incoming = if self.peek() == &TokenKind::Lt {
             self.bump();
@@ -341,7 +427,7 @@ impl Parser {
         Ok(rel)
     }
 
-    fn parse_var_length_bounds(&mut self) -> Result<(u32, Option<u32>), ParseError> {
+    fn parse_var_length_bounds(&mut self) -> Result<(u32, Option<u32>), RawDiagnostic> {
         // `*`, `*n`, `*n..`, `*n..m`, `*..m`
         let min = if let TokenKind::Integer(n) = *self.peek() {
             self.bump();
@@ -366,7 +452,7 @@ impl Parser {
         }
     }
 
-    fn parse_property_map(&mut self) -> Result<Vec<(String, Literal)>, ParseError> {
+    fn parse_property_map(&mut self) -> Result<Vec<(String, Literal)>, RawDiagnostic> {
         self.expect(&TokenKind::LBrace)?;
         let mut props = Vec::new();
         if self.peek() != &TokenKind::RBrace {
@@ -386,7 +472,7 @@ impl Parser {
         Ok(props)
     }
 
-    fn parse_literal(&mut self) -> Result<Literal, ParseError> {
+    fn parse_literal(&mut self) -> Result<Literal, RawDiagnostic> {
         let lit = match self.peek().clone() {
             TokenKind::Integer(v) => Literal::Integer(v),
             TokenKind::Float(v) => Literal::Float(v),
@@ -405,10 +491,16 @@ impl Parser {
                         self.bump();
                         Ok(Literal::Float(-v))
                     }
-                    other => self.error(format!("expected a number after `-`, found {other}")),
+                    other => self.diag(
+                        "E_EXPECTED_NUMBER",
+                        format!("expected a number after `-`, found {other}"),
+                    ),
                 };
             }
-            other => return self.error(format!("expected a literal, found {other}")),
+            other => {
+                return self
+                    .diag("E_EXPECTED_LITERAL", format!("expected a literal, found {other}"))
+            }
         };
         self.bump();
         Ok(lit)
@@ -416,7 +508,7 @@ impl Parser {
 
     // -------------------------------------------------------- projections
 
-    fn parse_projection(&mut self) -> Result<Projection, ParseError> {
+    fn parse_projection(&mut self) -> Result<Projection, RawDiagnostic> {
         let distinct = self.eat_keyword("DISTINCT");
         let mut items = vec![self.parse_return_item()?];
         while self.peek() == &TokenKind::Comma {
@@ -447,17 +539,17 @@ impl Parser {
         Ok(Projection { distinct, items, order_by, skip, limit })
     }
 
-    fn parse_unsigned(&mut self) -> Result<u64, ParseError> {
+    fn parse_unsigned(&mut self) -> Result<u64, RawDiagnostic> {
         match *self.peek() {
             TokenKind::Integer(n) if n >= 0 => {
                 self.bump();
                 Ok(n as u64)
             }
-            _ => self.error("expected a non-negative integer"),
+            _ => self.diag("E_EXPECTED_NUMBER", "expected a non-negative integer"),
         }
     }
 
-    fn parse_return_item(&mut self) -> Result<ReturnItem, ParseError> {
+    fn parse_return_item(&mut self) -> Result<ReturnItem, RawDiagnostic> {
         let expr = self.parse_expr()?;
         let alias = if self.eat_keyword("AS") { Some(self.expect_ident()?) } else { None };
         Ok(ReturnItem { expr, alias })
@@ -465,11 +557,11 @@ impl Parser {
 
     // -------------------------------------------------------- expressions
 
-    fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+    fn parse_expr(&mut self) -> Result<Expr, RawDiagnostic> {
         self.parse_or()
     }
 
-    fn parse_or(&mut self) -> Result<Expr, ParseError> {
+    fn parse_or(&mut self) -> Result<Expr, RawDiagnostic> {
         let mut lhs = self.parse_xor()?;
         while self.eat_keyword("OR") {
             let rhs = self.parse_xor()?;
@@ -478,7 +570,7 @@ impl Parser {
         Ok(lhs)
     }
 
-    fn parse_xor(&mut self) -> Result<Expr, ParseError> {
+    fn parse_xor(&mut self) -> Result<Expr, RawDiagnostic> {
         let mut lhs = self.parse_and()?;
         while self.eat_keyword("XOR") {
             let rhs = self.parse_and()?;
@@ -487,7 +579,7 @@ impl Parser {
         Ok(lhs)
     }
 
-    fn parse_and(&mut self) -> Result<Expr, ParseError> {
+    fn parse_and(&mut self) -> Result<Expr, RawDiagnostic> {
         let mut lhs = self.parse_not()?;
         while self.eat_keyword("AND") {
             let rhs = self.parse_not()?;
@@ -496,7 +588,7 @@ impl Parser {
         Ok(lhs)
     }
 
-    fn parse_not(&mut self) -> Result<Expr, ParseError> {
+    fn parse_not(&mut self) -> Result<Expr, RawDiagnostic> {
         if self.eat_keyword("NOT") {
             let inner = self.parse_not()?;
             return Ok(Expr::Unary(UnaryOperator::Not, Box::new(inner)));
@@ -504,7 +596,7 @@ impl Parser {
         self.parse_comparison()
     }
 
-    fn parse_comparison(&mut self) -> Result<Expr, ParseError> {
+    fn parse_comparison(&mut self) -> Result<Expr, RawDiagnostic> {
         let lhs = self.parse_additive()?;
         let op = match self.peek() {
             TokenKind::Eq => Some(BinaryOperator::Eq),
@@ -525,7 +617,7 @@ impl Parser {
         }
     }
 
-    fn parse_additive(&mut self) -> Result<Expr, ParseError> {
+    fn parse_additive(&mut self) -> Result<Expr, RawDiagnostic> {
         let mut lhs = self.parse_multiplicative()?;
         loop {
             let op = match self.peek() {
@@ -540,7 +632,7 @@ impl Parser {
         Ok(lhs)
     }
 
-    fn parse_multiplicative(&mut self) -> Result<Expr, ParseError> {
+    fn parse_multiplicative(&mut self) -> Result<Expr, RawDiagnostic> {
         let mut lhs = self.parse_unary()?;
         loop {
             let op = match self.peek() {
@@ -556,7 +648,7 @@ impl Parser {
         Ok(lhs)
     }
 
-    fn parse_unary(&mut self) -> Result<Expr, ParseError> {
+    fn parse_unary(&mut self) -> Result<Expr, RawDiagnostic> {
         if self.peek() == &TokenKind::Dash {
             self.bump();
             let inner = self.parse_unary()?;
@@ -565,7 +657,7 @@ impl Parser {
         self.parse_primary()
     }
 
-    fn parse_primary(&mut self) -> Result<Expr, ParseError> {
+    fn parse_primary(&mut self) -> Result<Expr, RawDiagnostic> {
         match self.peek().clone() {
             TokenKind::Integer(v) => {
                 self.bump();
@@ -633,11 +725,11 @@ impl Parser {
                 }
                 Ok(Expr::Variable(name))
             }
-            other => self.error(format!("unexpected {other} in expression")),
+            other => self.diag("E_EXPECTED_EXPR", format!("unexpected {other} in expression")),
         }
     }
 
-    fn parse_function_call(&mut self, name: String) -> Result<Expr, ParseError> {
+    fn parse_function_call(&mut self, name: String) -> Result<Expr, RawDiagnostic> {
         self.expect(&TokenKind::LParen)?;
         let distinct = self.eat_keyword("DISTINCT");
         let mut args = Vec::new();
@@ -882,10 +974,62 @@ mod tests {
     }
 
     #[test]
-    fn error_offsets_point_at_the_problem() {
+    fn error_spans_point_at_the_problem() {
         let err = parse("MATCH (a) RETURN ").unwrap_err();
-        assert!(err.offset >= 17);
+        let d = err.primary();
+        assert_eq!(d.code, "E_EXPECTED_EXPR");
+        // The query is 17 bytes; the error is at end of input: line 1, col 18.
+        assert_eq!(d.span, (1, 18, 0));
         assert!(err.to_string().contains("parse error"));
+        assert!(err.to_string().contains("1:18"));
+    }
+
+    #[test]
+    fn recovery_collects_every_clause_error() {
+        // Three broken clauses in one query: all three must be reported.
+        let err = parse("MATCH (a WHERE 1 + RETURN )").unwrap_err();
+        assert!(err.diagnostics.len() >= 2, "expected multiple diagnostics, got {err:?}");
+        assert!(err.to_string().contains("parse errors"));
+        // Diagnostics arrive in source order.
+        let cols: Vec<u32> = err.diagnostics.iter().map(|d| d.span.1).collect();
+        let mut sorted = cols.clone();
+        sorted.sort_unstable();
+        assert_eq!(cols, sorted);
+    }
+
+    #[test]
+    fn recovery_spans_multiple_lines() {
+        let err = parse("MATCH (a\nRETURN a,\nRETURN b").unwrap_err();
+        assert!(err.diagnostics.len() >= 2);
+        assert!(
+            err.diagnostics.iter().any(|d| d.span.0 >= 2),
+            "no diagnostic past line 1: {err:?}"
+        );
+    }
+
+    #[test]
+    fn partial_ast_survives_recovery() {
+        let (query, diags) = parse_recovering("MATCH (a WHERE true RETURN a");
+        assert!(!diags.is_empty());
+        // The WHERE and RETURN clauses after the broken MATCH were salvaged.
+        let q = query.expect("recoverable clauses");
+        assert!(q.clauses.iter().any(|c| matches!(c, Clause::Return(_))));
+    }
+
+    #[test]
+    fn lexer_and_parser_diagnostics_merge_in_source_order() {
+        let err = parse("MATCH ^ (a) RETURN ~").unwrap_err();
+        assert!(err.diagnostics.len() >= 2);
+        assert_eq!(err.diagnostics[0].code, "E_UNEXPECTED_CHAR");
+        assert_eq!(err.diagnostics[0].span.1, 7);
+    }
+
+    #[test]
+    fn unknown_clause_diagnostics_carry_notes() {
+        let err = parse("FROB (a)").unwrap_err();
+        let d = err.primary();
+        assert_eq!(d.code, "E_UNKNOWN_CLAUSE");
+        assert!(d.notes.iter().any(|n| n.contains("MATCH")));
     }
 
     #[test]

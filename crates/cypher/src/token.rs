@@ -105,13 +105,15 @@ impl fmt::Display for TokenKind {
     }
 }
 
-/// A token plus its byte offset in the source (for error messages).
+/// A token plus its byte range in the source (for spanned diagnostics).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Token {
     /// What was lexed.
     pub kind: TokenKind,
     /// Byte offset of the first character of the token in the query text.
     pub offset: usize,
+    /// Length of the token's source text in bytes (0 for `Eof`).
+    pub len: usize,
 }
 
 /// The reserved words of the supported Cypher subset. Keywords are recognised

@@ -84,7 +84,12 @@ const CASES: &[(&str, &str)] = &[
         "call_wcc_filtered",
         "CALL algo.wcc() YIELD node, component WHERE component = 0 RETURN count(node)",
     ),
-    // Error paths: the snapshot records the ParseError display, so offset and
+    (
+        "match_with_parameters",
+        "MATCH (s:Node)-[*1..2]->(t) WHERE id(s) = $src AND t.name = $name RETURN count(t)",
+    ),
+    // Error paths: the snapshot records the ParseError display — every
+    // recovered diagnostic with its `line:col` span and code — so span and
     // wording regressions are caught too.
     ("err_unclosed_node", "MATCH (a RETURN a"),
     ("err_dangling_relationship", "MATCH (a)-[:KNOWS]-> RETURN a"),
@@ -94,6 +99,11 @@ const CASES: &[(&str, &str)] = &[
     ("err_unterminated_string", "MATCH (a {name: 'Ann) RETURN a"),
     ("err_call_empty_yield", "CALL algo.bfs(0) YIELD RETURN node"),
     ("err_call_missing_parens", "CALL algo.pagerank YIELD node"),
+    // Multi-error recovery: one malformed clause must not hide the problems
+    // after it — the parser resynchronizes at the next clause keyword.
+    ("err_recovery_three_clauses", "MATCH (a WHERE 1 + RETURN )"),
+    ("err_recovery_multiline", "MATCH (a\nRETURN a,\nRETURN b"),
+    ("err_recovery_lex_and_parse", "MATCH ^ (a) RETURN a +"),
 ];
 
 fn golden_dir() -> PathBuf {

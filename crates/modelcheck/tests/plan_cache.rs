@@ -1,0 +1,129 @@
+//! Plan-cache invalidation versus in-flight plan builds.
+//!
+//! The server's plan cache hands a query's parsed-and-planned skeleton to
+//! every later execution of the same normalized text. Plans bake in planning
+//! config at build time (the GraphBLAS thread budget, the optimizer setting),
+//! so a config change invalidates the cache — but the build itself runs
+//! *outside* the cache lock: a worker that missed, then planned against the
+//! old config, must not install its now-stale plan after the invalidation.
+//! The cache's generation counter is the guard; these schedules drive the
+//! race directly against the real `PlanCache` and `ExecutionPlan` types.
+//!
+//! The seeded mutant `--cfg xmut_no_cache_invalidation` removes the
+//! generation check in `PlanCache::insert`; CI asserts this suite fails
+//! under it (a stale thread budget survives its invalidation).
+
+use std::sync::Arc;
+
+use modelcheck::{explore, thread, Config};
+use redisgraph_core::Graph;
+use redisgraph_server::metrics::Metrics;
+use redisgraph_server::{CachedPlan, Lookup, PlanCache};
+
+fn cfg() -> Config {
+    Config { max_schedules: 1800, pct_iterations: 300, preemption_bound: None, ..Config::default() }
+}
+
+/// Parse and plan `query` exactly as the server's miss path does, capturing
+/// the process-wide GraphBLAS thread budget at build time.
+fn build(query: &str) -> Arc<CachedPlan> {
+    let g = Graph::new("mc");
+    let ast = cypher::parse(query).expect("suite queries parse");
+    let read_only = ast.is_read_only();
+    let plan = g.build_plan(&ast).expect("suite queries plan");
+    Arc::new(CachedPlan {
+        has_params: plan.has_params(),
+        plan: Arc::new(plan),
+        read_only,
+        optimized: true,
+    })
+}
+
+/// The stale-plan race: a worker misses and plans under the old
+/// `QUERY_THREADS`, while the main thread applies the config change and
+/// invalidates. Whatever the interleaving, no lookup after the invalidation
+/// may ever surface a plan carrying the retired thread budget.
+#[test]
+fn invalidation_never_serves_a_stale_plan() {
+    const KEY: &str = "MATCH (n) RETURN count(n)";
+    let report = explore("plan_cache/no_stale_plan_after_invalidation", &cfg(), || {
+        graphblas::Context::set_nthreads(1);
+        let cache = Arc::new(PlanCache::new(4));
+        let metrics = Arc::new(Metrics::default());
+
+        let worker = {
+            let cache = Arc::clone(&cache);
+            let metrics = Arc::clone(&metrics);
+            thread::spawn(move || {
+                // The server's miss path: observe the generation, plan
+                // outside the lock, then try to install.
+                if let Lookup::Miss(generation) = cache.lookup(KEY, &metrics) {
+                    let plan = build(KEY);
+                    cache.insert(KEY.to_string(), plan, generation, &metrics);
+                }
+            })
+        };
+
+        // GRAPH.CONFIG SET QUERY_THREADS 2: apply the new budget, then
+        // flush every cached plan built under the old one.
+        graphblas::Context::set_nthreads(2);
+        cache.invalidate();
+
+        worker.join().unwrap();
+
+        // The worker's insert either beat the invalidation (flushed with
+        // everything else) or trailed it (rejected by the generation
+        // check). Serving a budget-1 plan now would hand a query built for
+        // the retired config to every future execution.
+        if let Lookup::Hit(cached) = cache.lookup(KEY, &metrics) {
+            assert_eq!(
+                cached.plan.thread_budget(),
+                graphblas::Context::nthreads(),
+                "cache served a plan built under a retired QUERY_THREADS value"
+            );
+        }
+        graphblas::Context::set_nthreads(1);
+    });
+    // The two-thread miss/invalidate race has a small sync-op footprint, so
+    // DFS exhausts it in a few dozen schedules — require enough distinct ones
+    // to know both orders of insert-vs-invalidate were driven.
+    assert!(report.distinct >= 20, "only {} distinct schedules explored", report.distinct);
+}
+
+/// Concurrent misses racing their inserts into a capacity-1 cache: the
+/// bound holds at every step, the loser is evicted (not leaked), and the
+/// hit/miss/eviction counters stay consistent with what actually happened.
+#[test]
+fn concurrent_inserts_respect_the_lru_bound_and_counters() {
+    let report = explore("plan_cache/lru_bound_under_racing_inserts", &cfg(), || {
+        let cache = Arc::new(PlanCache::new(1));
+        let metrics = Arc::new(Metrics::default());
+
+        let spawn_insert = |key: &'static str| {
+            let cache = Arc::clone(&cache);
+            let metrics = Arc::clone(&metrics);
+            thread::spawn(move || {
+                if let Lookup::Miss(generation) = cache.lookup(key, &metrics) {
+                    let plan = build("MATCH (n) RETURN n");
+                    cache.insert(key.to_string(), plan, generation, &metrics);
+                }
+                assert!(cache.len() <= 1, "cache overflowed its configured capacity");
+            })
+        };
+        let t1 = spawn_insert("MATCH (a) RETURN a");
+        let t2 = spawn_insert("MATCH (b) RETURN b");
+        t1.join().unwrap();
+        t2.join().unwrap();
+
+        use crossbeam::atomic::Ordering;
+        let hits = metrics.plan_cache_hits.load(Ordering::Relaxed);
+        let misses = metrics.plan_cache_misses.load(Ordering::Relaxed);
+        let evictions = metrics.plan_cache_evictions.load(Ordering::Relaxed);
+        // Distinct keys, empty cache: both lookups missed, both inserts
+        // landed, and capacity 1 evicted exactly the earlier of the two.
+        assert_eq!((hits, misses), (0, 2));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(evictions, 1);
+    });
+    assert!(report.distinct >= 100, "only {} distinct schedules explored", report.distinct);
+}

@@ -1,7 +1,8 @@
 //! The `GRAPH.*` module commands and their RESP encodings.
 
 use crate::resp::RespValue;
-use redisgraph_core::{format_profile, OpProfile, ResultSet, Value};
+use cypher::{Expr, Lexer, Literal, Token, TokenKind};
+use redisgraph_core::{format_profile, OpProfile, Params, ResultSet, Value};
 
 /// A parsed client command.
 #[derive(Debug, Clone, PartialEq)]
@@ -16,7 +17,8 @@ pub enum Command {
     GraphQuery {
         /// Graph key name.
         graph: String,
-        /// Cypher query text.
+        /// Cypher query text (optionally prefixed with a `CYPHER name=value`
+        /// parameter header; see [`split_cypher_params`]).
         query: String,
     },
     /// `GRAPH.EXPLAIN <graph> <cypher>`
@@ -67,6 +69,67 @@ pub enum Command {
     },
 }
 
+/// A typed cursor over one command's arguments, shared by every `GRAPH.*`
+/// parser arm so arity and subcommand mistakes all phrase their errors the
+/// way Redis does (`wrong number of arguments for 'graph.query' command`)
+/// instead of each arm inventing its own wording.
+struct Args<'a> {
+    /// Canonical lower-case command name, for error messages.
+    command: &'a str,
+    parts: &'a [&'a str],
+    pos: usize,
+}
+
+impl<'a> Args<'a> {
+    fn new(command: &'a str, parts: &'a [&'a str]) -> Args<'a> {
+        Args { command, parts, pos: 0 }
+    }
+
+    fn wrong_arity(&self) -> String {
+        format!("wrong number of arguments for '{}' command", self.command)
+    }
+
+    /// The next argument, or the Redis arity error if exhausted.
+    fn required(&mut self) -> Result<&'a str, String> {
+        let arg = self.parts.get(self.pos).ok_or_else(|| self.wrong_arity())?;
+        self.pos += 1;
+        Ok(arg)
+    }
+
+    /// The next argument matched case-insensitively against `options`,
+    /// returning the canonical spelling.
+    fn keyword(&mut self, options: &[&'static str]) -> Result<&'static str, String> {
+        let arg = self.required()?;
+        options.iter().find(|o| arg.eq_ignore_ascii_case(o)).copied().ok_or_else(|| {
+            format!(
+                "unknown subcommand '{arg}' for '{}'; expected {}",
+                self.command,
+                options.join(" or ")
+            )
+        })
+    }
+
+    /// Like [`Args::keyword`], but absence is `None` rather than an error.
+    fn optional_keyword(
+        &mut self,
+        options: &[&'static str],
+    ) -> Result<Option<&'static str>, String> {
+        if self.pos >= self.parts.len() {
+            return Ok(None);
+        }
+        self.keyword(options).map(Some)
+    }
+
+    /// Finish parsing: any unconsumed argument is an arity error.
+    fn finish(self, command: Command) -> Result<Command, String> {
+        if self.pos == self.parts.len() {
+            Ok(command)
+        } else {
+            Err(self.wrong_arity())
+        }
+    }
+}
+
 impl Command {
     /// Parse a command from a RESP array of bulk strings, as sent by clients.
     pub fn parse(value: &RespValue) -> Result<Command, String> {
@@ -80,63 +143,141 @@ impl Command {
                 _ => Err("command arguments must be strings".to_string()),
             })
             .collect::<Result<_, _>>()?;
-        let Some((&name, args)) = parts.split_first() else {
+        let Some((&name, rest)) = parts.split_first() else {
             return Err("empty command".to_string());
         };
-        match name.to_ascii_uppercase().as_str() {
-            "PING" => Ok(Command::Ping),
-            "SHUTDOWN" => Ok(Command::Shutdown),
-            "GRAPH.QUERY" => match args {
-                [graph, query] => {
-                    Ok(Command::GraphQuery { graph: graph.to_string(), query: query.to_string() })
+        let canonical = name.to_ascii_lowercase();
+        let mut args = Args::new(&canonical, rest);
+        match canonical.as_str() {
+            "ping" => args.finish(Command::Ping),
+            "shutdown" => args.finish(Command::Shutdown),
+            "graph.query" => {
+                let graph = args.required()?.to_string();
+                let query = args.required()?.to_string();
+                args.finish(Command::GraphQuery { graph, query })
+            }
+            "graph.explain" => {
+                let graph = args.required()?.to_string();
+                let query = args.required()?.to_string();
+                args.finish(Command::GraphExplain { graph, query })
+            }
+            "graph.profile" => {
+                let graph = args.required()?.to_string();
+                let query = args.required()?.to_string();
+                args.finish(Command::GraphProfile { graph, query })
+            }
+            "graph.slowlog" => {
+                let graph = args.required()?.to_string();
+                let reset = matches!(args.optional_keyword(&["GET", "RESET"])?, Some("RESET"));
+                args.finish(Command::GraphSlowlog { graph, reset })
+            }
+            "graph.info" => args.finish(Command::GraphInfo),
+            "graph.delete" => {
+                let graph = args.required()?.to_string();
+                args.finish(Command::GraphDelete { graph })
+            }
+            "graph.list" => args.finish(Command::GraphList),
+            "graph.config" => match args.keyword(&["GET", "SET"])? {
+                "GET" => {
+                    let parameter = args.required()?.to_string();
+                    args.finish(Command::GraphConfigGet { parameter })
                 }
-                _ => Err("GRAPH.QUERY takes exactly 2 arguments".to_string()),
-            },
-            "GRAPH.EXPLAIN" => match args {
-                [graph, query] => {
-                    Ok(Command::GraphExplain { graph: graph.to_string(), query: query.to_string() })
+                _ => {
+                    let parameter = args.required()?.to_string();
+                    let value = args.required()?.to_string();
+                    args.finish(Command::GraphConfigSet { parameter, value })
                 }
-                _ => Err("GRAPH.EXPLAIN takes exactly 2 arguments".to_string()),
             },
-            "GRAPH.PROFILE" => match args {
-                [graph, query] => {
-                    Ok(Command::GraphProfile { graph: graph.to_string(), query: query.to_string() })
-                }
-                _ => Err("GRAPH.PROFILE takes exactly 2 arguments".to_string()),
-            },
-            "GRAPH.SLOWLOG" => match args {
-                [graph] => Ok(Command::GraphSlowlog { graph: graph.to_string(), reset: false }),
-                [graph, action] if action.eq_ignore_ascii_case("GET") => {
-                    Ok(Command::GraphSlowlog { graph: graph.to_string(), reset: false })
-                }
-                [graph, action] if action.eq_ignore_ascii_case("RESET") => {
-                    Ok(Command::GraphSlowlog { graph: graph.to_string(), reset: true })
-                }
-                _ => Err("GRAPH.SLOWLOG takes <graph> [GET|RESET]".to_string()),
-            },
-            "GRAPH.INFO" => match args {
-                [] => Ok(Command::GraphInfo),
-                _ => Err("GRAPH.INFO takes no arguments".to_string()),
-            },
-            "GRAPH.DELETE" => match args {
-                [graph] => Ok(Command::GraphDelete { graph: graph.to_string() }),
-                _ => Err("GRAPH.DELETE takes exactly 1 argument".to_string()),
-            },
-            "GRAPH.LIST" => Ok(Command::GraphList),
-            "GRAPH.CONFIG" => match args {
-                [action, parameter] if action.eq_ignore_ascii_case("GET") => {
-                    Ok(Command::GraphConfigGet { parameter: parameter.to_string() })
-                }
-                [action, parameter, value] if action.eq_ignore_ascii_case("SET") => {
-                    Ok(Command::GraphConfigSet {
-                        parameter: parameter.to_string(),
-                        value: value.to_string(),
-                    })
-                }
-                _ => Err("GRAPH.CONFIG takes GET <param> or SET <param> <value>".to_string()),
-            },
-            other => Err(format!("unknown command `{other}`")),
+            _ => Err(format!("unknown command `{name}`")),
         }
+    }
+}
+
+/// Split the optional `CYPHER name=value [name=value …]` parameter header
+/// off a query, returning the typed parameters and the query body that
+/// follows the header.
+///
+/// Values are literals only — `null`, booleans, integers, floats (each with
+/// an optional leading `-`), quoted strings, and flat lists thereof — parsed
+/// with the Cypher lexer, so quoting and escaping behave exactly as they do
+/// inside a query. The header ends at the first token that is not the start
+/// of a `name=` pair (typically the body's opening clause keyword). A query
+/// with no header comes back untouched with an empty parameter map.
+pub fn split_cypher_params(query: &str) -> Result<(Params, &str), String> {
+    let (tokens, _) = Lexer::tokenize_recovering(query);
+    let has_header = matches!(
+        tokens.first().map(|t| &t.kind),
+        Some(TokenKind::Ident(word)) if word.eq_ignore_ascii_case("CYPHER")
+    );
+    if !has_header {
+        return Ok((Params::new(), query));
+    }
+    let mut params = Params::new();
+    let mut i = 1;
+    while let (TokenKind::Ident(name), Some(TokenKind::Eq)) =
+        (&tokens[i].kind, tokens.get(i + 1).map(|t| &t.kind))
+    {
+        let name = name.clone();
+        i += 2;
+        let value = parse_param_literal(&tokens, &mut i, &name)?;
+        params.insert(name, value);
+    }
+    let body_start = tokens.get(i).map_or(query.len(), |t| t.offset);
+    Ok((params, &query[body_start..]))
+}
+
+/// One literal value in a `CYPHER` parameter header, starting at `tokens[*i]`
+/// (which is advanced past the value). The token stream always ends with
+/// `Eof`, so indexing stays in bounds: every arm either consumes a real
+/// token or errors out on whatever it found instead.
+fn parse_param_literal(tokens: &[Token], i: &mut usize, name: &str) -> Result<Expr, String> {
+    let unexpected = |found: &TokenKind| {
+        format!(
+            "invalid value for parameter `{name}`: expected a literal \
+             (null, boolean, number, string, or list), found {found}"
+        )
+    };
+    let kind = &tokens[*i].kind;
+    *i += 1;
+    match kind {
+        TokenKind::Integer(v) => Ok(Expr::Literal(Literal::Integer(*v))),
+        TokenKind::Float(v) => Ok(Expr::Literal(Literal::Float(*v))),
+        TokenKind::Str(s) => Ok(Expr::Literal(Literal::Str(s.clone()))),
+        TokenKind::Keyword(k) if k == "TRUE" => Ok(Expr::Literal(Literal::Bool(true))),
+        TokenKind::Keyword(k) if k == "FALSE" => Ok(Expr::Literal(Literal::Bool(false))),
+        TokenKind::Keyword(k) if k == "NULL" => Ok(Expr::Literal(Literal::Null)),
+        TokenKind::Dash => {
+            let negated = &tokens[*i].kind;
+            *i += 1;
+            match negated {
+                TokenKind::Integer(v) => Ok(Expr::Literal(Literal::Integer(-v))),
+                TokenKind::Float(v) => Ok(Expr::Literal(Literal::Float(-v))),
+                other => Err(unexpected(other)),
+            }
+        }
+        TokenKind::LBracket => {
+            let mut items = Vec::new();
+            if tokens[*i].kind == TokenKind::RBracket {
+                *i += 1;
+                return Ok(Expr::List(items));
+            }
+            loop {
+                items.push(parse_param_literal(tokens, i, name)?);
+                let sep = &tokens[*i].kind;
+                *i += 1;
+                match sep {
+                    TokenKind::Comma => {}
+                    TokenKind::RBracket => return Ok(Expr::List(items)),
+                    other => {
+                        return Err(format!(
+                            "invalid value for parameter `{name}`: expected `,` or `]` \
+                             in list, found {other}"
+                        ))
+                    }
+                }
+            }
+        }
+        other => Err(unexpected(other)),
     }
 }
 
@@ -179,9 +320,7 @@ pub fn resultset_to_resp(rs: &ResultSet) -> RespValue {
         RespValue::BulkString(format!("Properties set: {}", rs.stats.properties_set)),
         RespValue::BulkString(format!("Nodes deleted: {}", rs.stats.nodes_deleted)),
         RespValue::BulkString(format!("Relationships deleted: {}", rs.stats.relationships_deleted)),
-        // Placeholder until the plan cache lands (ROADMAP): every query is
-        // currently parsed and planned from scratch.
-        RespValue::BulkString("Cached: false".to_string()),
+        RespValue::BulkString(format!("Cached: {}", rs.stats.cached)),
         RespValue::BulkString(format!(
             "Query internal execution time: {:.6} milliseconds",
             rs.stats.execution_time.as_secs_f64() * 1e3
@@ -268,16 +407,92 @@ mod tests {
     }
 
     #[test]
-    fn stats_footer_reports_cache_placeholder() {
-        let rs = ResultSet::empty();
-        let RespValue::Array(sections) = resultset_to_resp(&rs) else { panic!() };
-        let RespValue::Array(stats) = &sections[2] else { panic!() };
-        let lines: Vec<String> = stats.iter().map(|v| v.to_string()).collect();
+    fn argument_errors_use_redis_phrasing() {
+        let err = Command::parse(&RespValue::command(&["GRAPH.QUERY", "g"])).unwrap_err();
+        assert_eq!(err, "wrong number of arguments for 'graph.query' command");
+        let err =
+            Command::parse(&RespValue::command(&["Graph.Query", "g", "q", "extra"])).unwrap_err();
+        assert_eq!(err, "wrong number of arguments for 'graph.query' command");
+        let err = Command::parse(&RespValue::command(&["PING", "x"])).unwrap_err();
+        assert_eq!(err, "wrong number of arguments for 'ping' command");
+        let err = Command::parse(&RespValue::command(&["GRAPH.CONFIG", "FROB", "X"])).unwrap_err();
+        assert!(err.contains("unknown subcommand 'FROB' for 'graph.config'"), "got {err:?}");
+        let err = Command::parse(&RespValue::command(&["GRAPH.INFO", "x"])).unwrap_err();
+        assert_eq!(err, "wrong number of arguments for 'graph.info' command");
+    }
+
+    #[test]
+    fn cypher_header_parses_typed_parameters() {
+        let (params, body) = split_cypher_params(
+            "CYPHER src=7 name='Ann' ratio=0.5 neg=-3 ok=true gone=null \
+             MATCH (s) WHERE id(s) = $src RETURN s",
+        )
+        .unwrap();
+        assert_eq!(body, "MATCH (s) WHERE id(s) = $src RETURN s");
+        assert_eq!(params["src"], Expr::Literal(Literal::Integer(7)));
+        assert_eq!(params["name"], Expr::Literal(Literal::Str("Ann".into())));
+        assert_eq!(params["ratio"], Expr::Literal(Literal::Float(0.5)));
+        assert_eq!(params["neg"], Expr::Literal(Literal::Integer(-3)));
+        assert_eq!(params["ok"], Expr::Literal(Literal::Bool(true)));
+        assert_eq!(params["gone"], Expr::Literal(Literal::Null));
+        assert_eq!(params.len(), 6);
+    }
+
+    #[test]
+    fn cypher_header_parses_lists_and_is_case_insensitive() {
+        let (params, body) =
+            split_cypher_params("cypher xs=[1, 2, 3] empty=[] UNWIND $xs AS x RETURN x").unwrap();
+        assert_eq!(body, "UNWIND $xs AS x RETURN x");
+        assert_eq!(
+            params["xs"],
+            Expr::List(vec![
+                Expr::Literal(Literal::Integer(1)),
+                Expr::Literal(Literal::Integer(2)),
+                Expr::Literal(Literal::Integer(3)),
+            ])
+        );
+        assert_eq!(params["empty"], Expr::List(vec![]));
+    }
+
+    #[test]
+    fn queries_without_a_header_pass_through_untouched() {
+        let (params, body) = split_cypher_params("MATCH (n) RETURN n").unwrap();
+        assert!(params.is_empty());
+        assert_eq!(body, "MATCH (n) RETURN n");
+        // `CYPHER` is only a header introducer in first position; a node
+        // variable of that name elsewhere is untouched.
+        let (params, body) = split_cypher_params("MATCH (cypher) RETURN cypher").unwrap();
+        assert!(params.is_empty());
+        assert_eq!(body, "MATCH (cypher) RETURN cypher");
+    }
+
+    #[test]
+    fn malformed_headers_are_rejected() {
+        let err = split_cypher_params("CYPHER k=MATCH (n) RETURN n").unwrap_err();
+        assert!(err.contains("invalid value for parameter `k`"), "got {err:?}");
+        let err = split_cypher_params("CYPHER k=[1, MATCH (n) RETURN n").unwrap_err();
+        assert!(err.contains("parameter `k`"), "got {err:?}");
+        let err = split_cypher_params("CYPHER k=-'x' RETURN 1").unwrap_err();
+        assert!(err.contains("parameter `k`"), "got {err:?}");
+    }
+
+    #[test]
+    fn stats_footer_reports_cache_status() {
+        let mut rs = ResultSet::empty();
+        let footer_lines = |rs: &ResultSet| -> Vec<String> {
+            let RespValue::Array(sections) = resultset_to_resp(rs) else { panic!() };
+            let RespValue::Array(stats) = &sections[2] else { panic!() };
+            stats.iter().map(|v| v.to_string()).collect()
+        };
+        let lines = footer_lines(&rs);
         assert!(lines.iter().any(|l| l.contains("Cached: false")), "stats were {lines:?}");
         assert!(
             lines.last().unwrap().contains("Query internal execution time"),
             "stats were {lines:?}"
         );
+        rs.stats.cached = true;
+        let lines = footer_lines(&rs);
+        assert!(lines.iter().any(|l| l.contains("Cached: true")), "stats were {lines:?}");
     }
 
     #[test]

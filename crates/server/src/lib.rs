@@ -32,17 +32,19 @@ pub mod commands;
 mod conn;
 pub mod listener;
 pub mod metrics;
+pub mod plan_cache;
 pub mod pool;
 pub mod resp;
 pub mod server;
 
 pub use client::RespClient;
-pub use commands::Command;
+pub use commands::{split_cypher_params, Command};
 pub use listener::GraphServer;
 pub use metrics::{CommandKind, Histogram, Metrics, SlowLog, SlowLogEntry};
+pub use plan_cache::{normalize, CachedPlan, Lookup, PlanCache};
 // The lock type `RedisGraphServer::graph` hands out, so embedders can name
 // `Arc<RwLock<Graph>>` without depending on the lock crate directly.
 pub use parking_lot::RwLock;
 pub use pool::ThreadPool;
 pub use resp::{DecodeStop, RespValue, StreamDecoder};
-pub use server::{RedisGraphServer, ServerConfig};
+pub use server::{RedisGraphServer, ServerConfig, DEFAULT_PLAN_CACHE_SIZE};

@@ -177,6 +177,13 @@ pub struct Metrics {
     pub snapshot_hits: AtomicU64,
     /// Reads that found a stale cache and rebuilt the epoch snapshot.
     pub snapshot_rebuilds: AtomicU64,
+    /// Plan-cache lookups answered with a cached skeleton (no parse, no
+    /// plan; parameters bound per execution).
+    pub plan_cache_hits: AtomicU64,
+    /// Plan-cache lookups that parsed and planned from scratch.
+    pub plan_cache_misses: AtomicU64,
+    /// Plans evicted by the cache's LRU bound (`PLAN_CACHE_SIZE`).
+    pub plan_cache_evictions: AtomicU64,
     /// Per-command invocation counts, indexed by [`CommandKind`].
     commands: [AtomicU64; CommandKind::ALL.len()],
     /// Connections the accept loop admitted.

@@ -13,15 +13,16 @@
 //!   heavy procedure call or a burst of writers can never stall point reads;
 //! * write queries take the graph's write lock for exclusive access.
 
-use crate::commands::{profile_to_resp, resultset_to_resp, Command};
+use crate::commands::{profile_to_resp, resultset_to_resp, split_cypher_params, Command};
 use crate::metrics::{CommandKind, Metrics, SlowLog, SlowLogEntry};
+use crate::plan_cache::{normalize, CachedPlan, Lookup, PlanCache};
 use crate::pool::ThreadPool;
 use crate::resp::RespValue;
 use crossbeam::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use crossbeam::thread::JoinHandle;
 use parking_lot::{Mutex, RwLock};
-use redisgraph_core::{Graph, GraphSnapshot, QueryError};
+use redisgraph_core::{ExecutionPlan, Graph, GraphSnapshot, QueryError};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
@@ -59,6 +60,13 @@ pub struct ServerConfig {
     /// (`GRAPH.SLOWLOG`). `0` logs every query. Runtime-tunable with
     /// `GRAPH.CONFIG SET SLOWLOG_TIME_THRESHOLD`.
     pub slowlog_time_threshold_ms: u64,
+    /// Per-graph cap on cached execution-plan skeletons (`PLAN_CACHE_SIZE`).
+    /// `GRAPH.QUERY` / `GRAPH.PROFILE` / `GRAPH.EXPLAIN` cache the parsed and
+    /// planned form of each whitespace-normalized query body and re-bind
+    /// `CYPHER` header parameters per execution. `0` disables caching.
+    /// Runtime-tunable with `GRAPH.CONFIG SET PLAN_CACHE_SIZE` (resizing
+    /// clears existing caches).
+    pub plan_cache_size: usize,
 }
 
 impl Default for ServerConfig {
@@ -70,9 +78,16 @@ impl Default for ServerConfig {
             max_query_buffer: DEFAULT_MAX_QUERY_BUFFER,
             max_connections: DEFAULT_MAX_CONNECTIONS,
             slowlog_time_threshold_ms: DEFAULT_SLOWLOG_TIME_THRESHOLD_MS,
+            plan_cache_size: DEFAULT_PLAN_CACHE_SIZE,
         }
     }
 }
+
+/// Default `PLAN_CACHE_SIZE` (cached plan skeletons per graph). RedisGraph's
+/// query cache defaults to 25 entries per graph; a larger bound costs only
+/// retained plans (small) and keeps benchmark workloads with many distinct
+/// shapes entirely cache-resident.
+pub const DEFAULT_PLAN_CACHE_SIZE: usize = 256;
 
 /// Default `SLOWLOG_TIME_THRESHOLD` (milliseconds; Redis' slowlog default is
 /// 10000 µs). Point reads finish far under it, so the hot path's only cost
@@ -93,13 +108,14 @@ pub const MIN_QUERY_BUFFER: usize = 1024;
 pub const DEFAULT_MAX_CONNECTIONS: usize = 128;
 
 /// Canonical names of every `GRAPH.CONFIG` parameter, in the order
-/// `GRAPH.CONFIG GET *` reports them. The first four are runtime-settable;
+/// `GRAPH.CONFIG GET *` reports them. The first five are runtime-settable;
 /// `THREAD_COUNT` and `MAX_CONNECTIONS` are fixed at module load.
-const CONFIG_PARAMETERS: [&str; 6] = [
+const CONFIG_PARAMETERS: [&str; 7] = [
     "DELTA_MAX_PENDING_CHANGES",
     "QUERY_THREADS",
     "MAX_QUERY_BUFFER",
     "SLOWLOG_TIME_THRESHOLD",
+    "PLAN_CACHE_SIZE",
     "THREAD_COUNT",
     "MAX_CONNECTIONS",
 ];
@@ -147,6 +163,10 @@ struct GraphEntry {
     /// The graph's slow-query ring buffer (`GRAPH.SLOWLOG`). Per graph, like
     /// RedisGraph: a `GRAPH.DELETE` drops the log with the entry.
     slowlog: Arc<Mutex<SlowLog>>,
+    /// Cached plan skeletons keyed on the normalized query body; parameters
+    /// bind per execution. Per graph, so a `GRAPH.DELETE` drops the cache
+    /// with the entry and one graph's churn cannot evict another's plans.
+    plan_cache: Arc<PlanCache>,
 }
 
 impl GraphEntry {
@@ -176,6 +196,58 @@ impl GraphEntry {
         *cache = Some(Arc::clone(&sealed));
         sealed
     }
+
+    /// Finish resolving a plan skeleton after a [`PlanCache::lookup`]:
+    /// validate that a hit was built under the graph's current optimizer
+    /// setting, or parse + plan + insert on a miss. `ast` carries the
+    /// pre-parsed body when the dispatch path already paid for the parse;
+    /// otherwise the body is re-derived from `query_text` here. Returns the
+    /// skeleton and whether it came from the cache.
+    fn resolve_plan(
+        &self,
+        key: &str,
+        looked_up: Lookup,
+        ast: Option<cypher::Query>,
+        query_text: &str,
+        metrics: &Metrics,
+    ) -> Result<(Arc<CachedPlan>, bool), QueryError> {
+        let generation = match looked_up {
+            Lookup::Hit(cached) => {
+                if cached.optimized == self.graph.read().optimizer_enabled() {
+                    return Ok((cached, true));
+                }
+                // The optimizer was toggled since this plan was built: every
+                // plan of the old regime is stale, so clear them all and
+                // rebuild (the generation bump also rejects in-flight
+                // inserts that observed the old setting).
+                self.plan_cache.invalidate();
+                match self.plan_cache.lookup(key, metrics) {
+                    Lookup::Miss(generation) => generation,
+                    Lookup::Hit(cached) => return Ok((cached, true)),
+                }
+            }
+            Lookup::Miss(generation) => generation,
+        };
+        let ast = match ast {
+            Some(ast) => ast,
+            None => {
+                let (_, body) = split_cypher_params(query_text).map_err(QueryError::Syntax)?;
+                cypher::parse(body)?
+            }
+        };
+        let (plan, optimized) = {
+            let g = self.graph.read();
+            (g.build_plan(&ast)?, g.optimizer_enabled())
+        };
+        let skeleton = Arc::new(CachedPlan {
+            read_only: ast.is_read_only(),
+            has_params: plan.has_params(),
+            plan: Arc::new(plan),
+            optimized,
+        });
+        self.plan_cache.insert(key.to_string(), Arc::clone(&skeleton), generation, metrics);
+        Ok((skeleton, false))
+    }
 }
 
 /// The in-process server.
@@ -193,6 +265,10 @@ pub struct RedisGraphServer {
     /// Live value of `SLOWLOG_TIME_THRESHOLD` in milliseconds (0 = log every
     /// query).
     slowlog_time_threshold_ms: AtomicU64,
+    /// Live value of `PLAN_CACHE_SIZE` (cached plans per graph; 0 disables):
+    /// new graphs size their cache from it, `GRAPH.CONFIG SET` resizes
+    /// existing caches in place.
+    plan_cache_size: AtomicUsize,
     /// The server-wide metrics registry (`GRAPH.INFO`), shared with the
     /// network layer's accept and connection loops.
     metrics: Arc<Metrics>,
@@ -220,6 +296,7 @@ impl RedisGraphServer {
             delta_max_pending_changes: AtomicUsize::new(config.delta_max_pending_changes.max(1)),
             max_query_buffer: AtomicUsize::new(config.max_query_buffer.max(MIN_QUERY_BUFFER)),
             slowlog_time_threshold_ms: AtomicU64::new(config.slowlog_time_threshold_ms),
+            plan_cache_size: AtomicUsize::new(config.plan_cache_size),
             metrics: Arc::new(Metrics::default()),
         }
     }
@@ -242,6 +319,12 @@ impl RedisGraphServer {
     /// The live `SLOWLOG_TIME_THRESHOLD` value in milliseconds.
     pub fn slowlog_time_threshold_ms(&self) -> u64 {
         self.slowlog_time_threshold_ms.load(Ordering::Relaxed)
+    }
+
+    /// The live `PLAN_CACHE_SIZE` value (cached plans per graph; 0 disables
+    /// the plan cache).
+    pub fn plan_cache_size(&self) -> usize {
+        self.plan_cache_size.load(Ordering::Relaxed)
     }
 
     /// The server-wide metrics registry.
@@ -278,6 +361,7 @@ impl RedisGraphServer {
                     deleted: Arc::new(AtomicBool::new(false)),
                     snapshot_cache: Arc::new(Mutex::new(None)),
                     slowlog: Arc::new(Mutex::new(SlowLog::default())),
+                    plan_cache: Arc::new(PlanCache::new(self.plan_cache_size())),
                 }
             })
             .clone()
@@ -339,55 +423,112 @@ impl RedisGraphServer {
         } else {
             CommandKind::GraphQuery
         });
-        let ast = match cypher::parse(&query) {
-            Ok(ast) => ast,
+        // Split the `CYPHER name=value …` parameter header off the body
+        // first: the cache key is the normalized *body*, so the same query
+        // shape with different parameter values shares one cached plan.
+        let (params, body) = match split_cypher_params(&query) {
+            Ok(split) => split,
             Err(e) => {
                 metrics.queries_failed.fetch_add(1, Ordering::Relaxed);
-                let _ = reply_to.send(RespValue::Error(format!("ERR {}", QueryError::from(e))));
+                let _ = reply_to.send(RespValue::Error(format!("ERR {e}")));
                 return;
             }
         };
-        let entry = self.entry(&graph);
+        let key = normalize(body);
+        // Plan-cache lookup before parsing: a hit skips both the parser and
+        // the planner. The keyspace entry is only *read* here — like parse
+        // errors, a cache miss on an unknown graph must not create it.
+        let existing = self.graphs.read().get(&graph).cloned();
+        let looked_up = match &existing {
+            Some(entry) => entry.plan_cache.lookup(&key, &metrics),
+            None => {
+                metrics.plan_cache_misses.fetch_add(1, Ordering::Relaxed);
+                // A fresh entry's cache starts at generation 0, so the
+                // worker's insert against this observation still lands.
+                Lookup::Miss(0)
+            }
+        };
+        // On a miss, parse at dispatch: a syntax error answers immediately
+        // without creating the graph, occupying a worker, or touching any
+        // lock. The AST rides along so the worker never re-parses.
+        let ast = match &looked_up {
+            Lookup::Hit(_) => None,
+            Lookup::Miss(_) => match cypher::parse(body) {
+                Ok(ast) => Some(ast),
+                Err(e) => {
+                    metrics.queries_failed.fetch_add(1, Ordering::Relaxed);
+                    let _ = reply_to.send(RespValue::Error(format!("ERR {}", QueryError::from(e))));
+                    return;
+                }
+            },
+        };
+        let entry = existing.unwrap_or_else(|| self.entry(&graph));
         let slowlog_threshold_ms = self.slowlog_time_threshold_ms();
         self.pool.execute(move || {
-            let reply = if ast.is_read_only() {
-                // Pin the current epoch's sealed snapshot (cached per epoch,
-                // rebuilt outside every lock on a miss), then execute with no
-                // lock held at all: a heavy query cannot queue a flush's
-                // write-lock request in front of us, and we cannot stall a
-                // writer. The live graph's deltas stay buffered — the seal
-                // folded the snapshot's private COW copies once per epoch.
-                metrics.queries_readonly.fetch_add(1, Ordering::Relaxed);
-                let snapshot = entry.snapshot(&metrics);
-                if profile {
-                    match snapshot.profile_readonly_ast_at(&ast, started) {
-                        Ok((_rs, profiles)) => profile_to_resp(&profiles),
-                        Err(e) => RespValue::Error(format!("ERR {e}")),
+            // Resolve the skeleton (cache hit, or build + insert), then bind
+            // parameters into a private copy when the plan references any.
+            let reply = match entry.resolve_plan(&key, looked_up, ast, &query, &metrics) {
+                Err(e) => RespValue::Error(format!("ERR {e}")),
+                Ok((skeleton, was_cached)) => (|| {
+                    let bound;
+                    let plan: &ExecutionPlan = if skeleton.has_params {
+                        match skeleton.plan.bind(&params) {
+                            Ok(p) => {
+                                bound = p;
+                                &bound
+                            }
+                            Err(e) => return RespValue::Error(format!("ERR {e}")),
+                        }
+                    } else {
+                        &skeleton.plan
+                    };
+                    if skeleton.read_only {
+                        // Pin the current epoch's sealed snapshot (cached per
+                        // epoch, rebuilt outside every lock on a miss), then
+                        // execute with no lock held at all: a heavy query
+                        // cannot queue a flush's write-lock request in front
+                        // of us, and we cannot stall a writer. The live
+                        // graph's deltas stay buffered — the seal folded the
+                        // snapshot's private COW copies once per epoch.
+                        metrics.queries_readonly.fetch_add(1, Ordering::Relaxed);
+                        let snapshot = entry.snapshot(&metrics);
+                        if profile {
+                            match snapshot.profile_plan_at(plan, started) {
+                                Ok((_rs, profiles)) => profile_to_resp(&profiles),
+                                Err(e) => RespValue::Error(format!("ERR {e}")),
+                            }
+                        } else {
+                            match snapshot.execute_plan_at(plan, started) {
+                                Ok(mut rs) => {
+                                    rs.stats.cached = was_cached;
+                                    resultset_to_resp(&rs)
+                                }
+                                Err(e) => RespValue::Error(format!("ERR {e}")),
+                            }
+                        }
+                    } else {
+                        metrics.queries_write.fetch_add(1, Ordering::Relaxed);
+                        let mut g = entry.graph.write();
+                        // A `GRAPH.DELETE` that landed after dispatch marked
+                        // the entry; abort rather than mutate the orphan.
+                        if entry.deleted.load(Ordering::SeqCst) {
+                            RespValue::Error(format!("ERR graph `{}` was deleted", g.name()))
+                        } else if profile {
+                            match plan.profile(&mut g, started) {
+                                Ok((_rs, profiles)) => profile_to_resp(&profiles),
+                                Err(e) => RespValue::Error(format!("ERR {e}")),
+                            }
+                        } else {
+                            match plan.execute_at(&mut g, started) {
+                                Ok(mut rs) => {
+                                    rs.stats.cached = was_cached;
+                                    resultset_to_resp(&rs)
+                                }
+                                Err(e) => RespValue::Error(format!("ERR {e}")),
+                            }
+                        }
                     }
-                } else {
-                    match snapshot.query_readonly_ast_at(&ast, started) {
-                        Ok(rs) => resultset_to_resp(&rs),
-                        Err(e) => RespValue::Error(format!("ERR {e}")),
-                    }
-                }
-            } else {
-                metrics.queries_write.fetch_add(1, Ordering::Relaxed);
-                let mut g = entry.graph.write();
-                // A `GRAPH.DELETE` that landed after dispatch marked the
-                // entry; abort rather than mutate the orphaned graph.
-                if entry.deleted.load(Ordering::SeqCst) {
-                    RespValue::Error(format!("ERR graph `{}` was deleted", g.name()))
-                } else if profile {
-                    match g.profile_ast_at(&ast, started) {
-                        Ok((_rs, profiles)) => profile_to_resp(&profiles),
-                        Err(e) => RespValue::Error(format!("ERR {e}")),
-                    }
-                } else {
-                    match g.query_ast_at(&ast, started) {
-                        Ok(rs) => resultset_to_resp(&rs),
-                        Err(e) => RespValue::Error(format!("ERR {e}")),
-                    }
-                }
+                })(),
             };
             let elapsed = started.elapsed();
             metrics.query_latency.record_duration(elapsed);
@@ -437,6 +578,10 @@ impl RedisGraphServer {
                         // delete is fully observable and later commands on
                         // the name get a fresh, empty graph.
                         entry.deleted.store(true, Ordering::SeqCst);
+                        // The cache dies with the entry; invalidating also
+                        // stops an in-flight query that dispatched before
+                        // the delete from installing a plan in the orphan.
+                        entry.plan_cache.invalidate();
                         drop(entry.graph.write());
                         RespValue::SimpleString("OK".to_string())
                     }
@@ -503,6 +648,27 @@ impl RedisGraphServer {
                         ));
                     };
                     graphblas::Context::set_nthreads(threads);
+                    // Plans capture the thread budget at build time, so every
+                    // cached skeleton is now stale. The generation bump also
+                    // rejects in-flight builds that observed the old setting.
+                    for entry in self.graphs.read().values() {
+                        entry.plan_cache.invalidate();
+                    }
+                    RespValue::SimpleString("OK".to_string())
+                } else if parameter.eq_ignore_ascii_case("PLAN_CACHE_SIZE") {
+                    let Ok(size) = value.parse::<usize>() else {
+                        return RespValue::Error(format!(
+                            "ERR PLAN_CACHE_SIZE must be a non-negative integer (cached plans \
+                             per graph; 0 disables the plan cache), got `{value}`"
+                        ));
+                    };
+                    self.plan_cache_size.store(size, Ordering::Relaxed);
+                    // Resize every existing cache in place (which clears it —
+                    // resizing is an invalidation); new graphs pick the value
+                    // up on creation.
+                    for entry in self.graphs.read().values() {
+                        entry.plan_cache.set_capacity(size);
+                    }
                     RespValue::SimpleString("OK".to_string())
                 } else if parameter.eq_ignore_ascii_case("MAX_QUERY_BUFFER") {
                     let Some(bytes) =
@@ -529,12 +695,20 @@ impl RedisGraphServer {
                 }
             }
             Command::GraphExplain { graph, query } => {
-                let graph = self.graph(&graph);
-                let guard = graph.read();
-                match guard.explain(&query) {
-                    Ok(lines) => {
-                        RespValue::Array(lines.into_iter().map(RespValue::BulkString).collect())
-                    }
+                // EXPLAIN resolves through the same per-graph plan cache as
+                // QUERY/PROFILE: explaining a hot query is free, and an
+                // EXPLAIN warms the cache for the executions that follow.
+                let (_params, body) = match split_cypher_params(&query) {
+                    Ok(split) => split,
+                    Err(e) => return RespValue::Error(format!("ERR {e}")),
+                };
+                let key = normalize(body);
+                let entry = self.entry(&graph);
+                let looked_up = entry.plan_cache.lookup(&key, &self.metrics);
+                match entry.resolve_plan(&key, looked_up, None, &query, &self.metrics) {
+                    Ok((skeleton, _)) => RespValue::Array(
+                        skeleton.plan.describe().into_iter().map(RespValue::BulkString).collect(),
+                    ),
                     Err(e) => RespValue::Error(format!("ERR {e}")),
                 }
             }
@@ -590,6 +764,7 @@ impl RedisGraphServer {
             "QUERY_THREADS" => Some(graphblas::Context::nthreads() as i64),
             "MAX_QUERY_BUFFER" => Some(self.max_query_buffer() as i64),
             "SLOWLOG_TIME_THRESHOLD" => Some(self.slowlog_time_threshold_ms() as i64),
+            "PLAN_CACHE_SIZE" => Some(self.plan_cache_size() as i64),
             "THREAD_COUNT" => Some(self.config.thread_count as i64),
             "MAX_CONNECTIONS" => Some(self.config.max_connections as i64),
             _ => None,
@@ -623,6 +798,9 @@ impl RedisGraphServer {
                 ("queries_write", load(&m.queries_write)),
                 ("snapshot_hits", load(&m.snapshot_hits)),
                 ("snapshot_rebuilds", load(&m.snapshot_rebuilds)),
+                ("plan_cache_hits", load(&m.plan_cache_hits)),
+                ("plan_cache_misses", load(&m.plan_cache_misses)),
+                ("plan_cache_evictions", load(&m.plan_cache_evictions)),
                 ("slowlog_time_threshold_ms", int(self.slowlog_time_threshold_ms())),
             ],
         );
@@ -659,9 +837,11 @@ impl RedisGraphServer {
         // same order a read query would take them, so INFO cannot deadlock
         // against queries.
         let (mut nodes, mut edges, mut pending, mut flushes) = (0u64, 0u64, 0u64, 0u64);
+        let mut plan_cache_entries = 0u64;
         let entries: Vec<GraphEntry> = self.graphs.read().values().cloned().collect();
         let graph_count = entries.len();
         for entry in entries {
+            plan_cache_entries += entry.plan_cache.len() as u64;
             let g = entry.graph.read();
             nodes += g.node_count() as u64;
             edges += g.edge_count() as u64;
@@ -676,6 +856,7 @@ impl RedisGraphServer {
                 ("edges", int(edges)),
                 ("pending_deltas", int(pending)),
                 ("delta_flushes", int(flushes)),
+                ("plan_cache_entries", int(plan_cache_entries)),
             ],
         );
         RespValue::Array(vec![queries, commands, latency, clients, store])
@@ -852,7 +1033,7 @@ mod tests {
         });
         let reply = server.handle(&RespValue::command(&["GRAPH.CONFIG", "GET", "*"]));
         let RespValue::Array(pairs) = reply else { panic!("expected array, got {reply}") };
-        assert_eq!(pairs.len(), 6);
+        assert_eq!(pairs.len(), 7);
         let mut seen = std::collections::HashMap::new();
         for pair in &pairs {
             let RespValue::Array(kv) = pair else { panic!("expected [name, value] pair") };
@@ -864,6 +1045,7 @@ mod tests {
         assert_eq!(seen["THREAD_COUNT"], 3);
         assert_eq!(seen["MAX_CONNECTIONS"], 77);
         assert_eq!(seen["SLOWLOG_TIME_THRESHOLD"], DEFAULT_SLOWLOG_TIME_THRESHOLD_MS as i64);
+        assert_eq!(seen["PLAN_CACHE_SIZE"], DEFAULT_PLAN_CACHE_SIZE as i64);
         assert!(seen.contains_key("DELTA_MAX_PENDING_CHANGES"));
         assert!(seen.contains_key("QUERY_THREADS"));
         assert!(seen.contains_key("MAX_QUERY_BUFFER"));
@@ -1026,11 +1208,135 @@ mod tests {
         assert_eq!(after["edges"], 1);
         assert!(after["query_samples"] == 2 && after["query_max_usec"] >= 0);
         assert_eq!(after["snapshot_rebuilds"], 1, "first read of the epoch rebuilds");
+        // All three lookups missed (the parse error still looked up first);
+        // only the two parseable queries left a plan behind.
+        assert_eq!(after["plan_cache_misses"], 3);
+        assert_eq!(after["plan_cache_hits"], 0);
+        assert_eq!(after["plan_cache_entries"], 2);
+        assert_eq!(after["plan_cache_evictions"], 0);
 
-        // A second read of the same epoch hits the snapshot cache.
+        // A second read of the same epoch hits the snapshot cache — and the
+        // repeated text hits the plan cache.
         server.query("g", "MATCH (a)-[:R]->(b) RETURN count(b)");
         let third = info(&server);
         assert_eq!(third["snapshot_hits"], 1);
+        assert_eq!(third["plan_cache_hits"], 1);
+    }
+
+    /// Pull the `Cached: true|false` line out of a query reply's stats footer.
+    fn cached_flag(reply: &RespValue) -> bool {
+        let RespValue::Array(sections) = reply else { panic!("expected array, got {reply}") };
+        let RespValue::Array(stats) = &sections[2] else { panic!("no stats footer in {reply}") };
+        stats
+            .iter()
+            .find_map(|l| match l {
+                RespValue::BulkString(s) => s.strip_prefix("Cached: ").map(|v| v == "true"),
+                _ => None,
+            })
+            .expect("stats footer must carry a Cached line")
+    }
+
+    #[test]
+    fn repeated_query_text_is_served_from_the_plan_cache() {
+        let server = RedisGraphServer::new(ServerConfig::default());
+        server.query("g", "CREATE (:Node {name: 'Ann'})");
+        let cold = server.query("g", "MATCH (n:Node) RETURN n.name");
+        assert!(!cached_flag(&cold), "first execution must plan from scratch");
+        // Whitespace differences normalize to the same cache key.
+        let warm = server.query("g", "MATCH (n:Node)   RETURN \t n.name");
+        assert!(cached_flag(&warm), "second execution must reuse the cached plan");
+    }
+
+    #[test]
+    fn parameterized_queries_share_one_cached_plan_shape() {
+        let server = RedisGraphServer::new(ServerConfig::default());
+        server.query("g", "CREATE (:Person {name: 'Ann'}), (:Person {name: 'Bob'})");
+        let first_cell = |reply: &RespValue| -> RespValue {
+            let RespValue::Array(sections) = reply else { panic!("expected array, got {reply}") };
+            let RespValue::Array(rows) = &sections[1] else { panic!() };
+            let RespValue::Array(row) = &rows[0] else { panic!("no rows in {reply}") };
+            row[0].clone()
+        };
+        let ann = server
+            .query("g", "CYPHER who='Ann' MATCH (p:Person) WHERE p.name = $who RETURN p.name");
+        assert_eq!(first_cell(&ann), RespValue::BulkString("Ann".into()));
+        assert!(!cached_flag(&ann));
+        // Different binding, same shape: the skeleton is reused and the new
+        // value is substituted at execution time, not spliced into the text.
+        let bob = server
+            .query("g", "CYPHER who='Bob' MATCH (p:Person) WHERE p.name = $who RETURN p.name");
+        assert_eq!(first_cell(&bob), RespValue::BulkString("Bob".into()));
+        assert!(cached_flag(&bob));
+        // Referencing a parameter the header never bound is an error, even
+        // though the body itself hits the same cached skeleton.
+        let missing = server.query("g", "MATCH (p:Person) WHERE p.name = $who RETURN p.name");
+        let RespValue::Error(msg) = missing else { panic!("expected error, got {missing}") };
+        assert!(msg.contains("missing query parameter `$who`"), "got {msg}");
+    }
+
+    #[test]
+    fn plan_cache_size_knob_resizes_and_disables() {
+        let server = RedisGraphServer::new(ServerConfig::default());
+        assert_eq!(server.plan_cache_size(), DEFAULT_PLAN_CACHE_SIZE);
+        server.query("g", "CREATE (:Node)");
+        server.query("g", "MATCH (n) RETURN count(n)");
+        assert!(cached_flag(&server.query("g", "MATCH (n) RETURN count(n)")));
+
+        // Resizing flushes cached plans; 0 disables caching entirely.
+        let reply =
+            server.handle(&RespValue::command(&["GRAPH.CONFIG", "SET", "PLAN_CACHE_SIZE", "0"]));
+        assert_eq!(reply, RespValue::SimpleString("OK".into()));
+        assert_eq!(server.plan_cache_size(), 0);
+        for _ in 0..2 {
+            let reply = server.query("g", "MATCH (n) RETURN count(n)");
+            assert!(!cached_flag(&reply), "capacity 0 must never serve a cached plan");
+        }
+
+        let reply =
+            server.handle(&RespValue::command(&["GRAPH.CONFIG", "SET", "PLAN_CACHE_SIZE", "8"]));
+        assert_eq!(reply, RespValue::SimpleString("OK".into()));
+        server.query("g", "MATCH (n) RETURN count(n)");
+        assert!(cached_flag(&server.query("g", "MATCH (n) RETURN count(n)")));
+
+        for bad in ["-1", "junk"] {
+            assert!(matches!(
+                server.handle(&RespValue::command(&[
+                    "GRAPH.CONFIG",
+                    "SET",
+                    "PLAN_CACHE_SIZE",
+                    bad
+                ])),
+                RespValue::Error(_)
+            ));
+        }
+        assert_eq!(server.plan_cache_size(), 8, "rejected SET must not change state");
+    }
+
+    #[test]
+    fn graph_delete_drops_the_graphs_cached_plans() {
+        let server = RedisGraphServer::new(ServerConfig::default());
+        server.query("g", "CREATE (:Node)");
+        server.query("g", "MATCH (n) RETURN count(n)");
+        assert!(cached_flag(&server.query("g", "MATCH (n) RETURN count(n)")));
+        server.handle(&RespValue::command(&["GRAPH.DELETE", "g"]));
+        // The recreated graph starts cold; the old entry's plans are gone.
+        server.query("g", "CREATE (:Node)");
+        assert!(!cached_flag(&server.query("g", "MATCH (n) RETURN count(n)")));
+        assert!(cached_flag(&server.query("g", "MATCH (n) RETURN count(n)")));
+    }
+
+    #[test]
+    fn optimizer_toggle_demotes_stale_cached_plans() {
+        let server = RedisGraphServer::new(ServerConfig::default());
+        server.query("g", "CREATE (:A {v: 1})-[:R]->(:B {v: 2})");
+        server.query("g", "MATCH (a:A)-[:R]->(b:B) RETURN b.v");
+        assert!(cached_flag(&server.query("g", "MATCH (a:A)-[:R]->(b:B) RETURN b.v")));
+        // A skeleton built with the optimizer on must not be served once the
+        // graph's optimizer is switched off — the hit is demoted to a rebuild.
+        server.graph("g").write().set_optimizer(false);
+        let reply = server.query("g", "MATCH (a:A)-[:R]->(b:B) RETURN b.v");
+        assert!(!cached_flag(&reply), "stale optimizer flag must force a rebuild");
+        assert!(cached_flag(&server.query("g", "MATCH (a:A)-[:R]->(b:B) RETURN b.v")));
     }
 
     #[test]
@@ -1119,9 +1425,14 @@ mod tests {
         }
         assert_eq!(graphblas::Context::nthreads(), 3);
 
-        // Restore the library default so no other state leaks out.
+        // Cached skeletons capture the thread budget at build time, so
+        // changing QUERY_THREADS flushes every graph's plan cache. (This also
+        // restores the library default so no other state leaks out.)
+        assert!(cached_flag(&server.query("g", "MATCH (a:A)-[:R]->(b:A) RETURN count(b)")));
         server.handle(&RespValue::command(&["GRAPH.CONFIG", "SET", "QUERY_THREADS", "1"]));
         assert_eq!(graphblas::Context::nthreads(), 1);
+        let reply = server.query("g", "MATCH (a:A)-[:R]->(b:A) RETURN count(b)");
+        assert!(!cached_flag(&reply), "QUERY_THREADS change must rebuild cached plans");
     }
 
     #[test]

@@ -42,6 +42,9 @@ NETWORK_METRIC_KEYS = {
     "connections_accepted",
     "connections_active",
     "connections_refused",
+    "plan_cache_hits",
+    "plan_cache_misses",
+    "plan_cache_evictions",
 }
 NETWORK_METRIC_POSITIVE = {
     "queries_executed",
@@ -49,6 +52,9 @@ NETWORK_METRIC_POSITIVE = {
     "bytes_in",
     "bytes_out",
     "connections_accepted",
+    # The param_point_cached workload repeats one normalized query shape, so
+    # a run with zero cache hits means the plan cache stopped serving.
+    "plan_cache_hits",
 }
 
 
@@ -74,6 +80,32 @@ def check_network_metrics(path, doc):
             f"run — connection slots leaked (only the polling client may remain)"
         )
     return problems
+
+
+# The plan cache exists to make repeated query shapes cheaper; CI noise can
+# flip a few percent either way, but the cached run falling this far behind
+# the uncached one means lookups cost more than the planning they save.
+PLAN_CACHE_SLOWDOWN_TOLERANCE = 1.25
+
+
+def check_network_plan_cache(path, doc):
+    by_op = {}
+    for entry in doc.get("results") or []:
+        if isinstance(entry, dict) and "op" in entry:
+            by_op[entry["op"]] = entry
+    missing = {"param_point_cached", "param_point_uncached"} - set(by_op)
+    if missing:
+        return [f"{path}: network suite missing param_point ops: {sorted(missing)}"]
+    cached = by_op["param_point_cached"].get("qps")
+    uncached = by_op["param_point_uncached"].get("qps")
+    if not all(isinstance(v, (int, float)) and v > 0 for v in (cached, uncached)):
+        return []  # the generic positive-keys check reports these
+    if cached * PLAN_CACHE_SLOWDOWN_TOLERANCE < uncached:
+        return [
+            f"{path}: param_point cached throughput {cached:.0f} qps fell behind "
+            f"uncached {uncached:.0f} qps — the plan cache made queries slower"
+        ]
+    return []
 
 
 # Perf-regression tolerance for the traverse suite's mode comparisons. CI
@@ -143,6 +175,7 @@ def check_file(path):
 
     if suite == "network":
         problems.extend(check_network_metrics(path, doc))
+        problems.extend(check_network_plan_cache(path, doc))
     if suite == "traverse":
         problems.extend(check_traverse(path, doc))
 

@@ -63,6 +63,8 @@ FLAGS:
     --max-connections <N>        concurrent connection cap [default: 128]
     --slowlog-threshold <MS>     log queries at/over this many milliseconds
                                  (SLOWLOG_TIME_THRESHOLD, 0 = log everything)
+    --plan-cache-size <N>        cached plans per graph, 0 disables
+                                 (PLAN_CACHE_SIZE)
     --preload-scale <N>          bulk-load an RMAT scale-N graph before serving
     --preload-edge-factor <N>    edges per vertex for the preload [default: 8]
     --preload-graph <NAME>       graph key for the preload [default: bench]
@@ -107,6 +109,7 @@ fn main() {
         max_connections: arg(&argv, "--max-connections").unwrap_or(defaults.max_connections),
         slowlog_time_threshold_ms: arg(&argv, "--slowlog-threshold")
             .unwrap_or(defaults.slowlog_time_threshold_ms),
+        plan_cache_size: arg(&argv, "--plan-cache-size").unwrap_or(defaults.plan_cache_size),
     };
 
     let server = Arc::new(RedisGraphServer::new(config));

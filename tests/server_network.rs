@@ -31,7 +31,11 @@
 //!   operator tree for pipelined queries, `GRAPH.SLOWLOG` captures queries
 //!   over the runtime-set threshold and `RESET` empties it, and the
 //!   `GRAPH.INFO` counters stay consistent across a 5 000-command pipeline
-//!   without leaking active-connection slots.
+//!   without leaking active-connection slots;
+//! * **parameterized queries & the plan cache** — a pipeline rotating
+//!   `CYPHER k=… ` headers over one query shape gets per-binding answers
+//!   while every execution after the first reports `Cached: true`, with the
+//!   hit/miss counters visible in `GRAPH.INFO`.
 
 use redisgraph_server::{GraphServer, RedisGraphServer, RespClient, RespValue, ServerConfig};
 use std::io::{Read, Write};
@@ -770,6 +774,77 @@ fn graph_delete_racing_an_in_flight_read_never_tears_over_tcp() {
         let after = writer.query(&name, "MATCH (n) RETURN count(n)").expect("post-race read");
         assert_eq!(count(&after), 0, "round {round}: delete left data behind");
     }
+    net.shutdown();
+}
+
+#[test]
+fn pipelined_parameter_bindings_share_one_cached_plan_over_tcp() {
+    // One query *shape*, many `CYPHER k=…` bindings, one pipeline: every
+    // execution after the first must be served from the plan cache (the
+    // header's values are not part of the cache key), and each must still
+    // answer for its own binding — a cache that spliced text or reused a
+    // bound plan would return the wrong row.
+    let net = GraphServer::bind(
+        "127.0.0.1:0",
+        ServerConfig { thread_count: 4, ..ServerConfig::default() },
+    )
+    .expect("bind");
+    let mut client = RespClient::connect(net.local_addr()).expect("connect");
+    let mut create = String::from("CREATE ");
+    for k in 0..10 {
+        if k > 0 {
+            create.push_str(", ");
+        }
+        create.push_str(&format!("(p{k}:Node {{id: {k}}})"));
+    }
+    let seeded = client.query("params", &create).expect("seed");
+    assert!(!matches!(seeded, RespValue::Error(_)), "seed failed: {seeded}");
+
+    let cached_flag = |reply: &RespValue| -> bool {
+        let RespValue::Array(sections) = reply else { panic!("not a query reply: {reply}") };
+        let RespValue::Array(stats) = &sections[2] else { panic!("no stats footer: {reply}") };
+        stats
+            .iter()
+            .find_map(|l| match l {
+                RespValue::BulkString(s) => s.strip_prefix("Cached: ").map(|v| v == "true"),
+                _ => None,
+            })
+            .expect("stats footer must carry a Cached line")
+    };
+    let single = |reply: &RespValue| -> i64 {
+        let RespValue::Array(sections) = reply else { panic!("not a query reply: {reply}") };
+        let RespValue::Array(rows) = &sections[1] else { panic!() };
+        let RespValue::Array(row) = &rows[0] else { panic!("no rows: {reply}") };
+        let RespValue::Integer(n) = row[0] else { panic!("non-integer cell: {reply}") };
+        n
+    };
+
+    let commands: Vec<RespValue> = (0..40)
+        .map(|i| {
+            let k = (i * 7) % 10;
+            RespValue::command(&[
+                "GRAPH.QUERY",
+                "params",
+                &format!("CYPHER k={k} MATCH (n:Node) WHERE n.id = $k RETURN n.id"),
+            ])
+        })
+        .collect();
+    let replies = client.pipeline(&commands).expect("param pipeline");
+    assert_eq!(replies.len(), commands.len());
+    for (i, reply) in replies.iter().enumerate() {
+        let k = (i * 7) % 10;
+        assert_eq!(single(reply), k as i64, "binding #{i} answered for the wrong parameter");
+        if i == 0 {
+            assert!(!cached_flag(reply), "the very first execution must be a cache miss");
+        } else {
+            assert!(cached_flag(reply), "execution #{i} was not served from the plan cache");
+        }
+    }
+
+    // The counters tell the same story over the wire.
+    let fields = info_fields(&client.command(&["GRAPH.INFO"]).expect("info"));
+    assert_eq!(info_int(&fields, "plan_cache_hits"), 39);
+    assert!(info_int(&fields, "plan_cache_entries") >= 1);
     net.shutdown();
 }
 
